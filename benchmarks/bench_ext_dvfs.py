@@ -1,0 +1,69 @@
+"""Extension bench: cluster gating complements DVFS at V_min.
+
+Section 2.1: "DVFS has also been applied at both system and core
+levels, and we note that cluster gating is a complementary technique
+that can further reduce power at V_min." We sweep DVFS operating
+points and, at each, measure the additional energy saving from oracle
+cluster gating — showing the gating headroom that remains once voltage
+scaling runs out.
+"""
+
+import numpy as np
+
+from repro.core.labels import gating_labels
+from repro.eval.reporting import emit, format_table, percent
+from repro.uarch.dvfs import DVFSModel
+from repro.uarch.interval_model import IntervalModel
+from repro.uarch.modes import Mode
+
+FREQUENCIES = (2.0, 1.5, 1.0)
+
+
+def _run(collector, test_traces):
+    dvfs = DVFSModel()
+    traces = test_traces[::6]
+    rows = []
+    gains_at = {}
+    nominal_energy = None
+    for freq in FREQUENCIES:
+        machine = dvfs.machine_at(freq)
+        sim = IntervalModel(machine)
+        power = dvfs.power_model_at(freq, machine)
+        e_hp, e_gated = 0.0, 0.0
+        for trace in traces:
+            hp = sim.simulate(trace, Mode.HIGH_PERF)
+            lp = sim.simulate(trace, Mode.LOW_POWER)
+            labels = gating_labels(trace, model=sim)
+            gated = labels.labels.astype(bool)
+            per_hp = power.interval_energy_j(hp)
+            per_lp = power.interval_energy_j(lp)
+            e_hp += float(per_hp.sum())
+            e_gated += float(np.where(gated, per_lp, per_hp).sum())
+        gating_gain = e_hp / e_gated - 1.0
+        gains_at[freq] = gating_gain
+        if nominal_energy is None:
+            nominal_energy = e_hp
+        rows.append([f"{freq:.1f} GHz",
+                     f"{dvfs.voltage_for(freq):.2f} V",
+                     percent(1.0 - e_hp / nominal_energy),
+                     percent(gating_gain),
+                     percent(1.0 - e_gated / nominal_energy)])
+    return rows, gains_at
+
+
+def bench_ext_dvfs_interplay(benchmark, collector, test_traces):
+    rows, gains_at = benchmark.pedantic(
+        _run, args=(collector, test_traces), rounds=1, iterations=1)
+    text = format_table(
+        "Extension - cluster gating on top of DVFS (oracle gating; "
+        "energy relative to the nominal 2.0 GHz ungated run)",
+        ["Operating point", "Voltage", "DVFS-only saving",
+         "Extra gating PPW at this point", "Combined saving"],
+        rows)
+    emit("ext_dvfs", text)
+
+    # Gating keeps delivering double-digit-class PPW even at V_min,
+    # where DVFS has no voltage headroom left (Section 2.1's claim).
+    assert gains_at[1.0] > 0.08
+    # And the techniques compose: combined beats DVFS alone.
+    assert all(g > 0.05 for g in gains_at.values())

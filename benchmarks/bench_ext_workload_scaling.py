@@ -1,0 +1,94 @@
+"""Extension bench: app-specific gains vs customer workload count.
+
+Section 7.3's closing paragraph: "we expect these gains to grow and
+RSV to fall further when 100's of workloads are available for
+application-specific training ... we earmark building this dataset as
+important future work." Our synthetic substrate can build that
+dataset: for one application we sweep the number of customer workloads
+used to train the app-specific half-forest and measure PPW and RSV on
+unseen inputs.
+"""
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.core.predictor import DualModePredictor
+from repro.data.builders import dataset_from_traces
+from repro.eval.reporting import emit, format_table, percent
+from repro.eval.runner import evaluate_predictor
+from repro.ml.forest import RandomForestClassifier, merge_forests
+from repro.uarch.modes import Mode
+from repro.workloads.spec2017 import get_benchmark, spec_application
+
+TARGET_APP = "625.x264_s"  # 12 workloads in Table 2
+WORKLOAD_COUNTS = (1, 2, 4, 8)
+N_TEST_INPUTS = 3
+
+
+def _half(datasets, seed, tag):
+    models = {}
+    for mode in Mode:
+        model = RandomForestClassifier(
+            4, 8, seed=rng_mod.derive_seed(seed, "ws", tag, mode.value))
+        model.fit(datasets[mode].x, datasets[mode].y)
+        models[mode] = model
+    return models
+
+
+def _run(seed, collector, train_traces, standard_models):
+    counter_ids = standard_models.pf_counter_ids
+    hdtr_ds = dataset_from_traces(train_traces[::2], counter_ids,
+                                  collector=collector,
+                                  granularity_factor=4)
+    hdtr_half = _half(hdtr_ds, seed, "hdtr")
+
+    bench = get_benchmark(TARGET_APP)
+    app = spec_application(bench, seed + 92)
+    # The last N inputs stand in for future executions.
+    test = [app.workload(w).trace(220, 0)
+            for w in range(bench.workloads - N_TEST_INPUTS,
+                           bench.workloads)]
+    general = evaluate_predictor(standard_models["best_rf"], test,
+                                 collector=collector)
+
+    rows = []
+    deltas = []
+    for count in WORKLOAD_COUNTS:
+        customer = [app.workload(w).trace(220, 0) for w in range(count)]
+        app_ds = dataset_from_traces(customer, counter_ids,
+                                     collector=collector,
+                                     granularity_factor=4)
+        app_half = _half(app_ds, seed, count)
+        blended = DualModePredictor(
+            f"blend{count}",
+            {m: merge_forests(hdtr_half[m], app_half[m]) for m in Mode},
+            np.asarray(counter_ids), granularity_factor=4)
+        suite = evaluate_predictor(blended, test, collector=collector)
+        delta = suite.mean_ppw_gain - general.mean_ppw_gain
+        deltas.append(delta)
+        rows.append([count, percent(suite.mean_ppw_gain),
+                     f"{delta * 100:+.2f}%",
+                     percent(suite.mean_rsv, 2),
+                     percent(suite.mean_pgos)])
+    return rows, deltas, general
+
+
+def bench_ext_workload_scaling(benchmark, seed, collector, train_traces,
+                               standard_models):
+    rows, deltas, general = benchmark.pedantic(
+        _run, args=(seed, collector, train_traces, standard_models),
+        rounds=1, iterations=1)
+    text = format_table(
+        f"Extension - app-specific gains vs customer workloads "
+        f"({TARGET_APP}; general Best RF: "
+        f"{percent(general.mean_ppw_gain)} PPW)",
+        ["Customer workloads", "Blend PPW", "Delta vs general", "RSV",
+         "PGOS"],
+        rows)
+    emit("ext_workload_scaling", text)
+
+    # More customer data never hurts much, and the largest budget
+    # should be at least as good as the smallest (the paper's
+    # projected trend).
+    assert deltas[-1] >= deltas[0] - 0.01
+    assert max(deltas) > 0.0

@@ -1,0 +1,90 @@
+"""Figure 4: training-set diversity mitigates blindspots.
+
+Paper: training a 3-layer 32/32/16 MLP on low-power telemetry with
+tuning sets of 1 to 440 applications. ~20 applications already seize
+most gating opportunities, but scaling to hundreds halves the PGOS
+standard deviation (10.8% -> 5.0%) and cuts RSV 2.5-fold (7.1% ->
+2.8%).
+
+We sweep scaled tuning-set sizes with per-application cross-validation
+folds and report mean/std PGOS and RSV per size.
+"""
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.data.builders import dataset_from_traces
+from repro.eval.metrics import effective_sla_window, pgos, pooled_rsv
+from repro.eval.reporting import emit, format_series, percent
+from repro.ml.crossval import app_kfold
+from repro.ml.mlp import MLPClassifier
+from repro.uarch.modes import Mode
+
+#: Tuning-set sizes (applications); the paper sweeps 1..440.
+SIZES = (1, 3, 6, 12, 25, 50, 100)
+
+N_FOLDS = 6
+
+
+def _rsv_per_fold(ds, fold_idx, y_pred, window):
+    traces = ds.traces[fold_idx]
+    pairs = []
+    for name in np.unique(traces):
+        mask = traces == name
+        pairs.append((ds.y[fold_idx][mask], y_pred[mask]))
+    return pooled_rsv(pairs, window)
+
+
+def _run(seed, collector, train_traces, standard_models):
+    ds = dataset_from_traces(
+        train_traces, standard_models.pf_counter_ids,
+        collector=collector)[Mode.LOW_POWER]
+    window = effective_sla_window(ds.granularity)
+    max_apps = ds.n_applications
+    sizes = [s for s in SIZES if s <= int(max_apps * 0.8)]
+    results = {"pgos_mean": [], "pgos_std": [], "rsv_mean": []}
+    for size in sizes:
+        fold_pgos, fold_rsv = [], []
+        for fold in app_kfold(ds.groups, k=N_FOLDS, seed=seed,
+                              max_tuning_apps=size):
+            model = MLPClassifier(
+                hidden_layers=(32, 32, 16), epochs=30,
+                seed=rng_mod.derive_seed(seed, "fig4", size,
+                                         fold.fold_id))
+            model.fit(ds.x[fold.tuning_idx], ds.y[fold.tuning_idx])
+            preds = model.predict(ds.x[fold.validation_idx])
+            fold_pgos.append(pgos(ds.y[fold.validation_idx], preds))
+            fold_rsv.append(_rsv_per_fold(ds, fold.validation_idx,
+                                          preds, window))
+        results["pgos_mean"].append(float(np.mean(fold_pgos)))
+        results["pgos_std"].append(float(np.std(fold_pgos)))
+        results["rsv_mean"].append(float(np.mean(fold_rsv)))
+    return sizes, results
+
+
+def bench_fig4_training_diversity(benchmark, seed, collector,
+                                  train_traces, standard_models):
+    sizes, results = benchmark.pedantic(
+        _run, args=(seed, collector, train_traces, standard_models),
+        rounds=1, iterations=1)
+    text = format_series(
+        "Figure 4 - PGOS and RSV vs tuning-set size (paper: PGOS std "
+        "10.8% -> 5.0%, RSV 7.1% -> 2.8% as apps scale 20 -> 440)",
+        "#Apps",
+        {
+            "PGOS mean": [percent(v) for v in results["pgos_mean"]],
+            "PGOS std": [percent(v) for v in results["pgos_std"]],
+            "RSV": [percent(v, 2) for v in results["rsv_mean"]],
+        },
+        sizes)
+    emit("fig4_diversity", text)
+
+    few = sizes.index(min(s for s in sizes if s >= 3))
+    # A handful of applications already seizes most opportunities...
+    mid = len(sizes) // 2
+    assert results["pgos_mean"][mid] > 0.55
+    # ...but diversity is what stabilises behaviour: both PGOS
+    # variance and RSV fall substantially from few to many apps.
+    assert (results["pgos_std"][-1] < 0.7 * results["pgos_std"][few]
+            or results["pgos_std"][-1] < 0.02)
+    assert results["rsv_mean"][-1] < 0.7 * max(results["rsv_mean"][:3])

@@ -1,0 +1,44 @@
+"""Table 1: composition of the high-diversity training set (HDTR).
+
+Paper: 2,648 traces of 593 applications across six categories
+(176 / 75 / 34 / 171 / 80 / 57). We regenerate the scaled equivalent
+and report both the paper's counts and ours, plus trace totals.
+"""
+
+from repro.eval.reporting import emit, format_table
+from repro.workloads.categories import (
+    CATEGORIES,
+    PAPER_HDTR_APPS,
+    PAPER_HDTR_TRACES,
+    scaled_category_counts,
+)
+
+
+def _build(train_traces):
+    counts = scaled_category_counts()
+    by_category = {cat.name: 0 for cat in CATEGORIES}
+    for trace in train_traces:
+        by_category[trace.app.category] += 1
+    rows = []
+    for cat in CATEGORIES:
+        rows.append([cat.display_name, "server" if cat.server else
+                     "client", cat.paper_app_count, counts[cat.name],
+                     by_category[cat.name]])
+    rows.append(["TOTAL", "", PAPER_HDTR_APPS,
+                 sum(counts.values()), len(train_traces)])
+    return rows, counts
+
+
+def bench_table1_hdtr_composition(benchmark, train_traces):
+    rows, counts = benchmark.pedantic(
+        _build, args=(train_traces,), rounds=1, iterations=1)
+    text = format_table(
+        "Table 1 - HDTR training corpus composition "
+        f"(paper: {PAPER_HDTR_APPS} apps, {PAPER_HDTR_TRACES} traces)",
+        ["Category", "Side", "Paper apps", "Scaled apps", "Traces"],
+        rows)
+    emit("table1_hdtr", text)
+    # Every category must be represented and proportions preserved.
+    assert all(count >= 4 for count in counts.values())
+    assert counts["hpc_perf"] > counts["ai_analytics"]
+    assert len(train_traces) >= 2 * sum(counts.values())

@@ -1,0 +1,48 @@
+"""Table 2: the SPEC2017-like held-out test suite.
+
+Paper: 20 speed benchmarks, 118 workloads, 571 SimPoint traces. We
+regenerate the structural suite (exact benchmark names and per-app
+workload counts) and the scaled trace set, and demonstrate SimPoint
+region selection on one trace.
+"""
+
+from repro.eval.reporting import emit, format_table
+from repro.workloads.simpoints import select_simpoints
+from repro.workloads.spec2017 import (
+    PAPER_TEST_TRACES,
+    PAPER_TEST_WORKLOADS,
+    SPEC2017_APPS,
+    suite_summary,
+)
+
+
+def _build(test_traces):
+    per_app = {}
+    for trace in test_traces:
+        per_app.setdefault(trace.app.name, []).append(trace)
+    rows = []
+    for bench in SPEC2017_APPS:
+        traces = per_app.get(bench.name, [])
+        rows.append([bench.name, bench.suite, bench.workloads,
+                     len(traces)])
+    simpoints = select_simpoints(test_traces[0], k=4, window=10)
+    return rows, suite_summary(), simpoints
+
+
+def bench_table2_test_suite(benchmark, test_traces):
+    rows, summary, simpoints = benchmark.pedantic(
+        _build, args=(test_traces,), rounds=1, iterations=1)
+    text = format_table(
+        "Table 2 - SPEC2017-like held-out suite "
+        f"(paper: {PAPER_TEST_WORKLOADS} workloads, "
+        f"{PAPER_TEST_TRACES} traces; ours: {summary['workloads']} "
+        f"workloads, {len(test_traces)} traces)",
+        ["Benchmark", "Suite", "Workloads (Table 2)", "Traces built"],
+        rows)
+    text += "\nSimPoint regions of the first trace: " + ", ".join(
+        f"[{p.start_interval},{p.end_interval}) w={p.weight:.2f}"
+        for p in simpoints) + "\n"
+    emit("table2_testset", text)
+    assert summary["benchmarks"] == 20
+    assert summary["int_benchmarks"] == summary["fp_benchmarks"] == 10
+    assert abs(sum(p.weight for p in simpoints) - 1.0) < 1e-9

@@ -1,0 +1,134 @@
+"""Table 3: ML inference in firmware — budgets, costs and PGOS.
+
+Left half: the microcontroller ops budget per gating granularity
+(312/156 at 10k ... 3125/1562 at 100k). Right half: per model class,
+the input counter count, ops per prediction, memory footprint and the
+percentage of gating opportunities seized on validation data.
+
+Model classes reproduce the paper's list: three MLP topologies
+(32/32/16, 8/8/4, and the 1-layer 10-filter CHARSTAR-style network), a
+depth-16 decision tree, 16- and 8-tree random forests, the chi-square
+and linear-ensemble SVMs, and logistic regression.
+"""
+
+import numpy as np
+
+from repro.core.pipeline import select_counters
+from repro.data.builders import dataset_from_traces
+from repro.eval.metrics import pgos
+from repro.eval.reporting import emit, format_table, percent
+from repro.firmware import FirmwareVM, Microcontroller, compile_model
+from repro.ml import (
+    DecisionTreeClassifier,
+    KernelSVM,
+    LinearSVM,
+    LogisticRegression,
+    MLPClassifier,
+    RandomForestClassifier,
+)
+from repro.uarch.modes import Mode
+
+#: Paper's Table 3 right half for reference in the emitted report.
+PAPER_ROWS = {
+    "MLP 3x(32/32/16)": (6162, "640B", 81.38),
+    "Decision tree d16": (133, "655.36KB", 77.78),
+    "SVM chi2 (1000 SV)": (121_000, "48.88KB", 67.54),
+    "RF 16 trees d8": (1074, "40.48KB", 66.67),
+    "RF 8 trees d8": (538, "20.48KB", 65.68),
+    "MLP 3x(8/8/4)": (678, "160B", 60.99),
+    "MLP 1x10 (CHARSTAR)": (292, "80B", 57.90),
+    "Linear SVM x5": (412, "484B", 54.50),
+    "Logistic regression": (158, "8B", 38.33),
+}
+
+
+def _model_zoo(seed):
+    return {
+        "MLP 3x(32/32/16)": MLPClassifier((32, 32, 16), epochs=40,
+                                          seed=seed),
+        "Decision tree d16": DecisionTreeClassifier(
+            max_depth=16, min_samples_leaf=2, min_samples_split=4),
+        "SVM chi2 (1000 SV)": KernelSVM(
+            kernel="chi2", max_support_vectors=1000, max_passes=3,
+            seed=seed),
+        "RF 16 trees d8": RandomForestClassifier(16, 8, seed=seed),
+        "RF 8 trees d8": RandomForestClassifier(8, 8, seed=seed),
+        "MLP 3x(8/8/4)": MLPClassifier((8, 8, 4), epochs=60, seed=seed),
+        "MLP 1x10 (CHARSTAR)": MLPClassifier((10,), epochs=60,
+                                             seed=seed),
+        "Linear SVM x5": LinearSVM(n_members=5, seed=seed),
+        "Logistic regression": LogisticRegression(),
+    }
+
+
+def _run(seed, collector, train_traces):
+    counters = select_counters(train_traces[::8][:40], collector, r=12)
+    split = int(len(train_traces) * 0.8)
+    datasets = dataset_from_traces(train_traces[:split][::2], counters,
+                                   collector=collector)
+    holdout = dataset_from_traces(train_traces[split:][::2], counters,
+                                  collector=collector)
+    tune = datasets[Mode.LOW_POWER]
+    val = holdout[Mode.LOW_POWER]
+    uc = Microcontroller()
+    vm = FirmwareVM()
+    rows = []
+    for name, model in _model_zoo(seed).items():
+        if "chi2" in name:
+            # Subsample the kernel-SVM tuning set for tractability.
+            model.fit(tune.x[::4], tune.y[::4])
+        else:
+            model.fit(tune.x, tune.y)
+        program = compile_model(model)
+        trace = vm.run(program, val.x)
+        score = pgos(val.y, trace.predictions)
+        try:
+            finest = uc.finest_granularity(program.ops_per_prediction)
+        except Exception:
+            finest = None
+        paper_ops, paper_mem, paper_pgos = PAPER_ROWS[name]
+        rows.append([name, program.n_inputs,
+                     program.ops_per_prediction, paper_ops,
+                     f"{program.memory_bytes}B", paper_mem,
+                     finest if finest else ">100k",
+                     percent(score), f"{paper_pgos:.1f}%"])
+    rows.sort(key=lambda r: -float(r[7].rstrip("%")))
+    budget_rows = [[r.granularity, r.max_ops, r.ops_budget]
+                   for r in uc.budget_table()]
+    return rows, budget_rows
+
+
+def bench_table3_firmware_costs(benchmark, seed, collector, train_traces):
+    rows, budget_rows = benchmark.pedantic(
+        _run, args=(seed, collector, train_traces), rounds=1,
+        iterations=1)
+    text = format_table(
+        "Table 3 (left) - microcontroller ops budget per granularity",
+        ["Granularity (inst)", "Max uC ops", "Prediction ops budget"],
+        budget_rows)
+    text += "\n" + format_table(
+        "Table 3 (right) - model classes: cost, footprint, PGOS",
+        ["Model", "#Counters", "Ops", "Paper ops", "Memory",
+         "Paper mem", "Finest gran.", "PGOS", "Paper PGOS"],
+        rows)
+    emit("table3_firmware", text)
+
+    by_name = {r[0]: r for r in rows}
+    # Budget-table anchor points (paper's left half).
+    assert budget_rows[0][1:] == [312, 156]
+    assert budget_rows[3][1:] == [1250, 625]
+    # Ops land near the paper's counts for the key models.
+    assert abs(by_name["RF 8 trees d8"][2] - 538) <= 10
+    assert abs(by_name["MLP 3x(8/8/4)"][2] - 678) <= 15
+    assert abs(by_name["Logistic regression"][2] - 158) <= 5
+    # Shape: the chi-square SVM costs an order of magnitude more per
+    # prediction than any model that fits the microcontroller budget.
+    deployable = [r[2] for r in rows if r[6] != ">100k"]
+    assert by_name["SVM chi2 (1000 SV)"][2] > 10 * max(deployable)
+    # All deployable nonlinear models seize most opportunities. (Our
+    # synthetic gating boundary is more linearly separable than real
+    # telemetry, so logistic regression lands above the paper's 38%;
+    # see EXPERIMENTS.md.)
+    for name in ("RF 8 trees d8", "RF 16 trees d8", "MLP 3x(8/8/4)",
+                 "Decision tree d16"):
+        assert float(by_name[name][7].rstrip("%")) > 55.0

@@ -1,0 +1,77 @@
+"""Table 4: the counters identified by PF Counter Selection.
+
+Paper: the two screens cut 936 counters to 308; PF spectral selection
+then picks the 12 of Table 4 (uop-cache misses/hits, L2 silent
+evictions, wrong-path flushes, SQ occupancy, L1D reads/hits, stall
+count, P-reg refs, loads retired, uops stalled on dep., uops ready).
+
+We run the identical procedure on the synthetic catalog and report the
+selected counters, the screen survivor count, and the semantic overlap
+with Table 4 (same underlying base signal, directly or via the removed
+redundancy group).
+"""
+
+from repro.eval.reporting import emit, format_table
+from repro.telemetry.counters import TABLE4_COUNTERS, default_catalog
+from repro.telemetry.selection import (
+    gather_selection_stats,
+    pf_counter_selection,
+    screen_low_activity,
+    screen_low_std,
+)
+
+
+def _run(collector, train_traces):
+    stats = gather_selection_stats(collector, train_traces[::6][:60])
+    survivors_activity = screen_low_activity(stats)
+    survivors = screen_low_std(stats, survivors_activity)
+    result = pf_counter_selection(stats, r=12)
+    catalog = default_catalog()
+
+    table4_signals = {sig for _, sig in TABLE4_COUNTERS}
+    rows = []
+    signal_hits = 0
+    for rank, (counter_id, group) in enumerate(
+            zip(result.selected_ids, result.groups), start=1):
+        counter = catalog[counter_id]
+        base_sig = _base_signal_name(catalog, counter_id)
+        group_signals = {_base_signal_name(catalog, c) for c in group}
+        overlap = bool(({base_sig} | group_signals) & table4_signals)
+        signal_hits += overlap
+        rows.append([rank, counter.name, base_sig, len(group),
+                     "yes" if overlap else "no"])
+    return (rows, len(survivors_activity), len(survivors), signal_hits,
+            result)
+
+
+def _base_signal_name(catalog, counter_id):
+    from repro.uarch.signals import BASE_SIGNALS
+    return BASE_SIGNALS[catalog[counter_id].base1].name
+
+
+def bench_table4_pf_counter_selection(benchmark, collector, train_traces):
+    rows, n_activity, n_survivors, hits, result = benchmark.pedantic(
+        _run, args=(collector, train_traces), rounds=1, iterations=1)
+    text = format_table(
+        "Table 4 - PF Counter Selection "
+        f"(screens: 936 -> {n_activity} -> {n_survivors}; paper: 936 "
+        f"-> 308; selected groups covering a Table-4 signal: {hits}/12)",
+        ["Rank", "Selected counter", "Base signal", "Group size",
+         "Covers Table-4 signal"],
+        rows)
+    text += "\nPaper's Table 4: " + ", ".join(
+        name for name, _ in TABLE4_COUNTERS) + "\n"
+    emit("table4_counters", text)
+
+    # Screens land in the paper's band and selection returns 12
+    # informationally distinct counters.
+    assert 200 <= n_survivors <= 420
+    assert len(rows) == 12
+    # The Store Queue Occupancy signal family - the blindspot
+    # discriminator - must be covered.
+    covered = {row[2] for row in rows}
+    grouped = set()
+    catalog = default_catalog()
+    for group in result.groups:
+        grouped |= {_base_signal_name(catalog, c) for c in group}
+    assert {"sq_occupancy", "sq_full_stall_cycles"} & (covered | grouped)

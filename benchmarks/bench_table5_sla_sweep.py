@@ -1,0 +1,113 @@
+"""Table 5: post-silicon SLA differentiation.
+
+Paper: retraining Best RF to relaxed SLA floors turns one chip into
+three products —
+
+====== ====== ========= =============
+P_SLA  RSV    PPW gain  Avg perf
+====== ====== ========= =============
+0.90   0.3%   21.9%     98.2%
+0.80   0.2%   28.2%     95.8%
+0.70   <0.1%  31.4%     93.4%
+====== ====== ========= =============
+
+We retrain the Best RF with ground-truth labels regenerated under each
+floor, deploy via a firmware update (the deployment path is exercised
+through the firmware store), and evaluate against *that* SLA on the
+held-out suite.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.config import DEFAULT_SLA
+from repro.core.pipeline import train_dual_predictor
+from repro.data.builders import dataset_from_traces
+from repro.eval.reporting import emit, format_table, percent
+from repro.eval.runner import evaluate_predictor
+from repro.firmware.deploy import FirmwareStore, package_firmware
+from repro.ml.forest import RandomForestClassifier
+
+PAPER_ROWS = {0.90: (0.003, 0.219, 0.982),
+              0.80: (0.002, 0.282, 0.958),
+              0.70: (0.001, 0.314, 0.934)}
+
+FLOORS = (0.90, 0.80, 0.70)
+
+
+def _run(seed, collector, train_traces, test_traces, standard_models,
+         suite_evals):
+    store = FirmwareStore()
+    rows = []
+    results = {}
+    for version, floor in enumerate(FLOORS, start=1):
+        sla = dataclasses.replace(DEFAULT_SLA, performance_floor=floor)
+        if floor == DEFAULT_SLA.performance_floor:
+            predictor = standard_models["best_rf"]
+            suite = suite_evals("best_rf")
+        else:
+            datasets = dataset_from_traces(
+                train_traces, standard_models.pf_counter_ids, sla,
+                collector, granularity_factor=4)
+
+            def factory(mode, _floor=floor):
+                return RandomForestClassifier(
+                    n_trees=8, max_depth=8,
+                    seed=rng_mod.derive_seed(seed, "sla-rf", _floor,
+                                             mode.value))
+
+            predictor = train_dual_predictor(
+                f"best_rf_sla{int(floor * 100)}", factory, datasets,
+                granularity_factor=4, seed=seed)
+            suite = evaluate_predictor(predictor, test_traces, sla,
+                                       collector=collector)
+        store.install(package_firmware(predictor, version=version,
+                                       sla_floor=floor))
+        paper_rsv, paper_ppw, paper_perf = PAPER_ROWS[floor]
+        results[floor] = suite
+        rows.append([f"{floor:.2f}",
+                     percent(suite.mean_rsv, 2), percent(paper_rsv, 1),
+                     percent(suite.mean_ppw_gain), percent(paper_ppw),
+                     percent(suite.mean_avg_performance),
+                     percent(paper_perf),
+                     percent(suite.mean_residency)])
+    return rows, results, store
+
+
+def bench_table5_sla_differentiation(benchmark, seed, collector,
+                                     train_traces, test_traces,
+                                     standard_models, suite_evals):
+    rows, results, store = benchmark.pedantic(
+        _run, args=(seed, collector, train_traces, test_traces,
+                    standard_models, suite_evals),
+        rounds=1, iterations=1)
+    text = format_table(
+        "Table 5 - one chip, three SLAs via firmware retraining",
+        ["SLA floor", "RSV", "Paper RSV", "PPW gain", "Paper PPW",
+         "Avg perf", "Paper perf", "Residency"],
+        rows)
+    text += (f"\nFirmware store now holds {len(store.history)} images; "
+             f"active: {store.active.name} "
+             f"(P_SLA={store.active.sla_floor}).\n")
+    emit("table5_sla_sweep", text)
+
+    ppw = {floor: results[floor].mean_ppw_gain for floor in FLOORS}
+    perf = {floor: results[floor].mean_avg_performance
+            for floor in FLOORS}
+    # Relaxing the SLA must buy PPW monotonically...
+    assert ppw[0.70] > ppw[0.80] > ppw[0.90]
+    # ...at a modest and monotone performance cost (paper: 98.2% ->
+    # 95.8% -> 93.4%).
+    assert perf[0.90] > perf[0.80] > perf[0.70] > 0.85
+    # The strict product honours its SLA tightly; the relaxed products
+    # stay within a few percent. (The paper reports ~0.2% for relaxed
+    # floors; our synthetic phase mass sits closer to the relaxed
+    # boundaries — see EXPERIMENTS.md.)
+    assert results[0.90].mean_rsv < 0.02
+    for floor in FLOORS:
+        assert results[floor].mean_rsv < 0.07
+    # The relaxed models are real products: meaningful extra PPW
+    # headroom from 0.90 to 0.70, as in the paper (21.9% -> 31.4%).
+    assert ppw[0.70] - ppw[0.90] > 0.03

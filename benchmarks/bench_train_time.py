@@ -1,0 +1,65 @@
+"""Section 7 training-time reference.
+
+Paper: "our 12-counter HDTR telemetry ... is 626MB. On an Intel 3.3GHz
+Core i9-7900X, Best-RF trains on one core in 9s, and Best-MLP in 87s."
+
+We time training of the two deployed models on the scaled HDTR
+matrices — this is the one bench where pytest-benchmark's timing IS
+the result — and report dataset size alongside.
+"""
+
+from repro import rng as rng_mod
+from repro.data.builders import dataset_from_traces
+from repro.eval.reporting import emit, format_table
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.mlp import MLPClassifier
+from repro.uarch.modes import Mode
+
+_STATE = {}
+
+
+def _dataset(collector, train_traces, counter_ids):
+    key = "ds"
+    if key not in _STATE:
+        _STATE[key] = dataset_from_traces(
+            train_traces, counter_ids, collector=collector,
+            granularity_factor=4)[Mode.LOW_POWER]
+    return _STATE[key]
+
+
+def bench_train_time_best_rf(benchmark, seed, collector, train_traces,
+                             standard_models):
+    ds = _dataset(collector, train_traces,
+                  standard_models.pf_counter_ids)
+
+    def train():
+        return RandomForestClassifier(
+            8, 8, seed=rng_mod.derive_seed(seed, "tt-rf")).fit(ds.x, ds.y)
+
+    model = benchmark.pedantic(train, rounds=3, iterations=1)
+    emit("train_time_rf", format_table(
+        "Training-time reference - Best RF (paper: 9 s on 626 MB "
+        "telemetry; ours is the scaled corpus)",
+        ["Samples", "Features", "Matrix MB"],
+        [[ds.n_samples, ds.n_features,
+          f"{ds.x.nbytes / 1e6:.1f}"]]))
+    assert model.total_nodes > 0
+
+
+def bench_train_time_best_mlp(benchmark, seed, collector, train_traces,
+                              standard_models):
+    ds = _dataset(collector, train_traces,
+                  standard_models.pf_counter_ids)
+
+    def train():
+        return MLPClassifier(
+            hidden_layers=(8, 8, 4), epochs=60,
+            seed=rng_mod.derive_seed(seed, "tt-mlp")).fit(ds.x, ds.y)
+
+    model = benchmark.pedantic(train, rounds=1, iterations=1)
+    emit("train_time_mlp", format_table(
+        "Training-time reference - Best MLP (paper: 87 s; the RF/MLP "
+        "time ratio, not the absolute number, is the portable shape)",
+        ["Samples", "Features", "Epochs"],
+        [[ds.n_samples, ds.n_features, 60]]))
+    assert model.loss_curve_[-1] < model.loss_curve_[0]

@@ -1,0 +1,67 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure from the
+paper's evaluation. The expensive shared state — the scaled HDTR
+training corpus, the held-out SPEC2017-like suite, and the trained
+model zoo — is built once per session here.
+
+Scale knobs: ``REPRO_SCALE`` grows the datasets toward paper scale;
+outputs land in ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import experiment_seed
+from repro.core.pipeline import build_standard_models
+from repro.data.builders import hdtr_traces
+from repro.eval.runner import evaluate_predictor
+from repro.telemetry.collector import TelemetryCollector
+from repro.workloads.spec2017 import spec2017_traces
+
+#: Seed offset separating the held-out suite from training generation.
+TEST_SEED_OFFSET = 92
+
+
+@pytest.fixture(scope="session")
+def seed():
+    return experiment_seed()
+
+
+@pytest.fixture(scope="session")
+def collector():
+    return TelemetryCollector()
+
+
+@pytest.fixture(scope="session")
+def train_traces(seed):
+    return hdtr_traces(seed)
+
+
+@pytest.fixture(scope="session")
+def test_traces(seed):
+    return spec2017_traces(seed + TEST_SEED_OFFSET,
+                           intervals_per_trace=240,
+                           traces_per_workload=1)
+
+
+@pytest.fixture(scope="session")
+def standard_models(seed, collector, train_traces):
+    """The full Section-7 model zoo, trained once per session."""
+    return build_standard_models(train_traces, seed=seed,
+                                 collector=collector)
+
+
+@pytest.fixture(scope="session")
+def suite_evals(standard_models, test_traces, collector):
+    """Deployment evaluations per model, computed lazily and cached."""
+    cache: dict[str, object] = {}
+
+    def get(name: str):
+        if name not in cache:
+            cache[name] = evaluate_predictor(
+                standard_models[name], test_traces, collector=collector)
+        return cache[name]
+
+    return get

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment is offline and lacks the ``wheel`` package,
+so PEP-517 editable installs (``pip install -e .``) cannot build a
+wheel. This shim lets ``python setup.py develop`` (and pip's legacy
+editable path) install the package from pyproject metadata alone.
+"""
+
+from setuptools import setup
+
+setup()

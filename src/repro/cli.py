@@ -1,0 +1,205 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library's main entry points
+without writing code:
+
+* ``demo`` — train Best RF on a small corpus and deploy it (the
+  quickstart, numerically).
+* ``budget`` — print the microcontroller ops-budget table (Table 3
+  left).
+* ``counters`` — run PF Counter Selection and print the chosen set
+  (Table 4).
+* ``residency`` — ideal low-power residency per held-out benchmark
+  (Figure 7).
+* ``evaluate`` — train a chosen model and report its deployment
+  metrics (one Figure-8 row).
+* ``catalog`` — summarise the 936-counter telemetry catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.config import experiment_seed
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=None,
+                        help="experiment seed (default: REPRO_SEED or 7)")
+
+
+def _seed(args: argparse.Namespace) -> int:
+    return args.seed if args.seed is not None else experiment_seed()
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro import quick_demo
+    result = quick_demo(seed=_seed(args))
+    for key, value in result.items():
+        print(f"{key:20s} {value * 100:6.2f}%")
+    return 0
+
+
+def cmd_budget(args: argparse.Namespace) -> int:
+    from repro.firmware import Microcontroller
+    uc = Microcontroller()
+    print(f"{'granularity':>12s} {'max uC ops':>11s} {'budget':>7s}")
+    for row in uc.budget_table():
+        print(f"{row.granularity:12d} {row.max_ops:11d} "
+              f"{row.ops_budget:7d}")
+    return 0
+
+
+def cmd_counters(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import select_counters
+    from repro.data.builders import hdtr_traces
+    from repro.telemetry.collector import TelemetryCollector
+    from repro.telemetry.counters import default_catalog
+    from repro.workloads.categories import hdtr_corpus
+    seed = _seed(args)
+    collector = TelemetryCollector()
+    apps = hdtr_corpus(seed)[::4]
+    traces = hdtr_traces(seed, apps=apps, workloads_per_app=1,
+                         intervals_per_trace=80)
+    selected = select_counters(traces, collector, r=args.r)
+    catalog = default_catalog()
+    for rank, counter_id in enumerate(selected, start=1):
+        print(f"{rank:3d}. {catalog[counter_id].name}")
+    return 0
+
+
+def cmd_residency(args: argparse.Namespace) -> int:
+    import numpy as np
+    from repro.core.labels import gating_labels
+    from repro.telemetry.collector import TelemetryCollector
+    from repro.workloads.spec2017 import spec2017_traces
+    seed = _seed(args)
+    collector = TelemetryCollector()
+    traces = spec2017_traces(seed + 92, intervals_per_trace=160,
+                             traces_per_workload=1)
+    by_app: dict[str, list[float]] = {}
+    for trace in traces:
+        labels = gating_labels(trace, model=collector.model)
+        by_app.setdefault(trace.app.name, []).append(labels.residency)
+    means = []
+    for app, values in sorted(by_app.items()):
+        mean = float(np.mean(values))
+        means.append(mean)
+        print(f"{app:22s} {mean * 100:5.1f}%")
+    print(f"{'AVERAGE':22s} {float(np.mean(means)) * 100:5.1f}%  "
+          "(paper: 45.7%)")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import build_standard_models
+    from repro.data.builders import hdtr_traces
+    from repro.eval.runner import evaluate_predictor
+    from repro.telemetry.collector import TelemetryCollector
+    from repro.workloads.categories import hdtr_corpus
+    from repro.workloads.spec2017 import spec2017_traces
+    seed = _seed(args)
+    collector = TelemetryCollector()
+    stride = 1 if args.full else 3
+    apps = hdtr_corpus(seed)[::stride]
+    train = hdtr_traces(seed, apps=apps, workloads_per_app=2,
+                        intervals_per_trace=120)
+    models = build_standard_models(train, seed=seed, collector=collector,
+                                   include=[args.model],
+                                   selection_traces=40)
+    test = spec2017_traces(seed + 92, intervals_per_trace=200,
+                           traces_per_workload=1)
+    if not args.full:
+        test = test[::2]
+    suite = evaluate_predictor(models[args.model], test,
+                               collector=collector)
+    print(f"model          {args.model}")
+    print(f"granularity    {suite.granularity} instructions")
+    print(f"ppw_gain       {suite.mean_ppw_gain * 100:6.2f}%")
+    print(f"rsv            {suite.mean_rsv * 100:6.2f}%")
+    print(f"pgos           {suite.mean_pgos * 100:6.2f}%")
+    print(f"residency      {suite.mean_residency * 100:6.2f}%")
+    print(f"avg_perf       {suite.mean_avg_performance * 100:6.2f}%")
+    worst = max(suite.per_benchmark, key=lambda b: b.rsv)
+    print(f"worst_rsv_app  {worst.app_name} ({worst.rsv * 100:.1f}%)")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.summary import write_report
+    path = write_report(path=args.output)
+    print(f"wrote {path}")
+    return 0
+
+
+def cmd_catalog(args: argparse.Namespace) -> int:
+    from repro.telemetry.counters import default_catalog
+    catalog = default_catalog()
+    kinds: dict[str, int] = {}
+    for counter in catalog.counters:
+        kinds[counter.kind_name] = kinds.get(counter.kind_name, 0) + 1
+    print(f"counters: {len(catalog)}")
+    for kind, count in sorted(kinds.items()):
+        print(f"  {kind:8s} {count}")
+    print("Table-4 set:", ", ".join(
+        catalog[c].name for c in catalog.table4_ids))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Predictive cluster gating reproduction "
+                    "(Tarsa et al., ISCA 2019)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="train+deploy Best RF quickly")
+    _add_common(p)
+    p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("budget", help="microcontroller ops budgets")
+    _add_common(p)
+    p.set_defaults(func=cmd_budget)
+
+    p = sub.add_parser("counters", help="run PF counter selection")
+    _add_common(p)
+    p.add_argument("-r", type=int, default=12,
+                   help="number of counters to select")
+    p.set_defaults(func=cmd_counters)
+
+    p = sub.add_parser("residency", help="ideal low-power residency")
+    _add_common(p)
+    p.set_defaults(func=cmd_residency)
+
+    p = sub.add_parser("evaluate", help="train and evaluate one model")
+    _add_common(p)
+    p.add_argument("--model", default="best_rf",
+                   choices=["best_rf", "best_mlp", "charstar", "srch",
+                            "srch_coarse"])
+    p.add_argument("--full", action="store_true",
+                   help="use the full scaled corpus (slower)")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("catalog", help="summarise the counter catalog")
+    _add_common(p)
+    p.set_defaults(func=cmd_catalog)
+
+    p = sub.add_parser("report",
+                       help="assemble benchmark outputs into REPORT.md")
+    _add_common(p)
+    p.add_argument("--output", default=None,
+                   help="output path (default: benchmarks/REPORT.md)")
+    p.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

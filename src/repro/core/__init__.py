@@ -1,0 +1,37 @@
+"""Predictive cluster gating — the paper's core contribution.
+
+This package closes the loop of Figure 1: telemetry snapshots flow to
+ML adaptation models hosted on the microcontroller, whose predictions
+set the cluster configuration two intervals ahead.
+
+* :mod:`repro.core.labels` — ground-truth gating labels from both-mode
+  simulation against an SLA threshold (Figure 3).
+* :mod:`repro.core.sla` — system-level SLA window accounting.
+* :mod:`repro.core.predictor` — the dual-mode predictor (one model per
+  telemetry mode, Section 4.1).
+* :mod:`repro.core.gating` — the gating controller with the t+2
+  prediction pipeline and mode-switch microcode costs (Section 3).
+* :mod:`repro.core.adaptive_cpu` — the closed-loop adaptive CPU.
+* :mod:`repro.core.pipeline` — end-to-end train/deploy recipes for the
+  paper's models (Best RF, Best MLP, CHARSTAR, SRCH).
+"""
+
+from repro.core.adaptive_cpu import AdaptiveCPU, AdaptiveRunResult
+from repro.core.gating import GatingController
+from repro.core.guardrail import GuardedAdaptiveCPU, GuardrailConfig
+from repro.core.labels import LabelSet, gating_labels, ideal_residency
+from repro.core.predictor import DualModePredictor
+from repro.core.sla import sla_window_violations
+
+__all__ = [
+    "AdaptiveCPU",
+    "AdaptiveRunResult",
+    "GatingController",
+    "GuardedAdaptiveCPU",
+    "GuardrailConfig",
+    "LabelSet",
+    "gating_labels",
+    "ideal_residency",
+    "DualModePredictor",
+    "sla_window_violations",
+]

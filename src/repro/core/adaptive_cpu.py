@@ -1,0 +1,174 @@
+"""The closed-loop adaptive CPU.
+
+Ties together every subsystem of Figure 1: the two-cluster core
+(simulated), the telemetry system (counter snapshots each interval),
+and the microcontroller-hosted adaptation models (a
+:class:`~repro.core.predictor.DualModePredictor`). Each run deploys a
+trained predictor on one trace and produces everything the evaluation
+needs: the mode schedule, achieved IPC and energy, the all-high-
+performance baseline, and prediction/ground-truth pairs for PGOS/RSV.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.config import DEFAULT_SLA, MachineConfig, SLAConfig
+from repro.core.gating import GatingController
+from repro.core.labels import gating_labels
+from repro.core.predictor import DualModePredictor
+from repro.core.sla import SLAAccounting, sla_window_violations
+from repro.errors import DatasetError
+from repro.telemetry.collector import TelemetryCollector, coarsen
+from repro.uarch.modes import Mode
+from repro.uarch.power import MODE_SWITCH_ENERGY_NJ, PowerModel
+from repro.workloads.generator import TraceSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class AdaptiveRunResult:
+    """Outcome of deploying a predictor on one trace."""
+
+    trace_name: str
+    app_name: str
+    workload_name: str
+    predictor_name: str
+    granularity: int
+    modes: np.ndarray  # (T,) chosen per interval, 1 = low power
+    predictions: np.ndarray  # (T - horizon,) gating decisions applied
+    labels: np.ndarray  # (T - horizon,) oracle labels for the same slots
+    ipc: np.ndarray  # (T,) achieved IPC
+    cycles: np.ndarray  # (T,) achieved cycles (incl. switch costs)
+    cycles_baseline: np.ndarray  # (T,) all-high-performance cycles
+    energy_j: float
+    energy_baseline_j: float
+    switch_count: int
+
+    @property
+    def n_intervals(self) -> int:
+        return int(self.modes.shape[0])
+
+    @property
+    def residency(self) -> float:
+        """Fraction of runtime intervals spent in low-power mode."""
+        return float(self.modes.mean())
+
+    @property
+    def ppw_gain(self) -> float:
+        """Performance-per-watt gain over the non-adaptive baseline.
+
+        Equal work means PPW (instructions/joule) gain reduces to the
+        baseline-to-adaptive energy ratio.
+        """
+        return self.energy_baseline_j / self.energy_j - 1.0
+
+    @property
+    def avg_performance(self) -> float:
+        """Aggregate IPC relative to always-high-performance."""
+        return float(self.cycles_baseline.sum() / self.cycles.sum())
+
+    def sla_accounting(self, window_intervals: int,
+                       performance_floor: float) -> SLAAccounting:
+        """System-level windowed SLA measurement for this run."""
+        return sla_window_violations(self.cycles, self.cycles_baseline,
+                                     window_intervals, performance_floor)
+
+
+class AdaptiveCPU:
+    """Closed-loop deployment of a dual-mode predictor."""
+
+    def __init__(self, predictor: DualModePredictor,
+                 collector: TelemetryCollector | None = None,
+                 power: PowerModel | None = None,
+                 machine: MachineConfig | None = None,
+                 sla: SLAConfig = DEFAULT_SLA,
+                 horizon: int = 2) -> None:
+        self.predictor = predictor
+        self.collector = collector or TelemetryCollector()
+        self.machine = machine or MachineConfig()
+        self.power = power or PowerModel(self.machine)
+        self.sla = sla
+        self.controller = GatingController(predictor, self.machine,
+                                           horizon=horizon)
+        self.horizon = horizon
+
+    def run(self, trace: TraceSpec) -> AdaptiveRunResult:
+        """Deploy the predictor on one trace and account the outcome."""
+        factor = self.predictor.granularity_factor
+        results = self.collector.model.simulate_both(trace)
+
+        # Telemetry the models would observe in each mode, coarsened to
+        # the predictor's gating granularity.
+        snaps = {}
+        for mode in Mode:
+            snap = self.collector.snapshot(trace, mode,
+                                           self.predictor.counter_ids,
+                                           result=results[mode])
+            snaps[mode] = coarsen(snap, factor) if factor > 1 else snap
+
+        labels = gating_labels(trace, self.sla, self.collector.model,
+                               factor, results=results)
+        t_count = min(labels.n_intervals,
+                      *(s.n_intervals for s in snaps.values()))
+        if t_count <= self.horizon:
+            raise DatasetError(
+                f"trace {trace.name} too short at granularity {factor}"
+            )
+
+        probs = {
+            mode: self.predictor.predict_proba(
+                snaps[mode].normalized[:t_count], mode)
+            for mode in Mode
+        }
+        modes, switch_cycles, switch_counts = self.controller.schedule(
+            probs, trace.seed)
+
+        gated = modes.astype(bool)
+        cycles = np.where(gated, labels.cycles_low[:t_count],
+                          labels.cycles_high[:t_count]) + switch_cycles
+        inst = labels.granularity
+        ipc = inst / cycles
+
+        # Energy: per-base-interval energies of each mode, coarsened
+        # and selected per chosen mode, plus switch energy.
+        energy_by_mode = {}
+        for mode in Mode:
+            per_interval = self.power.interval_energy_j(results[mode])
+            t_full = t_count * factor
+            energy_by_mode[mode] = per_interval[:t_full].reshape(
+                t_count, factor).sum(axis=1)
+        energy = np.where(gated, energy_by_mode[Mode.LOW_POWER],
+                          energy_by_mode[Mode.HIGH_PERF])
+        energy = energy + switch_counts * MODE_SWITCH_ENERGY_NJ * 1e-9
+        # Switch cycles also burn static power in the active mode.
+        switch_time = switch_cycles / (self.machine.frequency_ghz * 1e9)
+        static_w = np.where(
+            gated, self.power.static_power_w(Mode.LOW_POWER),
+            self.power.static_power_w(Mode.HIGH_PERF))
+        energy = energy + switch_time * static_w
+
+        baseline_cycles = labels.cycles_high[:t_count]
+        baseline_energy = float(energy_by_mode[Mode.HIGH_PERF].sum())
+
+        return AdaptiveRunResult(
+            trace_name=trace.name,
+            app_name=trace.app.name,
+            workload_name=trace.workload.name,
+            predictor_name=self.predictor.name,
+            granularity=inst,
+            modes=modes,
+            predictions=modes[self.horizon:t_count],
+            labels=labels.labels[self.horizon:t_count],
+            ipc=ipc,
+            cycles=cycles,
+            cycles_baseline=baseline_cycles,
+            energy_j=float(energy.sum()),
+            energy_baseline_j=baseline_energy,
+            switch_count=int(switch_counts.sum()),
+        )
+
+    def run_many(self, traces: list[TraceSpec]) -> list[AdaptiveRunResult]:
+        """Deploy on a whole trace corpus."""
+        return [self.run(trace) for trace in traces]

@@ -1,0 +1,99 @@
+"""The cluster gating controller.
+
+Implements the control side of Section 3: decisions arrive through a
+two-interval pipeline (counters from interval ``t`` are shipped to the
+microcontroller, a prediction is computed during ``t+1``, and the
+configuration takes effect at ``t+2`` — Figure 3), and every mode
+switch pays the microcode cost of transferring live register state
+from the gated cluster.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.config import MachineConfig
+from repro.core.predictor import DualModePredictor
+from repro.errors import ConfigurationError
+from repro.uarch.modes import Mode
+
+#: Cycles to return from low-power to high-performance mode: ungate and
+#: update the scheduler; the paper calls this negligible.
+UNGATE_CYCLES = 4.0
+
+
+@dataclasses.dataclass(frozen=True)
+class SwitchCost:
+    """Cycle cost of one mode switch."""
+
+    cycles: float
+    transfer_uops: int
+
+
+class GatingController:
+    """Turns per-interval gating probabilities into a mode schedule."""
+
+    def __init__(self, predictor: DualModePredictor,
+                 machine: MachineConfig | None = None,
+                 horizon: int = 2, seed: int = 0) -> None:
+        if horizon < 1:
+            raise ConfigurationError(f"horizon must be >= 1, got {horizon}")
+        self.predictor = predictor
+        self.machine = machine or MachineConfig()
+        self.horizon = horizon
+        self.seed = seed
+
+    def switch_cost(self, from_mode: Mode, to_mode: Mode,
+                    rng: np.random.Generator) -> SwitchCost:
+        """Microcode cost of a mode switch (Section 3).
+
+        Gating requires one micro-op per live register dependency to be
+        copied from cluster 2 — up to 32 in the worst case — landing in
+        the low tens of cycles. Ungating needs only a scheduler update.
+        """
+        if from_mode is to_mode:
+            return SwitchCost(cycles=0.0, transfer_uops=0)
+        if to_mode is Mode.LOW_POWER:
+            transfers = int(rng.integers(
+                4, self.machine.max_register_transfers + 1))
+            cycles = (self.machine.mode_switch_base_cycles
+                      + transfers / self.machine.width_low_power)
+            return SwitchCost(cycles=cycles, transfer_uops=transfers)
+        return SwitchCost(cycles=UNGATE_CYCLES, transfer_uops=0)
+
+    def schedule(self, probs: dict[Mode, np.ndarray],
+                 trace_seed: int) -> tuple[np.ndarray, np.ndarray,
+                                           np.ndarray]:
+        """Run the control loop over precomputed per-mode probabilities.
+
+        ``probs[mode][t]`` is the gating probability the predictor
+        would emit for telemetry observed at interval ``t`` *if* the
+        CPU were in ``mode`` at ``t``. Because the decision pipeline is
+        sequential (the mode at ``t`` determines which telemetry stream
+        exists at ``t``), the loop walks intervals in order.
+
+        Returns ``(modes, switch_cycles, switch_counts)``: per-interval
+        gating labels (1 = low power), added switch cycles, and switch
+        event counts.
+        """
+        n = probs[Mode.HIGH_PERF].shape[0]
+        thresholds = self.predictor.thresholds
+        modes = np.zeros(n, dtype=np.int64)  # start in high-perf
+        switch_cycles = np.zeros(n)
+        switch_counts = np.zeros(n)
+        rng = rng_mod.stream(self.seed, "gating", trace_seed)
+        for t in range(self.horizon, n):
+            src = Mode.LOW_POWER if modes[t - self.horizon] else Mode.HIGH_PERF
+            prob = probs[src][t - self.horizon]
+            gate = prob >= thresholds[src]
+            modes[t] = 1 if gate else 0
+            if modes[t] != modes[t - 1]:
+                prev = Mode.LOW_POWER if modes[t - 1] else Mode.HIGH_PERF
+                cur = Mode.LOW_POWER if modes[t] else Mode.HIGH_PERF
+                cost = self.switch_cost(prev, cur, rng)
+                switch_cycles[t] = cost.cycles
+                switch_counts[t] = 1.0
+        return modes, switch_cycles, switch_counts

@@ -1,0 +1,154 @@
+"""Fail-safe guardrail (Section 3.1's deployment safety net).
+
+The paper evaluates all models *without* a guardrail so that RSV
+reflects model quality, but states that "the final CPU design will
+implement a fail-safe guardrail ... so that guardrails may be set as
+permissively as possible". This module provides that mechanism:
+
+The guardrail watches the deployed core's *achieved* per-interval IPC
+in low-power mode against a predicted high-performance IPC reference
+(the IPC observed the last time the same phase ran ungated — here, the
+baseline cycles the runtime already tracks). When a trailing window of
+gated intervals under-performs the SLA floor, the guardrail trips:
+gating is suppressed and the core is forced to high-performance mode
+for a hold-off period, after which gating resumes.
+
+A tripped guardrail converts a *sustained* model blindspot into a
+bounded transient, at the cost of a little PPW on workloads where the
+model was right but unlucky — exactly the permissiveness trade the
+paper describes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.config import DEFAULT_SLA, SLAConfig
+from repro.core.adaptive_cpu import AdaptiveCPU, AdaptiveRunResult
+from repro.errors import ConfigurationError
+from repro.uarch.modes import Mode
+from repro.uarch.power import MODE_SWITCH_ENERGY_NJ
+from repro.workloads.generator import TraceSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class GuardrailConfig:
+    """Trip/hold-off parameters of the fail-safe.
+
+    ``window`` gated intervals are averaged; if their IPC ratio against
+    the high-performance reference falls below ``trip_margin`` times
+    the SLA floor, gating is suppressed for ``holdoff`` intervals.
+    """
+
+    window: int = 4
+    trip_margin: float = 1.0
+    holdoff: int = 16
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigurationError(f"window must be >= 1: {self.window}")
+        if self.holdoff < 1:
+            raise ConfigurationError(
+                f"holdoff must be >= 1: {self.holdoff}")
+        if self.trip_margin <= 0.0:
+            raise ConfigurationError(
+                f"trip_margin must be positive: {self.trip_margin}")
+
+
+@dataclasses.dataclass(frozen=True)
+class GuardedRunResult:
+    """An adaptive run plus guardrail accounting."""
+
+    base: AdaptiveRunResult
+    trips: int
+    suppressed_intervals: int
+
+    def __getattr__(self, name):
+        return getattr(self.base, name)
+
+
+class GuardedAdaptiveCPU(AdaptiveCPU):
+    """AdaptiveCPU with the Section-3.1 fail-safe guardrail.
+
+    Reuses the parent's telemetry/prediction machinery; the guardrail
+    intervenes on the final mode schedule using the achieved low-power
+    IPC vs the high-performance reference (which the simulator provides
+    exactly; real silicon estimates it from pre-gating telemetry).
+    """
+
+    def __init__(self, *args,
+                 guardrail: GuardrailConfig | None = None,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.guardrail = guardrail or GuardrailConfig()
+
+    def run(self, trace: TraceSpec) -> GuardedRunResult:  # type: ignore[override]
+        base = super().run(trace)
+        cfg = self.guardrail
+        floor = self.sla.performance_floor * cfg.trip_margin
+
+        # Achieved IPC relative to the high-performance reference,
+        # per interval (equal work => inverse cycle ratio).
+        ratio = base.cycles_baseline / base.cycles
+
+        modes = base.modes.copy()
+        trips = 0
+        suppressed = 0
+        history: list[float] = []
+        holdoff_left = 0
+        for t in range(modes.shape[0]):
+            if holdoff_left > 0:
+                if modes[t] == 1:
+                    modes[t] = 0
+                    suppressed += 1
+                holdoff_left -= 1
+                history.clear()
+                continue
+            if modes[t] == 1:
+                history.append(float(ratio[t]))
+                if len(history) > cfg.window:
+                    history.pop(0)
+                if (len(history) == cfg.window
+                        and float(np.mean(history)) < floor):
+                    trips += 1
+                    holdoff_left = cfg.holdoff
+                    history.clear()
+            else:
+                history.clear()
+
+        # Re-account the run with the guarded schedule. Both schedules
+        # replay the same trace, so per-interval cycles/energy of the
+        # pure modes are exact substitutes.
+        gated = modes.astype(bool)
+        cycles = np.where(gated, base.cycles, base.cycles_baseline)
+        hp_energy, lp_energy = self._interval_energies(trace,
+                                                       base.n_intervals)
+        energy = np.where(gated, lp_energy, hp_energy)
+        switches = np.abs(np.diff(np.concatenate(([0], modes)))).sum()
+        energy_total = float(energy.sum()
+                             + switches * MODE_SWITCH_ENERGY_NJ * 1e-9)
+        n_preds = base.predictions.shape[0]
+        guarded = dataclasses.replace(
+            base,
+            modes=modes,
+            predictions=modes[self.horizon:self.horizon + n_preds],
+            cycles=cycles,
+            energy_j=energy_total,
+            switch_count=int(switches),
+        )
+        return GuardedRunResult(base=guarded, trips=trips,
+                                suppressed_intervals=suppressed)
+
+    def _interval_energies(self, trace: TraceSpec, t_count: int,
+                           ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-coarse-interval energies of each pure mode."""
+        factor = self.predictor.granularity_factor
+        out = []
+        for mode in Mode:
+            result = self.collector.model.simulate(trace, mode)
+            per = self.power.interval_energy_j(result)
+            t_full = t_count * factor
+            out.append(per[:t_full].reshape(t_count, factor).sum(axis=1))
+        return out[0], out[1]

@@ -1,0 +1,335 @@
+"""End-to-end train/deploy recipes for the paper's models (Section 7).
+
+Builds the four evaluated adaptation models plus utilities shared by
+the benchmark harness:
+
+* **Best RF** — 8 trees, depth 8, 12 PF counters, 40k-instruction
+  gating interval (538 inference ops fit the 40k budget of 625).
+* **Best MLP** — 3 layers of 8/8/4 filters, 12 PF counters, 50k
+  interval (678 ops fit the 50k budget of 781).
+* **CHARSTAR** — Ravi et al.'s 1-layer 10-filter MLP on 8 expert
+  counters, ReLU, 20k interval (292 ops fit 312); no sensitivity
+  tuning, as in the original work.
+* **SRCH** — Dubach et al.'s softmax-on-histograms (logistic for two
+  configurations) on the top PF counters, evaluated at both the 40k
+  interval the microcontroller supports and a coarse interval standing
+  in for its original 10M-instruction window.
+
+All of the paper's own models are sensitivity-tuned after training to
+keep tuning-set false-positive rates (the driver of SLA violations)
+below a budget (Section 6.3).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.config import DEFAULT_SLA, SLAConfig
+from repro.core.predictor import DualModePredictor
+from repro.data.builders import dataset_from_traces
+from repro.data.dataset import GatingDataset
+from repro.errors import ConfigurationError
+from repro.eval.metrics import effective_sla_window, pooled_rsv
+from repro.eval.metrics import pgos as pgos_metric
+from repro.ml.base import Estimator
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.histogram import CounterHistogramEncoder
+from repro.ml.linear import LogisticRegression
+from repro.ml.mlp import MLPClassifier
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.counters import default_catalog
+from repro.telemetry.selection import (
+    gather_selection_stats,
+    pf_counter_selection,
+)
+from repro.uarch.modes import Mode
+from repro.workloads.generator import TraceSpec
+
+#: Gating granularity factors (multiples of the 10k base interval) per
+#: model, fixed by the microcontroller budget analysis of Table 3.
+GRANULARITY_FACTORS = {
+    "best_rf": 4,  # 40k: 538 ops <= 625 budget
+    "best_mlp": 5,  # 50k: 678 ops <= 781 budget
+    "charstar": 2,  # 20k: 292 ops <= 312 budget
+    "srch": 4,  # 40k: 572 ops <= 625 budget
+    "srch_coarse": 20,  # scaled stand-in for the original 10M interval
+}
+
+#: Default tuning-set RSV budget for sensitivity tuning (the paper
+#: keeps SLA violations below 1.0% on the tuning set, Section 6.3).
+DEFAULT_RSV_BUDGET = 0.01
+
+
+def tune_threshold_for_rsv(model: Estimator, dataset: GatingDataset,
+                           max_rsv: float = DEFAULT_RSV_BUDGET,
+                           window: int | None = None) -> float:
+    """Adjust sensitivity to bound tuning-set SLA violations.
+
+    Section 6.3: "we adjust its sensitivity — the prediction threshold
+    required to choose low-power mode — to keep SLA violations below
+    1.0% on the tuning set." The search picks the *lowest* threshold
+    (highest recall, hence highest PPW) whose windowed RSV over the
+    tuning traces stays within budget.
+    """
+    if window is None:
+        window = effective_sla_window(dataset.granularity)
+    scores = model.predict_proba(dataset.x)
+    # Split the tuning set back into per-trace segments so violation
+    # windows never straddle traces.
+    segments: list[tuple[np.ndarray, np.ndarray]] = []
+    for trace_name in np.unique(dataset.traces):
+        mask = dataset.traces == trace_name
+        segments.append((dataset.y[mask], scores[mask]))
+    candidates = np.unique(np.concatenate([
+        np.linspace(0.3, 0.99, 24),
+        np.quantile(scores, np.linspace(0.05, 0.95, 19)),
+    ]))
+    chosen = 0.999
+    for threshold in np.sort(candidates):
+        pairs = [(y_seg, (s_seg >= threshold).astype(np.int64))
+                 for y_seg, s_seg in segments]
+        if pooled_rsv(pairs, window) <= max_rsv:
+            chosen = float(threshold)
+            break
+    model.decision_threshold = chosen
+    return chosen
+
+
+class SRCHEstimator(Estimator):
+    """SRCH: logistic regression on bucketized counter features.
+
+    Dubach et al. encode each counter as a 10-bucket histogram over the
+    prediction window; at one sample per window this reduces to a
+    per-counter one-hot bucketization, preserving SRCH's defining
+    property — piecewise-constant features — while fitting the shared
+    dataset layout.
+    """
+
+    def __init__(self, n_buckets: int = 10, l2: float = 1e-4) -> None:
+        self.encoder = CounterHistogramEncoder(n_buckets=n_buckets, window=1)
+        # Plain (unweighted) fit, as in the original SRCH framework.
+        self.logreg = LogisticRegression(l2=l2, class_weight=None)
+        self.decision_threshold = 0.5
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "SRCHEstimator":
+        features = self.encoder.fit_transform(x)
+        self.logreg.fit(features, y)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self.logreg.predict_proba(self.encoder.transform(x))
+
+
+def select_counters(traces: list[TraceSpec],
+                    collector: TelemetryCollector | None = None,
+                    r: int = 12, tau: float = 0.7) -> list[int]:
+    """Run PF Counter Selection over a trace corpus (Section 6.2)."""
+    collector = collector or TelemetryCollector()
+    stats = gather_selection_stats(collector, traces)
+    return pf_counter_selection(stats, r=r, tau=tau).selected_ids
+
+
+def _calibration_split(dataset: GatingDataset, fraction: float,
+                       seed: int) -> tuple[GatingDataset, GatingDataset]:
+    """Hold out a fraction of *applications* for sensitivity tuning.
+
+    Thresholds tuned on the same rows a model was fit to inherit the
+    model's training optimism; holding out whole applications makes the
+    calibration scores look like deployment scores.
+    """
+    apps = np.unique(dataset.groups)
+    rng = rng_mod.stream(seed, "calibration", dataset.mode.value)
+    n_cal = max(1, int(round(len(apps) * fraction)))
+    cal_apps = set(rng.choice(apps, size=n_cal, replace=False).tolist())
+    cal_mask = np.isin(dataset.groups, list(cal_apps))
+    return dataset.subset(~cal_mask), dataset.subset(cal_mask)
+
+
+def train_dual_predictor(name: str,
+                         factory: Callable[[Mode], Estimator],
+                         datasets: dict[Mode, GatingDataset],
+                         granularity_factor: int,
+                         rsv_budget: float | None = DEFAULT_RSV_BUDGET,
+                         calibration_fraction: float = 0.15,
+                         n_candidates: int = 1,
+                         seed: int = 0) -> DualModePredictor:
+    """Train one model per telemetry mode and package them.
+
+    ``rsv_budget`` enables post-training sensitivity tuning on a
+    held-out calibration split of applications; pass ``None`` to keep
+    the raw 0.5 threshold (the baselines). ``n_candidates > 1`` trains
+    several random restarts and keeps the one with the highest
+    calibration-set PGOS at its tuned threshold — the deployment-time
+    face of the paper's "screen models for those that perform most
+    consistently" principle.
+    """
+    models: dict[Mode, Estimator] = {}
+    counter_ids = None
+    for mode in Mode:
+        ds = datasets[mode]
+        if counter_ids is None:
+            counter_ids = ds.counter_ids
+        elif not np.array_equal(counter_ids, ds.counter_ids):
+            raise ConfigurationError("per-mode counter sets must match")
+        if rsv_budget is not None and calibration_fraction > 0.0:
+            fit_ds, cal_ds = _calibration_split(ds, calibration_fraction,
+                                                seed)
+            scored: list[tuple[float, int, Estimator]] = []
+            for candidate in range(max(1, n_candidates)):
+                model = factory(mode)
+                if candidate > 0 and hasattr(model, "seed"):
+                    model.seed = rng_mod.derive_seed(  # type: ignore
+                        seed, "candidate", mode.value, candidate)
+                model.fit(fit_ds.x, fit_ds.y)
+                tune_threshold_for_rsv(model, cal_ds, rsv_budget)
+                preds = model.predict(cal_ds.x)
+                scored.append((pgos_metric(cal_ds.y, preds), candidate,
+                               model))
+            # The median candidate by calibration PGOS: random restarts
+            # at the tails are either unlucky fits or lucky-aggressive
+            # ones that generalise worse.
+            scored.sort(key=lambda item: item[:2])
+            models[mode] = scored[len(scored) // 2][2]
+            continue
+        model = factory(mode)
+        model.fit(ds.x, ds.y)
+        if rsv_budget is not None:
+            tune_threshold_for_rsv(model, ds, rsv_budget)
+        models[mode] = model
+    assert counter_ids is not None
+    return DualModePredictor(
+        name=name,
+        models=models,
+        counter_ids=np.asarray(counter_ids),
+        granularity_factor=granularity_factor,
+    )
+
+
+@dataclasses.dataclass
+class StandardModels:
+    """The trained model zoo of Section 7 plus shared context."""
+
+    predictors: dict[str, DualModePredictor]
+    pf_counter_ids: list[int]
+    charstar_counter_ids: list[int]
+    collector: TelemetryCollector
+    sla: SLAConfig
+
+    def __getitem__(self, name: str) -> DualModePredictor:
+        return self.predictors[name]
+
+    def names(self) -> list[str]:
+        return list(self.predictors)
+
+
+def build_standard_models(train_traces: list[TraceSpec], seed: int,
+                          sla: SLAConfig = DEFAULT_SLA,
+                          collector: TelemetryCollector | None = None,
+                          pf_counter_ids: list[int] | None = None,
+                          include: Iterable[str] | None = None,
+                          rsv_budget: float = DEFAULT_RSV_BUDGET,
+                          selection_traces: int = 60,
+                          ) -> StandardModels:
+    """Train the Section-7 model zoo on a training corpus.
+
+    Parameters
+    ----------
+    pf_counter_ids:
+        Pre-selected PF counters; when omitted, PF Counter Selection
+        runs on a subsample of the training traces (``selection_traces``
+        of them — covariance statistics saturate quickly).
+    include:
+        Restrict which predictors to train (names of
+        ``GRANULARITY_FACTORS``); all five by default.
+    """
+    collector = collector or TelemetryCollector()
+    catalog = default_catalog()
+    wanted = set(include) if include is not None else set(GRANULARITY_FACTORS)
+    unknown = wanted - set(GRANULARITY_FACTORS)
+    if unknown:
+        raise ConfigurationError(f"unknown model names: {sorted(unknown)}")
+
+    if pf_counter_ids is None:
+        stride = max(1, len(train_traces) // selection_traces)
+        sample = train_traces[::stride]
+        # PF selection is greedy-sequential, so the top 12 of an r=15
+        # run equal the r=12 run; SRCH uses the full top 15 (Section 7).
+        pf_counter_ids = select_counters(sample, collector, r=15)
+    srch_ids = list(pf_counter_ids[:15])
+    pf_counter_ids = list(pf_counter_ids[:12])
+    charstar_ids = catalog.charstar_ids
+
+    # Datasets per (counter set, granularity factor, label floor).
+    # SRCH follows Dubach et al.'s framework literally: it is trained
+    # to predict the *highest performing* configuration, i.e. gate only
+    # when low-power mode performs at least as well — not the SLA-
+    # relaxed target the paper's own models train to. This is what
+    # makes SRCH conservative (low PGOS, low PPW) in Section 7.
+    srch_sla = dataclasses.replace(sla, performance_floor=1.0)
+    counter_sets = {"pf": pf_counter_ids, "charstar": charstar_ids,
+                    "srch": srch_ids}
+    model_counters = {
+        "best_rf": "pf", "best_mlp": "pf", "srch": "srch",
+        "srch_coarse": "srch", "charstar": "charstar",
+    }
+    model_slas = {name: (srch_sla if name.startswith("srch") else sla)
+                  for name in GRANULARITY_FACTORS}
+    needs: set[tuple[str, int, float]] = set()
+    for model_name in wanted:
+        needs.add((model_counters[model_name],
+                   GRANULARITY_FACTORS[model_name],
+                   model_slas[model_name].performance_floor))
+
+    datasets: dict[tuple[str, int, float], dict[Mode, GatingDataset]] = {}
+    for (set_name, factor, floor) in needs:
+        ds_sla = dataclasses.replace(sla, performance_floor=floor)
+        datasets[(set_name, factor, floor)] = dataset_from_traces(
+            train_traces, counter_sets[set_name], ds_sla, collector,
+            factor)
+
+    def mlp_factory(hidden: tuple[int, ...], tag: str,
+                    ) -> Callable[[Mode], Estimator]:
+        def make(mode: Mode) -> Estimator:
+            return MLPClassifier(
+                hidden_layers=hidden,
+                epochs=60,
+                seed=rng_mod.derive_seed(seed, tag, mode.value),
+            )
+        return make
+
+    def rf_factory(mode: Mode) -> Estimator:
+        return RandomForestClassifier(
+            n_trees=8, max_depth=8,
+            seed=rng_mod.derive_seed(seed, "best-rf", mode.value),
+        )
+
+    recipes: dict[str, tuple[Callable[[Mode], Estimator], str,
+                             float | None]] = {
+        "best_rf": (rf_factory, "pf", rsv_budget),
+        "best_mlp": (mlp_factory((8, 8, 4), "best-mlp"), "pf", rsv_budget),
+        "charstar": (mlp_factory((10,), "charstar"), "charstar", None),
+        "srch": (lambda mode: SRCHEstimator(), "srch", None),
+        "srch_coarse": (lambda mode: SRCHEstimator(), "srch", None),
+    }
+
+    predictors: dict[str, DualModePredictor] = {}
+    for model_name in sorted(wanted):
+        factory, set_name, budget = recipes[model_name]
+        factor = GRANULARITY_FACTORS[model_name]
+        key = (set_name, factor, model_slas[model_name].performance_floor)
+        predictors[model_name] = train_dual_predictor(
+            model_name, factory, datasets[key], factor,
+            rsv_budget=budget, seed=rng_mod.derive_seed(seed, model_name),
+            n_candidates=3 if model_name == "best_mlp" else 1,
+        )
+    return StandardModels(
+        predictors=predictors,
+        pf_counter_ids=list(pf_counter_ids),
+        charstar_counter_ids=list(charstar_ids),
+        collector=collector,
+        sla=sla,
+    )

@@ -1,0 +1,58 @@
+"""The dual-mode adaptation predictor.
+
+Section 4.1: the paper trains two models that operate alongside each
+other — one on telemetry recorded in high-performance mode, one on
+telemetry recorded in low-power mode (the harder problem). At inference
+time a flag indicating the CPU mode when the counters were recorded
+selects which model produces the prediction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.base import Estimator
+from repro.uarch.modes import Mode
+
+
+@dataclasses.dataclass
+class DualModePredictor:
+    """One trained adaptation model per telemetry mode."""
+
+    name: str
+    models: dict[Mode, Estimator]
+    counter_ids: np.ndarray
+    granularity_factor: int
+
+    def __post_init__(self) -> None:
+        missing = [m for m in Mode if m not in self.models]
+        if missing:
+            raise ConfigurationError(
+                f"predictor {self.name!r} missing models for {missing}"
+            )
+        if self.granularity_factor < 1:
+            raise ConfigurationError(
+                f"granularity_factor must be >= 1, got "
+                f"{self.granularity_factor}"
+            )
+
+    def model_for(self, mode: Mode) -> Estimator:
+        """The model that consumes telemetry recorded in ``mode``."""
+        return self.models[mode]
+
+    def predict_proba(self, x: np.ndarray, mode: Mode) -> np.ndarray:
+        """Gating probability from counters recorded in ``mode``."""
+        return self.models[mode].predict_proba(x)
+
+    def predict(self, x: np.ndarray, mode: Mode) -> np.ndarray:
+        """Binary gating decisions from counters recorded in ``mode``."""
+        return self.models[mode].predict(x)
+
+    @property
+    def thresholds(self) -> dict[Mode, float]:
+        """Current per-mode decision thresholds."""
+        return {mode: model.decision_threshold
+                for mode, model in self.models.items()}

@@ -1,0 +1,72 @@
+"""System-level SLA window accounting.
+
+Section 3.1: the SLA guarantees that the (possibly gated) core performs
+within :math:`P_{SLA}` of high-performance mode, measured in IPC over
+:math:`T_{SLA}` windows, for at least 99% of windows. This module
+measures that guarantee directly on a deployed run by comparing the
+adaptive core's windowed IPC against the all-high-performance baseline.
+
+The *prediction-error* formulation of SLA violations (Eqs. 2-4) lives
+in :mod:`repro.eval.metrics`; the paper reports that one, but the
+system-level check here is what a customer would actually observe.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+@dataclasses.dataclass(frozen=True)
+class SLAAccounting:
+    """Windowed SLA measurement over one deployed run."""
+
+    n_windows: int
+    n_violations: int
+    window_ratios: np.ndarray  # per-window IPC_adaptive / IPC_baseline
+
+    @property
+    def violation_rate(self) -> float:
+        if self.n_windows == 0:
+            raise DatasetError("no complete SLA windows")
+        return self.n_violations / self.n_windows
+
+    def meets_guarantee(self, guarantee: float = 0.99) -> bool:
+        """True when the fraction of good windows reaches the guarantee."""
+        return (1.0 - self.violation_rate) >= guarantee
+
+
+def sla_window_violations(cycles_adaptive: np.ndarray,
+                          cycles_baseline: np.ndarray,
+                          window_intervals: int,
+                          performance_floor: float) -> SLAAccounting:
+    """Measure windowed SLA violations of an adaptive run.
+
+    Both cycle arrays cover the same instructions per interval, so the
+    windowed IPC ratio reduces to a windowed cycle ratio.
+    """
+    if window_intervals <= 0:
+        raise DatasetError(
+            f"window_intervals must be positive: {window_intervals}"
+        )
+    if cycles_adaptive.shape != cycles_baseline.shape:
+        raise DatasetError("cycle arrays must align")
+    n_windows = cycles_adaptive.shape[0] // window_intervals
+    if n_windows == 0:
+        raise DatasetError(
+            f"run too short for window of {window_intervals} intervals"
+        )
+    t_full = n_windows * window_intervals
+    adaptive = cycles_adaptive[:t_full].reshape(n_windows, -1).sum(axis=1)
+    baseline = cycles_baseline[:t_full].reshape(n_windows, -1).sum(axis=1)
+    # IPC ratio = cycles_baseline / cycles_adaptive for equal work.
+    ratios = baseline / adaptive
+    violations = int((ratios < performance_floor).sum())
+    return SLAAccounting(
+        n_windows=n_windows,
+        n_violations=violations,
+        window_ratios=ratios,
+    )

@@ -1,0 +1,25 @@
+"""Dataset construction (Section 4.1).
+
+Builders simulate traces in both cluster configurations, snapshot
+telemetry every 10k instructions, normalise by cycles, compute ground
+truth gating labels two intervals ahead (Figure 3), and assemble
+per-mode training matrices with application/workload group annotations
+for per-application cross validation.
+"""
+
+from repro.data.dataset import GatingDataset, concat_datasets
+from repro.data.builders import (
+    build_hdtr_datasets,
+    build_mode_dataset,
+    build_spec_datasets,
+    dataset_from_traces,
+)
+
+__all__ = [
+    "GatingDataset",
+    "concat_datasets",
+    "build_hdtr_datasets",
+    "build_mode_dataset",
+    "build_spec_datasets",
+    "dataset_from_traces",
+]

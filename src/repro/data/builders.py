@@ -1,0 +1,143 @@
+"""Dataset builders.
+
+Assemble supervised gating datasets from trace corpora exactly as the
+paper does (Section 4.1): simulate each trace in both modes, snapshot
+and cycle-normalise telemetry, coarsen to the prediction granularity,
+and pair counters at interval ``t`` with the gating label at interval
+``t + 2`` — the one-interval gap covers transmitting counters to the
+microcontroller and computing the prediction (Figure 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.config import BASE_INTERVAL_INSTRUCTIONS, DEFAULT_SLA, SLAConfig
+from repro.config import experiment_scale
+from repro.core.labels import gating_labels
+from repro.data.dataset import GatingDataset, concat_datasets
+from repro.errors import DatasetError
+from repro.telemetry.collector import TelemetryCollector, coarsen
+from repro.uarch.modes import Mode
+from repro.workloads.categories import hdtr_corpus
+from repro.workloads.generator import ApplicationSpec, TraceSpec
+from repro.workloads.spec2017 import spec2017_traces
+
+#: Prediction horizon in intervals: predict for t+2 from counters at t.
+PREDICTION_HORIZON = 2
+
+
+def build_mode_dataset(traces: list[TraceSpec], mode: Mode,
+                       counter_ids: list[int] | np.ndarray,
+                       sla: SLAConfig = DEFAULT_SLA,
+                       collector: TelemetryCollector | None = None,
+                       granularity_factor: int = 1,
+                       horizon: int = PREDICTION_HORIZON) -> GatingDataset:
+    """Build the supervised dataset for one telemetry mode.
+
+    Features are telemetry observed while running in ``mode``; two
+    such datasets (one per mode) train the paper's two side-by-side
+    models.
+    """
+    if not traces:
+        raise DatasetError("no traces supplied")
+    collector = collector or TelemetryCollector()
+    counter_ids = np.asarray(counter_ids, dtype=np.int64)
+    parts: list[GatingDataset] = []
+    for trace in traces:
+        results = collector.model.simulate_both(trace)
+        snap = collector.snapshot(trace, mode, counter_ids,
+                                  result=results[mode])
+        if granularity_factor > 1:
+            snap = coarsen(snap, granularity_factor)
+        labels = gating_labels(trace, sla, collector.model,
+                               granularity_factor, results=results)
+        t_count = min(snap.n_intervals, labels.n_intervals)
+        if t_count <= horizon:
+            raise DatasetError(
+                f"trace {trace.name} too short for horizon {horizon} at "
+                f"granularity factor {granularity_factor}"
+            )
+        x = snap.normalized[:t_count - horizon]
+        y = labels.labels[horizon:t_count]
+        n = x.shape[0]
+        parts.append(GatingDataset(
+            x=x,
+            y=y,
+            groups=np.full(n, trace.app.name),
+            workloads=np.full(n, trace.workload.name),
+            traces=np.full(n, trace.name),
+            mode=mode,
+            counter_ids=counter_ids,
+            granularity=(BASE_INTERVAL_INSTRUCTIONS * granularity_factor),
+            sla_floor=sla.performance_floor,
+        ))
+    return concat_datasets(parts)
+
+
+def dataset_from_traces(traces: list[TraceSpec],
+                        counter_ids: list[int] | np.ndarray,
+                        sla: SLAConfig = DEFAULT_SLA,
+                        collector: TelemetryCollector | None = None,
+                        granularity_factor: int = 1,
+                        horizon: int = PREDICTION_HORIZON,
+                        ) -> dict[Mode, GatingDataset]:
+    """Both per-mode datasets for one trace corpus."""
+    collector = collector or TelemetryCollector()
+    return {
+        mode: build_mode_dataset(traces, mode, counter_ids, sla,
+                                 collector, granularity_factor, horizon)
+        for mode in Mode
+    }
+
+
+def hdtr_traces(seed: int,
+                apps: list[ApplicationSpec] | None = None,
+                workloads_per_app: int | None = None,
+                intervals_per_trace: int | None = None,
+                ) -> list[TraceSpec]:
+    """The scaled HDTR trace corpus.
+
+    The paper's HDTR has ~4.5 traces per application, 5M instructions
+    each; we default to a few workloads per app, a couple hundred
+    10k-instruction intervals each, scaled by ``REPRO_SCALE``.
+    """
+    scale = experiment_scale()
+    if apps is None:
+        apps = hdtr_corpus(seed)
+    if workloads_per_app is None:
+        workloads_per_app = max(2, int(round(3 * scale)))
+    if intervals_per_trace is None:
+        intervals_per_trace = max(60, int(round(160 * scale)))
+    traces: list[TraceSpec] = []
+    for app in apps:
+        for input_id in range(workloads_per_app):
+            traces.append(app.workload(input_id).trace(
+                intervals_per_trace, trace_id=0))
+    return traces
+
+
+def build_hdtr_datasets(seed: int, counter_ids: list[int] | np.ndarray,
+                        sla: SLAConfig = DEFAULT_SLA,
+                        granularity_factor: int = 1,
+                        collector: TelemetryCollector | None = None,
+                        traces: list[TraceSpec] | None = None,
+                        ) -> dict[Mode, GatingDataset]:
+    """Per-mode training datasets over the scaled HDTR corpus."""
+    traces = traces if traces is not None else hdtr_traces(seed)
+    return dataset_from_traces(traces, counter_ids, sla, collector,
+                               granularity_factor)
+
+
+def build_spec_datasets(seed: int, counter_ids: list[int] | np.ndarray,
+                        sla: SLAConfig = DEFAULT_SLA,
+                        granularity_factor: int = 1,
+                        collector: TelemetryCollector | None = None,
+                        traces: list[TraceSpec] | None = None,
+                        ) -> dict[Mode, GatingDataset]:
+    """Per-mode datasets over the held-out SPEC2017-like suite."""
+    traces = traces if traces is not None else spec2017_traces(
+        rng_mod.derive_seed(seed, "spec-test"))
+    return dataset_from_traces(traces, counter_ids, sla, collector,
+                               granularity_factor)

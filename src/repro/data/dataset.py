@@ -1,0 +1,99 @@
+"""Dataset containers."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.uarch.modes import Mode
+
+
+@dataclasses.dataclass(frozen=True)
+class GatingDataset:
+    """Supervised gating data for one telemetry mode.
+
+    Each row is one prediction opportunity: features are the normalised
+    counter vector :math:`x_t` observed in ``mode``, the label is the
+    ground-truth configuration :math:`y_{t+2}` for the interval two
+    steps ahead (1 = gate cluster 2 / low-power meets the SLA).
+    """
+
+    x: np.ndarray  # (N, C)
+    y: np.ndarray  # (N,)
+    groups: np.ndarray  # (N,) application names
+    workloads: np.ndarray  # (N,) workload names
+    traces: np.ndarray  # (N,) trace names
+    mode: Mode
+    counter_ids: np.ndarray  # (C,)
+    granularity: int  # instructions per prediction interval
+    sla_floor: float
+
+    def __post_init__(self) -> None:
+        n = self.x.shape[0]
+        for name in ("y", "groups", "workloads", "traces"):
+            arr = getattr(self, name)
+            if arr.shape[0] != n:
+                raise DatasetError(
+                    f"{name} has {arr.shape[0]} rows, expected {n}"
+                )
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.x.shape[1])
+
+    @property
+    def positive_rate(self) -> float:
+        """Fraction of gateable intervals (the gating opportunity rate)."""
+        if self.n_samples == 0:
+            raise DatasetError("empty dataset")
+        return float(self.y.mean())
+
+    @property
+    def n_applications(self) -> int:
+        return int(np.unique(self.groups).size)
+
+    def subset(self, mask: np.ndarray) -> "GatingDataset":
+        """Row subset sharing all metadata."""
+        return dataclasses.replace(
+            self,
+            x=self.x[mask],
+            y=self.y[mask],
+            groups=self.groups[mask],
+            workloads=self.workloads[mask],
+            traces=self.traces[mask],
+        )
+
+    def for_applications(self, apps: list[str]) -> "GatingDataset":
+        """Rows belonging to the named applications."""
+        mask = np.isin(self.groups, apps)
+        return self.subset(mask)
+
+
+def concat_datasets(datasets: list[GatingDataset]) -> GatingDataset:
+    """Concatenate row-wise; metadata must agree."""
+    if not datasets:
+        raise DatasetError("nothing to concatenate")
+    first = datasets[0]
+    for ds in datasets[1:]:
+        if ds.mode is not first.mode:
+            raise DatasetError("mode mismatch in concat")
+        if ds.granularity != first.granularity:
+            raise DatasetError("granularity mismatch in concat")
+        if not np.array_equal(ds.counter_ids, first.counter_ids):
+            raise DatasetError("counter set mismatch in concat")
+        if ds.sla_floor != first.sla_floor:
+            raise DatasetError("SLA mismatch in concat")
+    return dataclasses.replace(
+        first,
+        x=np.concatenate([ds.x for ds in datasets]),
+        y=np.concatenate([ds.y for ds in datasets]),
+        groups=np.concatenate([ds.groups for ds in datasets]),
+        workloads=np.concatenate([ds.workloads for ds in datasets]),
+        traces=np.concatenate([ds.traces for ds in datasets]),
+    )

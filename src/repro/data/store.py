@@ -1,0 +1,101 @@
+"""On-disk dataset caching.
+
+Experiment harnesses rebuild the same scaled HDTR/SPEC datasets in
+every process; this cache persists built
+:class:`~repro.data.dataset.GatingDataset` objects as ``.npz`` files
+keyed by a content string (builder parameters + seed), so repeated
+benchmark runs skip simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+
+import numpy as np
+
+from repro.data.dataset import GatingDataset
+from repro.errors import DatasetError
+from repro.uarch.modes import Mode
+
+#: Environment variable overriding the cache directory.
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def cache_dir() -> str:
+    """The dataset cache directory (created on demand)."""
+    path = os.environ.get(CACHE_ENV_VAR)
+    if path is None:
+        path = os.path.join(os.path.expanduser("~"), ".cache",
+                            "repro-datasets")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _path_for(key: str) -> str:
+    digest = hashlib.sha256(key.encode()).hexdigest()[:24]
+    return os.path.join(cache_dir(), f"{digest}.npz")
+
+
+def save_dataset(key: str, dataset: GatingDataset) -> str:
+    """Persist a dataset under a content key; returns the file path."""
+    path = _path_for(key)
+    np.savez_compressed(
+        path,
+        x=dataset.x,
+        y=dataset.y,
+        groups=dataset.groups,
+        workloads=dataset.workloads,
+        traces=dataset.traces,
+        counter_ids=dataset.counter_ids,
+        mode=np.array([dataset.mode.value]),
+        granularity=np.array([dataset.granularity]),
+        sla_floor=np.array([dataset.sla_floor]),
+        key=np.array([key]),
+    )
+    return path
+
+
+def load_dataset(key: str) -> GatingDataset | None:
+    """Load a cached dataset, or None on miss/corruption."""
+    path = _path_for(key)
+    if not os.path.exists(path):
+        return None
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if str(data["key"][0]) != key:
+                return None
+            return GatingDataset(
+                x=data["x"],
+                y=data["y"],
+                groups=data["groups"],
+                workloads=data["workloads"],
+                traces=data["traces"],
+                mode=Mode(str(data["mode"][0])),
+                counter_ids=data["counter_ids"],
+                granularity=int(data["granularity"][0]),
+                sla_floor=float(data["sla_floor"][0]),
+            )
+    except (OSError, KeyError, ValueError, DatasetError):
+        return None
+
+
+def cached_build(key: str, builder) -> GatingDataset:
+    """Load a dataset by key, building and persisting on miss."""
+    cached = load_dataset(key)
+    if cached is not None:
+        return cached
+    dataset = builder()
+    save_dataset(key, dataset)
+    return dataset
+
+
+def clear_cache() -> int:
+    """Remove every cached dataset; returns the number deleted."""
+    removed = 0
+    root = cache_dir()
+    for name in os.listdir(root):
+        if name.endswith(".npz"):
+            os.remove(os.path.join(root, name))
+            removed += 1
+    return removed

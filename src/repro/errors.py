@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with invalid or inconsistent values."""
+
+
+class BudgetExceededError(ReproError):
+    """A firmware model does not fit the microcontroller budget."""
+
+
+class NotFittedError(ReproError):
+    """An ML model was used for inference before being trained."""
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed or inconsistent with its metadata."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an invalid state."""

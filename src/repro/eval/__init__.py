@@ -1,0 +1,34 @@
+"""Evaluation: the paper's metrics, deployment runner and reports.
+
+* :mod:`repro.eval.metrics` — PGOS (Eq. 1) and the rate of SLA
+  violations RSV (Eqs. 2-4) computed from prediction errors.
+* :mod:`repro.eval.runner` — deploys trained predictors on the held-out
+  suite and aggregates per-benchmark and suite-level results.
+* :mod:`repro.eval.blindspots` — per-application breakdowns that
+  surface statistical blindspots (Figure 9).
+* :mod:`repro.eval.reporting` — plain-text table/figure renderers used
+  by the benchmark harness.
+"""
+
+from repro.eval.metrics import (
+    effective_sla_window,
+    expected_false_positive,
+    pgos,
+    rsv,
+    violation_indicator_windows,
+)
+from repro.eval.blindspots import analyze_blindspots, compare_models
+from repro.eval.runner import BenchmarkEval, SuiteEval, evaluate_predictor
+
+__all__ = [
+    "analyze_blindspots",
+    "compare_models",
+    "effective_sla_window",
+    "expected_false_positive",
+    "pgos",
+    "rsv",
+    "violation_indicator_windows",
+    "BenchmarkEval",
+    "SuiteEval",
+    "evaluate_predictor",
+]

@@ -1,0 +1,105 @@
+"""Blindspot analysis (Sections 4.2, 7.1; Figure 9).
+
+A statistical blindspot is a region of the telemetry distribution
+where a model errs *systematically*: its false positives concentrate
+in particular workload phases rather than scattering. This module
+quantifies that — per-application RSV breakdowns, FP clustering (run
+lengths of consecutive wrong gating decisions), and side-by-side model
+comparisons of the kind Figure 9 plots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.eval.runner import SuiteEval
+
+
+@dataclasses.dataclass(frozen=True)
+class BlindspotReport:
+    """Blindspot indicators for one model on one application."""
+
+    app_name: str
+    rsv: float
+    fp_rate: float
+    max_fp_run: int
+    mean_fp_run: float
+    fp_burstiness: float  # mean run length over the iid expectation
+
+    @property
+    def systematic(self) -> bool:
+        """Heuristic flag: errors cluster far beyond chance."""
+        return self.rsv > 0.05 or self.fp_burstiness > 4.0
+
+
+def _run_lengths(flags: np.ndarray) -> np.ndarray:
+    """Lengths of runs of True values."""
+    if flags.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    padded = np.concatenate(([False], flags, [False]))
+    changes = np.flatnonzero(np.diff(padded.astype(np.int8)))
+    return changes[1::2] - changes[0::2]
+
+
+def analyze_blindspots(suite: SuiteEval) -> list[BlindspotReport]:
+    """Per-application blindspot indicators for a deployed model."""
+    by_app: dict[str, list] = {}
+    for run in suite.runs:
+        by_app.setdefault(run.app_name, []).append(run)
+    reports: list[BlindspotReport] = []
+    for app_name, runs in sorted(by_app.items()):
+        fp_flags = []
+        run_lengths: list[np.ndarray] = []
+        for run in runs:
+            fp = (run.predictions == 1) & (run.labels == 0)
+            fp_flags.append(fp)
+            run_lengths.append(_run_lengths(fp))
+        fp_all = np.concatenate(fp_flags)
+        lengths = np.concatenate(run_lengths) if run_lengths else np.zeros(0)
+        fp_rate = float(fp_all.mean()) if fp_all.size else 0.0
+        mean_run = float(lengths.mean()) if lengths.size else 0.0
+        # Expected run length if FPs were iid Bernoulli(fp_rate).
+        expected_run = 1.0 / max(1.0 - fp_rate, 1e-9)
+        bench = suite.benchmark(app_name)
+        reports.append(BlindspotReport(
+            app_name=app_name,
+            rsv=bench.rsv,
+            fp_rate=fp_rate,
+            max_fp_run=int(lengths.max()) if lengths.size else 0,
+            mean_fp_run=mean_run,
+            fp_burstiness=mean_run / expected_run if fp_rate > 0 else 0.0,
+        ))
+    return reports
+
+
+def compare_models(reference: SuiteEval, candidate: SuiteEval,
+                   ) -> list[dict]:
+    """Figure-9 style per-benchmark comparison of two deployed models."""
+    ref_apps = {b.app_name for b in reference.per_benchmark}
+    cand_apps = {b.app_name for b in candidate.per_benchmark}
+    if ref_apps != cand_apps:
+        raise DatasetError("model evaluations cover different benchmarks")
+    rows = []
+    for app in sorted(ref_apps):
+        ref = reference.benchmark(app)
+        cand = candidate.benchmark(app)
+        rows.append({
+            "benchmark": app,
+            "ref_ppw_gain": ref.ppw_gain,
+            "cand_ppw_gain": cand.ppw_gain,
+            "ref_rsv": ref.rsv,
+            "cand_rsv": cand.rsv,
+            "rsv_reduction": ref.rsv - cand.rsv,
+        })
+    return rows
+
+
+def worst_blindspot(suite: SuiteEval) -> BlindspotReport:
+    """The most systematic failure across applications."""
+    reports = analyze_blindspots(suite)
+    if not reports:
+        raise DatasetError("empty evaluation")
+    return max(reports, key=lambda r: (r.rsv, r.fp_burstiness))

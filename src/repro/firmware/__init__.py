@@ -1,0 +1,40 @@
+"""Machine learning inference in firmware (Section 5).
+
+The paper's adaptation models run on an existing 500-MIPS
+microcontroller with 50% of cycles safely available. This package
+models that deployment path end to end:
+
+* :mod:`repro.firmware.ucontroller` — the microcontroller and its
+  per-granularity ops budget (left table of Table 3).
+* :mod:`repro.firmware.codegen` — compiles trained estimators into
+  firmware programs: packed little-endian parameter images plus an op
+  schedule with per-primitive costs calibrated to the paper's hand-
+  optimised assembly (Listings 1 and 2).
+* :mod:`repro.firmware.vm` — a float32 interpreter that executes
+  compiled programs, reproducing microcontroller arithmetic; outputs
+  match the numpy models to float32 tolerance while op counts are
+  metered exactly.
+* :mod:`repro.firmware.opcount` — per-model inference cost and memory
+  footprint reports (right table of Table 3).
+* :mod:`repro.firmware.deploy` — firmware images and the post-silicon
+  update flow (Section 7.3): package, checksum, install, roll back.
+"""
+
+from repro.firmware.codegen import FirmwareProgram, compile_model
+from repro.firmware.deploy import FirmwareImage, FirmwareStore
+from repro.firmware.disasm import disassemble
+from repro.firmware.opcount import CostReport, cost_report
+from repro.firmware.ucontroller import Microcontroller
+from repro.firmware.vm import FirmwareVM
+
+__all__ = [
+    "FirmwareProgram",
+    "compile_model",
+    "FirmwareImage",
+    "FirmwareStore",
+    "disassemble",
+    "CostReport",
+    "cost_report",
+    "Microcontroller",
+    "FirmwareVM",
+]

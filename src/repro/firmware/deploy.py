@@ -1,0 +1,216 @@
+"""Firmware images and the post-silicon update flow (Section 7.3).
+
+The paper's headline deployment story: adaptation behaviour changes
+with a firmware update pushed through ordinary datacenter
+infrastructure management software. A :class:`FirmwareImage` packages a
+dual-mode predictor's compiled programs with metadata and a checksum;
+a :class:`FirmwareStore` models the device side — install, activate,
+history, rollback.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import struct
+
+import numpy as np
+
+from repro.core.predictor import DualModePredictor
+from repro.errors import ConfigurationError
+from repro.firmware.codegen import FirmwareProgram, compile_model
+from repro.uarch.modes import Mode
+
+
+@dataclasses.dataclass(frozen=True)
+class FirmwareImage:
+    """A signed-ish, versioned firmware payload for one predictor."""
+
+    name: str
+    version: int
+    programs: dict[Mode, FirmwareProgram]
+    counter_ids: tuple[int, ...]
+    granularity_factor: int
+    sla_floor: float
+    checksum: str
+
+    @property
+    def total_bytes(self) -> int:
+        """Payload size of both mode programs."""
+        return sum(p.memory_bytes for p in self.programs.values())
+
+    def verify(self) -> bool:
+        """Recompute and compare the checksum."""
+        return self.checksum == _image_checksum(self.programs)
+
+    def save(self, path: str) -> None:
+        """Write the image as one flashable payload file.
+
+        Layout: a JSON manifest header (length-prefixed) followed by
+        each mode's program image (length-prefixed, mode order).
+        """
+        header = self.manifest().encode()
+        with open(path, "wb") as handle:
+            handle.write(b"RPFW")
+            handle.write(struct.pack("<I", len(header)))
+            handle.write(header)
+            for mode in Mode:
+                program = self.programs[mode]
+                meta = json.dumps({
+                    "kind": program.kind,
+                    "ops": program.ops_per_prediction,
+                    "n_inputs": program.n_inputs,
+                    "metadata": _jsonable(program.metadata),
+                }).encode()
+                handle.write(struct.pack("<II", len(meta),
+                                         len(program.image)))
+                handle.write(meta)
+                handle.write(program.image)
+
+    @classmethod
+    def load(cls, path: str) -> "FirmwareImage":
+        """Read a payload written by :meth:`save` and verify it."""
+        with open(path, "rb") as handle:
+            magic = handle.read(4)
+            if magic != b"RPFW":
+                raise ConfigurationError(
+                    f"{os.path.basename(path)} is not a firmware image"
+                )
+            (header_len,) = struct.unpack("<I", handle.read(4))
+            manifest = json.loads(handle.read(header_len))
+            programs: dict[Mode, FirmwareProgram] = {}
+            for mode in Mode:
+                meta_len, image_len = struct.unpack("<II",
+                                                    handle.read(8))
+                meta = json.loads(handle.read(meta_len))
+                image = handle.read(image_len)
+                programs[mode] = FirmwareProgram(
+                    kind=meta["kind"],
+                    image=image,
+                    ops_per_prediction=meta["ops"],
+                    n_inputs=meta["n_inputs"],
+                    metadata=meta["metadata"],
+                )
+        loaded = cls(
+            name=manifest["name"],
+            version=manifest["version"],
+            programs=programs,
+            counter_ids=tuple(manifest["counters"]),
+            granularity_factor=manifest["granularity_factor"],
+            sla_floor=manifest["sla_floor"],
+            checksum=manifest["checksum"],
+        )
+        if not loaded.verify():
+            raise ConfigurationError(
+                f"{os.path.basename(path)} failed checksum verification"
+            )
+        return loaded
+
+    def manifest(self) -> str:
+        """Human-readable JSON manifest (what a DCIM tool would show)."""
+        return json.dumps({
+            "name": self.name,
+            "version": self.version,
+            "sla_floor": self.sla_floor,
+            "granularity_factor": self.granularity_factor,
+            "counters": list(self.counter_ids),
+            "bytes": self.total_bytes,
+            "checksum": self.checksum,
+            "kinds": {m.value: p.kind for m, p in self.programs.items()},
+        }, indent=2, sort_keys=True)
+
+
+def _jsonable(metadata: dict) -> dict:
+    """Round-trip-safe copy of program metadata (tuples become lists)."""
+    out = {}
+    for key, value in metadata.items():
+        if isinstance(value, tuple):
+            value = list(value)
+        out[key] = value
+    return out
+
+
+def _image_checksum(programs: dict[Mode, FirmwareProgram]) -> str:
+    digest = hashlib.sha256()
+    for mode in Mode:
+        digest.update(mode.value.encode())
+        digest.update(programs[mode].image)
+    return digest.hexdigest()
+
+
+def package_firmware(predictor: DualModePredictor, version: int = 1,
+                     sla_floor: float = 0.9) -> FirmwareImage:
+    """Compile a dual-mode predictor into a firmware image."""
+    programs = {mode: compile_model(predictor.models[mode])
+                for mode in Mode}
+    return FirmwareImage(
+        name=predictor.name,
+        version=version,
+        programs=programs,
+        counter_ids=tuple(int(c) for c in np.asarray(predictor.counter_ids)),
+        granularity_factor=predictor.granularity_factor,
+        sla_floor=sla_floor,
+        checksum=_image_checksum(programs),
+    )
+
+
+class FirmwareStore:
+    """Device-side firmware slots: install, activate, roll back."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 2:
+            raise ConfigurationError("store needs at least two slots")
+        self.capacity = capacity
+        self._images: list[FirmwareImage] = []
+        self._active: int | None = None
+
+    @property
+    def active(self) -> FirmwareImage | None:
+        """The currently running image, if any."""
+        if self._active is None:
+            return None
+        return self._images[self._active]
+
+    @property
+    def history(self) -> list[FirmwareImage]:
+        """Installed images, oldest first."""
+        return list(self._images)
+
+    def install(self, image: FirmwareImage, activate: bool = True) -> None:
+        """Install (and by default activate) a firmware image.
+
+        Corrupt images are rejected; when the store is full, the oldest
+        non-active image is evicted.
+        """
+        if not image.verify():
+            raise ConfigurationError(
+                f"firmware image {image.name} v{image.version} failed "
+                f"checksum verification"
+            )
+        if len(self._images) >= self.capacity:
+            for i, old in enumerate(self._images):
+                if i != self._active:
+                    del self._images[i]
+                    if self._active is not None and i < self._active:
+                        self._active -= 1
+                    break
+        self._images.append(image)
+        if activate:
+            self._active = len(self._images) - 1
+
+    def activate(self, name: str, version: int) -> FirmwareImage:
+        """Switch to an already-installed image."""
+        for i, image in enumerate(self._images):
+            if image.name == name and image.version == version:
+                self._active = i
+                return image
+        raise ConfigurationError(f"no installed image {name} v{version}")
+
+    def rollback(self) -> FirmwareImage:
+        """Re-activate the previously installed image."""
+        if self._active is None or self._active == 0:
+            raise ConfigurationError("nothing to roll back to")
+        self._active -= 1
+        return self._images[self._active]

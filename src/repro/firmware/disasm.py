@@ -1,0 +1,171 @@
+"""Firmware disassembler.
+
+Renders compiled :class:`~repro.firmware.codegen.FirmwareProgram`
+images as the pseudo-assembly a firmware engineer would review —
+the counterpart of the paper's Listings 1 (an MLP filter's inner
+product + ReLU) and 2 (a branch-free decision-tree traversal). Used
+for inspection and documentation; the float32 semantics live in
+:mod:`repro.firmware.vm`.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.firmware.codegen import FirmwareProgram
+
+
+def disassemble(program: FirmwareProgram, max_lines: int = 120) -> str:
+    """Pseudo-assembly listing of a compiled program."""
+    handler = _HANDLERS.get(program.kind)
+    if handler is None:
+        raise ConfigurationError(
+            f"no disassembler for program kind {program.kind!r}"
+        )
+    lines = [f"; kind={program.kind} inputs={program.n_inputs} "
+             f"ops/prediction={program.ops_per_prediction} "
+             f"image={program.memory_bytes}B"]
+    lines += handler(program)
+    if len(lines) > max_lines:
+        hidden = len(lines) - max_lines
+        lines = lines[:max_lines]
+        lines.append(f"; ... {hidden} more lines elided ...")
+    return "\n".join(lines) + "\n"
+
+
+def _disasm_mlp(program: FirmwareProgram) -> list[str]:
+    buf = program.image
+    (n_sizes,) = struct.unpack_from("<I", buf, 0)
+    sizes = struct.unpack_from(f"<{n_sizes}I", buf, 4)
+    lines = [f"; topology {'x'.join(map(str, sizes))}"]
+    last = n_sizes - 2
+    for layer, (fan_in, fan_out) in enumerate(zip(sizes[:-1], sizes[1:])):
+        lines.append(f"layer{layer}:")
+        lines.append(f"    ; {fan_out} filters over {fan_in} inputs")
+        for unit in range(min(fan_out, 2)):
+            lines.append(f"  filter{layer}_{unit}:")
+            for i in range(min(fan_in, 3)):
+                lines.append(f"    fld    dword ptr [x+{4 * i}]")
+                lines.append(f"    fmul   dword ptr [w{layer}_{unit}"
+                             f"+{4 * i}]")
+                lines.append("    faddp  st(1)")
+            if fan_in > 3:
+                lines.append(f"    ; ... {fan_in - 3} more "
+                             "multiply-accumulates ...")
+            lines.append(f"    fadd   dword ptr [b{layer}_{unit}]")
+            if layer == last:
+                lines.append("    call   sigmoid        ; logistic")
+            else:
+                lines.append("    fldz")
+                lines.append("    fucomi st(1)          ; ReLU")
+                lines.append("    fcmovnbe st(0), st(1)")
+        if fan_out > 2:
+            lines.append(f"  ; ... {fan_out - 2} more filters ...")
+    return lines
+
+
+def _disasm_tree_like(program: FirmwareProgram) -> list[str]:
+    buf = program.image
+    if program.kind == "forest":
+        n_trees, depth, _n_features = struct.unpack_from("<III", buf, 0)
+        offset = 12
+    else:
+        depth, _n_features = struct.unpack_from("<II", buf, 0)
+        n_trees = 1
+        offset = 8
+    lines = [f"; {n_trees} tree(s), depth {depth}, branch-free "
+             "traversal (trivial comparisons pad early leaves)"]
+    n_internal = (1 << depth) - 1
+    features = np.frombuffer(buf, np.uint8, min(n_internal, 3), offset)
+    thresholds = np.frombuffer(buf, "<f4", min(n_internal, 3),
+                               offset + n_internal)
+    lines.append("tree0:")
+    lines.append("    xor    edx, edx            ; node = 0")
+    for level in range(min(depth, 3)):
+        feat = int(features[min(level, features.shape[0] - 1)])
+        thr = float(thresholds[min(level, thresholds.shape[0] - 1)])
+        lines.append(f"  level{level}:")
+        lines.append("    movzx  eax, byte ptr [feat+edx]")
+        lines.append(f"    fld    dword ptr [x+4*eax] ; e.g. x[{feat}]")
+        lines.append(f"    fucompi st(1)              ; vs {thr:.4g}")
+        lines.append("    lea    edx, [2*edx+1]")
+        lines.append("    adc    edx, 0              ; branch-free")
+    if depth > 3:
+        lines.append(f"    ; ... {depth - 3} more levels ...")
+    lines.append("    movzx  eax, byte ptr [leaf+edx]")
+    lines.append("    add    ebx, eax            ; vote")
+    if n_trees > 1:
+        lines.append(f"  ; ... {n_trees - 1} more trees, then majority "
+                     "vote ...")
+    return lines
+
+
+def _disasm_linear(program: FirmwareProgram) -> list[str]:
+    d = program.n_inputs
+    lines = ["; standardised inner product + logistic"]
+    for i in range(min(d, 3)):
+        lines.append(f"    fld    dword ptr [x+{4 * i}]")
+        lines.append(f"    fmul   dword ptr [coef+{4 * i}]")
+        lines.append("    faddp  st(1)")
+    if d > 3:
+        lines.append(f"    ; ... {d - 3} more multiply-accumulates ...")
+    lines.append("    fadd   dword ptr [intercept]")
+    lines.append("    call   sigmoid             ; exp(): ~60 ops, "
+                 "12 branches")
+    return lines
+
+
+def _disasm_linear_svm(program: FirmwareProgram) -> list[str]:
+    buf = program.image
+    members, d = struct.unpack_from("<II", buf, 0)
+    lines = [f"; {members}-member linear-SVM ensemble over {d} inputs"]
+    lines.append("member0:")
+    lines += _disasm_linear(program)[1:]
+    if members > 1:
+        lines.append(f"; ... {members - 1} more members, mean margin ...")
+    return lines
+
+
+def _disasm_kernel_svm(program: FirmwareProgram) -> list[str]:
+    buf = program.image
+    n_sv, d = struct.unpack_from("<II", buf, 0)
+    lines = [f"; chi-square kernel over {n_sv} support vectors x {d} "
+             "dims"]
+    lines.append("sv_loop:")
+    lines.append("    fld    dword ptr [x+4*ecx]")
+    lines.append("    fsub   dword ptr [sv+eax]   ; diff")
+    lines.append("    fmul   st(0), st(0)         ; diff^2")
+    lines.append("    fld    dword ptr [x+4*ecx]")
+    lines.append("    fadd   dword ptr [sv+eax]   ; denom")
+    lines.append("    fdivp  st(1)                ; guarded divide")
+    lines.append("    faddp  st(1)                ; accumulate")
+    lines.append(f"    ; ... per dim, {n_sv} support vectors ...")
+    lines.append("    call   expf                 ; kernel value")
+    lines.append("    fmul   dword ptr [alpha+4*esi]")
+    return lines
+
+
+def _disasm_srch(program: FirmwareProgram) -> list[str]:
+    buf = program.image
+    n_counters, n_buckets, n_features = struct.unpack_from("<III", buf, 0)
+    lines = [f"; SRCH: {n_counters} counters x {n_buckets} buckets -> "
+             f"{n_features} indicator features"]
+    lines.append("bucketize:")
+    lines.append("    ; per counter: binary search over bucket edges")
+    lines.append("    ; (performed by the telemetry histogram logic)")
+    lines += _disasm_linear(program)[1:]
+    return lines
+
+
+_HANDLERS = {
+    "mlp": _disasm_mlp,
+    "forest": _disasm_tree_like,
+    "tree": _disasm_tree_like,
+    "logistic": _disasm_linear,
+    "linear_svm": _disasm_linear_svm,
+    "kernel_svm": _disasm_kernel_svm,
+    "srch": _disasm_srch,
+}

@@ -1,0 +1,88 @@
+"""The microcontroller hosting adaptation models.
+
+Section 3 / Table 3: 500 MHz, single-issue, integer and floating point
+but no vector unit; 50% of cycles are safely available for inference
+without interfering with existing real-time deadlines. The CPU-to-
+microcontroller throughput ratio of 32 gives the per-granularity ops
+budgets of Table 3's left half.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import (
+    MachineConfig,
+    MicrocontrollerConfig,
+    SUPPORTED_GRANULARITIES,
+)
+from repro.errors import BudgetExceededError
+
+
+@dataclasses.dataclass(frozen=True)
+class BudgetRow:
+    """One row of Table 3's budget table."""
+
+    granularity: int
+    max_ops: int
+    ops_budget: int
+
+
+class Microcontroller:
+    """Budget arithmetic and placement of models onto the firmware."""
+
+    def __init__(self, config: MicrocontrollerConfig | None = None,
+                 machine: MachineConfig | None = None) -> None:
+        self.config = config or MicrocontrollerConfig()
+        self.machine = machine or MachineConfig()
+
+    @property
+    def compute_ratio(self) -> float:
+        """CPU-to-microcontroller instruction throughput ratio (32:1)."""
+        return self.machine.peak_mips / self.config.mips
+
+    def budget_table(self, granularities: tuple[int, ...]
+                     = SUPPORTED_GRANULARITIES) -> list[BudgetRow]:
+        """Reproduce the left half of Table 3."""
+        rows = []
+        for granularity in granularities:
+            max_ops = int(granularity / self.compute_ratio)
+            rows.append(BudgetRow(
+                granularity=granularity,
+                max_ops=max_ops,
+                ops_budget=self.config.ops_budget(granularity,
+                                                  self.machine),
+            ))
+        return rows
+
+    def ops_budget(self, granularity: int) -> int:
+        """Ops available per prediction at a gating granularity."""
+        return self.config.ops_budget(granularity, self.machine)
+
+    def finest_granularity(self, ops_per_prediction: int,
+                           granularities: tuple[int, ...]
+                           = SUPPORTED_GRANULARITIES) -> int:
+        """Finest supported gating interval for a model's cost.
+
+        The paper runs each model "at the finest temporal granularity
+        our microcontroller supports", which maximises PPW.
+
+        Raises
+        ------
+        BudgetExceededError
+            If the model does not fit even the coarsest granularity.
+        """
+        for granularity in sorted(granularities):
+            if self.ops_budget(granularity) >= ops_per_prediction:
+                return granularity
+        raise BudgetExceededError(
+            f"{ops_per_prediction} ops exceed the budget at every "
+            f"granularity up to {max(granularities)}"
+        )
+
+    def fits(self, ops_per_prediction: int, granularity: int,
+             memory_bytes: int = 0) -> bool:
+        """Whether a model fits the budget at a granularity."""
+        if memory_bytes > self.config.sram_bytes:
+            return False
+        return ops_per_prediction <= self.ops_budget(granularity)

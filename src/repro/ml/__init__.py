@@ -1,0 +1,43 @@
+"""From-scratch ML library.
+
+The paper trains its adaptation models with scikit-learn [36]; that is
+unavailable offline, so this package implements the needed estimators
+on numpy/scipy:
+
+* :mod:`repro.ml.mlp` — multi-layer perceptrons trained with Adam
+  backpropagation (the paper's MLP models, Section 5);
+* :mod:`repro.ml.tree` / :mod:`repro.ml.forest` — CART decision trees
+  (entropy criterion) and random forests, including the tree-merging
+  used for application-specific retraining (Section 7.3);
+* :mod:`repro.ml.linear` — logistic and softmax regression via L-BFGS
+  (the SRCH baseline reduces to logistic regression on histograms);
+* :mod:`repro.ml.svm` — linear and kernel (chi-square) SVMs (Table 3);
+* :mod:`repro.ml.crossval` — per-application k-fold cross validation
+  (Section 4.3) and leave-one-out folds;
+* :mod:`repro.ml.hyperscreen` — high-throughput hyperparameter
+  screening (Section 6.3).
+
+All estimators share the tiny protocol of :mod:`repro.ml.base`:
+``fit(X, y)``, ``predict_proba(X)``, ``predict(X)``, plus an adjustable
+``decision_threshold`` for the paper's sensitivity tuning.
+"""
+
+from repro.ml.base import Estimator, StandardScaler
+from repro.ml.forest import RandomForestClassifier, merge_forests
+from repro.ml.linear import LogisticRegression, SoftmaxRegression
+from repro.ml.mlp import MLPClassifier
+from repro.ml.svm import KernelSVM, LinearSVM
+from repro.ml.tree import DecisionTreeClassifier
+
+__all__ = [
+    "Estimator",
+    "StandardScaler",
+    "RandomForestClassifier",
+    "merge_forests",
+    "LogisticRegression",
+    "SoftmaxRegression",
+    "MLPClassifier",
+    "KernelSVM",
+    "LinearSVM",
+    "DecisionTreeClassifier",
+]

@@ -1,0 +1,109 @@
+"""Estimator protocol and shared preprocessing."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import DatasetError, NotFittedError
+
+
+def check_xy(x: np.ndarray, y: np.ndarray | None = None,
+             ) -> tuple[np.ndarray, np.ndarray | None]:
+    """Validate and canonicalise a feature matrix (and labels)."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 2:
+        raise DatasetError(f"X must be 2-D, got shape {x.shape}")
+    if not np.all(np.isfinite(x)):
+        raise DatasetError("X contains NaN or infinite values")
+    if y is None:
+        return x, None
+    y = np.asarray(y)
+    if y.shape[0] != x.shape[0]:
+        raise DatasetError(
+            f"X has {x.shape[0]} rows but y has {y.shape[0]}"
+        )
+    return x, y
+
+
+class Estimator(abc.ABC):
+    """Binary classifier protocol used by all adaptation models.
+
+    ``predict_proba`` returns the probability (or score in [0, 1]) of
+    the positive class — "gate cluster 2" / low-power mode.
+    ``decision_threshold`` implements the paper's sensitivity
+    adjustment (Section 6.3): raising it makes the model more
+    conservative about choosing low-power mode.
+    """
+
+    decision_threshold: float = 0.5
+
+    @abc.abstractmethod
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "Estimator":
+        """Train on features ``x`` and binary labels ``y``."""
+
+    @abc.abstractmethod
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Positive-class probability for each row of ``x``."""
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Binary predictions at the current decision threshold."""
+        return (self.predict_proba(x) >= self.decision_threshold
+                ).astype(np.int64)
+
+    def _require_fitted(self, attr: str) -> None:
+        if getattr(self, attr, None) is None:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before inference"
+            )
+
+
+class StandardScaler:
+    """Feature standardisation fit on training data only."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x, _ = check_xy(x)
+        self.mean_ = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler must be fitted first")
+        x, _ = check_xy(x)
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+
+def tune_threshold_for_fp_rate(model: Estimator, x: np.ndarray,
+                               y: np.ndarray,
+                               max_fp_rate: float = 0.01) -> float:
+    """Adjust a model's sensitivity to bound false positives.
+
+    Section 6.3: after training, the prediction threshold required to
+    choose low-power mode is raised until the false-positive rate
+    (gating decisions on non-gateable intervals, the driver of SLA
+    violations) on the tuning set falls below ``max_fp_rate``.
+
+    Returns the chosen threshold and sets it on the model.
+    """
+    x, y = check_xy(x, y)
+    scores = model.predict_proba(x)
+    negatives = scores[y == 0]
+    if negatives.size == 0:
+        model.decision_threshold = 0.5
+        return 0.5
+    # The smallest threshold that keeps the FP rate at or below target.
+    threshold = float(np.quantile(negatives, 1.0 - max_fp_rate))
+    threshold = min(max(threshold, 0.5), 0.999)
+    model.decision_threshold = threshold
+    return threshold

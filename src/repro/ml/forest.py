@@ -1,0 +1,101 @@
+"""Random forest classifier.
+
+Bootstrap-aggregated CART trees with per-split feature subsampling.
+The paper's Best RF is 8 trees of max depth 8 over the 12 PF counters
+(Section 6.3 / Table 3). Section 7.3's application-specific models are
+built by *merging* two half-forests — one trained on the high-diversity
+corpus, one on the target application — which :func:`merge_forests`
+implements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml.base import Estimator, check_xy
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(Estimator):
+    """Ensemble of CART trees; probability is the mean tree vote."""
+
+    def __init__(self, n_trees: int = 8, max_depth: int = 8,
+                 min_samples_leaf: int = 8,
+                 max_features: int | str | None = "sqrt",
+                 bootstrap: bool = True, seed: int = 0) -> None:
+        if n_trees < 1:
+            raise ConfigurationError(f"n_trees must be >= 1, got {n_trees}")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.seed = seed
+        self.decision_threshold = 0.5
+        self.trees_: list[DecisionTreeClassifier] | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        x, y = check_xy(x, y)
+        rng = rng_mod.stream(self.seed, "forest-bootstrap")
+        n = x.shape[0]
+        self.trees_ = []
+        for t in range(self.n_trees):
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+            else:
+                idx = np.arange(n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=rng_mod.derive_seed(self.seed, "tree", t),
+            )
+            tree.fit(x[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted("trees_")
+        assert self.trees_ is not None
+        x, _ = check_xy(x)
+        votes = np.zeros(x.shape[0])
+        for tree in self.trees_:
+            votes += tree.predict_proba(x)
+        return votes / len(self.trees_)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_nodes(self) -> int:
+        """Total node count across all trees."""
+        self._require_fitted("trees_")
+        assert self.trees_ is not None
+        return sum(tree.n_nodes for tree in self.trees_)
+
+
+def merge_forests(first: RandomForestClassifier,
+                  second: RandomForestClassifier,
+                  ) -> RandomForestClassifier:
+    """Combine two fitted forests into one (Section 7.3).
+
+    The paper builds application-specific models by joining a 4-tree
+    forest trained on HDTR with a 4-tree forest trained on the target
+    application, forming a single 8-tree forest whose vote blends
+    high-diversity and application-specific knowledge.
+    """
+    if first.trees_ is None or second.trees_ is None:
+        raise NotFittedError("both forests must be fitted before merging")
+    merged = RandomForestClassifier(
+        n_trees=first.n_trees + second.n_trees,
+        max_depth=max(first.max_depth, second.max_depth),
+        min_samples_leaf=min(first.min_samples_leaf,
+                             second.min_samples_leaf),
+        max_features=first.max_features,
+        bootstrap=first.bootstrap,
+        seed=first.seed,
+    )
+    merged.trees_ = [*first.trees_, *second.trees_]
+    merged.decision_threshold = 0.5 * (first.decision_threshold
+                                       + second.decision_threshold)
+    return merged

@@ -1,0 +1,98 @@
+"""High-throughput hyperparameter screening (Section 6.3).
+
+The paper screens many model configurations by training each across
+the cross-validation folds and characterising the *distribution* of a
+metric — not just its mean. The selection rule is explicitly variance-
+averse: "choose hyperparameters that minimize standard deviation in
+PGOS but maintain a high average", because low variance across folds
+predicts low variance on unseen workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.ml.base import Estimator
+from repro.ml.crossval import Fold
+
+#: Metric signature: (y_true, y_pred, scores) -> float.
+MetricFn = Callable[[np.ndarray, np.ndarray, np.ndarray], float]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScreenRecord:
+    """Cross-fold metric distribution for one model configuration."""
+
+    config: Mapping[str, object]
+    metrics: Mapping[str, tuple[float, float]]  # name -> (mean, std)
+    per_fold: Mapping[str, tuple[float, ...]]
+
+    def mean(self, metric: str) -> float:
+        return self.metrics[metric][0]
+
+    def std(self, metric: str) -> float:
+        return self.metrics[metric][1]
+
+
+def screen_configs(model_factory: Callable[[Mapping[str, object]], Estimator],
+                   configs: Sequence[Mapping[str, object]],
+                   x: np.ndarray, y: np.ndarray, folds: Sequence[Fold],
+                   metric_fns: Mapping[str, MetricFn],
+                   threshold_tuner: Callable[[Estimator, np.ndarray,
+                                              np.ndarray], float]
+                   | None = None) -> list[ScreenRecord]:
+    """Train every configuration across every fold; collect metrics.
+
+    Parameters
+    ----------
+    model_factory:
+        Builds an unfitted estimator from a config mapping.
+    threshold_tuner:
+        Optional post-fit sensitivity adjustment run on the tuning set
+        (the paper keeps tuning-set SLA violations below 1%).
+    """
+    if not configs:
+        raise DatasetError("no configurations to screen")
+    records: list[ScreenRecord] = []
+    for config in configs:
+        per_fold: dict[str, list[float]] = {name: [] for name in metric_fns}
+        for fold in folds:
+            model = model_factory(config)
+            model.fit(x[fold.tuning_idx], y[fold.tuning_idx])
+            if threshold_tuner is not None:
+                threshold_tuner(model, x[fold.tuning_idx],
+                                y[fold.tuning_idx])
+            scores = model.predict_proba(x[fold.validation_idx])
+            preds = (scores >= model.decision_threshold).astype(np.int64)
+            y_val = y[fold.validation_idx]
+            for name, fn in metric_fns.items():
+                per_fold[name].append(fn(y_val, preds, scores))
+        metrics = {
+            name: (float(np.mean(vals)), float(np.std(vals)))
+            for name, vals in per_fold.items()
+        }
+        records.append(ScreenRecord(
+            config=dict(config),
+            metrics=metrics,
+            per_fold={name: tuple(vals) for name, vals in per_fold.items()},
+        ))
+    return records
+
+
+def select_best(records: Sequence[ScreenRecord], metric: str = "pgos",
+                mean_margin: float = 0.05) -> ScreenRecord:
+    """The paper's selection rule: min std at near-maximal mean.
+
+    Among configurations whose mean is within ``mean_margin`` of the
+    best mean, choose the one with the smallest standard deviation.
+    """
+    if not records:
+        raise DatasetError("no screening records")
+    best_mean = max(record.mean(metric) for record in records)
+    candidates = [record for record in records
+                  if record.mean(metric) >= best_mean - mean_margin]
+    return min(candidates, key=lambda record: record.std(metric))

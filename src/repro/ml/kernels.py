@@ -1,0 +1,53 @@
+"""Kernel functions for support vector machines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def linear_kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Plain inner-product kernel."""
+    return a @ b.T
+
+
+def rbf_kernel(a: np.ndarray, b: np.ndarray, gamma: float = 1.0) -> np.ndarray:
+    """Gaussian radial-basis-function kernel."""
+    aa = (a * a).sum(axis=1)[:, None]
+    bb = (b * b).sum(axis=1)[None, :]
+    sq = np.maximum(aa + bb - 2.0 * (a @ b.T), 0.0)
+    return np.exp(-gamma * sq)
+
+
+def chi2_kernel(a: np.ndarray, b: np.ndarray, gamma: float = 1.0) -> np.ndarray:
+    """Exponential chi-square kernel (the paper's expensive SVM kernel).
+
+    ``k(x, y) = exp(-gamma * sum_i (x_i - y_i)^2 / (x_i + y_i))``
+
+    Defined for non-negative features; counter data normalised by
+    cycles is non-negative, and callers must shift any standardised
+    features back to the positive orthant before using it.
+    """
+    if np.any(a < 0.0) or np.any(b < 0.0):
+        raise ConfigurationError("chi2 kernel requires non-negative features")
+    diff = a[:, None, :] - b[None, :, :]
+    denom = a[:, None, :] + b[None, :, :]
+    denom = np.where(denom <= 0.0, 1.0, denom)
+    dist = (diff * diff / denom).sum(axis=2)
+    return np.exp(-gamma * dist)
+
+
+KERNELS = {
+    "linear": linear_kernel,
+    "rbf": rbf_kernel,
+    "chi2": chi2_kernel,
+}
+
+
+def get_kernel(name: str):
+    """Look up a kernel function by name."""
+    try:
+        return KERNELS[name]
+    except KeyError as exc:
+        raise ConfigurationError(f"unknown kernel {name!r}") from exc

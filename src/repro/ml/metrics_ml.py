@@ -1,0 +1,78 @@
+"""Generic classifier metrics.
+
+System-level metrics (PGOS, RSV) live in :mod:`repro.eval.metrics`;
+these are the plain statistical ones used in unit tests and screening.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+def _check(y_true: np.ndarray, y_pred: np.ndarray,
+           ) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).astype(np.int64)
+    y_pred = np.asarray(y_pred).astype(np.int64)
+    if y_true.shape != y_pred.shape:
+        raise DatasetError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    return y_true, y_pred
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true, y_pred = _check(y_true, y_pred)
+    if y_true.size == 0:
+        raise DatasetError("empty prediction arrays")
+    return float((y_true == y_pred).mean())
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray,
+                     ) -> dict[str, int]:
+    """TP/FP/TN/FN counts with positive = gate / low-power (Section 4.2)."""
+    y_true, y_pred = _check(y_true, y_pred)
+    return {
+        "tp": int(((y_pred == 1) & (y_true == 1)).sum()),
+        "fp": int(((y_pred == 1) & (y_true == 0)).sum()),
+        "tn": int(((y_pred == 0) & (y_true == 0)).sum()),
+        "fn": int(((y_pred == 0) & (y_true == 1)).sum()),
+    }
+
+
+def recall(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """True-positive rate; in the paper's terms, PGOS (Eq. 1)."""
+    counts = confusion_counts(y_true, y_pred)
+    denom = counts["tp"] + counts["fn"]
+    if denom == 0:
+        return 0.0
+    return counts["tp"] / denom
+
+
+def precision(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of gating decisions that were correct."""
+    counts = confusion_counts(y_true, y_pred)
+    denom = counts["tp"] + counts["fp"]
+    if denom == 0:
+        return 0.0
+    return counts["tp"] / denom
+
+
+def false_positive_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of non-gateable intervals wrongly gated (SLA risk)."""
+    counts = confusion_counts(y_true, y_pred)
+    denom = counts["fp"] + counts["tn"]
+    if denom == 0:
+        return 0.0
+    return counts["fp"] / denom
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    if p + r == 0.0:
+        return 0.0
+    return 2.0 * p * r / (p + r)

@@ -1,0 +1,165 @@
+"""Multi-layer perceptron classifier.
+
+The paper's neural adaptation models (Section 5): stacked linear
+pattern-matching layers with ReLU activations and a sigmoid output,
+trained by backpropagation with Adam on binary cross-entropy. Hidden
+layer sizes are the paper's "filters per layer". The fitted model
+carries an adjustable ``decision_threshold`` for sensitivity tuning
+(Section 6.3) and exposes its weights for firmware compilation
+(:mod:`repro.firmware.codegen`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import ConfigurationError
+from repro.ml.base import Estimator, StandardScaler, check_xy
+from repro.ml.optim import Adam
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+class MLPClassifier(Estimator):
+    """Binary MLP with ReLU hidden layers and sigmoid output.
+
+    Parameters
+    ----------
+    hidden_layers:
+        Filters per hidden layer, e.g. ``(8, 8, 4)`` for the paper's
+        Best MLP or ``(10,)`` for the CHARSTAR baseline.
+    epochs, batch_size, lr:
+        Adam training schedule.
+    l2:
+        L2 weight decay coefficient.
+    class_weight:
+        ``"balanced"`` reweights the loss by inverse class frequency;
+        ``None`` leaves classes unweighted.
+    """
+
+    def __init__(self, hidden_layers: tuple[int, ...] = (8, 8, 4),
+                 epochs: int = 30, batch_size: int = 256,
+                 lr: float = 3e-3, l2: float = 1e-5,
+                 class_weight: str | None = "balanced",
+                 seed: int = 0) -> None:
+        if any(h <= 0 for h in hidden_layers):
+            raise ConfigurationError(
+                f"hidden layer sizes must be positive: {hidden_layers}"
+            )
+        self.hidden_layers = tuple(hidden_layers)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.l2 = l2
+        self.class_weight = class_weight
+        self.seed = seed
+        self.decision_threshold = 0.5
+        self.weights_: list[np.ndarray] | None = None
+        self.biases_: list[np.ndarray] | None = None
+        self.scaler_: StandardScaler | None = None
+        self.loss_curve_: list[float] = []
+
+    # ------------------------------------------------------------------
+    def _init_params(self, n_features: int,
+                     rng: np.random.Generator) -> None:
+        sizes = [n_features, *self.hidden_layers, 1]
+        self.weights_ = []
+        self.biases_ = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            # He initialisation for ReLU layers.
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights_.append(rng.normal(0.0, scale, (fan_in, fan_out)))
+            self.biases_.append(np.zeros(fan_out))
+
+    def _forward(self, x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Forward pass; returns (probabilities, per-layer activations)."""
+        assert self.weights_ is not None and self.biases_ is not None
+        activations = [x]
+        h = x
+        last = len(self.weights_) - 1
+        for i, (w, b) in enumerate(zip(self.weights_, self.biases_)):
+            z = h @ w + b
+            h = sigmoid(z) if i == last else relu(z)
+            activations.append(h)
+        return h[:, 0], activations
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        x, y = check_xy(x, y)
+        y = y.astype(np.float64)
+        self.scaler_ = StandardScaler()
+        xs = self.scaler_.fit_transform(x)
+        rng = rng_mod.stream(self.seed, "mlp-init", self.hidden_layers)
+        self._init_params(xs.shape[1], rng)
+        assert self.weights_ is not None and self.biases_ is not None
+        params = [*self.weights_, *self.biases_]
+        optimizer = Adam(params, lr=self.lr)
+        n = xs.shape[0]
+
+        if self.class_weight == "balanced":
+            pos = max(y.mean(), 1e-6)
+            w_pos, w_neg = 0.5 / pos, 0.5 / max(1.0 - pos, 1e-6)
+        else:
+            w_pos = w_neg = 1.0
+
+        self.loss_curve_ = []
+        n_layers = len(self.weights_)
+        for epoch in range(self.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                idx = order[start:start + self.batch_size]
+                xb, yb = xs[idx], y[idx]
+                probs, acts = self._forward(xb)
+                sample_w = np.where(yb == 1.0, w_pos, w_neg)
+                sample_w = sample_w / sample_w.sum()
+                eps = 1e-12
+                loss = -np.sum(sample_w * (
+                    yb * np.log(probs + eps)
+                    + (1.0 - yb) * np.log(1.0 - probs + eps)))
+                epoch_loss += loss * len(idx) / n
+                # Backprop: sigmoid + weighted BCE gives a clean delta.
+                delta = ((probs - yb) * sample_w)[:, None]
+                w_grads: list[np.ndarray] = [None] * n_layers  # type: ignore
+                b_grads: list[np.ndarray] = [None] * n_layers  # type: ignore
+                for layer in range(n_layers - 1, -1, -1):
+                    a_prev = acts[layer]
+                    w_grads[layer] = (a_prev.T @ delta
+                                      + self.l2 * self.weights_[layer])
+                    b_grads[layer] = delta.sum(axis=0)
+                    if layer > 0:
+                        delta = delta @ self.weights_[layer].T
+                        delta = delta * (acts[layer] > 0.0)
+                optimizer.step([*w_grads, *b_grads])
+            self.loss_curve_.append(float(epoch_loss))
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted("weights_")
+        assert self.scaler_ is not None
+        x, _ = check_xy(x)
+        xs = self.scaler_.transform(x)
+        probs, _ = self._forward(xs)
+        return probs
+
+    # ------------------------------------------------------------------
+    @property
+    def n_parameters(self) -> int:
+        """Total trained parameter count (weights plus biases)."""
+        self._require_fitted("weights_")
+        assert self.weights_ is not None and self.biases_ is not None
+        return int(sum(w.size for w in self.weights_)
+                   + sum(b.size for b in self.biases_))

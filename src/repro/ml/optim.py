@@ -1,0 +1,57 @@
+"""First-order optimisers for neural network training.
+
+The paper trains its MLPs via backpropagation with the Adam optimiser
+[26] "using an open source implementation"; this is ours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Adam optimiser over a list of parameter arrays (in-place)."""
+
+    def __init__(self, params: list[np.ndarray], lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999,
+                 eps: float = 1e-8) -> None:
+        self.params = params
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        """Apply one update given gradients aligned with ``params``."""
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for p, g, m, v in zip(self.params, grads, self._m, self._v):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class SGD:
+    """Plain SGD with optional momentum (used in tests as a reference)."""
+
+    def __init__(self, params: list[np.ndarray], lr: float = 1e-2,
+                 momentum: float = 0.0) -> None:
+        self.params = params
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in params]
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        """Apply one update given gradients aligned with ``params``."""
+        for p, g, vel in zip(self.params, grads, self._velocity):
+            vel *= self.momentum
+            vel -= self.lr * g
+            p += vel

@@ -1,0 +1,205 @@
+"""CART decision-tree classifier.
+
+The paper trains random-forest adaptation models with "an open source
+implementation of the CART algorithm that greedily grows trees by
+partitioning tuning samples into groups to minimize label entropy"
+(Section 7). This is that algorithm: exhaustive threshold search per
+feature using sorted prefix sums (vectorised in numpy), entropy
+criterion, recursive growth to a depth cap.
+
+The fitted tree is stored as flat arrays (feature, threshold, children,
+leaf probability), which both makes batched prediction fast and maps
+directly onto the firmware compiler's node layout
+(:mod:`repro.firmware.codegen`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import ConfigurationError
+from repro.ml.base import Estimator, check_xy
+
+
+def entropy(pos: np.ndarray, total: np.ndarray) -> np.ndarray:
+    """Binary entropy of ``pos`` positives out of ``total`` samples."""
+    total = np.maximum(total, 1e-12)
+    p = np.clip(pos / total, 1e-12, 1.0 - 1e-12)
+    return -(p * np.log2(p) + (1.0 - p) * np.log2(1.0 - p))
+
+
+@dataclasses.dataclass
+class _Split:
+    feature: int
+    threshold: float
+    gain: float
+
+
+class DecisionTreeClassifier(Estimator):
+    """Binary CART tree with entropy criterion.
+
+    Parameters
+    ----------
+    max_depth:
+        Depth cap (paper's RF uses depth-8 trees; Table 3 also lists a
+        single depth-16 tree).
+    min_samples_leaf / min_samples_split:
+        Pre-pruning controls.
+    max_features:
+        Features considered per split: ``None`` (all), ``"sqrt"``, or
+        an int — the random-forest decorrelation knob.
+    """
+
+    def __init__(self, max_depth: int = 8, min_samples_leaf: int = 8,
+                 min_samples_split: int = 16,
+                 max_features: int | str | None = None,
+                 seed: int = 0) -> None:
+        if max_depth < 1:
+            raise ConfigurationError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self.seed = seed
+        self.decision_threshold = 0.5
+        # Flat node arrays (filled by fit).
+        self.feature_: np.ndarray | None = None
+        self.threshold_: np.ndarray | None = None
+        self.left_: np.ndarray | None = None
+        self.right_: np.ndarray | None = None
+        self.value_: np.ndarray | None = None
+        self.n_features_: int | None = None
+
+    # ------------------------------------------------------------------
+    def _n_split_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        return min(int(self.max_features), n_features)
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray,
+                    features: np.ndarray) -> _Split | None:
+        n = y.shape[0]
+        total_pos = y.sum()
+        parent = float(entropy(np.array(total_pos), np.array(n)))
+        best: _Split | None = None
+        min_leaf = self.min_samples_leaf
+        for f in features:
+            order = np.argsort(x[:, f], kind="stable")
+            xf = x[order, f]
+            yf = y[order]
+            pos_prefix = np.cumsum(yf)
+            counts = np.arange(1, n + 1)
+            # Candidate split after position i (left = first i+1 rows),
+            # valid only where the feature value changes.
+            valid = xf[:-1] < xf[1:]
+            left_n = counts[:-1]
+            right_n = n - left_n
+            valid &= (left_n >= min_leaf) & (right_n >= min_leaf)
+            if not valid.any():
+                continue
+            left_pos = pos_prefix[:-1]
+            right_pos = total_pos - left_pos
+            child = (left_n * entropy(left_pos, left_n)
+                     + right_n * entropy(right_pos, right_n)) / n
+            gain = parent - child
+            gain[~valid] = -np.inf
+            i = int(gain.argmax())
+            if gain[i] <= 1e-12:
+                continue
+            threshold = 0.5 * (xf[i] + xf[i + 1])
+            if best is None or gain[i] > best.gain:
+                best = _Split(feature=int(f), threshold=float(threshold),
+                              gain=float(gain[i]))
+        return best
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        x, y = check_xy(x, y)
+        y = y.astype(np.float64)
+        self.n_features_ = x.shape[1]
+        rng = rng_mod.stream(self.seed, "tree-features")
+        features_all = np.arange(x.shape[1])
+        n_split = self._n_split_features(x.shape[1])
+
+        feature: list[int] = []
+        threshold: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+        value: list[float] = []
+
+        def grow(idx: np.ndarray, depth: int) -> int:
+            node = len(feature)
+            feature.append(-1)
+            threshold.append(0.0)
+            left.append(-1)
+            right.append(-1)
+            ys = y[idx]
+            prob = float(ys.mean()) if ys.size else 0.0
+            value.append(prob)
+            if (depth >= self.max_depth
+                    or idx.size < self.min_samples_split
+                    or prob <= 0.0 or prob >= 1.0):
+                return node
+            if n_split < x.shape[1]:
+                candidates = rng.choice(features_all, size=n_split,
+                                        replace=False)
+            else:
+                candidates = features_all
+            split = self._best_split(x[idx], ys, candidates)
+            if split is None:
+                return node
+            mask = x[idx, split.feature] <= split.threshold
+            feature[node] = split.feature
+            threshold[node] = split.threshold
+            left[node] = grow(idx[mask], depth + 1)
+            right[node] = grow(idx[~mask], depth + 1)
+            return node
+
+        grow(np.arange(x.shape[0]), 0)
+        self.feature_ = np.array(feature, dtype=np.int64)
+        self.threshold_ = np.array(threshold)
+        self.left_ = np.array(left, dtype=np.int64)
+        self.right_ = np.array(right, dtype=np.int64)
+        self.value_ = np.array(value)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        self._require_fitted("feature_")
+        assert (self.feature_ is not None and self.threshold_ is not None
+                and self.left_ is not None and self.right_ is not None
+                and self.value_ is not None)
+        x, _ = check_xy(x)
+        nodes = np.zeros(x.shape[0], dtype=np.int64)
+        active = self.feature_[nodes] >= 0
+        while active.any():
+            cur = nodes[active]
+            feat = self.feature_[cur]
+            go_left = x[active, feat] <= self.threshold_[cur]
+            nodes[active] = np.where(go_left, self.left_[cur],
+                                     self.right_[cur])
+            active = self.feature_[nodes] >= 0
+        return self.value_[nodes]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes in the fitted tree."""
+        self._require_fitted("feature_")
+        assert self.feature_ is not None
+        return int(self.feature_.shape[0])
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        self._require_fitted("feature_")
+        assert self.left_ is not None and self.right_ is not None
+        depths = np.zeros(self.n_nodes, dtype=np.int64)
+        for node in range(self.n_nodes):
+            for child in (self.left_[node], self.right_[node]):
+                if child >= 0:
+                    depths[child] = depths[node] + 1
+        return int(depths.max()) if self.n_nodes else 0

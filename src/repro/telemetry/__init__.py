@@ -1,0 +1,47 @@
+"""Telemetry subsystem.
+
+The paper's CPU carries forward an existing telemetry system: 936
+architecture and microarchitecture event counters routed to a single
+on-chip convergence point (Section 3). This package models it:
+
+* :mod:`repro.telemetry.counters` — the 936-counter catalog, derived
+  from the simulator's base signals through aliases, gain/offset
+  variants, noisy copies, combinations, rare-event counters, and dead
+  or stuck counters (real PMU catalogs contain all of these, and the
+  paper's two screening heuristics exist precisely to cull them).
+* :mod:`repro.telemetry.collector` — interval snapshots: integer event
+  counts with measurement noise, normalised by cycles per interval
+  (Section 4.1 reports this normalisation improves accuracy), with
+  optional coarsening by summing successive intervals.
+* :mod:`repro.telemetry.selection` — the screening heuristics plus PF
+  (Perona-Freeman) spectral counter selection (Algorithm 1).
+"""
+
+from repro.telemetry.collector import TelemetryCollector, coarsen
+from repro.telemetry.counters import (
+    CHARSTAR_COUNTERS,
+    CounterCatalog,
+    CounterDef,
+    TABLE4_COUNTERS,
+    default_catalog,
+)
+from repro.telemetry.selection import (
+    PFSelectionResult,
+    pf_counter_selection,
+    screen_low_activity,
+    screen_low_std,
+)
+
+__all__ = [
+    "TelemetryCollector",
+    "coarsen",
+    "CHARSTAR_COUNTERS",
+    "CounterCatalog",
+    "CounterDef",
+    "TABLE4_COUNTERS",
+    "default_catalog",
+    "PFSelectionResult",
+    "pf_counter_selection",
+    "screen_low_activity",
+    "screen_low_std",
+]

@@ -1,0 +1,145 @@
+"""Interval telemetry collection.
+
+Reproduces the paper's data pipeline (Section 4.1): as a trace plays
+in the simulator, counter values are snapshot every 10k instructions,
+then *normalised by the number of cycles in each interval* (the paper
+finds this improves model accuracy). Coarser granularities are produced
+by summing successive intervals and re-normalising.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import DatasetError
+from repro.telemetry.counters import CounterCatalog, default_catalog
+from repro.uarch.interval_model import IntervalModel, IntervalResult
+from repro.uarch.modes import Mode
+from repro.workloads.generator import TraceSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Telemetry for one trace in one mode.
+
+    ``normalized`` is the counter matrix :math:`X = [x_1...x_T]` the
+    paper's models consume — raw counts divided by interval cycles.
+    """
+
+    trace_name: str
+    mode: Mode
+    counter_ids: np.ndarray  # (C,)
+    counts: np.ndarray  # (T, C) integer event counts
+    normalized: np.ndarray  # (T, C) counts / cycles
+    cycles: np.ndarray  # (T,)
+    ipc: np.ndarray  # (T,)
+    interval_instructions: int
+
+    @property
+    def n_intervals(self) -> int:
+        return int(self.cycles.shape[0])
+
+    def column(self, counter_id: int) -> np.ndarray:
+        """Normalized values of one counter."""
+        pos = np.flatnonzero(self.counter_ids == counter_id)
+        if pos.size == 0:
+            raise DatasetError(f"counter {counter_id} not in snapshot")
+        return self.normalized[:, int(pos[0])]
+
+
+def coarsen(snapshot: TelemetrySnapshot, factor: int) -> TelemetrySnapshot:
+    """Aggregate successive intervals into coarser ones.
+
+    Sums counts and cycles over ``factor``-interval groups and
+    re-normalises, exactly as the paper coarsens 10k-instruction
+    snapshots into larger prediction granularities. Trailing intervals
+    that do not fill a group are dropped.
+    """
+    if factor <= 0:
+        raise DatasetError(f"coarsen factor must be positive, got {factor}")
+    if factor == 1:
+        return snapshot
+    t_full = (snapshot.n_intervals // factor) * factor
+    if t_full == 0:
+        raise DatasetError(
+            f"trace too short ({snapshot.n_intervals} intervals) to "
+            f"coarsen by {factor}"
+        )
+    shape = (t_full // factor, factor)
+    counts = snapshot.counts[:t_full].reshape(shape[0], factor, -1).sum(axis=1)
+    cycles = snapshot.cycles[:t_full].reshape(shape).sum(axis=1)
+    inst = snapshot.interval_instructions * factor
+    return TelemetrySnapshot(
+        trace_name=snapshot.trace_name,
+        mode=snapshot.mode,
+        counter_ids=snapshot.counter_ids,
+        counts=counts,
+        normalized=counts / cycles[:, None],
+        cycles=cycles,
+        ipc=inst / cycles,
+        interval_instructions=inst,
+    )
+
+
+class TelemetryCollector:
+    """Runs the simulator and materialises counter snapshots."""
+
+    def __init__(self, catalog: CounterCatalog | None = None,
+                 model: IntervalModel | None = None) -> None:
+        self.catalog = catalog or default_catalog()
+        self.model = model or IntervalModel()
+
+    def _noise_field(self, trace: TraceSpec, mode: Mode,
+                     n_intervals: int) -> np.ndarray:
+        """Standard-normal measurement noise, one draw per counter.
+
+        Drawn over the *full* catalog width so a counter's measured
+        value never depends on which other counters are being read.
+        """
+        rng = rng_mod.stream(trace.seed, "telemetry", mode.value)
+        return rng.standard_normal((n_intervals, len(self.catalog)))
+
+    def snapshot(self, trace: TraceSpec, mode: Mode,
+                 counter_ids: list[int] | np.ndarray | None = None,
+                 result: IntervalResult | None = None) -> TelemetrySnapshot:
+        """Collect telemetry for one trace in one mode.
+
+        Parameters
+        ----------
+        counter_ids:
+            Subset of catalog counters to materialise; defaults to the
+            full catalog (memory heavy — prefer subsets for training).
+        result:
+            Pre-computed simulation result to reuse; simulated on
+            demand otherwise.
+        """
+        if result is None:
+            result = self.model.simulate(trace, mode)
+        elif result.mode is not mode:
+            raise DatasetError(
+                f"result mode {result.mode} does not match requested {mode}"
+            )
+        ids = (np.arange(len(self.catalog)) if counter_ids is None
+               else np.asarray(counter_ids, dtype=np.int64))
+        noise = self._noise_field(trace, mode, result.n_intervals)
+        counts = self.catalog.materialize(result.signals, noise, ids)
+        return TelemetrySnapshot(
+            trace_name=trace.name,
+            mode=mode,
+            counter_ids=ids,
+            counts=counts,
+            normalized=counts / result.cycles[:, None],
+            cycles=result.cycles.copy(),
+            ipc=result.ipc.copy(),
+            interval_instructions=result.interval_instructions,
+        )
+
+    def snapshot_both(self, trace: TraceSpec,
+                      counter_ids: list[int] | np.ndarray | None = None,
+                      ) -> dict[Mode, TelemetrySnapshot]:
+        """Telemetry for both modes of one trace (the training recipe)."""
+        return {mode: self.snapshot(trace, mode, counter_ids)
+                for mode in Mode}

@@ -1,0 +1,36 @@
+"""Two-tier clustered-core simulator.
+
+The paper's data comes from an in-house cycle-accurate simulator of a
+scaled Skylake with two out-of-order clusters (Figure 2). We provide
+two coupled tiers:
+
+* :mod:`repro.uarch.core_model` — a cycle-level, trace-driven dataflow
+  simulator of the two-cluster machine: per-cluster schedulers, ROB,
+  load/store queues, MSHRs, branch redirect, inter-cluster bypass, and
+  the cluster-gating microcode flow.
+* :mod:`repro.uarch.interval_model` — a fast, vectorised analytical
+  model in the interval-analysis tradition that maps phase physics to
+  per-interval IPC and telemetry base signals; used for dataset-scale
+  experiments. Tests and a validation bench check the tiers agree.
+
+Shared pieces: :mod:`repro.uarch.modes` (operating modes),
+:mod:`repro.uarch.signals` (the base microarchitectural event signals
+that the telemetry catalog derives its 936 counters from),
+:mod:`repro.uarch.power` (the event-based power model standing in for
+Haj-Yihia et al.), plus cache/branch/ISA components for the cycle tier.
+"""
+
+from repro.uarch.interval_model import IntervalModel, IntervalResult
+from repro.uarch.modes import Mode
+from repro.uarch.power import PowerModel, PowerBreakdown
+from repro.uarch.signals import BASE_SIGNALS, signal_index
+
+__all__ = [
+    "IntervalModel",
+    "IntervalResult",
+    "Mode",
+    "PowerModel",
+    "PowerBreakdown",
+    "BASE_SIGNALS",
+    "signal_index",
+]

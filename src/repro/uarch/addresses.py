@@ -1,0 +1,128 @@
+"""Synthetic memory-address and branch-stream generators.
+
+The structural simulation tier drives the real cache hierarchy and
+branch predictors instead of replaying annotated outcomes. These
+generators translate phase physics into concrete streams:
+
+* :class:`AddressModel` emits load/store addresses from nested working
+  sets sized to the machine's cache levels. The probability of
+  touching each working-set tier is derived from the phase's
+  hierarchical miss rates, so steady-state miss rates of a real LRU
+  hierarchy approximate the phase targets. Bandwidth-style phases add
+  a sequential streaming component.
+* :class:`BranchStream` emits (pc, taken) pairs from a pool of static
+  branches, mixing strongly biased branches (learnable by any
+  predictor) with coin-flip branches; the unpredictable fraction is
+  set so a trained predictor's steady-state mispredict rate lands near
+  the phase's ``branch_mpki``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.config import MachineConfig
+from repro.errors import ConfigurationError
+from repro.workloads.phases import PhaseInstance
+
+#: Fraction of each cache level's capacity a "resident" working set
+#: uses; below 1.0 so LRU keeps it resident under light interference.
+RESIDENCY_FRACTION = 0.5
+
+
+class AddressModel:
+    """Per-phase address generator over nested working sets."""
+
+    def __init__(self, phase: PhaseInstance, seed: int,
+                 machine: MachineConfig | None = None) -> None:
+        machine = machine or MachineConfig()
+        self.phase = phase
+        self._rng = rng_mod.stream(seed, "addr", phase.name)
+        line = machine.line_bytes
+
+        # Working-set sizes in lines, nested within the hierarchy.
+        self._ws_lines = [
+            max(int(machine.l1d_kib * 1024 / line * RESIDENCY_FRACTION),
+                16),
+            max(int(machine.l2_kib * 1024 / line * RESIDENCY_FRACTION),
+                64),
+            max(int(machine.l3_kib * 1024 / line * RESIDENCY_FRACTION),
+                256),
+        ]
+        # Disjoint base offsets per tier (in lines).
+        self._ws_base = [0, 1 << 22, 1 << 24]
+        self._line = line
+
+        # Tier probabilities from hierarchical per-access miss rates.
+        accesses_per_kinst = 1000.0 * max(
+            phase.frac_load + phase.frac_store, 1e-6)
+        p_l1_miss = min(phase.l1d_mpki / accesses_per_kinst, 1.0)
+        p_l2_miss = min(phase.l2_mpki / max(phase.l1d_mpki, 1e-9), 1.0)
+        p_l3_miss = min(phase.l3_mpki / max(phase.l2_mpki, 1e-9), 1.0)
+        p_tier2 = p_l1_miss * (1.0 - p_l2_miss)  # L2-resident set
+        p_tier3 = p_l1_miss * p_l2_miss * (1.0 - p_l3_miss)
+        p_stream = p_l1_miss * p_l2_miss * p_l3_miss  # DRAM-bound
+        p_tier1 = max(1.0 - p_tier2 - p_tier3 - p_stream, 0.0)
+        self._tier_probs = np.array([p_tier1, p_tier2, p_tier3,
+                                     p_stream])
+        self._tier_probs /= self._tier_probs.sum()
+        self._stream_cursor = 1 << 26  # streaming region (lines)
+
+    def generate(self, n: int) -> np.ndarray:
+        """``n`` byte addresses following the phase's locality."""
+        if n <= 0:
+            raise ConfigurationError(f"n must be positive, got {n}")
+        tiers = self._rng.choice(4, size=n, p=self._tier_probs)
+        lines = np.empty(n, dtype=np.int64)
+        for tier in range(3):
+            mask = tiers == tier
+            count = int(mask.sum())
+            if count:
+                lines[mask] = (self._ws_base[tier]
+                               + self._rng.integers(
+                                   0, self._ws_lines[tier], count))
+        stream_mask = tiers == 3
+        count = int(stream_mask.sum())
+        if count:
+            # Sequential streaming through never-reused lines.
+            lines[stream_mask] = (self._stream_cursor
+                                  + np.arange(count))
+            self._stream_cursor += count
+        return lines * self._line
+
+
+class BranchStream:
+    """Per-phase (pc, taken) stream with tunable predictability."""
+
+    #: Mispredict rate of a 2-bit predictor on a coin-flip branch.
+    _RANDOM_MISS_RATE = 0.5
+    #: Residual mispredict rate on a strongly biased branch.
+    _BIASED_MISS_RATE = 0.04
+
+    def __init__(self, phase: PhaseInstance, seed: int,
+                 n_static_branches: int = 64) -> None:
+        self.phase = phase
+        self._rng = rng_mod.stream(seed, "branch", phase.name)
+        per_branch = 1000.0 * max(phase.frac_branch, 1e-6)
+        target = min(phase.branch_mpki / per_branch, 0.5)
+        # Mix fraction of coin-flip branches to hit the target rate.
+        hard_fraction = max(0.0, min(
+            (target - self._BIASED_MISS_RATE)
+            / (self._RANDOM_MISS_RATE - self._BIASED_MISS_RATE), 1.0))
+        n_hard = int(round(n_static_branches * hard_fraction))
+        self._pcs = 0x40_0000 + 4 * np.arange(n_static_branches)
+        self._is_hard = np.zeros(n_static_branches, dtype=bool)
+        self._is_hard[:n_hard] = True
+        self._bias = self._rng.uniform(0.9, 0.99, n_static_branches)
+        self.target_rate = target
+
+    def generate(self, n: int) -> tuple[np.ndarray, np.ndarray]:
+        """``n`` (pc, taken) pairs."""
+        if n <= 0:
+            raise ConfigurationError(f"n must be positive, got {n}")
+        which = self._rng.integers(0, self._pcs.shape[0], n)
+        draws = self._rng.random(n)
+        hard = self._is_hard[which]
+        taken = np.where(hard, draws < 0.5, draws < self._bias[which])
+        return self._pcs[which], taken

@@ -1,0 +1,83 @@
+"""Branch predictors.
+
+Structural front-end components of the cycle tier: a bimodal table and
+a gshare predictor (global history XOR PC indexing into 2-bit
+counters). The trace-driven core consumes *annotated* branch outcomes
+sampled from phase physics (which keeps the two simulator tiers
+statistically aligned); these predictors are exercised directly by the
+structural tests and the front-end example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class BimodalPredictor:
+    """Per-PC 2-bit saturating counter table."""
+
+    def __init__(self, table_bits: int = 12) -> None:
+        if not 1 <= table_bits <= 24:
+            raise ConfigurationError(f"table_bits out of range: {table_bits}")
+        self.table_bits = table_bits
+        self.table = np.full(1 << table_bits, 2, dtype=np.int8)  # weak T
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) & ((1 << self.table_bits) - 1)
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for a branch at ``pc``."""
+        return bool(self.table[self._index(pc)] >= 2)
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train on the resolved direction."""
+        i = self._index(pc)
+        if taken:
+            self.table[i] = min(self.table[i] + 1, 3)
+        else:
+            self.table[i] = max(self.table[i] - 1, 0)
+
+
+class GsharePredictor:
+    """Global-history-XOR-PC indexed 2-bit counters."""
+
+    def __init__(self, table_bits: int = 14, history_bits: int = 12) -> None:
+        if history_bits > table_bits:
+            raise ConfigurationError("history_bits must be <= table_bits")
+        self.table_bits = table_bits
+        self.history_bits = history_bits
+        self.table = np.full(1 << table_bits, 2, dtype=np.int8)
+        self.history = 0
+
+    def _index(self, pc: int) -> int:
+        hist = self.history & ((1 << self.history_bits) - 1)
+        return ((pc >> 2) ^ hist) & ((1 << self.table_bits) - 1)
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for a branch at ``pc``."""
+        return bool(self.table[self._index(pc)] >= 2)
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train and shift the resolved direction into history."""
+        i = self._index(pc)
+        if taken:
+            self.table[i] = min(self.table[i] + 1, 3)
+        else:
+            self.table[i] = max(self.table[i] - 1, 0)
+        self.history = ((self.history << 1) | int(taken)) & (
+            (1 << self.history_bits) - 1)
+
+
+def measure_mispredict_rate(predictor, pcs: np.ndarray,
+                            outcomes: np.ndarray) -> float:
+    """Run a predictor over a (pc, outcome) stream; return miss rate."""
+    if pcs.shape != outcomes.shape:
+        raise ConfigurationError("pcs and outcomes must align")
+    misses = 0
+    for pc, taken in zip(pcs.tolist(), outcomes.tolist()):
+        if predictor.predict(pc) != bool(taken):
+            misses += 1
+        predictor.update(pc, bool(taken))
+    return misses / max(len(pcs), 1)

@@ -1,0 +1,160 @@
+"""Set-associative caches and TLBs.
+
+Structural memory-hierarchy components of the cycle tier: an LRU
+set-associative cache with dirty-bit writebacks (the source of the "L2
+silent evictions" counter — clean evictions are silent) and a small
+fully-associative TLB. A three-level :class:`CacheHierarchy` composes
+them. The trace-driven core consumes annotated outcomes; these
+structures are exercised directly by structural tests and examples.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Access accounting for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    silent_evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class Cache:
+    """Set-associative LRU cache with write-back, write-allocate."""
+
+    def __init__(self, size_kib: int, ways: int, line_bytes: int = 64,
+                 name: str = "cache") -> None:
+        size = size_kib * 1024
+        n_lines = size // line_bytes
+        if n_lines % ways != 0:
+            raise ConfigurationError(
+                f"{name}: {n_lines} lines not divisible by {ways} ways"
+            )
+        self.name = name
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.n_sets = n_lines // ways
+        # Per set: list of (tag, dirty), most recently used last.
+        self._sets: list[list[tuple[int, bool]]] = [
+            [] for _ in range(self.n_sets)
+        ]
+        self.stats = CacheStats()
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.line_bytes
+        return line % self.n_sets, line // self.n_sets
+
+    def access(self, address: int, write: bool = False) -> bool:
+        """Access one address; returns True on hit.
+
+        On a miss the line is allocated, evicting LRU if needed; clean
+        evictions are counted as silent, dirty ones as writebacks.
+        """
+        set_idx, tag = self._locate(address)
+        ways = self._sets[set_idx]
+        for i, (t, dirty) in enumerate(ways):
+            if t == tag:
+                ways.pop(i)
+                ways.append((tag, dirty or write))
+                self.stats.accesses += 1
+                self.stats.hits += 1
+                return True
+        self.stats.accesses += 1
+        self.stats.misses += 1
+        if len(ways) >= self.ways:
+            _evicted_tag, evicted_dirty = ways.pop(0)
+            self.stats.evictions += 1
+            if evicted_dirty:
+                self.stats.writebacks += 1
+            else:
+                self.stats.silent_evictions += 1
+        ways.append((tag, write))
+        return False
+
+    def reset_stats(self) -> None:
+        """Zero the counters without flushing contents."""
+        self.stats = CacheStats()
+
+
+class TLB:
+    """Small fully-associative LRU TLB."""
+
+    def __init__(self, entries: int = 64, page_bytes: int = 4096) -> None:
+        if entries < 1:
+            raise ConfigurationError(f"entries must be >= 1: {entries}")
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self._pages: list[int] = []
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> bool:
+        """Translate one address; returns True on TLB hit."""
+        page = address // self.page_bytes
+        self.stats.accesses += 1
+        if page in self._pages:
+            self._pages.remove(page)
+            self._pages.append(page)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(self._pages) >= self.entries:
+            self._pages.pop(0)
+            self.stats.evictions += 1
+        self._pages.append(page)
+        return False
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryAccessResult:
+    """Outcome of one hierarchy access."""
+
+    level: int  # 0 = L1 hit ... 3 = DRAM
+    latency: int
+    tlb_miss: bool
+
+
+class CacheHierarchy:
+    """L1D + L2 + L3 + DTLB with additive latencies."""
+
+    def __init__(self, l1_kib: int = 32, l2_kib: int = 1024,
+                 l3_kib: int = 8192, line_bytes: int = 64,
+                 l1_latency: int = 4, l2_latency: int = 12,
+                 l3_latency: int = 40, memory_latency: int = 200,
+                 tlb_entries: int = 64, tlb_penalty: int = 30) -> None:
+        self.l1 = Cache(l1_kib, 8, line_bytes, "l1d")
+        self.l2 = Cache(l2_kib, 16, line_bytes, "l2")
+        self.l3 = Cache(l3_kib, 16, line_bytes, "l3")
+        self.dtlb = TLB(tlb_entries)
+        self.latencies = (l1_latency, l2_latency, l3_latency,
+                          memory_latency)
+        self.tlb_penalty = tlb_penalty
+
+    def access(self, address: int, write: bool = False,
+               ) -> MemoryAccessResult:
+        """Access the full hierarchy; returns outcome level and latency."""
+        tlb_miss = not self.dtlb.access(address)
+        latency = self.tlb_penalty if tlb_miss else 0
+        if self.l1.access(address, write):
+            return MemoryAccessResult(0, latency + self.latencies[0],
+                                      tlb_miss)
+        if self.l2.access(address, write):
+            return MemoryAccessResult(1, latency + self.latencies[1],
+                                      tlb_miss)
+        if self.l3.access(address, write):
+            return MemoryAccessResult(2, latency + self.latencies[2],
+                                      tlb_miss)
+        return MemoryAccessResult(3, latency + self.latencies[3], tlb_miss)

@@ -1,0 +1,356 @@
+"""Cycle-level model of the two-cluster out-of-order core.
+
+A trace-driven dataflow-with-resources simulator in the style used for
+fast industrial timing studies: every micro-op's fetch, dispatch,
+issue, completion and retirement cycles are computed in program order
+subject to
+
+* front-end bandwidth (split per cluster; halved in low-power mode)
+  and mispredict redirect/refill;
+* ROB, per-cluster scheduler, load-queue, store-queue and MSHR
+  capacity (rings keyed by the cycle each older entry frees);
+* per-cluster execution ports per uop class;
+* dataflow dependencies with an inter-cluster bypass penalty when a
+  value crosses clusters in high-performance mode;
+* in-order retirement at the retire width.
+
+The cluster-gating microcode flow is modelled by
+:meth:`ClusteredCoreModel.mode_switch_cycles`. Validation tests check
+this tier agrees with the fast interval model
+(:mod:`repro.uarch.interval_model`) on IPC across phases and on the
+low-power/high-performance ratio that drives gating labels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.config import MachineConfig
+from repro.errors import SimulationError
+from repro.uarch.isa import (
+    BASE_LATENCY,
+    MEM_DRAM,
+    MEM_L2,
+    MEM_L3,
+    UopStream,
+    UopType,
+    synthesize_uops,
+)
+from repro.uarch.modes import Mode
+from repro.workloads.phases import PhaseInstance
+
+#: Extra decode/rename pipeline depth between fetch and dispatch.
+FRONTEND_DEPTH = 5
+
+#: Cycles to refill the front end after a mispredict redirect.
+REDIRECT_REFILL = 3
+
+#: Uops per steering chunk: large enough that most dependence chains
+#: stay within one cluster, small enough to balance cluster load.
+STEERING_CHUNK = 16
+
+#: Maximum tolerated cluster-load imbalance (uops) before steering
+#: overrides dependence locality.
+STEERING_IMBALANCE = 12
+
+
+@dataclasses.dataclass(frozen=True)
+class CycleSimResult:
+    """Aggregate outcome of one cycle-level run."""
+
+    mode: Mode
+    n_uops: int
+    cycles: float
+    branch_mispredicts: int
+    loads: int
+    stores: int
+    l2_accesses: int
+    l3_accesses: int
+    dram_accesses: int
+    intercluster_transfers: int
+
+    @property
+    def ipc(self) -> float:
+        """Retired micro-ops per cycle."""
+        if self.cycles <= 0:
+            raise SimulationError("no cycles simulated")
+        return self.n_uops / self.cycles
+
+
+class _UnitPool:
+    """A pool of pipelined execution units; pick the earliest free."""
+
+    __slots__ = ("free",)
+
+    def __init__(self, n_units: int) -> None:
+        self.free = [0.0] * max(n_units, 1)
+
+    def issue(self, ready: float) -> float:
+        """Issue at the earliest cycle >= ready with a free unit."""
+        best = 0
+        best_time = self.free[0]
+        for i in range(1, len(self.free)):
+            if self.free[i] < best_time:
+                best = i
+                best_time = self.free[i]
+        at = ready if ready > best_time else best_time
+        self.free[best] = at + 1.0
+        return at
+
+
+class _Ring:
+    """Capacity ring: entry ``i`` waits for entry ``i - size`` to free."""
+
+    __slots__ = ("times", "size", "count")
+
+    def __init__(self, size: int) -> None:
+        self.size = max(size, 1)
+        self.times = [0.0] * self.size
+        self.count = 0
+
+    def reserve(self, at: float) -> float:
+        """Earliest cycle >= at when a slot is free (older slot reuse)."""
+        slot = self.count % self.size
+        gate = self.times[slot]
+        self.count += 1
+        return at if at > gate else gate
+
+    def release(self, frees_at: float) -> None:
+        """Record when the most recently reserved slot frees."""
+        slot = (self.count - 1) % self.size
+        self.times[slot] = frees_at
+
+
+class ClusteredCoreModel:
+    """Cycle-level two-cluster core for one operating mode."""
+
+    def __init__(self, machine: MachineConfig | None = None,
+                 mode: Mode = Mode.HIGH_PERF) -> None:
+        self.machine = machine or MachineConfig()
+        self.mode = mode
+
+    @property
+    def active_clusters(self) -> int:
+        return self.mode.active_clusters
+
+    def mode_switch_cycles(self, live_registers: int) -> float:
+        """Microcode cost of gating cluster 2 (Section 3)."""
+        live = min(live_registers, self.machine.max_register_transfers)
+        return (self.machine.mode_switch_base_cycles
+                + live / self.machine.width_low_power)
+
+    # -- Outcome hooks: the trace-driven (annotated) tier reads the
+    # -- stream's annotations; the structural tier overrides these to
+    # -- consult real caches and branch predictors.
+    def load_outcome(self, stream: UopStream, i: int) -> int:
+        """Memory-hierarchy level for load ``i`` (MEM_L1..MEM_DRAM)."""
+        return int(stream.mem_level[i])
+
+    def store_outcome(self, stream: UopStream, i: int) -> None:
+        """Observe store ``i`` (structural tier updates the caches)."""
+
+    def branch_outcome(self, stream: UopStream, i: int) -> bool:
+        """Whether branch ``i`` mispredicts."""
+        return bool(stream.mispredicted[i])
+
+    # ------------------------------------------------------------------
+    def execute(self, stream: UopStream) -> CycleSimResult:
+        """Run a micro-op stream to completion; return timing/events."""
+        machine = self.machine
+        cluster_cfg = machine.cluster
+        n_clusters = self.active_clusters
+        fe_width = cluster_cfg.issue_width * n_clusters
+        n = stream.n_uops
+
+        rob = _Ring(machine.rob_entries)
+        schedulers = [_Ring(cluster_cfg.scheduler_entries)
+                      for _ in range(n_clusters)]
+        load_queues = [_Ring(cluster_cfg.load_queue_entries)
+                       for _ in range(n_clusters)]
+        store_queues = [_Ring(cluster_cfg.store_queue_entries)
+                        for _ in range(n_clusters)]
+        mshrs = [_Ring(cluster_cfg.mshr_entries) for _ in range(n_clusters)]
+        pools = []
+        for _ in range(n_clusters):
+            pools.append({
+                int(UopType.ALU): _UnitPool(cluster_cfg.alu_units),
+                int(UopType.MUL): _UnitPool(max(cluster_cfg.alu_units // 2,
+                                                1)),
+                int(UopType.FP): _UnitPool(cluster_cfg.fpu_units),
+                int(UopType.LOAD): _UnitPool(cluster_cfg.load_ports),
+                int(UopType.STORE): _UnitPool(cluster_cfg.store_ports),
+                int(UopType.BRANCH): _UnitPool(cluster_cfg.alu_units),
+            })
+
+        complete = np.zeros(n)
+        cluster_of = np.zeros(n, dtype=np.int8)
+        cluster_load = [0] * n_clusters
+        # The MEU drains one retired store per interval; a lone MEU in
+        # low-power mode drains more slowly, so store bursts back up
+        # the halved store queue — the physics behind the blindspot.
+        drain_interval = 1.0 if n_clusters > 1 else 2.5
+        last_drain = [0.0] * n_clusters
+        retire_gate = 0.0
+        retire_in_cycle = 0
+        fe_cycle = 0.0
+        fe_in_cycle = 0
+        redirect_until = 0.0
+
+        mem_latency_by_level = {
+            MEM_L2: machine.l2_latency,
+            MEM_L3: machine.l3_latency,
+            MEM_DRAM: machine.memory_latency,
+        }
+
+        types = stream.types
+        src1 = stream.src1
+        src2 = stream.src2
+
+        branch_misses = 0
+        loads = stores = 0
+        l2 = l3 = dram = 0
+        xc_transfers = 0
+
+        for i in range(n):
+            # ---- Fetch: bandwidth + redirect. ----
+            start = redirect_until
+            if start < fe_cycle:
+                start = fe_cycle
+            if start > fe_cycle:
+                fe_cycle = start
+                fe_in_cycle = 0
+            fetch = fe_cycle
+            fe_in_cycle += 1
+            if fe_in_cycle >= fe_width:
+                fe_cycle += 1.0
+                fe_in_cycle = 0
+
+            # ---- Cluster steering: MOD-N fetch-group round robin,
+            # following the producer only when it is recent enough for
+            # the bypass to matter (Baniasadi/Moshovos-style heuristic).
+            # Following every producer would collapse the whole stream
+            # onto one cluster.
+            if n_clusters == 1:
+                cluster = 0
+            else:
+                if src1[i] >= 0 and i - src1[i] < STEERING_CHUNK:
+                    cluster = int(cluster_of[src1[i]])
+                else:
+                    cluster = (i // STEERING_CHUNK) % n_clusters
+                # Load-balance override: following producers alone
+                # would pin every chain to the seed cluster.
+                lightest = min(range(n_clusters),
+                               key=cluster_load.__getitem__)
+                if (cluster_load[cluster] - cluster_load[lightest]
+                        > STEERING_IMBALANCE):
+                    cluster = lightest
+                cluster_load[cluster] += 1
+            cluster_of[i] = cluster
+
+            # ---- Dispatch: pipeline depth + structural capacity. ----
+            dispatch = fetch + FRONTEND_DEPTH
+            dispatch = rob.reserve(dispatch)
+            dispatch = schedulers[cluster].reserve(dispatch)
+            uop_type = int(types[i])
+            if uop_type == int(UopType.LOAD):
+                dispatch = load_queues[cluster].reserve(dispatch)
+            elif uop_type == int(UopType.STORE):
+                dispatch = store_queues[cluster].reserve(dispatch)
+
+            # ---- Ready: dataflow with inter-cluster bypass. The
+            # bypass penalty binds only for *fresh* values; older
+            # results have already propagated to the register file.
+            ready = dispatch + 1.0
+            for src in (src1[i], src2[i]):
+                if src < 0:
+                    continue
+                avail = complete[src]
+                if cluster_of[src] != cluster:
+                    xc_transfers += 1
+                    if avail > dispatch - 8.0:
+                        avail += machine.intercluster_latency
+                if avail > ready:
+                    ready = avail
+
+            # ---- Issue and execute. ----
+            issue_at = pools[cluster][uop_type].issue(ready)
+            latency = float(BASE_LATENCY[UopType(uop_type)])
+            if uop_type == int(UopType.LOAD):
+                loads += 1
+                level = self.load_outcome(stream, i)
+                if level >= MEM_L2:
+                    issue_at = mshrs[cluster].reserve(issue_at)
+                    latency = float(mem_latency_by_level[level])
+                    mshrs[cluster].release(issue_at + latency)
+                    if level == MEM_L2:
+                        l2 += 1
+                    elif level == MEM_L3:
+                        l3 += 1
+                    else:
+                        dram += 1
+            elif uop_type == int(UopType.STORE):
+                stores += 1
+                self.store_outcome(stream, i)
+            done = issue_at + latency
+            complete[i] = done
+            schedulers[cluster].release(issue_at + 1.0)
+
+            # ---- Branch resolution. ----
+            if (uop_type == int(UopType.BRANCH)
+                    and self.branch_outcome(stream, i)):
+                branch_misses += 1
+                redirect = done + machine.branch_mispredict_penalty
+                if redirect > redirect_until:
+                    redirect_until = redirect
+                    fe_cycle = redirect + REDIRECT_REFILL
+                    fe_in_cycle = 0
+
+            # ---- Retire in order at retire width. ----
+            at = done
+            if at < retire_gate:
+                at = retire_gate
+            if at == retire_gate:
+                retire_in_cycle += 1
+                if retire_in_cycle >= machine.retire_width:
+                    retire_gate += 1.0
+                    retire_in_cycle = 0
+            else:
+                retire_gate = at
+                retire_in_cycle = 1
+            rob.release(at)
+            if uop_type == int(UopType.LOAD):
+                load_queues[cluster].release(at)
+            elif uop_type == int(UopType.STORE):
+                # Stores drain from the SQ serially after retirement.
+                drain_at = max(at + 2.0,
+                               last_drain[cluster] + drain_interval)
+                last_drain[cluster] = drain_at
+                store_queues[cluster].release(drain_at)
+
+        total_cycles = max(float(retire_gate), float(complete.max())) + 1.0
+        return CycleSimResult(
+            mode=self.mode,
+            n_uops=n,
+            cycles=total_cycles,
+            branch_mispredicts=branch_misses,
+            loads=loads,
+            stores=stores,
+            l2_accesses=l2,
+            l3_accesses=l3,
+            dram_accesses=dram,
+            intercluster_transfers=xc_transfers,
+        )
+
+
+def simulate_phase_cycle_level(phase: PhaseInstance, n_uops: int,
+                               mode: Mode, seed: int,
+                               machine: MachineConfig | None = None,
+                               ) -> CycleSimResult:
+    """Synthesize a uop stream for a phase and run the cycle model."""
+    stream = synthesize_uops(phase, n_uops,
+                             rng_mod.derive_seed(seed, "cyclesim",
+                                                 phase.name, mode.value))
+    return ClusteredCoreModel(machine, mode).execute(stream)

@@ -1,0 +1,117 @@
+"""Dynamic voltage and frequency scaling (DVFS) interplay.
+
+Section 2.1 positions cluster gating against DVFS: "cluster gating is
+a complementary technique that can further reduce power at V_min".
+This module provides a first-order DVFS model so that claim can be
+measured:
+
+* voltage tracks frequency linearly above ``f_min``; below ``f_min``
+  the rail is pinned at ``v_min`` (scaling frequency further saves
+  little energy because voltage cannot follow);
+* dynamic energy per event scales with V^2;
+* static power scales with V^2 (supply times leakage current, which
+  itself rises roughly linearly in V through DIBL at fixed
+  temperature);
+* memory latency is constant in *time*, so its cycle count scales with
+  frequency — running slower converts memory-bound stalls into useful
+  overlap, which the scaled :class:`~repro.config.MachineConfig`
+  captures.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import MachineConfig
+from repro.errors import ConfigurationError
+from repro.uarch.power import PowerModel
+
+
+@dataclasses.dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS operating point."""
+
+    frequency_ghz: float
+    voltage: float
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0 or self.voltage <= 0:
+            raise ConfigurationError(
+                f"invalid operating point {self.frequency_ghz} GHz "
+                f"@ {self.voltage} V"
+            )
+
+
+class DVFSModel:
+    """Linear V-f curve with a minimum-voltage floor."""
+
+    def __init__(self, nominal_frequency_ghz: float = 2.0,
+                 nominal_voltage: float = 1.0,
+                 f_min_ghz: float = 1.0, v_min: float = 0.72) -> None:
+        if not 0.0 < f_min_ghz <= nominal_frequency_ghz:
+            raise ConfigurationError(
+                f"f_min {f_min_ghz} outside (0, {nominal_frequency_ghz}]"
+            )
+        if not 0.0 < v_min <= nominal_voltage:
+            raise ConfigurationError(
+                f"v_min {v_min} outside (0, {nominal_voltage}]"
+            )
+        self.nominal = OperatingPoint(nominal_frequency_ghz,
+                                      nominal_voltage)
+        self.f_min_ghz = f_min_ghz
+        self.v_min = v_min
+
+    def voltage_for(self, frequency_ghz: float) -> float:
+        """Rail voltage required for a frequency (floored at v_min)."""
+        if frequency_ghz > self.nominal.frequency_ghz:
+            raise ConfigurationError(
+                f"{frequency_ghz} GHz exceeds the nominal point"
+            )
+        if frequency_ghz <= self.f_min_ghz:
+            return self.v_min
+        span = self.nominal.frequency_ghz - self.f_min_ghz
+        frac = (frequency_ghz - self.f_min_ghz) / span
+        return self.v_min + frac * (self.nominal.voltage - self.v_min)
+
+    def operating_point(self, frequency_ghz: float) -> OperatingPoint:
+        """The operating point at a frequency."""
+        return OperatingPoint(frequency_ghz,
+                              self.voltage_for(frequency_ghz))
+
+    # ------------------------------------------------------------------
+    def machine_at(self, frequency_ghz: float,
+                   base: MachineConfig | None = None) -> MachineConfig:
+        """A machine config rescaled to a frequency.
+
+        DRAM latency is constant in nanoseconds, so its cycle count
+        scales with frequency; on-chip latencies scale with the clock
+        and stay constant in cycles.
+        """
+        base = base or MachineConfig()
+        scale = frequency_ghz / base.frequency_ghz
+        return dataclasses.replace(
+            base,
+            frequency_ghz=frequency_ghz,
+            memory_latency=max(int(round(base.memory_latency * scale)),
+                               base.l3_latency + 1),
+        )
+
+    def power_model_at(self, frequency_ghz: float,
+                       machine: MachineConfig | None = None,
+                       base: PowerModel | None = None) -> PowerModel:
+        """A power model rescaled to an operating point.
+
+        Dynamic event energies and static power both scale with V^2.
+        """
+        base = base or PowerModel(machine)
+        point = self.operating_point(frequency_ghz)
+        v_ratio = point.voltage / self.nominal.voltage
+        energies = {name: value * v_ratio ** 2
+                    for name, value in base.event_energy_nj.items()}
+        return PowerModel(
+            machine=machine or base.machine,
+            event_energy_nj=energies,
+            cluster_static_w=base.cluster_static_w * v_ratio ** 2,
+            uncore_static_w=base.uncore_static_w * v_ratio ** 2,
+            gating_savings=base.gating_savings,
+        )

@@ -1,0 +1,428 @@
+"""Fast analytical interval performance model.
+
+This is the dataset-scale tier of the simulator. Following interval
+analysis (Eyerman/Karkhanis), each telemetry interval's CPI decomposes
+into an issue-limited base component plus additive stall components
+from branch mispredictions, front-end misses, TLB misses, the memory
+hierarchy (divided by exploitable memory-level parallelism), and
+store-queue pressure. Mode dependence enters through:
+
+* the effective issue width (7.44 for the 8-wide high-performance mode
+  after steering inefficiency, 4.0 for low-power mode);
+* halved MSHRs in low-power mode, capping memory-level parallelism;
+* halved store-queue entries in low-power mode, which inflates the
+  store-queue stall term sharply for store-burst phases;
+* an inter-cluster communication tax paid only in high-performance
+  mode.
+
+The model also produces every base signal of
+:mod:`repro.uarch.signals`, from which the telemetry catalog derives
+counters. Per-interval *workload* jitter is drawn once per trace and
+shared between modes (both-mode simulations of the same trace see the
+same workload, as in the paper's data-collection flow, Figure 3);
+measurement noise is added later, per counter, by the telemetry layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.config import MachineConfig
+from repro.errors import SimulationError
+from repro.uarch.modes import Mode
+from repro.uarch.signals import N_SIGNALS, signal_index
+from repro.workloads.generator import PHYSICS_FIELDS, TraceSpec
+
+# Physics field indices (see workloads.generator.PHYSICS_FIELDS).
+_F = {name: i for i, name in enumerate(PHYSICS_FIELDS)}
+
+#: Micro-ops per instruction for the synthetic ISA.
+UOPS_PER_INSTRUCTION = 1.12
+
+#: Fraction of peak width lost to steering imperfections in 8-wide mode.
+STEERING_EFFICIENCY = 0.93
+
+#: Fraction of memory stall cycles that overlap with useful work.
+MEMORY_OVERLAP = 0.15
+
+#: Store-queue stall penalty (cycles per store at full pressure). The
+#: low-power value reflects the halved store queue: store bursts lose
+#: ~40% of their IPC when gated — a clear SLA violation, but one whose
+#: low-power telemetry still resembles ordinary latency-bound phases
+#: on cache/branch/IPC counters (the Figure-9 blindspot).
+SQ_PENALTY_HIGH_PERF = 1.5
+SQ_PENALTY_LOW_POWER = 6.5
+
+#: Decode throughput loss per uop-cache miss fraction (cycles/inst).
+UOPCACHE_MISS_PENALTY = 0.35
+
+#: Physics fields jittered per interval (relative lognormal).
+_JITTERED_FIELDS = (
+    "ilp", "l1d_mpki", "l2_mpki", "l3_mpki", "branch_mpki",
+    "icache_mpki", "sq_pressure", "mlp",
+)
+
+#: Front-end penalty of running on a single cluster: the instruction
+#: cache and uop cache are split per cluster (Figure 2), so low-power
+#: mode effectively halves front-end capacity.
+LOW_POWER_ICACHE_FACTOR = 1.6
+LOW_POWER_UOPC_MISS_FACTOR = 1.35
+
+#: Micro-ops the window must refill after a branch mispredict; refill
+#: rate scales with issue width, so narrow mode pays slightly more.
+MISPREDICT_REFILL_UOPS = 20.0
+
+
+@dataclasses.dataclass(frozen=True)
+class IntervalResult:
+    """Per-interval simulation output for one trace in one mode."""
+
+    trace_name: str
+    mode: Mode
+    ipc: np.ndarray  # (T,)
+    cycles: np.ndarray  # (T,)
+    signals: np.ndarray  # (T, N_SIGNALS)
+    interval_instructions: int
+
+    @property
+    def n_intervals(self) -> int:
+        return int(self.ipc.shape[0])
+
+    @property
+    def total_cycles(self) -> float:
+        return float(self.cycles.sum())
+
+    @property
+    def mean_ipc(self) -> float:
+        """Aggregate IPC over the whole trace."""
+        return (self.n_intervals * self.interval_instructions
+                / self.total_cycles)
+
+    def signal(self, name: str) -> np.ndarray:
+        """One base signal's per-interval values."""
+        return self.signals[:, signal_index(name)]
+
+
+class IntervalModel:
+    """Vectorised per-interval performance and telemetry model.
+
+    Results are memoised in a bounded LRU cache keyed by (trace, mode),
+    because dataset builders revisit the same traces at several gating
+    granularities and in both modes.
+    """
+
+    def __init__(self, machine: MachineConfig | None = None,
+                 cache_size: int = 1024) -> None:
+        self.machine = machine or MachineConfig()
+        self._cache: "OrderedDict[tuple, IntervalResult]" = OrderedDict()
+        self._cache_size = cache_size
+
+    # ------------------------------------------------------------------
+    # Mode-dependent machine parameters.
+    # ------------------------------------------------------------------
+    def effective_width(self, mode: Mode) -> float:
+        """Usable issue width in a mode, after steering losses."""
+        if mode is Mode.HIGH_PERF:
+            return self.machine.width_high_perf * STEERING_EFFICIENCY
+        return float(self.machine.width_low_power)
+
+    def mshr_cap(self, mode: Mode) -> float:
+        """Outstanding-miss cap: per-cluster MSHRs times active clusters."""
+        return self.machine.cluster.mshr_entries * mode.active_clusters
+
+    def sq_entries(self, mode: Mode) -> int:
+        """Store-queue entries available in a mode."""
+        return self.machine.cluster.store_queue_entries * mode.active_clusters
+
+    def lq_entries(self, mode: Mode) -> int:
+        """Load-queue entries available in a mode."""
+        return self.machine.cluster.load_queue_entries * mode.active_clusters
+
+    # ------------------------------------------------------------------
+    # Core model.
+    # ------------------------------------------------------------------
+    def _jittered_physics(self, trace: TraceSpec) -> np.ndarray:
+        """Physics matrix with per-interval workload jitter applied.
+
+        The jitter stream depends only on the trace (not the mode), so
+        high-performance and low-power simulations of the same trace
+        observe the same workload, exactly as when the paper replays one
+        recorded trace through the simulator in both configurations.
+        """
+        physics = trace.physics().copy()
+        rng = rng_mod.stream(trace.seed, "interval-jitter")
+        noise_scale = physics[:, _F["noise_scale"]]
+        for field in _JITTERED_FIELDS:
+            col = _F[field]
+            sigma = 0.03 + 1.2 * noise_scale
+            factor = np.exp(rng.normal(0.0, 1.0, physics.shape[0]) * sigma)
+            physics[:, col] *= factor
+        # Restore invariants disturbed by jitter.
+        physics[:, _F["ilp"]] = np.maximum(physics[:, _F["ilp"]], 1.0)
+        physics[:, _F["mlp"]] = np.maximum(physics[:, _F["mlp"]], 1.0)
+        physics[:, _F["sq_pressure"]] = np.clip(
+            physics[:, _F["sq_pressure"]], 0.0, 1.0)
+        physics[:, _F["l2_mpki"]] = np.minimum(
+            physics[:, _F["l2_mpki"]], physics[:, _F["l1d_mpki"]])
+        physics[:, _F["l3_mpki"]] = np.minimum(
+            physics[:, _F["l3_mpki"]], physics[:, _F["l2_mpki"]])
+        return physics
+
+    def mode_adjusted_physics(self, physics: np.ndarray,
+                              mode: Mode) -> np.ndarray:
+        """Apply mode-dependent front-end effects to phase physics.
+
+        With cluster 2 gated, only its half of the split instruction
+        cache and uop cache is usable, so low-power mode observes more
+        front-end misses for the same code footprint.
+        """
+        if mode is Mode.HIGH_PERF:
+            return physics
+        adjusted = physics.copy()
+        adjusted[:, _F["icache_mpki"]] *= LOW_POWER_ICACHE_FACTOR
+        miss_rate = 1.0 - adjusted[:, _F["uopcache_hit_rate"]]
+        adjusted[:, _F["uopcache_hit_rate"]] = np.clip(
+            1.0 - miss_rate * LOW_POWER_UOPC_MISS_FACTOR, 0.0, 1.0)
+        return adjusted
+
+    def cpi_components(self, physics: np.ndarray, mode: Mode,
+                       ) -> dict[str, np.ndarray]:
+        """CPI decomposition for each interval (interval analysis).
+
+        ``physics`` must already be mode-adjusted. Returns a dict of
+        additive CPI components, all shaped ``(T,)``.
+        """
+        m = self.machine
+        width = self.effective_width(mode)
+        ilp = physics[:, _F["ilp"]]
+        cpi_base = 1.0 / np.minimum(width, ilp)
+
+        refill = MISPREDICT_REFILL_UOPS / width
+        cpi_branch = (physics[:, _F["branch_mpki"]] / 1000.0
+                      * (m.branch_mispredict_penalty + refill))
+        cpi_frontend = (
+            physics[:, _F["icache_mpki"]] / 1000.0 * m.icache_miss_penalty
+            + (1.0 - physics[:, _F["uopcache_hit_rate"]])
+            * UOPCACHE_MISS_PENALTY
+        )
+        cpi_tlb = ((physics[:, _F["itlb_mpki"]] + physics[:, _F["dtlb_mpki"]])
+                   / 1000.0 * m.tlb_miss_penalty)
+
+        l1d = physics[:, _F["l1d_mpki"]]
+        l2 = physics[:, _F["l2_mpki"]]
+        l3 = physics[:, _F["l3_mpki"]]
+        mem_cost = ((l1d - l2) * m.l2_latency
+                    + (l2 - l3) * m.l3_latency
+                    + l3 * m.memory_latency) / 1000.0
+        mlp_eff = np.clip(physics[:, _F["mlp"]], 1.0, self.mshr_cap(mode))
+        cpi_memory = mem_cost / mlp_eff * (1.0 - MEMORY_OVERLAP)
+
+        sq_penalty = (SQ_PENALTY_LOW_POWER if mode is Mode.LOW_POWER
+                      else SQ_PENALTY_HIGH_PERF)
+        cpi_sq = (physics[:, _F["sq_pressure"]]
+                  * physics[:, _F["frac_store"]] * sq_penalty)
+
+        if mode is Mode.HIGH_PERF:
+            cpi_xc = np.full_like(cpi_base,
+                                  m.intercluster_uop_fraction
+                                  * m.intercluster_latency / width
+                                  * UOPS_PER_INSTRUCTION)
+        else:
+            cpi_xc = np.zeros_like(cpi_base)
+
+        return {
+            "base": cpi_base,
+            "branch": cpi_branch,
+            "frontend": cpi_frontend,
+            "tlb": cpi_tlb,
+            "memory": cpi_memory,
+            "store_queue": cpi_sq,
+            "intercluster": cpi_xc,
+        }
+
+    def simulate(self, trace: TraceSpec, mode: Mode) -> IntervalResult:
+        """Simulate one trace in one mode.
+
+        Returns per-interval IPC, cycles, and the full base-signal
+        matrix the telemetry catalog consumes.
+        """
+        key = (trace.name, trace.seed, trace.n_intervals, mode)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            return cached
+        physics = self.mode_adjusted_physics(
+            self._jittered_physics(trace), mode)
+        components = self.cpi_components(physics, mode)
+        cpi = np.zeros(physics.shape[0])
+        for part in components.values():
+            cpi = cpi + part
+        if np.any(cpi <= 0.0):
+            raise SimulationError("non-positive CPI encountered")
+        width = self.effective_width(mode)
+        ipc = np.minimum(1.0 / cpi, width)
+        cpi = 1.0 / ipc
+        inst = float(trace.interval_instructions)
+        cycles = inst * cpi
+        signals = self._signals(trace, physics, components, cpi, cycles, mode)
+        result = IntervalResult(
+            trace_name=trace.name,
+            mode=mode,
+            ipc=ipc,
+            cycles=cycles,
+            signals=signals,
+            interval_instructions=trace.interval_instructions,
+        )
+        self._cache[key] = result
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return result
+
+    def simulate_both(self, trace: TraceSpec,
+                      ) -> dict[Mode, IntervalResult]:
+        """Simulate a trace in both modes (the paper's data recipe)."""
+        return {mode: self.simulate(trace, mode) for mode in Mode}
+
+    # ------------------------------------------------------------------
+    # Base-signal synthesis.
+    # ------------------------------------------------------------------
+    def _signals(self, trace: TraceSpec, physics: np.ndarray,
+                 components: dict[str, np.ndarray], cpi: np.ndarray,
+                 cycles: np.ndarray, mode: Mode) -> np.ndarray:
+        """Emit all base signals for each interval."""
+        m = self.machine
+        t_count = physics.shape[0]
+        inst = float(trace.interval_instructions)
+        out = np.zeros((t_count, N_SIGNALS))
+
+        def put(name: str, values: np.ndarray | float) -> None:
+            out[:, signal_index(name)] = values
+
+        ipc = 1.0 / cpi
+        frac_load = physics[:, _F["frac_load"]]
+        frac_store = physics[:, _F["frac_store"]]
+        frac_branch = physics[:, _F["frac_branch"]]
+        frac_fp = physics[:, _F["frac_fp"]]
+        frac_int = 1.0 - (frac_load + frac_store + frac_branch + frac_fp)
+
+        uops = inst * UOPS_PER_INSTRUCTION
+        loads = inst * frac_load
+        stores = inst * frac_store
+        branches = inst * frac_branch
+        l1d_misses = inst * physics[:, _F["l1d_mpki"]] / 1000.0
+        l2_misses = inst * physics[:, _F["l2_mpki"]] / 1000.0
+        l3_misses = inst * physics[:, _F["l3_mpki"]] / 1000.0
+        icache_misses = inst * physics[:, _F["icache_mpki"]] / 1000.0
+        br_miss = inst * physics[:, _F["branch_mpki"]] / 1000.0
+        dirty = physics[:, _F["dirty_frac"]]
+        uopc_hit = physics[:, _F["uopcache_hit_rate"]]
+        width = self.effective_width(mode)
+
+        put("cycles", cycles)
+        put("instructions", inst)
+        put("uops_issued", uops + br_miss * width * 2.0)  # incl. wrong path
+        put("uops_retired", uops)
+        put("loads_retired", loads)
+        put("stores_retired", stores)
+        put("branches_retired", branches)
+        put("fp_ops_retired", inst * frac_fp)
+        put("int_ops_retired", inst * frac_int)
+        put("l1d_reads", loads)
+        put("l1d_writes", stores)
+        put("l1d_misses", l1d_misses)
+        put("l1d_hits", np.maximum(loads + stores - l1d_misses, 0.0))
+        l2_accesses = l1d_misses + icache_misses
+        put("l2_accesses", l2_accesses)
+        put("l2_misses", l2_misses)
+        put("l2_hits", np.maximum(l2_accesses - l2_misses, 0.0))
+        put("l3_accesses", l2_misses)
+        put("l3_misses", l3_misses)
+        put("l3_hits", np.maximum(l2_misses - l3_misses, 0.0))
+        put("memory_reads", l3_misses)
+        l2_evictions = l2_misses  # each fill evicts in steady state
+        put("l2_evictions", l2_evictions)
+        put("l2_silent_evictions", l2_evictions * (1.0 - dirty))
+        put("l2_dirty_evictions", l2_evictions * dirty)
+        put("branch_mispredicts", br_miss)
+        put("wrong_path_uops",
+            br_miss * width * m.branch_mispredict_penalty * 0.5)
+        machine_clears = inst * 2e-5
+        put("pipeline_flushes", br_miss + machine_clears)
+        put("machine_clears", machine_clears)
+        put("icache_misses", icache_misses)
+        fetch_blocks = inst / 8.0
+        put("icache_hits", np.maximum(fetch_blocks - icache_misses, 0.0))
+        put("uopcache_hits", uops * uopc_hit)
+        put("uopcache_misses", uops * (1.0 - uopc_hit))
+        put("itlb_misses", inst * physics[:, _F["itlb_mpki"]] / 1000.0)
+        put("dtlb_misses", inst * physics[:, _F["dtlb_mpki"]] / 1000.0)
+
+        # Stall accounting from the CPI decomposition.
+        stall_share = np.maximum(cpi - components["base"], 0.0) / cpi
+        put("stall_cycles", cycles * stall_share)
+        fe_share = (components["branch"] + components["frontend"]) / cpi
+        put("frontend_stall_cycles", cycles * fe_share)
+        mem_share = components["memory"] / cpi
+        put("memory_stall_cycles", cycles * mem_share)
+        sq_share = components["store_queue"] / cpi
+        put("sq_full_stall_cycles", cycles * sq_share)
+        dep_share = np.maximum(
+            components["base"] - 1.0 / width, 0.0) / cpi
+        put("dep_stall_cycles", cycles * dep_share)
+        put("backend_stall_cycles", cycles * (mem_share + sq_share + dep_share))
+
+        # Occupancies via Little's law (summed entries x cycles).
+        ilp = physics[:, _F["ilp"]]
+        put("uops_ready", np.minimum(ilp, width) * cycles)
+        avg_inst_latency = 5.0 + (components["memory"] * physics[:, _F["mlp"]]
+                                  / np.maximum(frac_load, 0.02))
+        in_flight = np.minimum(ipc * avg_inst_latency, m.rob_entries)
+        put("rob_occupancy", in_flight * cycles)
+        sched_total = (m.cluster.scheduler_entries * mode.active_clusters)
+        sched_occ = np.minimum(in_flight * 0.45, sched_total)
+        put("scheduler_occupancy", sched_occ * cycles)
+        put("uops_stalled_dep",
+            np.maximum(sched_occ - np.minimum(ilp, width), 0.0) * cycles)
+        store_residency = 4.0 + physics[:, _F["sq_pressure"]] * 44.0
+        sq_occ = np.minimum(frac_store * ipc * store_residency,
+                            self.sq_entries(mode))
+        put("sq_occupancy", sq_occ * cycles)
+        load_residency = 4.0 + (components["memory"] * 1000.0
+                                / np.maximum(frac_load * 1000.0, 1.0))
+        lq_occ = np.minimum(frac_load * ipc * load_residency,
+                            self.lq_entries(mode))
+        put("lq_occupancy", lq_occ * cycles)
+        # MSHR occupancy reflects exploited memory-level parallelism:
+        # outstanding misses while memory-bound, capped by the MSHRs.
+        mlp_exploited = np.clip(physics[:, _F["mlp"]], 1.0,
+                                self.mshr_cap(mode))
+        put("mshr_occupancy", mlp_exploited * mem_share * cycles)
+
+        put("preg_refs", uops * 1.9)
+        put("preg_allocs", uops * 0.85)
+        if mode is Mode.HIGH_PERF:
+            put("intercluster_transfers",
+                uops * m.intercluster_uop_fraction)
+        put("mode_switches", 0.0)
+        prefetches = l2_misses * 0.6
+        put("prefetches_issued", prefetches)
+        put("prefetch_hits", prefetches * 0.5)
+        put("fp_divides", inst * frac_fp * 0.05)
+        put("int_muls", inst * frac_int * 0.08)
+        put("mem_bandwidth_bytes",
+            (l3_misses + l2_evictions * dirty) * m.line_bytes)
+        put("store_buffer_drains",
+            stores * physics[:, _F["sq_pressure"]] * 0.1)
+
+        # Per-interval sampling noise on event counts (not on cycles or
+        # instructions, which the hardware counts exactly).
+        rng = rng_mod.stream(trace.seed, "signal-noise", mode.value)
+        noise_sigma = 0.01 + physics[:, _F["noise_scale"]][:, None] * 0.3
+        noise = np.exp(rng.normal(0.0, 1.0, out.shape) * noise_sigma)
+        exact = [signal_index("cycles"), signal_index("instructions")]
+        noise[:, exact] = 1.0
+        return out * noise

@@ -1,0 +1,167 @@
+"""Micro-op ISA and synthetic micro-op streams.
+
+The cycle-level tier is trace-driven: it consumes arrays of micro-ops
+annotated with dependency distances, memory-hierarchy outcomes and
+branch outcomes. :func:`synthesize_uops` generates such streams from a
+:class:`~repro.workloads.phases.PhaseInstance`, so the cycle model and
+the fast interval model can be driven by the same phase physics and
+validated against each other.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import ConfigurationError
+from repro.workloads.phases import PhaseInstance
+
+
+class UopType(enum.IntEnum):
+    """Micro-op classes with distinct execution resources."""
+
+    ALU = 0
+    MUL = 1
+    FP = 2
+    LOAD = 3
+    STORE = 4
+    BRANCH = 5
+
+
+#: Execution latency per uop type (cycles), before memory effects.
+BASE_LATENCY = {
+    UopType.ALU: 1,
+    UopType.MUL: 3,
+    UopType.FP: 4,
+    UopType.LOAD: 4,  # L1 hit
+    UopType.STORE: 1,
+    UopType.BRANCH: 1,
+}
+
+#: Memory-hierarchy outcome levels for loads.
+MEM_L1 = 0
+MEM_L2 = 1
+MEM_L3 = 2
+MEM_DRAM = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class UopStream:
+    """A batch of micro-ops in program order (structure-of-arrays)."""
+
+    types: np.ndarray  # (N,) UopType values
+    src1: np.ndarray  # (N,) producer index or -1
+    src2: np.ndarray  # (N,) producer index or -1
+    mem_level: np.ndarray  # (N,) MEM_* for loads, -1 otherwise
+    mispredicted: np.ndarray  # (N,) bool, branches only
+
+    def __post_init__(self) -> None:
+        n = self.types.shape[0]
+        for name in ("src1", "src2", "mem_level", "mispredicted"):
+            if getattr(self, name).shape[0] != n:
+                raise ConfigurationError(f"{name} misaligned with types")
+
+    @property
+    def n_uops(self) -> int:
+        return int(self.types.shape[0])
+
+    def type_counts(self) -> dict[UopType, int]:
+        """Histogram of uop types."""
+        return {t: int((self.types == t).sum()) for t in UopType}
+
+
+def synthesize_uops(phase: PhaseInstance, n_uops: int,
+                    seed: int) -> UopStream:
+    """Generate a synthetic micro-op stream with the phase's physics.
+
+    * Types follow the phase's instruction mix.
+    * Dependency distances are geometric with mean equal to the
+      phase's ILP, which makes the dataflow-limited parallelism of the
+      stream approximate ``ilp``.
+    * Load outcomes sample the phase's hierarchical miss rates.
+    * Branch mispredictions sample ``branch_mpki``.
+    * Store bursts: with probability ``sq_pressure`` a store is part of
+      a burst, emitted in runs that fill the store queue.
+    """
+    if n_uops <= 0:
+        raise ConfigurationError(f"n_uops must be positive, got {n_uops}")
+    rng = rng_mod.stream(seed, "uops", phase.name)
+
+    probs = np.array([
+        max(phase.frac_int - 0.05, 0.0),  # plain ALU
+        0.05,  # MUL share of int
+        phase.frac_fp,
+        phase.frac_load,
+        phase.frac_store,
+        phase.frac_branch,
+    ])
+    probs = probs / probs.sum()
+    types = rng.choice(len(UopType), size=n_uops, p=probs).astype(np.int8)
+
+    # Store bursts: rewrite store positions into contiguous runs.
+    if phase.sq_pressure > 0.3:
+        burst_len = int(8 + phase.sq_pressure * 40)
+        n_bursts = max(1, int(n_uops * phase.frac_store / burst_len))
+        for start in rng.integers(0, max(1, n_uops - burst_len),
+                                  size=n_bursts):
+            span = slice(int(start), int(start) + burst_len)
+            mask = rng.random(burst_len) < 0.7
+            segment = types[span]
+            segment[mask[:segment.shape[0]]] = int(UopType.STORE)
+
+    # Dependencies: geometric distances calibrated so the stream's
+    # *measured* dataflow parallelism (critical-path ratio, in uops per
+    # cycle) matches the phase's ILP. Two corrections, both fit
+    # empirically: a quadratic term because two-source uops deepen the
+    # critical path, and the mean node latency, because loads and FP
+    # ops are multi-cycle even when they hit the L1.
+    mean_node_latency = (1.0
+                         + 3.0 * phase.frac_load
+                         + 3.0 * phase.frac_fp
+                         + 0.1)
+    mean_distance = phase.ilp * (0.9 + 0.12 * phase.ilp)
+    mean_distance = min(mean_distance * mean_node_latency, 60.0)
+    p = min(1.0, 1.0 / max(mean_distance, 1.0))
+    dist1 = rng.geometric(p, size=n_uops)
+    dist2 = rng.geometric(p, size=n_uops)
+    idx = np.arange(n_uops)
+    src1 = idx - dist1
+    src2 = np.where(rng.random(n_uops) < 0.35, idx - dist2, -1)
+    src1[src1 < 0] = -1
+    src2[src2 < 0] = -1
+
+    # Load outcomes from hierarchical miss rates (per-load rates).
+    mem_level = np.full(n_uops, -1, dtype=np.int8)
+    loads = np.flatnonzero(types == int(UopType.LOAD))
+    if loads.size:
+        per_load = 1000.0 * max(phase.frac_load, 1e-6)
+        p_l1_miss = min(phase.l1d_mpki / per_load, 1.0)
+        p_l2_miss = min(phase.l2_mpki / max(phase.l1d_mpki, 1e-9), 1.0)
+        p_l3_miss = min(phase.l3_mpki / max(phase.l2_mpki, 1e-9), 1.0)
+        draw = rng.random((loads.size, 3))
+        level = np.zeros(loads.size, dtype=np.int8)
+        miss1 = draw[:, 0] < p_l1_miss
+        level[miss1] = MEM_L2
+        miss2 = miss1 & (draw[:, 1] < p_l2_miss)
+        level[miss2] = MEM_L3
+        miss3 = miss2 & (draw[:, 2] < p_l3_miss)
+        level[miss3] = MEM_DRAM
+        mem_level[loads] = level
+
+    mispredicted = np.zeros(n_uops, dtype=bool)
+    branches = np.flatnonzero(types == int(UopType.BRANCH))
+    if branches.size:
+        per_branch = 1000.0 * max(phase.frac_branch, 1e-6)
+        p_miss = min(phase.branch_mpki / per_branch, 1.0)
+        mispredicted[branches] = rng.random(branches.size) < p_miss
+
+    return UopStream(
+        types=types,
+        src1=src1.astype(np.int64),
+        src2=src2.astype(np.int64),
+        mem_level=mem_level,
+        mispredicted=mispredicted,
+    )

@@ -1,0 +1,113 @@
+"""Base microarchitectural event signals.
+
+The paper's telemetry subsystem exposes 936 event counters. Physically,
+most hardware counters observe a much smaller set of underlying events
+through different windows (different thresholds, edges, unit masks,
+duplicated per slice, ...). We model that: the simulator tiers emit the
+~56 *base signals* defined here, and :mod:`repro.telemetry.counters`
+derives the full 936-counter catalog from them (aliases, noisy copies,
+combinations, low-activity and dead counters).
+
+Each base signal is a per-interval count (occupancy signals are summed
+occupancy, i.e. entries x cycles, as real occupancy counters count).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class SignalDef:
+    """One base signal: stable name, human description, unit class."""
+
+    name: str
+    description: str
+    unit: str  # "count", "cycles", "occupancy", "bytes"
+
+
+BASE_SIGNALS: tuple[SignalDef, ...] = (
+    SignalDef("cycles", "Core clock cycles", "cycles"),
+    SignalDef("instructions", "Instructions retired", "count"),
+    SignalDef("uops_issued", "Micro-ops issued to schedulers", "count"),
+    SignalDef("uops_retired", "Micro-ops retired", "count"),
+    SignalDef("loads_retired", "Load instructions retired", "count"),
+    SignalDef("stores_retired", "Store instructions retired", "count"),
+    SignalDef("branches_retired", "Branch instructions retired", "count"),
+    SignalDef("fp_ops_retired", "Floating-point ops retired", "count"),
+    SignalDef("int_ops_retired", "Integer ALU ops retired", "count"),
+    SignalDef("l1d_reads", "L1 data cache read accesses", "count"),
+    SignalDef("l1d_writes", "L1 data cache write accesses", "count"),
+    SignalDef("l1d_hits", "L1 data cache hits", "count"),
+    SignalDef("l1d_misses", "L1 data cache misses", "count"),
+    SignalDef("l2_accesses", "L2 cache accesses", "count"),
+    SignalDef("l2_hits", "L2 cache hits", "count"),
+    SignalDef("l2_misses", "L2 cache misses", "count"),
+    SignalDef("l3_accesses", "L3 cache accesses", "count"),
+    SignalDef("l3_hits", "L3 cache hits", "count"),
+    SignalDef("l3_misses", "L3 cache misses", "count"),
+    SignalDef("memory_reads", "DRAM read transactions", "count"),
+    SignalDef("l2_evictions", "L2 cache evictions", "count"),
+    SignalDef("l2_silent_evictions", "L2 clean (silent) evictions", "count"),
+    SignalDef("l2_dirty_evictions", "L2 dirty evictions (writebacks)", "count"),
+    SignalDef("branch_mispredicts", "Branch mispredictions", "count"),
+    SignalDef("wrong_path_uops", "Wrong-path micro-ops flushed", "count"),
+    SignalDef("pipeline_flushes", "Pipeline flush events", "count"),
+    SignalDef("icache_misses", "Instruction cache misses", "count"),
+    SignalDef("icache_hits", "Instruction cache hits", "count"),
+    SignalDef("uopcache_hits", "Micro-op cache hits", "count"),
+    SignalDef("uopcache_misses", "Micro-op cache misses", "count"),
+    SignalDef("itlb_misses", "Instruction TLB misses", "count"),
+    SignalDef("dtlb_misses", "Data TLB misses", "count"),
+    SignalDef("stall_cycles", "Cycles with no issue (any reason)", "cycles"),
+    SignalDef("frontend_stall_cycles", "Front-end bound stall cycles", "cycles"),
+    SignalDef("backend_stall_cycles", "Back-end bound stall cycles", "cycles"),
+    SignalDef("memory_stall_cycles", "Memory-bound stall cycles", "cycles"),
+    SignalDef("dep_stall_cycles", "Dependency-bound stall cycles", "cycles"),
+    SignalDef("sq_full_stall_cycles", "Store-queue-full stall cycles", "cycles"),
+    SignalDef("uops_ready", "Micro-ops ready to issue (summed)", "occupancy"),
+    SignalDef("uops_stalled_dep", "Micro-ops stalled on dependences (summed)",
+              "occupancy"),
+    SignalDef("preg_refs", "Physical register file references", "count"),
+    SignalDef("preg_allocs", "Physical register allocations", "count"),
+    SignalDef("rob_occupancy", "ROB occupancy (entries x cycles)", "occupancy"),
+    SignalDef("sq_occupancy", "Store queue occupancy (entries x cycles)",
+              "occupancy"),
+    SignalDef("lq_occupancy", "Load queue occupancy (entries x cycles)",
+              "occupancy"),
+    SignalDef("scheduler_occupancy", "Scheduler occupancy (entries x cycles)",
+              "occupancy"),
+    SignalDef("mshr_occupancy", "MSHR occupancy (entries x cycles)",
+              "occupancy"),
+    SignalDef("intercluster_transfers", "Inter-cluster operand transfers",
+              "count"),
+    SignalDef("mode_switches", "Cluster mode switches", "count"),
+    SignalDef("prefetches_issued", "Hardware prefetches issued", "count"),
+    SignalDef("prefetch_hits", "Prefetch-covered demand accesses", "count"),
+    SignalDef("fp_divides", "FP divide/sqrt ops", "count"),
+    SignalDef("int_muls", "Integer multiply ops", "count"),
+    SignalDef("mem_bandwidth_bytes", "DRAM traffic in bytes", "bytes"),
+    SignalDef("store_buffer_drains", "Store buffer drain events", "count"),
+    SignalDef("machine_clears", "Machine clear events", "count"),
+)
+
+#: Number of base signals.
+N_SIGNALS = len(BASE_SIGNALS)
+
+_INDEX = {sig.name: i for i, sig in enumerate(BASE_SIGNALS)}
+
+
+def signal_index(name: str) -> int:
+    """Index of a base signal by name.
+
+    Raises
+    ------
+    KeyError
+        If the signal does not exist.
+    """
+    return _INDEX[name]
+
+
+def signal_names() -> list[str]:
+    """All base signal names in order."""
+    return [sig.name for sig in BASE_SIGNALS]

@@ -1,0 +1,147 @@
+"""Structural simulation tier: real caches and branch predictors.
+
+The default (annotated) cycle tier replays per-uop outcomes sampled
+from phase physics — fast and exactly aligned with the interval model.
+This tier instead *derives* outcomes structurally: loads and stores
+walk the LRU cache hierarchy (:mod:`repro.uarch.caches`) over
+synthetic address streams (:mod:`repro.uarch.addresses`); branches run
+through a trained gshare predictor over synthetic (pc, taken) streams.
+
+It exists to validate the substitution chain end to end: phase physics
+-> synthetic streams -> real structures should reproduce the miss and
+mispredict rates the annotations assume. Tests assert that closure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.config import MachineConfig
+from repro.uarch.addresses import AddressModel, BranchStream
+from repro.uarch.branch import GsharePredictor
+from repro.uarch.caches import CacheHierarchy
+from repro.uarch.core_model import ClusteredCoreModel, CycleSimResult
+from repro.uarch.isa import UopStream, UopType, synthesize_uops
+from repro.uarch.modes import Mode
+from repro.workloads.phases import PhaseInstance
+
+
+@dataclasses.dataclass(frozen=True)
+class StructuralStream:
+    """A uop stream plus concrete addresses and branch outcomes."""
+
+    uops: UopStream
+    addresses: np.ndarray  # (N,) byte address per uop (0 for non-mem)
+    branch_pcs: np.ndarray  # (N,) pc per uop (0 for non-branches)
+    branch_taken: np.ndarray  # (N,) bool
+
+
+def synthesize_structural_stream(phase: PhaseInstance, n_uops: int,
+                                 seed: int,
+                                 machine: MachineConfig | None = None,
+                                 ) -> StructuralStream:
+    """Build a structural stream with the phase's physics."""
+    uops = synthesize_uops(phase, n_uops, seed)
+    addresses = np.zeros(n_uops, dtype=np.int64)
+    mem_mask = ((uops.types == int(UopType.LOAD))
+                | (uops.types == int(UopType.STORE)))
+    n_mem = int(mem_mask.sum())
+    if n_mem:
+        model = AddressModel(phase, rng_mod.derive_seed(seed, "amodel"),
+                             machine)
+        addresses[mem_mask] = model.generate(n_mem)
+    branch_pcs = np.zeros(n_uops, dtype=np.int64)
+    branch_taken = np.zeros(n_uops, dtype=bool)
+    br_mask = uops.types == int(UopType.BRANCH)
+    n_br = int(br_mask.sum())
+    if n_br:
+        stream = BranchStream(phase, rng_mod.derive_seed(seed, "bmodel"))
+        pcs, taken = stream.generate(n_br)
+        branch_pcs[br_mask] = pcs
+        branch_taken[br_mask] = taken
+    return StructuralStream(uops=uops, addresses=addresses,
+                            branch_pcs=branch_pcs,
+                            branch_taken=branch_taken)
+
+
+class StructuralCoreModel(ClusteredCoreModel):
+    """Cycle model whose memory/branch outcomes come from structures."""
+
+    def __init__(self, machine: MachineConfig | None = None,
+                 mode: Mode = Mode.HIGH_PERF) -> None:
+        super().__init__(machine, mode)
+        machine = self.machine
+        self.hierarchy = CacheHierarchy(
+            l1_kib=machine.l1d_kib, l2_kib=machine.l2_kib,
+            l3_kib=machine.l3_kib, line_bytes=machine.line_bytes,
+            l1_latency=machine.l1_latency, l2_latency=machine.l2_latency,
+            l3_latency=machine.l3_latency,
+            memory_latency=machine.memory_latency,
+            tlb_penalty=machine.tlb_miss_penalty)
+        self.predictor = GsharePredictor()
+        self._structural: StructuralStream | None = None
+        self.branch_mispredict_count = 0
+
+    # ------------------------------------------------------------------
+    def load_outcome(self, stream: UopStream, i: int) -> int:
+        assert self._structural is not None
+        address = int(self._structural.addresses[i])
+        return self.hierarchy.access(address, write=False).level
+
+    def store_outcome(self, stream: UopStream, i: int) -> None:
+        assert self._structural is not None
+        address = int(self._structural.addresses[i])
+        self.hierarchy.access(address, write=True)
+
+    def branch_outcome(self, stream: UopStream, i: int) -> bool:
+        assert self._structural is not None
+        pc = int(self._structural.branch_pcs[i])
+        taken = bool(self._structural.branch_taken[i])
+        predicted = self.predictor.predict(pc)
+        self.predictor.update(pc, taken)
+        missed = predicted != taken
+        self.branch_mispredict_count += missed
+        return missed
+
+    # ------------------------------------------------------------------
+    def execute_structural(self, stream: StructuralStream,
+                           ) -> CycleSimResult:
+        """Run a structural stream through the cycle model."""
+        self._structural = stream
+        try:
+            return self.execute(stream.uops)
+        finally:
+            self._structural = None
+
+    def measured_l1_miss_rate(self) -> float:
+        """Demand L1D miss rate observed so far."""
+        return self.hierarchy.l1.stats.miss_rate
+
+
+def simulate_phase_structural(phase: PhaseInstance, n_uops: int,
+                              mode: Mode, seed: int,
+                              machine: MachineConfig | None = None,
+                              warmup_uops: int = 4000,
+                              ) -> tuple[CycleSimResult,
+                                         StructuralCoreModel]:
+    """Warm the structures, then measure one phase structurally.
+
+    Returns the post-warmup result and the model (whose cache/branch
+    statistics cover only the measured region).
+    """
+    model = StructuralCoreModel(machine, mode)
+    warm = synthesize_structural_stream(
+        phase, warmup_uops, rng_mod.derive_seed(seed, "warm"), machine)
+    model.execute_structural(warm)
+    # Reset statistics but keep structure contents (warm caches).
+    model.hierarchy.l1.reset_stats()
+    model.hierarchy.l2.reset_stats()
+    model.hierarchy.l3.reset_stats()
+    model.branch_mispredict_count = 0
+    stream = synthesize_structural_stream(
+        phase, n_uops, rng_mod.derive_seed(seed, "measure"), machine)
+    result = model.execute_structural(stream)
+    return result, model

@@ -1,0 +1,67 @@
+"""Synthetic workload substrate.
+
+The paper trains on 2,648 proprietary traces of 593 client/server
+applications (HDTR, Table 1) and tests on SPEC2017 SimPoint traces
+(Table 2); neither is available offline. This package substitutes a
+phase-structured synthetic workload model:
+
+* :mod:`repro.workloads.phases` — a library of phase *archetypes*, each
+  a bundle of microarchitecture-level "physics" (ILP, instruction mix,
+  miss rates, store-queue pressure, ...) that determines per-mode IPC
+  and telemetry.
+* :mod:`repro.workloads.generator` — applications as Markov chains over
+  phase instances, workloads as (application, input) pairs, traces as
+  per-interval phase/physics sequences.
+* :mod:`repro.workloads.categories` — the six Table-1 application
+  categories with category-biased phase mixtures.
+* :mod:`repro.workloads.spec2017` — a SPEC2017-like held-out suite with
+  the paper's 20 benchmark names and per-app workload counts, including
+  out-of-distribution phase families that create the blindspots of
+  Figure 9.
+* :mod:`repro.workloads.simpoints` — SimPoint-style representative
+  region selection via k-means over basic-block vectors.
+"""
+
+from repro.workloads.categories import CATEGORIES, Category, hdtr_corpus
+from repro.workloads.generator import (
+    ApplicationSpec,
+    PhaseSequence,
+    TraceSpec,
+    WorkloadSpec,
+    generate_application,
+    generate_trace,
+)
+from repro.workloads.phases import (
+    PHASE_LIBRARY,
+    PhaseArchetype,
+    PhaseInstance,
+    archetype_names,
+    families,
+    sample_phase_instance,
+)
+from repro.workloads.spec2017 import (
+    SPEC2017_APPS,
+    SpecBenchmark,
+    spec2017_suite,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "Category",
+    "hdtr_corpus",
+    "ApplicationSpec",
+    "PhaseSequence",
+    "TraceSpec",
+    "WorkloadSpec",
+    "generate_application",
+    "generate_trace",
+    "PHASE_LIBRARY",
+    "PhaseArchetype",
+    "PhaseInstance",
+    "archetype_names",
+    "families",
+    "sample_phase_instance",
+    "SPEC2017_APPS",
+    "SpecBenchmark",
+    "spec2017_suite",
+]

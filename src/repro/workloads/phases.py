@@ -1,0 +1,407 @@
+"""Phase archetypes: the microarchitectural "physics" of workloads.
+
+A *phase* is a period of statistically stationary execution behaviour
+(Section 4.2 of the paper defines blindspots in terms of phases). We
+model a phase with a small vector of physics parameters that the
+simulator tiers (:mod:`repro.uarch`) translate into per-mode IPC,
+telemetry counters and power:
+
+========================  =====================================================
+parameter                 meaning
+========================  =====================================================
+``ilp``                   mean exploitable instruction-level parallelism
+``frac_load`` etc.        dynamic instruction mix (fractions sum to <= 1;
+                          remainder is integer ALU)
+``l1d_mpki``              L1 data-cache misses per kilo-instruction
+``l2_mpki``               L2 misses per kilo-instruction (subset of L1 misses)
+``l3_mpki``               L3 misses per kilo-instruction (subset of L2 misses)
+``branch_mpki``           branch mispredictions per kilo-instruction
+``icache_mpki``           instruction-cache misses per kilo-instruction
+``uopcache_hit_rate``     fraction of micro-ops delivered by the uop cache
+``itlb_mpki``/``dtlb_mpki``  TLB misses per kilo-instruction
+``sq_pressure``           store-queue occupancy factor in [0, 1]; high values
+                          mean store bursts that fill the (halved) low-power
+                          store queue
+``mlp``                   memory-level parallelism: outstanding misses that
+                          overlap; halving MSHRs in low-power mode caps it
+``dirty_frac``            fraction of L2 evictions that are dirty (the
+                          complement produces the "L2 silent evictions"
+                          counter of Table 4)
+``noise_scale``           relative telemetry noise for the phase
+========================  =====================================================
+
+The library below defines ~44 archetypes across ten families. Families
+map onto recognisable workload behaviours (compute-bound, pointer
+chasing, bandwidth-bound, front-end bound, store bursts, ...) and span
+the gating spectrum: some phases lose almost nothing at 4-wide issue
+(ideal gating targets), others crater. The ``store_burst`` family is
+the engineered blindspot: its low-power penalty is only visible through
+the Store Queue Occupancy counter, which the expert-chosen CHARSTAR
+counter set lacks (Section 7.1 / Figure 9).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Physics fields that are rates/fractions bounded to [0, 1].
+_UNIT_FIELDS = (
+    "frac_load",
+    "frac_store",
+    "frac_branch",
+    "frac_fp",
+    "uopcache_hit_rate",
+    "sq_pressure",
+    "dirty_frac",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseInstance:
+    """A concrete phase: archetype physics after per-application jitter.
+
+    Instances are what traces carry; all simulator tiers consume them.
+    """
+
+    name: str
+    family: str
+    ilp: float
+    frac_load: float
+    frac_store: float
+    frac_branch: float
+    frac_fp: float
+    l1d_mpki: float
+    l2_mpki: float
+    l3_mpki: float
+    branch_mpki: float
+    icache_mpki: float
+    uopcache_hit_rate: float
+    itlb_mpki: float
+    dtlb_mpki: float
+    sq_pressure: float
+    mlp: float
+    dirty_frac: float
+    noise_scale: float
+
+    def __post_init__(self) -> None:
+        if self.ilp < 1.0:
+            raise ConfigurationError(f"{self.name}: ilp must be >= 1, got {self.ilp}")
+        mix = self.frac_load + self.frac_store + self.frac_branch + self.frac_fp
+        if mix > 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"{self.name}: instruction mix sums to {mix:.3f} > 1"
+            )
+        for field in _UNIT_FIELDS:
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{self.name}: {field} must be in [0, 1], got {value}"
+                )
+        if not self.l1d_mpki >= self.l2_mpki >= self.l3_mpki >= 0.0:
+            raise ConfigurationError(
+                f"{self.name}: miss rates must nest: l1d >= l2 >= l3 >= 0"
+            )
+        if self.mlp < 1.0:
+            raise ConfigurationError(f"{self.name}: mlp must be >= 1, got {self.mlp}")
+
+    @property
+    def frac_int(self) -> float:
+        """Fraction of plain integer ALU instructions (the remainder)."""
+        return 1.0 - (
+            self.frac_load + self.frac_store + self.frac_branch + self.frac_fp
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseArchetype:
+    """A named distribution over :class:`PhaseInstance` physics.
+
+    ``center`` holds mean physics values; ``spread`` holds relative
+    jitter applied per application, so two applications sharing an
+    archetype still differ statistically (the paper's training-
+    diversity experiments rely on this).
+    """
+
+    name: str
+    family: str
+    center: dict[str, float]
+    spread: float = 0.15
+
+    def sample(self, rng: np.random.Generator) -> PhaseInstance:
+        """Draw one jittered :class:`PhaseInstance` for an application."""
+        values: dict[str, float] = {}
+        for key, mean in self.center.items():
+            jitter = float(rng.normal(1.0, self.spread))
+            jitter = min(max(jitter, 0.5), 1.6)
+            values[key] = mean * jitter
+        # Re-impose structural constraints after jitter.
+        values["ilp"] = max(1.0, values["ilp"])
+        values["mlp"] = max(1.0, values["mlp"])
+        for field in _UNIT_FIELDS:
+            values[field] = min(max(values[field], 0.0), 1.0)
+        mix = (values["frac_load"] + values["frac_store"]
+               + values["frac_branch"] + values["frac_fp"])
+        if mix > 0.95:
+            scale = 0.95 / mix
+            for field in ("frac_load", "frac_store", "frac_branch", "frac_fp"):
+                values[field] *= scale
+        values["l2_mpki"] = min(values["l2_mpki"], values["l1d_mpki"])
+        values["l3_mpki"] = min(values["l3_mpki"], values["l2_mpki"])
+        return PhaseInstance(name=self.name, family=self.family, **values)
+
+
+def _physics(ilp: float, load: float, store: float, branch: float, fp: float,
+             l1d: float, l2: float, l3: float, brm: float, ic: float,
+             uopc: float, itlb: float, dtlb: float, sq: float, mlp: float,
+             dirty: float = 0.4, noise: float = 0.05) -> dict[str, float]:
+    """Shorthand constructor for archetype centers."""
+    return {
+        "ilp": ilp,
+        "frac_load": load,
+        "frac_store": store,
+        "frac_branch": branch,
+        "frac_fp": fp,
+        "l1d_mpki": l1d,
+        "l2_mpki": l2,
+        "l3_mpki": l3,
+        "branch_mpki": brm,
+        "icache_mpki": ic,
+        "uopcache_hit_rate": uopc,
+        "itlb_mpki": itlb,
+        "dtlb_mpki": dtlb,
+        "sq_pressure": sq,
+        "mlp": mlp,
+        "dirty_frac": dirty,
+        "noise_scale": noise,
+    }
+
+
+def _build_library() -> tuple[PhaseArchetype, ...]:
+    """Construct the full archetype library."""
+    lib: list[PhaseArchetype] = []
+
+    def add(name: str, family: str, center: dict[str, float],
+            spread: float = 0.15) -> None:
+        lib.append(PhaseArchetype(name=name, family=family, center=center,
+                                  spread=spread))
+
+    # -- Compute-bound, high ILP: wide issue pays off; never gate. -----
+    add("int_superscalar", "compute_int",
+        _physics(6.5, 0.22, 0.08, 0.12, 0.02, 2.0, 0.5, 0.1, 1.5, 0.1,
+                 0.97, 0.01, 0.05, 0.05, 2.0))
+    add("int_unrolled_loops", "compute_int",
+        _physics(7.2, 0.25, 0.10, 0.06, 0.00, 3.0, 0.8, 0.1, 0.8, 0.05,
+                 0.99, 0.01, 0.08, 0.08, 2.5))
+    add("int_crypto_rounds", "compute_int",
+        _physics(5.8, 0.12, 0.05, 0.04, 0.00, 0.5, 0.1, 0.0, 0.3, 0.02,
+                 0.99, 0.00, 0.02, 0.04, 1.5))
+    add("int_hash_mix", "compute_int",
+        _physics(5.2, 0.20, 0.10, 0.08, 0.00, 4.0, 1.0, 0.2, 2.0, 0.1,
+                 0.96, 0.01, 0.10, 0.08, 2.2))
+
+    # -- FP / vectorisable kernels: high ILP, wide issue critical. -----
+    add("fp_dense_blas", "compute_fp",
+        _physics(7.5, 0.30, 0.12, 0.03, 0.40, 6.0, 1.5, 0.3, 0.3, 0.02,
+                 0.99, 0.00, 0.15, 0.10, 4.0))
+    add("fp_stencil_hot", "compute_fp",
+        _physics(6.8, 0.32, 0.14, 0.04, 0.35, 8.0, 2.0, 0.5, 0.5, 0.05,
+                 0.98, 0.01, 0.20, 0.12, 4.5))
+    add("fp_particle_update", "compute_fp",
+        _physics(6.0, 0.28, 0.12, 0.06, 0.30, 5.0, 1.2, 0.2, 1.0, 0.05,
+                 0.97, 0.01, 0.12, 0.10, 3.0))
+    add("fp_transcendental", "compute_fp",
+        _physics(4.8, 0.18, 0.08, 0.05, 0.45, 2.0, 0.4, 0.1, 0.6, 0.03,
+                 0.98, 0.00, 0.05, 0.06, 1.8))
+
+    # -- Memory latency bound: serial misses; gating is nearly free. ---
+    add("ptr_chase_heap", "pointer_chase",
+        _physics(1.4, 0.35, 0.05, 0.10, 0.00, 45.0, 25.0, 12.0, 4.0, 0.3,
+                 0.92, 0.02, 1.5, 0.05, 1.3))
+    add("ptr_chase_tree", "pointer_chase",
+        _physics(1.6, 0.32, 0.06, 0.14, 0.00, 38.0, 20.0, 9.0, 7.0, 0.4,
+                 0.90, 0.03, 1.2, 0.05, 1.4))
+    add("linked_list_walk", "pointer_chase",
+        _physics(1.2, 0.40, 0.04, 0.08, 0.00, 50.0, 30.0, 15.0, 2.0, 0.2,
+                 0.94, 0.01, 2.0, 0.04, 1.1))
+    add("graph_traversal", "pointer_chase",
+        _physics(1.8, 0.34, 0.06, 0.15, 0.00, 42.0, 24.0, 10.0, 9.0, 0.5,
+                 0.88, 0.03, 1.8, 0.06, 1.6))
+    add("hash_probe_cold", "pointer_chase",
+        _physics(2.0, 0.30, 0.08, 0.12, 0.00, 35.0, 18.0, 8.0, 5.0, 0.3,
+                 0.93, 0.02, 1.4, 0.08, 1.7))
+
+    # -- Memory bandwidth bound: high MLP; halved MSHRs hurt. ----------
+    add("stream_copy", "bandwidth",
+        _physics(3.5, 0.35, 0.18, 0.02, 0.10, 30.0, 22.0, 16.0, 0.2, 0.02,
+                 0.99, 0.00, 0.8, 0.20, 8.0))
+    add("stream_triad", "bandwidth",
+        _physics(3.8, 0.33, 0.16, 0.02, 0.20, 28.0, 20.0, 14.0, 0.2, 0.02,
+                 0.99, 0.00, 0.7, 0.22, 7.5))
+    add("block_transpose", "bandwidth",
+        _physics(3.2, 0.36, 0.20, 0.03, 0.05, 26.0, 16.0, 11.0, 0.5, 0.05,
+                 0.98, 0.01, 1.0, 0.25, 6.0))
+    add("scan_filter", "bandwidth",
+        _physics(4.0, 0.38, 0.08, 0.08, 0.02, 24.0, 17.0, 12.0, 1.5, 0.05,
+                 0.98, 0.01, 0.9, 0.10, 6.5))
+
+    # -- Branch-dominated irregular control flow: front end bound. -----
+    add("branchy_parser", "branchy",
+        _physics(2.4, 0.24, 0.08, 0.24, 0.00, 8.0, 2.0, 0.4, 16.0, 1.0,
+                 0.85, 0.05, 0.3, 0.06, 1.8))
+    add("branchy_interp", "branchy",
+        _physics(2.2, 0.26, 0.10, 0.22, 0.00, 10.0, 3.0, 0.6, 14.0, 1.5,
+                 0.80, 0.08, 0.4, 0.07, 1.9))
+    add("decision_logic", "branchy",
+        _physics(2.8, 0.20, 0.06, 0.26, 0.00, 6.0, 1.5, 0.3, 19.0, 0.8,
+                 0.87, 0.04, 0.2, 0.05, 2.0))
+    add("state_machine", "branchy",
+        _physics(2.6, 0.22, 0.08, 0.20, 0.00, 7.0, 2.5, 0.5, 12.0, 1.2,
+                 0.83, 0.06, 0.3, 0.06, 1.7))
+
+    # -- Front-end bound: huge code footprints. -------------------------
+    add("megamorphic_calls", "frontend",
+        _physics(2.5, 0.22, 0.10, 0.16, 0.00, 9.0, 3.0, 0.8, 8.0, 12.0,
+                 0.45, 0.9, 0.4, 0.08, 1.8))
+    add("jit_warmup", "frontend",
+        _physics(2.2, 0.24, 0.12, 0.14, 0.00, 11.0, 4.0, 1.0, 9.0, 15.0,
+                 0.35, 1.2, 0.5, 0.10, 1.9))
+    add("server_dispatch", "frontend",
+        _physics(2.8, 0.26, 0.10, 0.15, 0.00, 12.0, 4.5, 1.2, 7.0, 10.0,
+                 0.50, 0.8, 0.6, 0.09, 2.0))
+    add("template_bloat", "frontend",
+        _physics(3.0, 0.20, 0.08, 0.12, 0.02, 8.0, 2.5, 0.6, 6.0, 9.0,
+                 0.55, 0.7, 0.3, 0.07, 2.1))
+
+    # -- Store bursts: the blindspot family (Section 7.1, Fig. 9). -----
+    # On the expert counter set (branch/cache/TLB misses, IPC, stalls)
+    # these phases are indistinguishable from latency-bound gateable
+    # phases: low IPC, elevated data-cache misses, high stall counts.
+    # Only the Store Queue Occupancy counter reveals that low-power
+    # mode (half the SQ entries) will crater them.
+    add("store_burst_log", "store_burst",
+        _physics(1.8, 0.26, 0.28, 0.09, 0.00, 38.0, 19.0, 8.0, 4.0, 0.3,
+                 0.92, 0.02, 1.4, 0.85, 1.6))
+    add("store_burst_serialize", "store_burst",
+        _physics(1.6, 0.24, 0.32, 0.08, 0.00, 34.0, 17.0, 7.0, 3.0, 0.2,
+                 0.93, 0.01, 1.2, 0.90, 1.4))
+    add("store_burst_checkpoint", "store_burst",
+        _physics(2.0, 0.28, 0.26, 0.10, 0.00, 42.0, 21.0, 9.0, 5.0, 0.3,
+                 0.91, 0.02, 1.6, 0.80, 1.8))
+
+    # -- Balanced moderate phases: gating borderline at P_SLA = 0.9. ---
+    add("balanced_mixed", "balanced",
+        _physics(4.2, 0.25, 0.10, 0.12, 0.05, 12.0, 4.0, 1.2, 5.0, 0.8,
+                 0.92, 0.05, 0.5, 0.12, 2.6))
+    add("balanced_gui_event", "balanced",
+        _physics(3.8, 0.24, 0.12, 0.14, 0.02, 14.0, 5.0, 1.5, 6.0, 1.5,
+                 0.88, 0.10, 0.6, 0.10, 2.4))
+    add("balanced_codec_ctrl", "balanced",
+        _physics(4.5, 0.26, 0.10, 0.10, 0.08, 10.0, 3.0, 0.8, 4.0, 0.6,
+                 0.93, 0.04, 0.4, 0.14, 2.8))
+    add("balanced_db_row", "balanced",
+        _physics(3.5, 0.28, 0.12, 0.12, 0.00, 16.0, 6.0, 2.0, 5.5, 1.0,
+                 0.90, 0.08, 0.8, 0.15, 2.3))
+
+    # -- Dependency-chain stalls: low ILP but cache friendly. ----------
+    add("dep_chain_reduce", "dep_chain",
+        _physics(1.3, 0.15, 0.05, 0.06, 0.15, 1.5, 0.3, 0.0, 0.5, 0.05,
+                 0.99, 0.00, 0.05, 0.04, 1.2))
+    add("dep_chain_crc", "dep_chain",
+        _physics(1.5, 0.18, 0.06, 0.05, 0.00, 2.0, 0.4, 0.1, 0.4, 0.05,
+                 0.99, 0.00, 0.06, 0.05, 1.3))
+    add("dep_chain_fsm_math", "dep_chain",
+        _physics(1.8, 0.16, 0.05, 0.08, 0.20, 1.8, 0.3, 0.0, 1.0, 0.05,
+                 0.98, 0.00, 0.05, 0.04, 1.4))
+
+    # -- Low activity / idle-ish phases. --------------------------------
+    add("spin_poll", "low_activity",
+        _physics(2.0, 0.30, 0.02, 0.20, 0.00, 1.0, 0.1, 0.0, 0.2, 0.02,
+                 0.99, 0.00, 0.02, 0.02, 1.1))
+    add("timer_wait_loop", "low_activity",
+        _physics(1.6, 0.25, 0.03, 0.25, 0.00, 0.8, 0.1, 0.0, 0.3, 0.02,
+                 0.99, 0.00, 0.02, 0.02, 1.1))
+
+    # -- Mixed-FP scientific with phase-local locality. -----------------
+    add("fp_sparse_solver", "sparse_fp",
+        _physics(2.6, 0.34, 0.08, 0.06, 0.25, 28.0, 14.0, 6.0, 1.5, 0.1,
+                 0.97, 0.01, 1.0, 0.08, 3.0))
+    add("fp_fft_butterfly", "sparse_fp",
+        _physics(5.5, 0.30, 0.14, 0.03, 0.35, 12.0, 5.0, 2.0, 0.4, 0.05,
+                 0.98, 0.00, 0.4, 0.12, 4.0))
+    add("fp_mc_sampling", "sparse_fp",
+        _physics(3.0, 0.26, 0.08, 0.10, 0.30, 20.0, 9.0, 3.5, 3.0, 0.2,
+                 0.95, 0.01, 0.8, 0.08, 2.2))
+
+    # -- AI / analytics inner loops. ------------------------------------
+    add("gemm_tile", "ai_kernel",
+        _physics(7.8, 0.28, 0.10, 0.02, 0.45, 4.0, 1.0, 0.2, 0.2, 0.02,
+                 0.99, 0.00, 0.1, 0.10, 5.0))
+    add("embedding_gather", "ai_kernel",
+        _physics(2.4, 0.40, 0.06, 0.06, 0.10, 36.0, 22.0, 11.0, 1.0, 0.1,
+                 0.98, 0.01, 1.6, 0.06, 3.5))
+    add("softmax_norm", "ai_kernel",
+        _physics(4.6, 0.24, 0.10, 0.04, 0.40, 6.0, 1.5, 0.3, 0.3, 0.03,
+                 0.99, 0.00, 0.2, 0.08, 2.6))
+
+    # -- Media / rendering. ---------------------------------------------
+    add("pixel_shade", "media",
+        _physics(6.2, 0.26, 0.12, 0.04, 0.35, 9.0, 2.5, 0.6, 1.0, 0.1,
+                 0.98, 0.01, 0.3, 0.12, 3.8))
+    add("motion_estimation", "media",
+        _physics(5.4, 0.32, 0.08, 0.08, 0.15, 14.0, 4.0, 1.0, 3.0, 0.2,
+                 0.96, 0.01, 0.5, 0.08, 3.2))
+    add("audio_dsp", "media",
+        _physics(4.4, 0.24, 0.10, 0.06, 0.30, 5.0, 1.0, 0.2, 0.8, 0.05,
+                 0.99, 0.00, 0.2, 0.08, 2.4))
+    add("entropy_decode", "media",
+        _physics(2.3, 0.24, 0.08, 0.20, 0.02, 9.0, 2.5, 0.5, 11.0, 0.8,
+                 0.86, 0.04, 0.3, 0.06, 1.8))
+
+    return tuple(lib)
+
+
+#: The full archetype library, keyed access via :func:`get_archetype`.
+PHASE_LIBRARY: tuple[PhaseArchetype, ...] = _build_library()
+
+_BY_NAME = {arch.name: arch for arch in PHASE_LIBRARY}
+
+
+def archetype_names() -> list[str]:
+    """Names of every archetype in the library, in a stable order."""
+    return [arch.name for arch in PHASE_LIBRARY]
+
+
+def families() -> list[str]:
+    """Distinct archetype families, in first-seen order."""
+    seen: list[str] = []
+    for arch in PHASE_LIBRARY:
+        if arch.family not in seen:
+            seen.append(arch.family)
+    return seen
+
+
+def get_archetype(name: str) -> PhaseArchetype:
+    """Look up an archetype by name.
+
+    Raises
+    ------
+    KeyError
+        If no archetype has that name.
+    """
+    return _BY_NAME[name]
+
+
+def archetypes_in_families(wanted: Iterable[str]) -> list[PhaseArchetype]:
+    """All archetypes whose family is in ``wanted``."""
+    wanted_set = set(wanted)
+    return [arch for arch in PHASE_LIBRARY if arch.family in wanted_set]
+
+
+def sample_phase_instance(name: str, rng: np.random.Generator) -> PhaseInstance:
+    """Sample a jittered instance of the named archetype."""
+    return get_archetype(name).sample(rng)

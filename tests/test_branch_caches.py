@@ -1,0 +1,141 @@
+"""Tests for the structural branch predictors, caches and TLBs."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.errors import ConfigurationError
+from repro.uarch.branch import (
+    BimodalPredictor,
+    GsharePredictor,
+    measure_mispredict_rate,
+)
+from repro.uarch.caches import Cache, CacheHierarchy, TLB
+
+
+class TestBranchPredictors:
+    def test_bimodal_learns_biased_branch(self):
+        rng = rng_mod.stream(1, "br")
+        pcs = np.full(2000, 0x400)
+        outcomes = rng.random(2000) < 0.95  # strongly taken
+        rate = measure_mispredict_rate(BimodalPredictor(), pcs, outcomes)
+        assert rate < 0.12
+
+    def test_gshare_learns_alternating_pattern(self):
+        pcs = np.full(2000, 0x400)
+        outcomes = np.arange(2000) % 2 == 0  # TNTN...
+        bimodal = measure_mispredict_rate(BimodalPredictor(), pcs,
+                                          outcomes)
+        gshare = measure_mispredict_rate(GsharePredictor(), pcs, outcomes)
+        assert gshare < 0.05
+        assert gshare < bimodal
+
+    def test_random_branches_unpredictable(self):
+        rng = rng_mod.stream(2, "br")
+        pcs = rng.integers(0, 1 << 20, 3000)
+        outcomes = rng.random(3000) < 0.5
+        rate = measure_mispredict_rate(GsharePredictor(), pcs, outcomes)
+        assert rate > 0.35
+
+    def test_history_bits_bound(self):
+        with pytest.raises(ConfigurationError):
+            GsharePredictor(table_bits=8, history_bits=10)
+
+    def test_mismatched_streams_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_mispredict_rate(BimodalPredictor(),
+                                    np.zeros(3, dtype=int),
+                                    np.zeros(4, dtype=bool))
+
+
+class TestCache:
+    def test_repeated_access_hits(self):
+        cache = Cache(32, 8)
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_same_line_shares_entry(self):
+        cache = Cache(32, 8)
+        cache.access(0x1000)
+        assert cache.access(0x103F)  # same 64B line
+        assert not cache.access(0x1040)  # next line
+
+    def test_lru_eviction(self):
+        cache = Cache(32, 8, line_bytes=64)
+        set_stride = cache.n_sets * 64
+        # Fill one set beyond its ways.
+        for i in range(9):
+            cache.access(i * set_stride)
+        assert cache.stats.evictions == 1
+        # The first (LRU) line was evicted.
+        assert not cache.access(0)
+
+    def test_dirty_eviction_is_writeback(self):
+        cache = Cache(32, 8)
+        set_stride = cache.n_sets * 64
+        cache.access(0, write=True)
+        for i in range(1, 9):
+            cache.access(i * set_stride)
+        assert cache.stats.writebacks == 1
+        assert cache.stats.silent_evictions == 0
+
+    def test_clean_eviction_is_silent(self):
+        cache = Cache(32, 8)
+        set_stride = cache.n_sets * 64
+        for i in range(9):
+            cache.access(i * set_stride)
+        assert cache.stats.silent_evictions == 1
+        assert cache.stats.writebacks == 0
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Cache(1, 7, line_bytes=64)
+
+
+class TestTLB:
+    def test_page_locality_hits(self):
+        tlb = TLB(entries=4)
+        assert not tlb.access(0x1000)
+        assert tlb.access(0x1800)  # same 4K page
+        assert not tlb.access(0x5000)
+
+    def test_capacity_eviction(self):
+        tlb = TLB(entries=2)
+        tlb.access(0x0000)
+        tlb.access(0x1000)
+        tlb.access(0x2000)  # evicts page 0
+        assert not tlb.access(0x0000)
+
+    def test_invalid_entries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TLB(entries=0)
+
+
+class TestHierarchy:
+    def test_miss_walks_down_levels(self):
+        hier = CacheHierarchy()
+        first = hier.access(0x123456)
+        assert first.level == 3  # cold: DRAM
+        second = hier.access(0x123456)
+        assert second.level == 0  # now L1 resident
+        assert second.latency < first.latency
+
+    def test_l1_evict_still_hits_l2(self):
+        hier = CacheHierarchy(l1_kib=1, l2_kib=64, l3_kib=256)
+        stride = hier.l1.n_sets * 64
+        hier.access(0)
+        # Thrash the L1 set containing address 0.
+        for i in range(1, 10):
+            hier.access(i * stride)
+        result = hier.access(0)
+        assert result.level == 1  # L2 hit after L1 eviction
+
+    def test_tlb_miss_adds_penalty(self):
+        hier = CacheHierarchy()
+        cold = hier.access(0x9999000)
+        assert cold.tlb_miss
+        hier.access(0x9999000)
+        warm = hier.access(0x9999040)
+        assert not warm.tlb_miss

@@ -1,0 +1,108 @@
+"""Tests for the Table-1 categories and the Table-2 SPEC-like suite."""
+
+import pytest
+
+from repro.workloads.categories import (
+    CATEGORIES,
+    PAPER_HDTR_APPS,
+    PAPER_CATEGORY_COUNTS,
+    get_category,
+    hdtr_corpus,
+    scaled_category_counts,
+)
+from repro.workloads.spec2017 import (
+    SPEC2017_APPS,
+    benchmark_names,
+    get_benchmark,
+    spec2017_suite,
+    spec2017_traces,
+    suite_summary,
+)
+
+
+class TestCategories:
+    def test_six_categories(self):
+        assert len(CATEGORIES) == 6
+
+    def test_paper_counts_sum_to_593(self):
+        assert sum(PAPER_CATEGORY_COUNTS.values()) == PAPER_HDTR_APPS
+
+    def test_family_weights_reference_real_families(self):
+        from repro.workloads.phases import families
+        known = set(families())
+        for cat in CATEGORIES:
+            assert set(cat.family_weights) <= known
+
+    def test_lookup(self):
+        assert get_category("multimedia").display_name == "Multimedia"
+
+    def test_scaled_counts_floor(self):
+        counts = scaled_category_counts(scale=0.01)
+        assert all(v >= 4 for v in counts.values())
+
+    def test_scaled_counts_proportional(self):
+        counts = scaled_category_counts(scale=1.0)
+        assert counts["hpc_perf"] > counts["ai_analytics"]
+
+    def test_corpus_generation(self):
+        apps = hdtr_corpus(7, counts={c.name: 2 for c in CATEGORIES})
+        assert len(apps) == 12
+        assert len({a.name for a in apps}) == 12
+
+    def test_corpus_deterministic(self):
+        counts = {c.name: 2 for c in CATEGORIES}
+        a = hdtr_corpus(7, counts=counts)
+        b = hdtr_corpus(7, counts=counts)
+        assert [x.phases for x in a] == [y.phases for y in b]
+
+    def test_store_burst_rare_in_training(self):
+        # The blindspot family must be long-tail in HDTR (Section 7.1).
+        weights = get_category("cloud_security").family_weights
+        assert weights["store_burst"] <= 0.05
+
+
+class TestSpec2017:
+    def test_twenty_benchmarks(self):
+        assert len(SPEC2017_APPS) == 20
+        assert len(benchmark_names("int")) == 10
+        assert len(benchmark_names("fp")) == 10
+
+    @pytest.mark.parametrize("name,workloads", [
+        ("600.perlbench_s", 4), ("602.gcc_s", 7), ("605.mcf_s", 7),
+        ("620.omnetpp_s", 9), ("623.xalancbmk_s", 2), ("625.x264_s", 12),
+        ("631.deepsjeng_s", 12), ("641.leela_s", 10),
+        ("648.exchange2_s", 5), ("657.xz_s", 5), ("603.bwaves_s", 5),
+        ("607.cactuBSSN_s", 6), ("619.lbm_s", 3), ("621.wrf_s", 1),
+        ("627.cam4_s", 1), ("628.pop2_s", 1), ("638.imagick_s", 12),
+        ("644.nab_s", 5), ("649.fotonik3d_s", 5), ("654.roms_s", 5),
+    ])
+    def test_table2_workload_counts(self, name, workloads):
+        assert get_benchmark(name).workloads == workloads
+
+    def test_summary_totals(self):
+        summary = suite_summary()
+        assert summary["benchmarks"] == 20
+        # Table 2 counts sum to 117 (the paper text says 118; see
+        # EXPERIMENTS.md).
+        assert summary["workloads"] == 117
+
+    def test_roms_carries_the_blindspot_family(self):
+        assert get_benchmark("654.roms_s").family_weights[
+            "store_burst"] >= 0.4
+
+    def test_suite_apps_deterministic(self):
+        a = spec2017_suite(9)["605.mcf_s"]
+        b = spec2017_suite(9)["605.mcf_s"]
+        assert a.phases == b.phases
+
+    def test_traces_cover_all_workloads(self):
+        traces = spec2017_traces(9, intervals_per_trace=20,
+                                 traces_per_workload=1)
+        assert len(traces) == 117
+        apps = {t.app.name for t in traces}
+        assert len(apps) == 20
+
+    def test_traces_per_workload_multiplies(self):
+        traces = spec2017_traces(9, intervals_per_trace=20,
+                                 traces_per_workload=2)
+        assert len(traces) == 234

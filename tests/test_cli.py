@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_evaluate_model_choices(self):
+        args = build_parser().parse_args(["evaluate", "--model",
+                                          "charstar"])
+        assert args.model == "charstar"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--model", "nope"])
+
+
+class TestCommands:
+    def test_budget(self, capsys):
+        assert main(["budget"]) == 0
+        out = capsys.readouterr().out
+        assert "156" in out and "1562" in out
+
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "counters: 936" in out
+        assert "Store Queue Occupancy" in out
+
+    def test_counters(self, capsys):
+        assert main(["counters", "-r", "4", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 4
+
+    def test_residency(self, capsys):
+        assert main(["residency", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "AVERAGE" in out
+        assert "654.roms_s" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "ppw_gain" in out

@@ -1,0 +1,179 @@
+"""Tests for telemetry collection, coarsening and PF counter selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.telemetry.collector import TelemetryCollector, coarsen
+from repro.telemetry.counters import default_catalog
+from repro.telemetry.selection import (
+    gather_selection_stats,
+    pf_counter_selection,
+    screen_low_activity,
+    screen_low_std,
+)
+from repro.uarch.modes import Mode
+from repro.workloads.categories import hdtr_corpus
+
+
+@pytest.fixture(scope="module")
+def collector():
+    return TelemetryCollector()
+
+
+@pytest.fixture(scope="module")
+def traces():
+    apps = hdtr_corpus(11, counts={
+        "hpc_perf": 3, "cloud_security": 3, "web_productivity": 3,
+        "multimedia": 2, "ai_analytics": 2, "games_rendering_ar": 2,
+    })
+    return [a.workload(0).trace(90, 0) for a in apps]
+
+
+@pytest.fixture(scope="module")
+def stats(collector, traces):
+    return gather_selection_stats(collector, traces)
+
+
+class TestSnapshot:
+    def test_normalized_is_counts_over_cycles(self, collector, traces):
+        snap = collector.snapshot(traces[0], Mode.HIGH_PERF,
+                                  default_catalog().table4_ids)
+        expected = snap.counts / snap.cycles[:, None]
+        assert np.allclose(snap.normalized, expected)
+
+    def test_deterministic(self, collector, traces):
+        ids = default_catalog().table4_ids
+        a = collector.snapshot(traces[0], Mode.HIGH_PERF, ids)
+        b = collector.snapshot(traces[0], Mode.HIGH_PERF, ids)
+        assert np.array_equal(a.counts, b.counts)
+
+    def test_subset_independent_of_other_counters(self, collector, traces):
+        """Reading more counters must not change a counter's value."""
+        catalog = default_catalog()
+        small = collector.snapshot(traces[0], Mode.HIGH_PERF,
+                                   catalog.table4_ids[:3])
+        large = collector.snapshot(traces[0], Mode.HIGH_PERF,
+                                   catalog.table4_ids)
+        assert np.array_equal(small.counts, large.counts[:, :3])
+
+    def test_mode_mismatch_rejected(self, collector, traces):
+        result = collector.model.simulate(traces[0], Mode.HIGH_PERF)
+        with pytest.raises(DatasetError):
+            collector.snapshot(traces[0], Mode.LOW_POWER, [0],
+                               result=result)
+
+    def test_column_lookup(self, collector, traces):
+        ids = default_catalog().table4_ids
+        snap = collector.snapshot(traces[0], Mode.HIGH_PERF, ids)
+        col = snap.column(ids[2])
+        assert np.array_equal(col, snap.normalized[:, 2])
+        with pytest.raises(DatasetError):
+            snap.column(999_999)
+
+    def test_snapshot_both_covers_modes(self, collector, traces):
+        snaps = collector.snapshot_both(traces[0], [0, 1])
+        assert set(snaps) == {Mode.HIGH_PERF, Mode.LOW_POWER}
+
+
+class TestCoarsen:
+    def test_counts_conserved(self, collector, traces):
+        snap = collector.snapshot(traces[0], Mode.HIGH_PERF, [0, 1, 2])
+        coarse = coarsen(snap, 3)
+        t_full = (snap.n_intervals // 3) * 3
+        assert coarse.counts.sum() == pytest.approx(
+            snap.counts[:t_full].sum())
+
+    def test_cycles_conserved_and_ipc_rederived(self, collector, traces):
+        snap = collector.snapshot(traces[0], Mode.LOW_POWER, [0])
+        coarse = coarsen(snap, 5)
+        assert coarse.interval_instructions == 5 * snap.interval_instructions
+        assert np.allclose(coarse.ipc,
+                           coarse.interval_instructions / coarse.cycles)
+
+    def test_factor_one_is_identity(self, collector, traces):
+        snap = collector.snapshot(traces[0], Mode.HIGH_PERF, [0])
+        assert coarsen(snap, 1) is snap
+
+    def test_invalid_factor_rejected(self, collector, traces):
+        snap = collector.snapshot(traces[0], Mode.HIGH_PERF, [0])
+        with pytest.raises(DatasetError):
+            coarsen(snap, 0)
+        with pytest.raises(DatasetError):
+            coarsen(snap, snap.n_intervals + 1)
+
+
+class TestScreens:
+    def test_low_activity_removes_dead_counters(self, stats):
+        surviving = screen_low_activity(stats)
+        catalog = default_catalog()
+        from repro.telemetry.counters import KIND_DEAD
+        dead = {c.counter_id for c in catalog.counters
+                if c.kind == KIND_DEAD}
+        assert not dead & set(surviving.tolist())
+
+    def test_std_screen_halves_survivors(self, stats):
+        surviving = screen_low_activity(stats)
+        kept = screen_low_std(stats, surviving)
+        assert len(kept) == pytest.approx(len(surviving) / 2, abs=1)
+
+    def test_std_screen_removes_stuck_counters(self, stats):
+        catalog = default_catalog()
+        from repro.telemetry.counters import KIND_STUCK
+        stuck = {c.counter_id for c in catalog.counters
+                 if c.kind == KIND_STUCK}
+        surviving = screen_low_activity(stats)
+        kept = set(screen_low_std(stats, surviving).tolist())
+        assert not stuck & kept
+
+    def test_survivor_count_near_paper(self, stats):
+        """Paper: screens leave 308 of 936; ours lands in that band."""
+        surviving = screen_low_activity(stats)
+        kept = screen_low_std(stats, surviving)
+        assert 200 <= len(kept) <= 420
+
+
+class TestPFSelection:
+    def test_returns_r_counters(self, stats):
+        result = pf_counter_selection(stats, r=12)
+        assert len(result.selected_ids) == 12
+        assert len(set(result.selected_ids)) == 12
+
+    def test_prefix_property(self, stats):
+        """Greedy selection: top-12 of r=15 equals the r=12 run."""
+        r12 = pf_counter_selection(stats, r=12).selected_ids
+        r15 = pf_counter_selection(stats, r=15).selected_ids
+        assert r15[:12] == r12
+
+    def test_groups_are_disjoint(self, stats):
+        result = pf_counter_selection(stats, r=10)
+        seen: set[int] = set()
+        for group in result.groups:
+            assert not (set(group) & seen)
+            seen.update(group)
+
+    def test_selected_come_from_their_groups(self, stats):
+        result = pf_counter_selection(stats, r=10)
+        for counter_id, group in zip(result.selected_ids, result.groups):
+            assert counter_id in group
+
+    def test_selects_store_queue_signal(self, stats):
+        """Information-content selection must surface the SQ cluster —
+        the counter family the expert set misses (Section 6.2)."""
+        catalog = default_catalog()
+        result = pf_counter_selection(stats, r=12)
+        sq_names = {"Store Queue Occupancy", "EVT.SQ_OCCUPANCY",
+                    "EVT.SQ_FULL_STALL_CYCLES"}
+        grouped = {catalog[c].name for g in result.groups for c in g}
+        picked = {catalog[c].name for c in result.selected_ids}
+        assert sq_names & (picked | grouped)
+
+    def test_autocorrelation_bounded(self, stats):
+        rho = stats.lag1_autocorrelation
+        assert np.all(rho >= -1.0)
+        assert np.all(rho <= 1.0)
+
+    def test_deterministic(self, stats):
+        a = pf_counter_selection(stats, r=8).selected_ids
+        b = pf_counter_selection(stats, r=8).selected_ids
+        assert a == b

@@ -1,0 +1,92 @@
+"""Tests for machine/microcontroller/SLA configuration."""
+
+import pytest
+
+from repro.config import (
+    DEFAULT_SLA,
+    MachineConfig,
+    MicrocontrollerConfig,
+    SLAConfig,
+    SUPPORTED_GRANULARITIES,
+    experiment_scale,
+    experiment_seed,
+)
+
+
+class TestMachineConfig:
+    def test_width_high_perf_is_both_clusters(self):
+        machine = MachineConfig()
+        assert machine.width_high_perf == 8
+        assert machine.width_low_power == 4
+
+    def test_peak_mips_matches_table3_header(self):
+        # Table 3: CPU: 2.0 GHz, 8-wide, 16,000 MIPS.
+        assert MachineConfig().peak_mips == pytest.approx(16_000.0)
+
+    def test_machine_is_frozen(self):
+        with pytest.raises(Exception):
+            MachineConfig().rob_entries = 1
+
+
+class TestMicrocontroller:
+    def test_mips_matches_paper(self):
+        # 500 MHz, 1-wide => 500 MIPS.
+        assert MicrocontrollerConfig().mips == pytest.approx(500.0)
+
+    @pytest.mark.parametrize("granularity,budget", [
+        (10_000, 156), (20_000, 312), (30_000, 468),
+        (40_000, 625), (50_000, 781), (60_000, 937), (100_000, 1562),
+    ])
+    def test_ops_budget_matches_table3(self, granularity, budget):
+        uc = MicrocontrollerConfig()
+        assert uc.ops_budget(granularity) == budget
+
+    def test_supported_granularities_cover_10k_to_100k(self):
+        assert SUPPORTED_GRANULARITIES[0] == 10_000
+        assert SUPPORTED_GRANULARITIES[-1] == 100_000
+        assert len(SUPPORTED_GRANULARITIES) == 10
+
+
+class TestSLAConfig:
+    def test_default_sla_matches_section_3_1(self):
+        assert DEFAULT_SLA.performance_floor == pytest.approx(0.90)
+        assert DEFAULT_SLA.window_ms == pytest.approx(1.0)
+        assert DEFAULT_SLA.guarantee == pytest.approx(0.99)
+
+    def test_window_predictions_matches_paper_example(self):
+        # 16B inst/s * 1 ms / 10k inst = 1600 predictions.
+        w = DEFAULT_SLA.window_predictions(MachineConfig(), 10_000)
+        assert w == 1600
+
+    @pytest.mark.parametrize("floor", [0.0, -0.1, 1.5])
+    def test_invalid_floor_rejected(self, floor):
+        with pytest.raises(ValueError):
+            SLAConfig(performance_floor=floor)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            SLAConfig(window_ms=0.0)
+
+
+class TestEnvironmentKnobs:
+    def test_default_scale_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert experiment_scale() == pytest.approx(1.0)
+
+    def test_scale_env_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "2.5")
+        assert experiment_scale() == pytest.approx(2.5)
+
+    def test_negative_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "-1")
+        with pytest.raises(ValueError):
+            experiment_scale()
+
+    def test_garbage_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "lots")
+        with pytest.raises(ValueError):
+            experiment_scale()
+
+    def test_seed_env_parsed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "123")
+        assert experiment_seed() == 123

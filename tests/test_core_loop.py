@@ -1,0 +1,208 @@
+"""Tests for the gating controller, dual predictor and adaptive CPU."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_SLA
+from repro.core.adaptive_cpu import AdaptiveCPU
+from repro.core.gating import GatingController
+from repro.core.labels import gating_labels
+from repro.core.predictor import DualModePredictor
+from repro.core.sla import sla_window_violations
+from repro.errors import ConfigurationError, DatasetError
+from repro.ml.base import Estimator
+from repro.telemetry.collector import TelemetryCollector
+from repro.uarch.modes import Mode
+from repro.workloads.generator import generate_application
+
+
+class _ConstantModel(Estimator):
+    """Always predicts a fixed gating probability."""
+
+    def __init__(self, prob: float) -> None:
+        self.prob = prob
+        self.decision_threshold = 0.5
+
+    def fit(self, x, y):
+        return self
+
+    def predict_proba(self, x):
+        return np.full(x.shape[0], self.prob)
+
+
+class _OracleModel(Estimator):
+    """Predicts from a precomputed label array (index-aligned)."""
+
+    def __init__(self, labels: np.ndarray) -> None:
+        self.labels = labels
+        self.decision_threshold = 0.5
+        self._cursor = 0
+
+    def fit(self, x, y):
+        return self
+
+    def predict_proba(self, x):
+        # The adaptive loop precomputes over the whole trace at once.
+        return self.labels[:x.shape[0]].astype(float)
+
+
+def _predictor(models, factor=1, name="test"):
+    return DualModePredictor(
+        name=name,
+        models={Mode.HIGH_PERF: models[0], Mode.LOW_POWER: models[1]},
+        counter_ids=np.array([0, 1, 2]),
+        granularity_factor=factor,
+    )
+
+
+@pytest.fixture(scope="module")
+def collector():
+    return TelemetryCollector()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    app = generate_application(
+        "loop", "test",
+        {"pointer_chase": 0.5, "compute_fp": 0.5}, seed=21)
+    return app.workload(0).trace(160, 0)
+
+
+class TestDualModePredictor:
+    def test_missing_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DualModePredictor("x", {Mode.HIGH_PERF: _ConstantModel(0.5)},
+                              np.array([0]), 1)
+
+    def test_invalid_granularity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _predictor((_ConstantModel(0.5), _ConstantModel(0.5)),
+                       factor=0)
+
+    def test_mode_routing(self):
+        pred = _predictor((_ConstantModel(0.9), _ConstantModel(0.1)))
+        x = np.zeros((5, 3))
+        assert np.all(pred.predict(x, Mode.HIGH_PERF) == 1)
+        assert np.all(pred.predict(x, Mode.LOW_POWER) == 0)
+
+
+class TestGatingController:
+    def test_decisions_apply_with_horizon_delay(self):
+        pred = _predictor((_ConstantModel(1.0), _ConstantModel(1.0)))
+        controller = GatingController(pred, horizon=2)
+        probs = {m: np.ones(10) for m in Mode}
+        modes, _, _ = controller.schedule(probs, trace_seed=1)
+        # First `horizon` intervals run in high-perf mode by default.
+        assert modes[0] == 0 and modes[1] == 0
+        assert np.all(modes[2:] == 1)
+
+    def test_never_gate(self):
+        pred = _predictor((_ConstantModel(0.0), _ConstantModel(0.0)))
+        controller = GatingController(pred)
+        modes, switch_cycles, counts = controller.schedule(
+            {m: np.zeros(20) for m in Mode}, trace_seed=1)
+        assert np.all(modes == 0)
+        assert counts.sum() == 0
+
+    def test_switch_costs_charged_on_transitions(self):
+        pred = _predictor((_ConstantModel(1.0), _ConstantModel(0.0)))
+        controller = GatingController(pred)
+        # HP telemetry says gate, LP telemetry says ungate: oscillation.
+        modes, switch_cycles, counts = controller.schedule(
+            {Mode.HIGH_PERF: np.ones(30), Mode.LOW_POWER: np.zeros(30)},
+            trace_seed=1)
+        transitions = int(np.abs(np.diff(modes)).sum())
+        assert counts.sum() == transitions > 0
+        assert np.all(switch_cycles[counts.astype(bool)] > 0.0)
+
+    def test_switch_cost_bounds(self):
+        pred = _predictor((_ConstantModel(0.5), _ConstantModel(0.5)))
+        controller = GatingController(pred)
+        from repro import rng as rng_mod
+        rng = rng_mod.stream(1, "cost")
+        gate = controller.switch_cost(Mode.HIGH_PERF, Mode.LOW_POWER, rng)
+        ungate = controller.switch_cost(Mode.LOW_POWER, Mode.HIGH_PERF,
+                                        rng)
+        assert 8.0 <= gate.cycles <= 20.0
+        assert gate.transfer_uops <= 32
+        assert ungate.cycles < gate.cycles
+
+    def test_invalid_horizon_rejected(self):
+        pred = _predictor((_ConstantModel(0.5), _ConstantModel(0.5)))
+        with pytest.raises(ConfigurationError):
+            GatingController(pred, horizon=0)
+
+
+class TestAdaptiveCPU:
+    def test_never_gating_matches_baseline(self, collector, trace):
+        pred = _predictor((_ConstantModel(0.0), _ConstantModel(0.0)))
+        result = AdaptiveCPU(pred, collector=collector).run(trace)
+        assert result.residency == 0.0
+        assert result.ppw_gain == pytest.approx(0.0, abs=1e-9)
+        assert result.avg_performance == pytest.approx(1.0)
+
+    def test_oracle_gating_gains_ppw_without_violations(self, collector,
+                                                        trace):
+        labels = gating_labels(trace, model=collector.model)
+        pred = _predictor((_OracleModel(labels.labels),
+                           _OracleModel(labels.labels)))
+        result = AdaptiveCPU(pred, collector=collector).run(trace)
+        assert result.ppw_gain > 0.05
+        assert result.avg_performance > 0.95
+        # Oracle predictions trail ground truth only by phase changes
+        # inside the two-interval horizon.
+        agreement = (result.predictions == result.labels).mean()
+        assert agreement > 0.9
+
+    def test_always_gating_degrades_performance(self, collector, trace):
+        pred = _predictor((_ConstantModel(1.0), _ConstantModel(1.0)))
+        result = AdaptiveCPU(pred, collector=collector).run(trace)
+        assert result.residency > 0.9
+        assert result.avg_performance < 1.0
+
+    def test_coarse_granularity(self, collector, trace):
+        pred = _predictor((_ConstantModel(1.0), _ConstantModel(1.0)),
+                          factor=4)
+        result = AdaptiveCPU(pred, collector=collector).run(trace)
+        assert result.granularity == 40_000
+        assert result.n_intervals == trace.n_intervals // 4
+
+    def test_energy_accounting_consistent(self, collector, trace):
+        pred = _predictor((_ConstantModel(0.0), _ConstantModel(0.0)))
+        cpu = AdaptiveCPU(pred, collector=collector)
+        result = cpu.run(trace)
+        assert result.energy_j == pytest.approx(result.energy_baseline_j,
+                                                rel=1e-9)
+
+    def test_too_short_trace_rejected(self, collector):
+        app = generate_application("tiny2", "t", {"balanced": 1.0}, seed=2)
+        small = app.workload(0).trace(4, 0)
+        pred = _predictor((_ConstantModel(0.5), _ConstantModel(0.5)),
+                          factor=2)
+        with pytest.raises(DatasetError):
+            AdaptiveCPU(pred, collector=collector).run(small)
+
+
+class TestSLAWindows:
+    def test_no_degradation_no_violations(self):
+        cycles = np.full(40, 100.0)
+        acc = sla_window_violations(cycles, cycles, 8, 0.9)
+        assert acc.n_windows == 5
+        assert acc.n_violations == 0
+        assert acc.meets_guarantee()
+
+    def test_slow_window_flagged(self):
+        baseline = np.full(16, 100.0)
+        adaptive = baseline.copy()
+        adaptive[:8] *= 1.5  # first window 33% slower
+        acc = sla_window_violations(adaptive, baseline, 8, 0.9)
+        assert acc.n_violations == 1
+        assert acc.violation_rate == pytest.approx(0.5)
+
+    def test_short_run_rejected(self):
+        with pytest.raises(DatasetError):
+            sla_window_violations(np.ones(3), np.ones(3), 8, 0.9)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(DatasetError):
+            sla_window_violations(np.ones(8), np.ones(9), 4, 0.9)

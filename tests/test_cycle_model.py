@@ -1,0 +1,206 @@
+"""Tests for the cycle-level two-cluster core model."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.uarch.core_model import (
+    ClusteredCoreModel,
+    simulate_phase_cycle_level,
+)
+from repro.uarch.isa import (
+    MEM_DRAM,
+    UopStream,
+    UopType,
+    synthesize_uops,
+)
+from repro.uarch.modes import Mode
+from repro.workloads.phases import get_archetype
+
+
+def alu_stream(n, dist, mispredict_every=0):
+    idx = np.arange(n)
+    src1 = idx - dist
+    src1[src1 < 0] = -1
+    types = np.zeros(n, dtype=np.int8)
+    mispredicted = np.zeros(n, dtype=bool)
+    if mispredict_every:
+        types[::mispredict_every] = int(UopType.BRANCH)
+        mispredicted[::mispredict_every] = True
+    return UopStream(
+        types=types, src1=src1.astype(np.int64),
+        src2=np.full(n, -1, dtype=np.int64),
+        mem_level=np.full(n, -1, dtype=np.int8),
+        mispredicted=mispredicted,
+    )
+
+
+class TestDataflowScaling:
+    @pytest.mark.parametrize("dist,expected", [(1, 1.0), (2, 2.0),
+                                               (4, 4.0)])
+    def test_chain_limited_ipc(self, dist, expected):
+        # High-performance mode may pay a small steering/bypass tax on
+        # serial chains (the interval model's 0.93 steering
+        # efficiency); it must never exceed the dataflow bound.
+        result = ClusteredCoreModel(mode=Mode.HIGH_PERF).execute(
+            alu_stream(6000, dist))
+        assert expected * 0.90 <= result.ipc <= expected * 1.01
+
+    @pytest.mark.parametrize("dist,expected", [(1, 1.0), (2, 2.0),
+                                               (4, 4.0)])
+    def test_chain_limited_ipc_single_cluster_exact(self, dist, expected):
+        # With one cluster there is no steering: the bound is tight.
+        result = ClusteredCoreModel(mode=Mode.LOW_POWER).execute(
+            alu_stream(6000, dist))
+        assert result.ipc == pytest.approx(expected, rel=0.02)
+
+    def test_wide_mode_exploits_more_ilp(self):
+        hp = ClusteredCoreModel(mode=Mode.HIGH_PERF).execute(
+            alu_stream(6000, 8))
+        lp = ClusteredCoreModel(mode=Mode.LOW_POWER).execute(
+            alu_stream(6000, 8))
+        assert lp.ipc == pytest.approx(4.0, rel=0.05)
+        assert hp.ipc > 6.0
+
+    def test_low_power_capped_at_cluster_width(self):
+        result = ClusteredCoreModel(mode=Mode.LOW_POWER).execute(
+            alu_stream(6000, 32))
+        assert result.ipc <= 4.0 + 1e-6
+
+
+class TestPenalties:
+    def test_mispredicts_cost_cycles(self):
+        clean = ClusteredCoreModel(mode=Mode.HIGH_PERF).execute(
+            alu_stream(4000, 4))
+        dirty = ClusteredCoreModel(mode=Mode.HIGH_PERF).execute(
+            alu_stream(4000, 4, mispredict_every=100))
+        assert dirty.ipc < clean.ipc
+        assert dirty.branch_mispredicts == 40
+
+    def test_dram_misses_counted_and_slow(self):
+        n = 3000
+        stream = alu_stream(n, 8)
+        mem_level = np.full(n, -1, dtype=np.int8)
+        types = stream.types.copy()
+        types[::10] = int(UopType.LOAD)
+        mem_level[::10] = MEM_DRAM
+        slow = UopStream(types=types, src1=stream.src1, src2=stream.src2,
+                         mem_level=mem_level,
+                         mispredicted=stream.mispredicted)
+        fast = UopStream(types=types, src1=stream.src1, src2=stream.src2,
+                         mem_level=np.where(types == int(UopType.LOAD), 0,
+                                            -1).astype(np.int8),
+                         mispredicted=stream.mispredicted)
+        r_slow = ClusteredCoreModel(mode=Mode.HIGH_PERF).execute(slow)
+        r_fast = ClusteredCoreModel(mode=Mode.HIGH_PERF).execute(fast)
+        assert r_slow.dram_accesses == 300
+        assert r_slow.ipc < r_fast.ipc
+
+    def test_store_bursts_hurt_low_power_more(self):
+        """The blindspot mechanism in isolation: a high-dispatch-rate
+        store burst saturates the halved store queue and single MEU of
+        low-power mode, while an equally wide ALU stream does not."""
+        n = 6000
+        stores = UopStream(
+            types=np.full(n, int(UopType.STORE), dtype=np.int8),
+            src1=np.full(n, -1, dtype=np.int64),
+            src2=np.full(n, -1, dtype=np.int64),
+            mem_level=np.full(n, -1, dtype=np.int8),
+            mispredicted=np.zeros(n, dtype=bool),
+        )
+        ratios = {}
+        for name, stream in (("stores", stores),
+                             ("alu", alu_stream(n, 32))):
+            hp = ClusteredCoreModel(mode=Mode.HIGH_PERF).execute(stream)
+            lp = ClusteredCoreModel(mode=Mode.LOW_POWER).execute(stream)
+            ratios[name] = lp.ipc / hp.ipc
+        assert ratios["stores"] < 0.75 * ratios["alu"]
+
+    def test_mode_switch_cycles_in_low_tens(self):
+        model = ClusteredCoreModel(mode=Mode.HIGH_PERF)
+        cost = model.mode_switch_cycles(live_registers=32)
+        assert 8.0 <= cost <= 40.0
+        assert model.mode_switch_cycles(4) < cost
+
+
+class TestValidationAgainstIntervalModel:
+    def test_ipc_rank_agreement(self):
+        """The two simulator tiers must rank phases consistently."""
+        from scipy.stats import spearmanr
+        from repro.uarch.interval_model import IntervalModel
+        from repro.workloads.generator import physics_matrix
+        from repro.workloads.phases import PHASE_LIBRARY
+
+        interval = IntervalModel()
+        cycle_ipc, interval_ipc = [], []
+        for arch in PHASE_LIBRARY[::4]:
+            phase = arch.sample(rng_mod.stream(1, "val", arch.name))
+            res = simulate_phase_cycle_level(phase, 8000,
+                                             Mode.HIGH_PERF, 5)
+            cycle_ipc.append(res.ipc)
+            physics = physics_matrix([phase])
+            cpi = sum(interval.cpi_components(
+                interval.mode_adjusted_physics(physics, Mode.HIGH_PERF),
+                Mode.HIGH_PERF).values())
+            interval_ipc.append(1.0 / cpi[0])
+        rho = spearmanr(cycle_ipc, interval_ipc).statistic
+        assert rho > 0.8
+
+    def test_gating_direction_agreement(self):
+        """Phases that gate freely vs expensively agree across tiers."""
+        cheap = get_archetype("linked_list_walk").sample(
+            rng_mod.stream(2, "c"))
+        costly = get_archetype("gemm_tile").sample(rng_mod.stream(2, "g"))
+        ratios = {}
+        for name, phase in (("cheap", cheap), ("costly", costly)):
+            hp = simulate_phase_cycle_level(phase, 10000,
+                                            Mode.HIGH_PERF, 5)
+            lp = simulate_phase_cycle_level(phase, 10000,
+                                            Mode.LOW_POWER, 5)
+            ratios[name] = lp.ipc / hp.ipc
+        assert ratios["cheap"] > ratios["costly"]
+
+
+class TestSynthesizeUops:
+    def test_mix_matches_phase(self):
+        phase = get_archetype("balanced_mixed").sample(
+            rng_mod.stream(1, "mix"))
+        stream = synthesize_uops(phase, 30000, seed=3)
+        counts = stream.type_counts()
+        load_frac = counts[UopType.LOAD] / stream.n_uops
+        assert load_frac == pytest.approx(phase.frac_load, abs=0.05)
+
+    def test_dependencies_point_backwards(self):
+        phase = get_archetype("balanced_mixed").sample(
+            rng_mod.stream(1, "dep"))
+        stream = synthesize_uops(phase, 5000, seed=3)
+        idx = np.arange(stream.n_uops)
+        assert np.all((stream.src1 < idx) | (stream.src1 == -1))
+        assert np.all((stream.src2 < idx) | (stream.src2 == -1))
+
+    def test_miss_rates_sampled(self):
+        phase = get_archetype("linked_list_walk").sample(
+            rng_mod.stream(1, "miss"))
+        stream = synthesize_uops(phase, 40000, seed=3)
+        loads = stream.mem_level[stream.types == int(UopType.LOAD)]
+        miss_frac = (loads >= 1).mean()
+        per_load = phase.l1d_mpki / (1000.0 * phase.frac_load)
+        assert miss_frac == pytest.approx(min(per_load, 1.0), abs=0.08)
+
+    def test_store_bursts_are_bursty(self):
+        burst = get_archetype("store_burst_log").sample(
+            rng_mod.stream(1, "b"))
+        stream = synthesize_uops(burst, 20000, seed=3)
+        stores = (stream.types == int(UopType.STORE)).astype(int)
+        # Probability a store is followed by a store far exceeds the
+        # marginal store rate when bursts exist.
+        follow = stores[1:][stores[:-1] == 1].mean()
+        assert follow > stores.mean() * 1.15
+
+    def test_deterministic(self):
+        phase = get_archetype("balanced_mixed").sample(
+            rng_mod.stream(1, "det"))
+        a = synthesize_uops(phase, 1000, seed=9)
+        b = synthesize_uops(phase, 1000, seed=9)
+        assert np.array_equal(a.types, b.types)
+        assert np.array_equal(a.src1, b.src1)

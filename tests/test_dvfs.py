@@ -1,0 +1,93 @@
+"""Tests for the DVFS model and its interplay with cluster gating."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import ConfigurationError
+from repro.uarch.dvfs import DVFSModel, OperatingPoint
+from repro.uarch.interval_model import IntervalModel
+from repro.uarch.modes import Mode
+from repro.uarch.power import PowerModel
+from repro.workloads.generator import generate_application
+
+
+class TestVFCurve:
+    def test_nominal_point(self):
+        model = DVFSModel()
+        assert model.voltage_for(2.0) == pytest.approx(1.0)
+
+    def test_voltage_floors_at_vmin(self):
+        model = DVFSModel(f_min_ghz=1.0, v_min=0.72)
+        assert model.voltage_for(1.0) == pytest.approx(0.72)
+        assert model.voltage_for(0.5) == pytest.approx(0.72)
+
+    def test_monotone_between(self):
+        model = DVFSModel()
+        voltages = [model.voltage_for(f) for f in (1.0, 1.25, 1.5, 2.0)]
+        assert voltages == sorted(voltages)
+
+    def test_overclock_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DVFSModel().voltage_for(3.0)
+
+    def test_invalid_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            DVFSModel(f_min_ghz=3.0)
+
+
+class TestScaledModels:
+    def test_memory_latency_scales_with_frequency(self):
+        model = DVFSModel()
+        half = model.machine_at(1.0)
+        assert half.memory_latency == pytest.approx(100, abs=2)
+        assert half.l2_latency == MachineConfig().l2_latency
+
+    def test_power_scales_quadratically_dynamic(self):
+        model = DVFSModel()
+        pm = model.power_model_at(1.0)
+        base = PowerModel()
+        v = model.voltage_for(1.0)
+        assert pm.event_energy_nj["uops_retired"] == pytest.approx(
+            base.event_energy_nj["uops_retired"] * v ** 2)
+        assert pm.cluster_static_w == pytest.approx(
+            base.cluster_static_w * v ** 2)
+
+
+class TestGatingComplementsDVFS:
+    def test_gating_still_saves_at_vmin(self):
+        """Section 2.1's claim: at V_min, DVFS has no headroom left,
+        but gating cluster 2 still cuts energy on gateable work."""
+        dvfs = DVFSModel()
+        app = generate_application(
+            "dvfs", "test", {"pointer_chase": 0.7, "balanced": 0.3},
+            seed=41)
+        trace = app.workload(0).trace(100, 0)
+
+        machine = dvfs.machine_at(dvfs.f_min_ghz)
+        power = dvfs.power_model_at(dvfs.f_min_ghz, machine)
+        sim = IntervalModel(machine)
+        hp = sim.simulate(trace, Mode.HIGH_PERF)
+        lp = sim.simulate(trace, Mode.LOW_POWER)
+        e_hp = power.interval_energy_j(hp).sum()
+        e_lp = power.interval_energy_j(lp).sum()
+        # Memory-latency-bound work: gating at V_min saves energy.
+        assert e_lp < e_hp * 0.92
+
+    def test_vmin_energy_below_nominal(self):
+        dvfs = DVFSModel()
+        app = generate_application(
+            "dvfs2", "test", {"balanced": 1.0}, seed=42)
+        trace = app.workload(0).trace(80, 0)
+        energies = {}
+        for f in (2.0, 1.0):
+            machine = dvfs.machine_at(f)
+            sim = IntervalModel(machine)
+            power = dvfs.power_model_at(f, machine)
+            result = sim.simulate(trace, Mode.HIGH_PERF)
+            energies[f] = power.interval_energy_j(result).sum()
+        assert energies[1.0] < energies[2.0]

@@ -1,0 +1,84 @@
+"""Unit tests for the evaluation runner's aggregation logic."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive_cpu import AdaptiveRunResult
+from repro.errors import DatasetError
+from repro.eval.runner import BenchmarkEval, SuiteEval, _aggregate_app
+
+
+def _run(app, ppw=0.2, labels=None, preds=None, trace="t0"):
+    n = 16
+    labels = np.zeros(n, int) if labels is None else labels
+    preds = np.zeros(n, int) if preds is None else preds
+    cycles = np.full(n + 2, 100.0)
+    return AdaptiveRunResult(
+        trace_name=f"{app}/{trace}",
+        app_name=app,
+        workload_name=f"{app}/w0",
+        predictor_name="unit",
+        granularity=40_000,
+        modes=np.concatenate(([0, 0], preds)),
+        predictions=preds,
+        labels=labels,
+        ipc=np.ones(n + 2),
+        cycles=cycles * (1.0 - 0.1 * ppw),
+        cycles_baseline=cycles,
+        energy_j=1.0 / (1.0 + ppw),
+        energy_baseline_j=1.0,
+        switch_count=0,
+    )
+
+
+class TestAggregation:
+    def test_ppw_gain_mean_over_traces(self):
+        runs = [_run("a", ppw=0.1, trace="t0"),
+                _run("a", ppw=0.3, trace="t1")]
+        bench = _aggregate_app("a", runs, window=4)
+        assert bench.ppw_gain == pytest.approx(0.2, abs=1e-9)
+        assert bench.n_traces == 2
+
+    def test_pgos_pooled_over_traces(self):
+        labels = np.array([1] * 8 + [0] * 8)
+        good = _run("a", labels=labels, preds=labels, trace="t0")
+        bad = _run("a", labels=labels,
+                   preds=np.zeros(16, int), trace="t1")
+        bench = _aggregate_app("a", [good, bad], window=4)
+        assert bench.pgos == pytest.approx(0.5)
+
+    def test_rsv_windows_within_traces(self):
+        labels = np.zeros(16, int)
+        violating = _run("a", labels=labels,
+                         preds=np.ones(16, int), trace="t0")
+        clean = _run("a", labels=labels,
+                     preds=np.zeros(16, int), trace="t1")
+        bench = _aggregate_app("a", [violating, clean], window=4)
+        assert bench.rsv == pytest.approx(0.5)
+
+
+class TestSuiteEval:
+    def _suite(self):
+        benches = (
+            BenchmarkEval("a", 0.1, 0.0, 0.8, 0.4, 0.99, 1),
+            BenchmarkEval("b", 0.3, 0.1, 0.6, 0.5, 0.97, 1),
+        )
+        return SuiteEval("unit", 40_000, benches, tuple())
+
+    def test_means(self):
+        suite = self._suite()
+        assert suite.mean_ppw_gain == pytest.approx(0.2)
+        assert suite.mean_rsv == pytest.approx(0.05)
+
+    def test_benchmark_lookup(self):
+        suite = self._suite()
+        assert suite.benchmark("b").ppw_gain == pytest.approx(0.3)
+        with pytest.raises(DatasetError):
+            suite.benchmark("missing")
+
+    def test_subset_means(self):
+        suite = self._suite()
+        means = suite.suite_means(["a"])
+        assert means["ppw_gain"] == pytest.approx(0.1)
+        with pytest.raises(DatasetError):
+            suite.suite_means(["nope"])

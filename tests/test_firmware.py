@@ -1,0 +1,249 @@
+"""Tests for firmware compilation, the VM, budgets and deployment."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.errors import BudgetExceededError, ConfigurationError, NotFittedError
+from repro.firmware import (
+    FirmwareStore,
+    FirmwareVM,
+    Microcontroller,
+    compile_model,
+    cost_report,
+)
+from repro.firmware.codegen import (
+    compile_forest,
+    compile_logistic,
+    compile_mlp,
+    compile_srch,
+    compile_tree,
+)
+from repro.firmware.deploy import package_firmware
+from repro.firmware.opcount import forest_ops, mlp_ops
+from repro.ml import (
+    DecisionTreeClassifier,
+    KernelSVM,
+    LinearSVM,
+    LogisticRegression,
+    MLPClassifier,
+    RandomForestClassifier,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = rng_mod.stream(1, "fw")
+    x = np.abs(rng.normal(1.0, 0.5, (1500, 12)))
+    y = ((x[:, 0] * x[:, 1] > x[:, 2]) | (x[:, 3] > 1.5)).astype(int)
+    return x, y
+
+
+@pytest.fixture(scope="module")
+def vm():
+    return FirmwareVM()
+
+
+class TestBudgetTable:
+    def test_compute_ratio_is_32(self):
+        assert Microcontroller().compute_ratio == pytest.approx(32.0)
+
+    def test_budget_rows_match_table3(self):
+        rows = {r.granularity: (r.max_ops, r.ops_budget)
+                for r in Microcontroller().budget_table()}
+        assert rows[10_000] == (312, 156)
+        assert rows[40_000] == (1250, 625)
+        assert rows[100_000] == (3125, 1562)
+
+    def test_finest_granularity_placements(self):
+        """The paper's model placements: RF@40k, Best MLP@50k."""
+        uc = Microcontroller()
+        assert uc.finest_granularity(538) == 40_000
+        assert uc.finest_granularity(678) == 50_000
+        assert uc.finest_granularity(292) == 20_000
+
+    def test_over_budget_model_rejected(self):
+        with pytest.raises(BudgetExceededError):
+            Microcontroller().finest_granularity(10_000)
+
+    def test_fits_checks_memory_too(self):
+        uc = Microcontroller()
+        assert uc.fits(100, 10_000)
+        assert not uc.fits(100, 10_000, memory_bytes=1 << 30)
+
+
+class TestOpsFormulas:
+    def test_best_mlp_cost_near_paper(self):
+        """Paper: 3-layer 8/8/4 on 12 counters costs 678 ops."""
+        ops = mlp_ops([12, 8, 8, 4, 1])
+        assert abs(ops - 678) <= 15
+
+    def test_large_mlp_cost_near_paper(self):
+        """Paper: 3-layer 32/32/16 costs 6,162 ops."""
+        ops = mlp_ops([12, 32, 32, 16, 1])
+        assert abs(ops - 6162) / 6162 < 0.02
+
+    def test_best_rf_cost_near_paper(self):
+        """Paper: 8 trees of depth 8 cost 538 ops."""
+        assert abs(forest_ops(8, 8) - 538) <= 10
+
+    def test_depth16_tree_near_paper(self):
+        """Paper: one depth-16 tree costs 133 ops."""
+        assert abs(forest_ops(1, 16) - 133) <= 10
+
+
+class TestCompileAndVM:
+    def test_mlp_parity(self, data, vm):
+        x, y = data
+        model = MLPClassifier(hidden_layers=(8, 8, 4), epochs=15,
+                              seed=2).fit(x, y)
+        program = compile_mlp(model)
+        trace = vm.run(program, x[:300])
+        host = model.predict_proba(x[:300])
+        assert np.abs(trace.probabilities - host).max() < 1e-4
+        assert (trace.predictions == model.predict(x[:300])).mean() > 0.999
+
+    def test_forest_parity(self, data, vm):
+        x, y = data
+        model = RandomForestClassifier(n_trees=8, max_depth=8,
+                                       seed=2).fit(x, y)
+        program = compile_forest(model)
+        trace = vm.run(program, x[:300])
+        host = model.predict_proba(x[:300])
+        # Leaf probabilities quantised to 1/255.
+        assert np.abs(trace.probabilities - host).max() < 0.01
+
+    def test_tree_padding_preserves_semantics(self, data, vm):
+        x, y = data
+        model = DecisionTreeClassifier(max_depth=6).fit(x, y)
+        program = compile_tree(model)
+        trace = vm.run(program, x[:300])
+        host = model.predict_proba(x[:300])
+        assert np.abs(trace.probabilities - host).max() < 0.01
+
+    def test_logistic_parity(self, data, vm):
+        x, y = data
+        model = LogisticRegression().fit(x, y)
+        program = compile_logistic(model)
+        trace = vm.run(program, x[:300])
+        assert np.abs(trace.probabilities
+                      - model.predict_proba(x[:300])).max() < 1e-5
+
+    def test_linear_svm_parity(self, data, vm):
+        x, y = data
+        model = LinearSVM(n_members=5, seed=1).fit(x, y)
+        trace = vm.run(compile_model(model), x[:200])
+        assert np.abs(trace.probabilities
+                      - model.predict_proba(x[:200])).max() < 1e-4
+
+    def test_kernel_svm_parity(self, data, vm):
+        x, y = data
+        model = KernelSVM(kernel="chi2", max_support_vectors=150,
+                          max_passes=2, seed=1).fit(x[:600], y[:600])
+        trace = vm.run(compile_model(model), x[:100])
+        assert np.abs(trace.probabilities
+                      - model.predict_proba(x[:100])).max() < 1e-4
+
+    def test_srch_parity(self, data, vm):
+        from repro.core.pipeline import SRCHEstimator
+        x, y = data
+        model = SRCHEstimator().fit(x, y)
+        trace = vm.run(compile_srch(model), x[:200])
+        assert np.abs(trace.probabilities
+                      - model.predict_proba(x[:200])).max() < 1e-4
+
+    def test_ops_metered_equal_static(self, data, vm):
+        x, y = data
+        model = RandomForestClassifier(n_trees=4, max_depth=6,
+                                       seed=2).fit(x, y)
+        program = compile_model(model)
+        trace = vm.run(program, x[:50])
+        assert trace.ops_per_prediction == program.ops_per_prediction
+        assert trace.ops_executed == 50 * program.ops_per_prediction
+
+    def test_threshold_embedded(self, data, vm):
+        x, y = data
+        model = LogisticRegression().fit(x, y)
+        model.decision_threshold = 0.9
+        program = compile_logistic(model)
+        trace = vm.run(program, x[:200])
+        expected = (model.predict_proba(x[:200]) >= 0.9)
+        assert (trace.predictions == expected).mean() > 0.99
+
+    def test_unfitted_model_rejected(self):
+        with pytest.raises(NotFittedError):
+            compile_mlp(MLPClassifier())
+
+    def test_wrong_input_width_rejected(self, data, vm):
+        x, y = data
+        program = compile_logistic(LogisticRegression().fit(x, y))
+        with pytest.raises(ConfigurationError):
+            vm.run(program, x[:10, :5])
+
+    def test_cost_report_fields(self, data):
+        x, y = data
+        model = RandomForestClassifier(n_trees=8, max_depth=8,
+                                       seed=1).fit(x, y)
+        report = cost_report(model, "best_rf")
+        assert report.finest_granularity == 40_000
+        assert report.ops_per_prediction == forest_ops(8, 8)
+        assert report.memory_bytes > 0
+        # Paper accounting: 5 bytes/node on full trees = 20.44 KB.
+        assert report.paper_footprint_bytes == pytest.approx(20_440)
+
+
+class TestDeploy:
+    def _predictor(self, data):
+        from repro.core.predictor import DualModePredictor
+        from repro.uarch.modes import Mode
+        x, y = data
+        models = {mode: LogisticRegression().fit(x, y) for mode in Mode}
+        return DualModePredictor("lr", models, np.arange(12), 4)
+
+    def test_package_and_verify(self, data):
+        image = package_firmware(self._predictor(data))
+        assert image.verify()
+        assert image.total_bytes > 0
+        assert "checksum" in image.manifest()
+
+    def test_tampered_image_rejected(self, data):
+        import dataclasses
+        image = package_firmware(self._predictor(data))
+        bad = dataclasses.replace(image, checksum="0" * 64)
+        store = FirmwareStore()
+        with pytest.raises(ConfigurationError):
+            store.install(bad)
+
+    def test_install_activate_rollback(self, data):
+        store = FirmwareStore()
+        v1 = package_firmware(self._predictor(data), version=1)
+        v2 = package_firmware(self._predictor(data), version=2)
+        store.install(v1)
+        store.install(v2)
+        assert store.active.version == 2
+        rolled = store.rollback()
+        assert rolled.version == 1
+        assert store.active.version == 1
+
+    def test_activate_by_name(self, data):
+        store = FirmwareStore()
+        v1 = package_firmware(self._predictor(data), version=1)
+        v2 = package_firmware(self._predictor(data), version=2)
+        store.install(v1)
+        store.install(v2, activate=False)
+        assert store.active.version == 1
+        store.activate("lr", 2)
+        assert store.active.version == 2
+
+    def test_rollback_without_history_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FirmwareStore().rollback()
+
+    def test_capacity_evicts_oldest_inactive(self, data):
+        store = FirmwareStore(capacity=2)
+        for version in (1, 2, 3):
+            store.install(package_firmware(self._predictor(data),
+                                           version=version))
+        versions = [img.version for img in store.history]
+        assert len(versions) == 2
+        assert store.active.version == 3

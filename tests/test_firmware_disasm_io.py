@@ -1,0 +1,121 @@
+"""Tests for the firmware disassembler and image file persistence."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.core.predictor import DualModePredictor
+from repro.errors import ConfigurationError
+from repro.firmware.codegen import FirmwareProgram, compile_model
+from repro.firmware.deploy import FirmwareImage, package_firmware
+from repro.firmware.disasm import disassemble
+from repro.firmware.vm import FirmwareVM
+from repro.ml import (
+    KernelSVM,
+    LinearSVM,
+    LogisticRegression,
+    MLPClassifier,
+    RandomForestClassifier,
+)
+from repro.uarch.modes import Mode
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = rng_mod.stream(3, "dis")
+    x = np.abs(rng.normal(1.0, 0.5, (800, 8)))
+    y = (x[:, 0] > x[:, 1]).astype(int)
+    return x, y
+
+
+class TestDisassembler:
+    def test_mlp_listing_resembles_listing1(self, data):
+        """Paper Listing 1: fld/fmul/fadd inner product + ReLU."""
+        x, y = data
+        model = MLPClassifier((8, 4), epochs=3).fit(x, y)
+        text = disassemble(compile_model(model))
+        assert "fld" in text and "fmul" in text
+        assert "fucomi" in text  # the branch-free ReLU
+        assert "topology 8x8x4x1" in text
+
+    def test_forest_listing_resembles_listing2(self, data):
+        """Paper Listing 2: indexed load + fucompi + branch-free step."""
+        x, y = data
+        model = RandomForestClassifier(4, 4, seed=1).fit(x, y)
+        text = disassemble(compile_model(model))
+        assert "fucompi" in text
+        assert "branch-free" in text
+        assert "4 tree(s), depth 4" in text
+
+    @pytest.mark.parametrize("factory", [
+        lambda x, y: LogisticRegression().fit(x, y),
+        lambda x, y: LinearSVM(n_members=3).fit(x, y),
+        lambda x, y: KernelSVM(kernel="chi2", max_support_vectors=60,
+                               max_passes=1).fit(x, y),
+    ])
+    def test_all_kinds_disassemble(self, data, factory):
+        x, y = data
+        text = disassemble(compile_model(factory(x, y)))
+        assert text.startswith(";")
+        assert len(text.splitlines()) > 3
+
+    def test_line_cap(self, data):
+        x, y = data
+        model = RandomForestClassifier(8, 8, seed=1).fit(x, y)
+        text = disassemble(compile_model(model), max_lines=10)
+        assert len(text.splitlines()) <= 11
+
+    def test_unknown_kind_rejected(self):
+        bogus = FirmwareProgram(kind="quantum", image=b"", n_inputs=1,
+                                ops_per_prediction=1, metadata={})
+        with pytest.raises(ConfigurationError):
+            disassemble(bogus)
+
+
+class TestImageFileIO:
+    def _image(self, data):
+        x, y = data
+        models = {mode: RandomForestClassifier(4, 4, seed=2).fit(x, y)
+                  for mode in Mode}
+        predictor = DualModePredictor("io", models, np.arange(8), 4)
+        return predictor, package_firmware(predictor, version=3)
+
+    def test_save_load_roundtrip(self, data, tmp_path):
+        predictor, image = self._image(data)
+        path = str(tmp_path / "fw.bin")
+        image.save(path)
+        loaded = FirmwareImage.load(path)
+        assert loaded.verify()
+        assert loaded.version == 3
+        assert loaded.counter_ids == image.counter_ids
+        for mode in Mode:
+            assert loaded.programs[mode].image == image.programs[mode].image
+
+    def test_loaded_image_executes_identically(self, data, tmp_path):
+        x, _ = data
+        predictor, image = self._image(data)
+        path = str(tmp_path / "fw.bin")
+        image.save(path)
+        loaded = FirmwareImage.load(path)
+        vm = FirmwareVM()
+        for mode in Mode:
+            a = vm.run(image.programs[mode], x[:50])
+            b = vm.run(loaded.programs[mode], x[:50])
+            assert np.array_equal(a.predictions, b.predictions)
+            assert a.ops_per_prediction == b.ops_per_prediction
+
+    def test_corrupt_file_rejected(self, data, tmp_path):
+        _, image = self._image(data)
+        path = str(tmp_path / "fw.bin")
+        image.save(path)
+        raw = bytearray(open(path, "rb").read())
+        raw[-3] ^= 0xFF  # flip a payload byte
+        open(path, "wb").write(bytes(raw))
+        with pytest.raises(ConfigurationError):
+            FirmwareImage.load(path)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "not_fw.bin")
+        open(path, "wb").write(b"ELF\x7f....")
+        with pytest.raises(ConfigurationError):
+            FirmwareImage.load(path)

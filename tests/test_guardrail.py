@@ -1,0 +1,136 @@
+"""Tests for the fail-safe guardrail (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.guardrail import (
+    GuardedAdaptiveCPU,
+    GuardrailConfig,
+)
+from repro.core.predictor import DualModePredictor
+from repro.errors import ConfigurationError
+from repro.ml.base import Estimator
+from repro.telemetry.collector import TelemetryCollector
+from repro.uarch.modes import Mode
+from repro.workloads.generator import generate_application
+
+
+class _ConstantModel(Estimator):
+    def __init__(self, prob):
+        self.prob = prob
+        self.decision_threshold = 0.5
+
+    def fit(self, x, y):
+        return self
+
+    def predict_proba(self, x):
+        return np.full(x.shape[0], self.prob)
+
+
+def _predictor(prob):
+    return DualModePredictor(
+        "const",
+        {m: _ConstantModel(prob) for m in Mode},
+        np.array([0, 1, 2]), 1)
+
+
+@pytest.fixture(scope="module")
+def collector():
+    return TelemetryCollector()
+
+
+@pytest.fixture(scope="module")
+def burst_trace():
+    # A store-burst-heavy app: gating it violates the SLA hard.
+    app = generate_application(
+        "guard", "test", {"store_burst": 0.8, "compute_int": 0.2},
+        seed=31)
+    return app.workload(0).trace(200, 0)
+
+
+@pytest.fixture(scope="module")
+def friendly_trace():
+    app = generate_application(
+        "friendly", "test", {"pointer_chase": 1.0}, seed=32)
+    return app.workload(0).trace(200, 0)
+
+
+class TestConfig:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GuardrailConfig(window=0)
+        with pytest.raises(ConfigurationError):
+            GuardrailConfig(holdoff=0)
+        with pytest.raises(ConfigurationError):
+            GuardrailConfig(trip_margin=0.0)
+
+
+class TestGuardrail:
+    def test_trips_on_pathological_gating(self, collector, burst_trace):
+        """An always-gate policy on a store-burst app must trip."""
+        cpu = GuardedAdaptiveCPU(_predictor(1.0), collector=collector,
+                                 guardrail=GuardrailConfig(
+                                     window=4, holdoff=16))
+        result = cpu.run(burst_trace)
+        assert result.trips >= 1
+        assert result.suppressed_intervals > 0
+
+    def test_bounds_performance_loss(self, collector, burst_trace):
+        """The guardrail converts a sustained blindspot into a bounded
+        transient: guarded avg performance must beat unguarded."""
+        from repro.core.adaptive_cpu import AdaptiveCPU
+        bad = _predictor(1.0)
+        unguarded = AdaptiveCPU(bad, collector=collector).run(burst_trace)
+        guarded = GuardedAdaptiveCPU(
+            bad, collector=collector,
+            guardrail=GuardrailConfig(window=4, holdoff=16),
+        ).run(burst_trace)
+        assert guarded.avg_performance > unguarded.avg_performance
+        assert guarded.residency < unguarded.residency
+
+    def test_does_not_trip_on_sound_gating(self, collector,
+                                           friendly_trace):
+        """Gating a pointer-chasing app is safe; no trips expected."""
+        cpu = GuardedAdaptiveCPU(_predictor(1.0), collector=collector)
+        result = cpu.run(friendly_trace)
+        assert result.trips == 0
+        assert result.suppressed_intervals == 0
+        assert result.residency > 0.9
+
+    def test_never_gate_never_trips(self, collector, burst_trace):
+        cpu = GuardedAdaptiveCPU(_predictor(0.0), collector=collector)
+        result = cpu.run(burst_trace)
+        assert result.trips == 0
+        assert result.residency == 0.0
+
+    def test_holdoff_suppresses_then_releases(self, collector,
+                                              burst_trace):
+        short = GuardedAdaptiveCPU(
+            _predictor(1.0), collector=collector,
+            guardrail=GuardrailConfig(window=2, holdoff=4),
+        ).run(burst_trace)
+        long = GuardedAdaptiveCPU(
+            _predictor(1.0), collector=collector,
+            guardrail=GuardrailConfig(window=2, holdoff=64),
+        ).run(burst_trace)
+        # A longer hold-off suppresses more gating overall.
+        assert long.residency < short.residency
+
+    def test_result_delegates_base_fields(self, collector,
+                                          friendly_trace):
+        result = GuardedAdaptiveCPU(
+            _predictor(1.0), collector=collector).run(friendly_trace)
+        assert result.trace_name == friendly_trace.name
+        assert result.predictions.shape[0] == result.labels.shape[0]
+
+    def test_energy_reaccounted(self, collector, burst_trace):
+        """With a hold-off longer than the trace, a tripped guardrail
+        pins the core to high-performance mode, so energy converges to
+        the non-adaptive baseline."""
+        guarded = GuardedAdaptiveCPU(
+            _predictor(1.0), collector=collector,
+            guardrail=GuardrailConfig(window=2, holdoff=10_000),
+        ).run(burst_trace)
+        assert guarded.trips == 1
+        assert guarded.energy_j == pytest.approx(
+            guarded.energy_baseline_j, rel=0.05)

@@ -1,0 +1,192 @@
+"""Tests for CV folds, histogram features, metrics and hyper-screening."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.errors import DatasetError
+from repro.ml.crossval import app_kfold, leave_one_app_out
+from repro.ml.histogram import CounterHistogramEncoder
+from repro.ml.hyperscreen import screen_configs, select_best
+from repro.ml.linear import LogisticRegression
+from repro.ml.metrics_ml import (
+    accuracy,
+    confusion_counts,
+    f1_score,
+    false_positive_rate,
+    precision,
+    recall,
+)
+
+
+class TestAppKFold:
+    def _groups(self, n_apps=10, rows_per_app=7):
+        return np.repeat([f"app{i}" for i in range(n_apps)], rows_per_app)
+
+    def test_apps_never_straddle_sets(self):
+        groups = self._groups()
+        for fold in app_kfold(groups, k=6, seed=1):
+            tune = set(np.asarray(groups)[fold.tuning_idx])
+            val = set(np.asarray(groups)[fold.validation_idx])
+            assert not tune & val
+
+    def test_validation_fraction(self):
+        groups = self._groups(n_apps=20)
+        fold = app_kfold(groups, k=1, validation_fraction=0.2, seed=1)[0]
+        assert len(fold.validation_apps) == 4
+        assert len(fold.tuning_apps) == 16
+
+    def test_k_folds_generated(self):
+        folds = app_kfold(self._groups(), k=32, seed=1)
+        assert len(folds) == 32
+        # Randomized partitions must differ across folds.
+        assert len({fold.validation_apps for fold in folds}) > 16
+
+    def test_max_tuning_apps_caps(self):
+        fold = app_kfold(self._groups(20), k=1, seed=1,
+                         max_tuning_apps=5)[0]
+        assert len(fold.tuning_apps) == 5
+
+    def test_single_app_rejected(self):
+        with pytest.raises(DatasetError):
+            app_kfold(["only"] * 10, k=2)
+
+    def test_deterministic(self):
+        groups = self._groups()
+        a = app_kfold(groups, k=4, seed=9)
+        b = app_kfold(groups, k=4, seed=9)
+        assert [f.validation_apps for f in a] == [f.validation_apps
+                                                  for f in b]
+
+
+class TestLeaveOneOut:
+    def test_one_fold_per_app(self):
+        groups = np.repeat(["a", "b", "c"], 5)
+        folds = leave_one_app_out(groups)
+        assert len(folds) == 3
+        held = [f.validation_apps[0] for f in folds]
+        assert sorted(held) == ["a", "b", "c"]
+
+    def test_all_rows_covered(self):
+        groups = np.repeat(["a", "b", "c"], 4)
+        for fold in leave_one_app_out(groups):
+            assert (len(fold.tuning_idx) + len(fold.validation_idx)
+                    == len(groups))
+
+
+class TestHistogramEncoder:
+    def test_feature_shape(self):
+        rng = rng_mod.stream(1, "hist")
+        x = rng.random((100, 3))
+        enc = CounterHistogramEncoder(n_buckets=10)
+        features = enc.fit_transform(x)
+        assert features.shape == (100, 30)
+        assert enc.n_features == 30
+
+    def test_window_one_is_onehot(self):
+        x = np.linspace(0, 1, 50)[:, None]
+        features = CounterHistogramEncoder(n_buckets=5,
+                                           window=1).fit_transform(x)
+        assert np.allclose(features.sum(axis=1), 1.0)
+        assert set(np.unique(features)) <= {0.0, 1.0}
+
+    def test_window_accumulates(self):
+        x = np.concatenate([np.zeros(10), np.ones(10)])[:, None]
+        enc = CounterHistogramEncoder(n_buckets=2, window=4)
+        features = enc.fit_transform(x)
+        # Mid-transition rows mix the two buckets.
+        mixed = features[11]
+        assert 0.0 < mixed[0] < 1.0
+
+    def test_quantile_strategy_balances_buckets(self):
+        rng = rng_mod.stream(2, "hist")
+        x = rng.exponential(size=(4000, 1))  # heavy tail
+        quant = CounterHistogramEncoder(n_buckets=4, strategy="quantile")
+        width = CounterHistogramEncoder(n_buckets=4, strategy="width")
+        occ_q = quant.fit_transform(x).mean(axis=0)
+        occ_w = width.fit_transform(x).mean(axis=0)
+        assert occ_q.std() < occ_w.std()
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(DatasetError):
+            CounterHistogramEncoder(n_buckets=1)
+        with pytest.raises(DatasetError):
+            CounterHistogramEncoder(window=0)
+        with pytest.raises(DatasetError):
+            CounterHistogramEncoder(strategy="magic")
+
+
+class TestMetrics:
+    def test_confusion_counts(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        counts = confusion_counts(y_true, y_pred)
+        assert counts == {"tp": 2, "fp": 1, "tn": 1, "fn": 1}
+
+    def test_recall_precision_f1(self):
+        y_true = np.array([1, 1, 0, 0, 1])
+        y_pred = np.array([1, 0, 1, 0, 1])
+        assert recall(y_true, y_pred) == pytest.approx(2 / 3)
+        assert precision(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_fp_rate(self):
+        y_true = np.array([0, 0, 0, 1])
+        y_pred = np.array([1, 0, 0, 1])
+        assert false_positive_rate(y_true, y_pred) == pytest.approx(1 / 3)
+
+    def test_degenerate_cases(self):
+        empty_pos = np.zeros(4, dtype=int)
+        assert recall(empty_pos, empty_pos) == 0.0
+        assert precision(empty_pos, empty_pos) == 0.0
+
+    def test_accuracy_validates(self):
+        with pytest.raises(DatasetError):
+            accuracy(np.zeros(3), np.zeros(4))
+
+
+class TestHyperScreen:
+    def _data(self):
+        rng = rng_mod.stream(4, "screen")
+        x = rng.normal(size=(600, 4))
+        y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(int)
+        groups = np.repeat([f"a{i}" for i in range(12)], 50)
+        return x, y, groups
+
+    def test_screening_produces_records(self):
+        x, y, groups = self._data()
+        folds = app_kfold(groups, k=3, seed=1)
+        records = screen_configs(
+            model_factory=lambda cfg: LogisticRegression(l2=cfg["l2"]),
+            configs=[{"l2": 1e-4}, {"l2": 10.0}],
+            x=x, y=y, folds=folds,
+            metric_fns={"acc": lambda yt, yp, s: accuracy(yt, yp)},
+        )
+        assert len(records) == 2
+        for record in records:
+            assert len(record.per_fold["acc"]) == 3
+            mean, std = record.metrics["acc"]
+            assert 0.0 <= mean <= 1.0 and std >= 0.0
+
+    def test_select_best_prefers_low_std_at_high_mean(self):
+        from repro.ml.hyperscreen import ScreenRecord
+        records = [
+            ScreenRecord(config={"id": "risky"},
+                         metrics={"pgos": (0.82, 0.10)},
+                         per_fold={"pgos": (0.72, 0.92)}),
+            ScreenRecord(config={"id": "stable"},
+                         metrics={"pgos": (0.80, 0.02)},
+                         per_fold={"pgos": (0.78, 0.82)}),
+            ScreenRecord(config={"id": "weak"},
+                         metrics={"pgos": (0.40, 0.01)},
+                         per_fold={"pgos": (0.39, 0.41)}),
+        ]
+        best = select_best(records, metric="pgos", mean_margin=0.05)
+        assert best.config["id"] == "stable"
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(DatasetError):
+            select_best([])
+        with pytest.raises(DatasetError):
+            screen_configs(lambda c: LogisticRegression(), [],
+                           np.zeros((2, 2)), np.zeros(2), [], {})

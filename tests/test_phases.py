@@ -1,0 +1,125 @@
+"""Tests for the phase archetype library."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import rng as rng_mod
+from repro.errors import ConfigurationError
+from repro.workloads.phases import (
+    PHASE_LIBRARY,
+    PhaseInstance,
+    archetype_names,
+    archetypes_in_families,
+    families,
+    get_archetype,
+    sample_phase_instance,
+)
+
+
+class TestLibrary:
+    def test_library_is_reasonably_large(self):
+        assert len(PHASE_LIBRARY) >= 40
+
+    def test_names_unique(self):
+        names = archetype_names()
+        assert len(names) == len(set(names))
+
+    def test_families_cover_expected_behaviours(self):
+        fams = set(families())
+        for family in ("compute_int", "compute_fp", "pointer_chase",
+                       "bandwidth", "branchy", "frontend", "store_burst",
+                       "balanced", "dep_chain", "media"):
+            assert family in fams
+
+    def test_get_archetype_roundtrip(self):
+        for name in archetype_names():
+            assert get_archetype(name).name == name
+
+    def test_unknown_archetype_raises(self):
+        with pytest.raises(KeyError):
+            get_archetype("not_a_phase")
+
+    def test_archetypes_in_families_filters(self):
+        members = archetypes_in_families(["store_burst"])
+        assert members
+        assert all(m.family == "store_burst" for m in members)
+
+    def test_store_burst_has_high_sq_pressure(self):
+        for arch in archetypes_in_families(["store_burst"]):
+            assert arch.center["sq_pressure"] >= 0.7
+
+    def test_bandwidth_has_high_mlp(self):
+        for arch in archetypes_in_families(["bandwidth"]):
+            assert arch.center["mlp"] >= 5.0
+
+    def test_pointer_chase_has_low_mlp_high_misses(self):
+        for arch in archetypes_in_families(["pointer_chase"]):
+            assert arch.center["mlp"] <= 2.0
+            assert arch.center["l3_mpki"] >= 5.0
+
+
+class TestSampling:
+    def test_sampling_is_deterministic_per_stream(self):
+        a = sample_phase_instance("gemm_tile", rng_mod.stream(1, "s"))
+        b = sample_phase_instance("gemm_tile", rng_mod.stream(1, "s"))
+        assert a == b
+
+    def test_samples_jitter_between_streams(self):
+        a = sample_phase_instance("gemm_tile", rng_mod.stream(1, "s1"))
+        b = sample_phase_instance("gemm_tile", rng_mod.stream(1, "s2"))
+        assert a.ilp != b.ilp
+
+    def test_all_archetypes_sample_valid_instances(self):
+        rng = rng_mod.stream(3, "validity")
+        for arch in PHASE_LIBRARY:
+            for _ in range(5):
+                inst = arch.sample(rng)  # __post_init__ validates
+                assert inst.family == arch.family
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1),
+           idx=st.integers(0, len(PHASE_LIBRARY) - 1))
+    def test_sampled_instances_keep_invariants(self, seed, idx):
+        inst = PHASE_LIBRARY[idx].sample(rng_mod.stream(seed, "hyp"))
+        assert inst.ilp >= 1.0
+        assert inst.mlp >= 1.0
+        assert 0.0 <= inst.uopcache_hit_rate <= 1.0
+        assert 0.0 <= inst.sq_pressure <= 1.0
+        assert inst.l1d_mpki >= inst.l2_mpki >= inst.l3_mpki >= 0.0
+        mix = (inst.frac_load + inst.frac_store + inst.frac_branch
+               + inst.frac_fp)
+        assert mix <= 1.0 + 1e-9
+        assert inst.frac_int >= -1e-9
+
+
+class TestPhaseInstanceValidation:
+    def _kwargs(self, **overrides):
+        base = dict(
+            name="t", family="f", ilp=2.0, frac_load=0.2, frac_store=0.1,
+            frac_branch=0.1, frac_fp=0.1, l1d_mpki=10.0, l2_mpki=5.0,
+            l3_mpki=2.0, branch_mpki=1.0, icache_mpki=0.1,
+            uopcache_hit_rate=0.9, itlb_mpki=0.1, dtlb_mpki=0.1,
+            sq_pressure=0.1, mlp=2.0, dirty_frac=0.5, noise_scale=0.05,
+        )
+        base.update(overrides)
+        return base
+
+    def test_valid_instance_accepted(self):
+        PhaseInstance(**self._kwargs())
+
+    def test_ilp_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseInstance(**self._kwargs(ilp=0.5))
+
+    def test_mix_above_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseInstance(**self._kwargs(frac_load=0.9, frac_fp=0.5))
+
+    def test_non_nested_miss_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseInstance(**self._kwargs(l2_mpki=20.0))
+
+    def test_unit_field_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhaseInstance(**self._kwargs(sq_pressure=1.5))

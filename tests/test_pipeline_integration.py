@@ -1,0 +1,177 @@
+"""Integration tests: training pipeline, runner, blindspot analysis.
+
+These exercise the full stack end to end on a reduced corpus; the
+benchmark harness runs the full-scale versions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (
+    GRANULARITY_FACTORS,
+    SRCHEstimator,
+    build_standard_models,
+    train_dual_predictor,
+    tune_threshold_for_rsv,
+)
+from repro.data.builders import dataset_from_traces, hdtr_traces
+from repro.errors import ConfigurationError
+from repro.eval.blindspots import analyze_blindspots, compare_models
+from repro.eval.runner import evaluate_predictor
+from repro.ml import RandomForestClassifier
+from repro.telemetry.collector import TelemetryCollector
+from repro.telemetry.counters import default_catalog
+from repro.uarch.modes import Mode
+from repro.workloads.categories import hdtr_corpus
+from repro.workloads.spec2017 import spec2017_traces
+
+
+@pytest.fixture(scope="module")
+def collector():
+    return TelemetryCollector()
+
+
+@pytest.fixture(scope="module")
+def train_traces(collector):
+    apps = hdtr_corpus(7, counts={
+        "hpc_perf": 5, "cloud_security": 5, "web_productivity": 5,
+        "multimedia": 4, "ai_analytics": 4, "games_rendering_ar": 4,
+    })
+    return hdtr_traces(7, apps=apps, workloads_per_app=2,
+                       intervals_per_trace=100)
+
+
+@pytest.fixture(scope="module")
+def test_traces():
+    return spec2017_traces(99, intervals_per_trace=160,
+                           traces_per_workload=1)[::4]
+
+
+@pytest.fixture(scope="module")
+def models(collector, train_traces):
+    return build_standard_models(
+        train_traces, seed=7, collector=collector,
+        include=["best_rf", "charstar"], selection_traces=24)
+
+
+class TestBuildStandardModels:
+    def test_predictors_trained(self, models):
+        assert set(models.names()) == {"best_rf", "charstar"}
+
+    def test_granularities_match_table3(self, models):
+        assert models["best_rf"].granularity_factor == 4
+        assert models["charstar"].granularity_factor == 2
+        assert GRANULARITY_FACTORS["best_mlp"] == 5
+        assert GRANULARITY_FACTORS["srch"] == 4
+
+    def test_counter_sets(self, models):
+        catalog = default_catalog()
+        assert len(models.pf_counter_ids) == 12
+        assert np.array_equal(models["charstar"].counter_ids,
+                              np.array(catalog.charstar_ids))
+
+    def test_best_model_thresholds_tuned(self, models):
+        thresholds = models["best_rf"].thresholds
+        assert all(0.3 <= t <= 0.999 for t in thresholds.values())
+
+    def test_baseline_thresholds_untouched(self, models):
+        assert all(t == 0.5
+                   for t in models["charstar"].thresholds.values())
+
+    def test_unknown_model_rejected(self, collector, train_traces):
+        with pytest.raises(ConfigurationError):
+            build_standard_models(train_traces, seed=1,
+                                  collector=collector,
+                                  include=["nonsense"])
+
+    def test_firmware_budget_respected(self, models):
+        """Every deployed model fits its gating interval's ops budget."""
+        from repro.firmware import Microcontroller, compile_model
+        uc = Microcontroller()
+        for name, predictor in models.predictors.items():
+            granularity = predictor.granularity_factor * 10_000
+            for mode, model in predictor.models.items():
+                program = compile_model(model)
+                assert uc.fits(program.ops_per_prediction, granularity), (
+                    f"{name}/{mode} exceeds budget at {granularity}"
+                )
+
+
+class TestThresholdTuning:
+    def test_tuned_model_meets_budget_on_calibration(self, collector,
+                                                     train_traces):
+        ds = dataset_from_traces(train_traces[:20],
+                                 default_catalog().table4_ids,
+                                 collector=collector,
+                                 granularity_factor=4)[Mode.LOW_POWER]
+        model = RandomForestClassifier(n_trees=4, max_depth=6,
+                                       seed=1).fit(ds.x, ds.y)
+        tune_threshold_for_rsv(model, ds, max_rsv=0.01)
+        from repro.eval.metrics import effective_sla_window, pooled_rsv
+        window = effective_sla_window(ds.granularity)
+        pairs = []
+        scores = model.predict_proba(ds.x)
+        for name in np.unique(ds.traces):
+            mask = ds.traces == name
+            pairs.append((ds.y[mask],
+                          (scores[mask] >= model.decision_threshold
+                           ).astype(int)))
+        assert pooled_rsv(pairs, window) <= 0.01 + 1e-9
+
+
+class TestDeployment:
+    def test_best_rf_beats_charstar_on_rsv(self, models, test_traces,
+                                           collector):
+        """The headline claim at reduced scale: an order-of-magnitude
+        class RSV gap with comparable PPW."""
+        best = evaluate_predictor(models["best_rf"], test_traces,
+                                  collector=collector)
+        base = evaluate_predictor(models["charstar"], test_traces,
+                                  collector=collector)
+        assert best.mean_rsv <= base.mean_rsv
+        assert best.mean_ppw_gain > 0.05
+        assert base.mean_ppw_gain > 0.05
+
+    def test_suite_eval_structure(self, models, test_traces, collector):
+        suite = evaluate_predictor(models["best_rf"], test_traces,
+                                   collector=collector)
+        assert suite.granularity == 40_000
+        assert len(suite.per_benchmark) >= 10
+        names = [b.app_name for b in suite.per_benchmark]
+        assert names == sorted(names)
+        from repro.workloads.spec2017 import benchmark_names
+        int_apps = [n for n in benchmark_names("int") if n in names]
+        means = suite.suite_means(int_apps)
+        assert set(means) == {"ppw_gain", "rsv", "pgos", "residency",
+                              "avg_performance"}
+
+    def test_blindspot_analysis(self, models, test_traces, collector):
+        suite = evaluate_predictor(models["charstar"], test_traces,
+                                   collector=collector)
+        reports = analyze_blindspots(suite)
+        assert len(reports) == len(suite.per_benchmark)
+        for report in reports:
+            assert 0.0 <= report.fp_rate <= 1.0
+            assert report.max_fp_run >= 0
+
+    def test_compare_models_rows(self, models, test_traces, collector):
+        best = evaluate_predictor(models["best_rf"], test_traces,
+                                  collector=collector)
+        base = evaluate_predictor(models["charstar"], test_traces,
+                                  collector=collector)
+        rows = compare_models(base, best)
+        assert len(rows) == len(best.per_benchmark)
+        for row in rows:
+            assert row["rsv_reduction"] == pytest.approx(
+                row["ref_rsv"] - row["cand_rsv"])
+
+
+class TestSRCHEstimator:
+    def test_bucketized_features_learn(self, collector, train_traces):
+        ds = dataset_from_traces(train_traces[:16],
+                                 default_catalog().table4_ids,
+                                 collector=collector)[Mode.LOW_POWER]
+        model = SRCHEstimator().fit(ds.x, ds.y)
+        preds = model.predict(ds.x)
+        from repro.ml.metrics_ml import accuracy
+        assert accuracy(ds.y, preds) > 0.6

@@ -1,0 +1,142 @@
+"""Unit tests for pipeline internals not covered by the integration
+tests: the calibration split, SRCH's label floor, and counter-set
+plumbing."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_SLA
+from repro.core.pipeline import (
+    GRANULARITY_FACTORS,
+    SRCHEstimator,
+    _calibration_split,
+    select_counters,
+    train_dual_predictor,
+)
+from repro.data.builders import dataset_from_traces
+from repro.data.dataset import GatingDataset
+from repro.ml.forest import RandomForestClassifier
+from repro.telemetry.collector import TelemetryCollector
+from repro.uarch.modes import Mode
+from repro.workloads.generator import generate_application
+
+
+@pytest.fixture(scope="module")
+def collector():
+    return TelemetryCollector()
+
+
+@pytest.fixture(scope="module")
+def traces():
+    apps = [generate_application(
+        f"pu{i}", "t", {"pointer_chase": 0.5, "compute_fp": 0.5},
+        seed=70 + i) for i in range(8)]
+    return [a.workload(w).trace(60, 0) for a in apps for w in range(2)]
+
+
+def _dataset(rows_per_app=10, n_apps=6):
+    rng = np.random.default_rng(0)
+    n = rows_per_app * n_apps
+    return GatingDataset(
+        x=rng.random((n, 3)),
+        y=rng.integers(0, 2, n),
+        groups=np.repeat([f"a{i}" for i in range(n_apps)], rows_per_app),
+        workloads=np.repeat([f"w{i}" for i in range(n_apps)],
+                            rows_per_app),
+        traces=np.repeat([f"t{i}" for i in range(n_apps)], rows_per_app),
+        mode=Mode.HIGH_PERF,
+        counter_ids=np.arange(3),
+        granularity=10_000,
+        sla_floor=0.9,
+    )
+
+
+class TestCalibrationSplit:
+    def test_apps_disjoint(self):
+        ds = _dataset()
+        fit, cal = _calibration_split(ds, 0.3, seed=1)
+        assert not set(np.unique(fit.groups)) & set(np.unique(cal.groups))
+        assert fit.n_samples + cal.n_samples == ds.n_samples
+
+    def test_at_least_one_calibration_app(self):
+        ds = _dataset(n_apps=3)
+        _fit, cal = _calibration_split(ds, 0.05, seed=1)
+        assert cal.n_applications >= 1
+
+    def test_deterministic(self):
+        ds = _dataset()
+        a = _calibration_split(ds, 0.25, seed=4)[1]
+        b = _calibration_split(ds, 0.25, seed=4)[1]
+        assert np.array_equal(a.groups, b.groups)
+
+
+class TestGranularityTable:
+    def test_matches_paper_placements(self):
+        assert GRANULARITY_FACTORS == {
+            "best_rf": 4, "best_mlp": 5, "charstar": 2, "srch": 4,
+            "srch_coarse": 20,
+        }
+
+
+class TestSelectCounters:
+    def test_returns_requested_count(self, collector, traces):
+        counters = select_counters(traces[:8], collector, r=6)
+        assert len(counters) == 6
+        assert len(set(counters)) == 6
+
+    def test_prefix_property_through_pipeline(self, collector, traces):
+        r8 = select_counters(traces[:8], collector, r=8)
+        r6 = select_counters(traces[:8], collector, r=6)
+        assert r8[:6] == r6
+
+
+class TestSRCHEstimator:
+    def test_threshold_attribute(self):
+        model = SRCHEstimator()
+        assert model.decision_threshold == 0.5
+
+    def test_uses_width_buckets(self):
+        assert SRCHEstimator().encoder.strategy == "width"
+
+    def test_unweighted_logistic(self):
+        assert SRCHEstimator().logreg.class_weight is None
+
+
+class TestTrainDualPredictor:
+    def test_counter_mismatch_rejected(self, collector, traces):
+        from repro.errors import ConfigurationError
+        ds_a = dataset_from_traces(traces[:4], [0, 1],
+                                   collector=collector)
+        ds_b = dataset_from_traces(traces[:4], [2, 3],
+                                   collector=collector)
+        mismatched = {Mode.HIGH_PERF: ds_a[Mode.HIGH_PERF],
+                      Mode.LOW_POWER: ds_b[Mode.LOW_POWER]}
+
+        def factory(mode):
+            return RandomForestClassifier(2, 3, seed=0)
+
+        with pytest.raises(ConfigurationError):
+            train_dual_predictor("bad", factory, mismatched, 1)
+
+    def test_baseline_skips_tuning(self, collector, traces):
+        datasets = dataset_from_traces(traces, [0, 1, 2],
+                                       collector=collector)
+
+        def factory(mode):
+            return RandomForestClassifier(2, 3, seed=0)
+
+        predictor = train_dual_predictor("raw", factory, datasets, 1,
+                                         rsv_budget=None)
+        assert all(t == 0.5 for t in predictor.thresholds.values())
+
+    def test_relaxed_sla_labels_gate_more(self, collector, traces):
+        strict = dataset_from_traces(
+            traces, [0], DEFAULT_SLA, collector)[Mode.LOW_POWER]
+        relaxed_sla = dataclasses.replace(DEFAULT_SLA,
+                                          performance_floor=0.7)
+        relaxed = dataset_from_traces(
+            traces, [0], relaxed_sla, collector)[Mode.LOW_POWER]
+        assert relaxed.positive_rate >= strict.positive_rate
+        assert relaxed.sla_floor == pytest.approx(0.7)

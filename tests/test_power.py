@@ -1,0 +1,90 @@
+"""Tests for the event-based power model."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.interval_model import IntervalModel
+from repro.uarch.modes import Mode
+from repro.uarch.power import PowerModel
+from repro.workloads.categories import hdtr_corpus
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return IntervalModel()
+
+
+@pytest.fixture(scope="module")
+def power():
+    return PowerModel()
+
+
+@pytest.fixture(scope="module")
+def trace():
+    apps = hdtr_corpus(3, counts={"hpc_perf": 1, "web_productivity": 1})
+    return apps[0].workload(0).trace(150, 0)
+
+
+class TestStaticPower:
+    def test_low_power_static_below_high_perf(self, power):
+        assert (power.static_power_w(Mode.LOW_POWER)
+                < power.static_power_w(Mode.HIGH_PERF))
+
+    def test_gating_leaves_residual_leakage(self, power):
+        lp = power.static_power_w(Mode.LOW_POWER)
+        assert lp > power.uncore_static_w + power.cluster_static_w
+
+
+class TestEnergy:
+    def test_energy_positive(self, sim, power, trace):
+        result = sim.simulate(trace, Mode.HIGH_PERF)
+        energy = power.interval_energy_j(result)
+        assert np.all(energy > 0.0)
+
+    def test_breakdown_sums(self, sim, power, trace):
+        result = sim.simulate(trace, Mode.HIGH_PERF)
+        breakdown = power.breakdown(result)
+        total = power.interval_energy_j(result).sum()
+        assert breakdown.total_energy_j == pytest.approx(total)
+
+    def test_average_power_in_cpu_range(self, sim, power, trace):
+        result = sim.simulate(trace, Mode.HIGH_PERF)
+        watts = power.average_power_w(result)
+        assert 2.0 < watts < 30.0
+
+    def test_low_power_mode_saves_about_35_percent(self, sim, power):
+        """Section 3: low-power mode consumes ~35% less on average."""
+        apps = hdtr_corpus(5, counts={
+            "hpc_perf": 3, "cloud_security": 3, "web_productivity": 3,
+            "multimedia": 3, "ai_analytics": 3, "games_rendering_ar": 3,
+        })
+        ratios = []
+        for app in apps:
+            tr = app.workload(0).trace(80, 0)
+            hp = power.average_power_w(sim.simulate(tr, Mode.HIGH_PERF))
+            lp = power.average_power_w(sim.simulate(tr, Mode.LOW_POWER))
+            ratios.append(lp / hp)
+        assert 0.55 < float(np.mean(ratios)) < 0.75
+
+    def test_ppw_is_instructions_per_joule(self, sim, power, trace):
+        result = sim.simulate(trace, Mode.HIGH_PERF)
+        total_inst = result.n_intervals * result.interval_instructions
+        expected = total_inst / power.interval_energy_j(result).sum()
+        assert power.ppw(result) == pytest.approx(expected)
+
+    def test_mixed_mode_energy_between_pure_modes(self, sim, power, trace):
+        hp = sim.simulate(trace, Mode.HIGH_PERF)
+        e_hp = power.interval_energy_j(hp).sum()
+        half = np.zeros(hp.n_intervals)
+        half[::2] = 1
+        e_mixed = power.interval_energy_j(hp, modes=half).sum()
+        # Same signals/cycles, but half the intervals billed at the
+        # lower static power.
+        assert e_mixed < e_hp
+
+    def test_per_event_energy_counted(self, sim, power, trace):
+        result = sim.simulate(trace, Mode.HIGH_PERF)
+        silent = PowerModel(event_energy_nj={})
+        e_static_only = silent.interval_energy_j(result).sum()
+        e_full = power.interval_energy_j(result).sum()
+        assert e_full > e_static_only

@@ -1,0 +1,143 @@
+"""Property-based tests on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import rng as rng_mod
+from repro.core.labels import coarsen_cycles
+from repro.eval.metrics import pgos, rsv
+from repro.ml.base import StandardScaler
+from repro.ml.metrics_ml import (
+    confusion_counts,
+    f1_score,
+    precision,
+    recall,
+)
+from repro.ml.tree import DecisionTreeClassifier, entropy
+
+
+@st.composite
+def label_pred_arrays(draw, min_size=4, max_size=256):
+    n = draw(st.integers(min_size, max_size))
+    y_true = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    y_pred = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    return np.array(y_true), np.array(y_pred)
+
+
+class TestMetricProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(label_pred_arrays())
+    def test_confusion_partitions_samples(self, arrays):
+        y_true, y_pred = arrays
+        counts = confusion_counts(y_true, y_pred)
+        assert sum(counts.values()) == y_true.shape[0]
+
+    @settings(max_examples=80, deadline=None)
+    @given(label_pred_arrays())
+    def test_metric_bounds(self, arrays):
+        y_true, y_pred = arrays
+        for metric in (recall, precision, f1_score, pgos):
+            assert 0.0 <= metric(y_true, y_pred) <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(label_pred_arrays(min_size=8))
+    def test_rsv_bounds_and_perfect_prediction(self, arrays):
+        y_true, _ = arrays
+        assert rsv(y_true, y_true, 4) == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(label_pred_arrays(min_size=8))
+    def test_rsv_monotone_in_window_violations(self, arrays):
+        y_true, y_pred = arrays
+        value = rsv(y_true, y_pred, 4)
+        assert 0.0 <= value <= 1.0
+        # RSV is invariant to flipping predictions on positive slots
+        # from 1 to ... (FPs only involve y_true == 0): force-seizing
+        # every true opportunity cannot raise RSV.
+        seized = np.where(y_true == 1, 1, y_pred)
+        assert rsv(y_true, seized, 4) == pytest.approx(value)
+
+
+class TestCoarsenProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 10), st.integers(1, 200))
+    def test_cycles_conserved_up_to_tail(self, factor, n):
+        assume(n >= factor)
+        rng = rng_mod.stream(n, "coarse", factor)
+        cycles = rng.uniform(1.0, 100.0, n)
+        coarse = coarsen_cycles(cycles, factor)
+        t_full = (n // factor) * factor
+        assert coarse.sum() == pytest.approx(cycles[:t_full].sum())
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 10), st.integers(10, 200))
+    def test_shape(self, factor, n):
+        cycles = np.ones(n)
+        assert coarsen_cycles(cycles, factor).shape == (n // factor,)
+
+
+class TestScalerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 60), st.integers(1, 8),
+           st.integers(0, 2**31 - 1))
+    def test_transform_is_affine_invertible(self, n, d, seed):
+        rng = rng_mod.stream(seed, "scaler")
+        x = rng.normal(3.0, 5.0, (n, d))
+        scaler = StandardScaler().fit(x)
+        z = scaler.transform(x)
+        back = z * scaler.scale_ + scaler.mean_
+        assert np.allclose(back, x)
+
+
+class TestEntropyProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 1000), st.integers(1, 1000))
+    def test_entropy_bounds(self, pos, total):
+        assume(pos <= total)
+        h = float(entropy(np.array(float(pos)), np.array(float(total))))
+        assert -1e-9 <= h <= 1.0 + 1e-9
+
+    def test_entropy_maximal_at_half(self):
+        h_half = float(entropy(np.array(5.0), np.array(10.0)))
+        h_skew = float(entropy(np.array(1.0), np.array(10.0)))
+        assert h_half == pytest.approx(1.0)
+        assert h_skew < h_half
+
+
+class TestTreeProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 6))
+    def test_tree_never_exceeds_depth(self, seed, depth):
+        rng = rng_mod.stream(seed, "treeprop")
+        x = rng.normal(size=(200, 3))
+        y = (rng.random(200) < 0.5).astype(int)
+        tree = DecisionTreeClassifier(max_depth=depth, min_samples_leaf=2,
+                                      min_samples_split=4).fit(x, y)
+        assert tree.depth <= depth
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_tree_probabilities_bounded(self, seed):
+        rng = rng_mod.stream(seed, "treeprop2")
+        x = rng.normal(size=(150, 4))
+        y = (x[:, 0] > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=4).fit(x, y)
+        probs = tree.predict_proba(rng.normal(size=(50, 4)))
+        assert np.all((probs >= 0.0) & (probs <= 1.0))
+
+
+class TestFirmwareRoundTripProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_logistic_image_roundtrip(self, seed):
+        from repro.firmware import FirmwareVM
+        from repro.firmware.codegen import compile_logistic
+        from repro.ml import LogisticRegression
+        rng = rng_mod.stream(seed, "fwprop")
+        x = rng.normal(size=(300, 5))
+        y = (x @ rng.normal(size=5) > 0).astype(int)
+        model = LogisticRegression().fit(x, y)
+        trace = FirmwareVM().run(compile_logistic(model), x[:64])
+        assert np.abs(trace.probabilities
+                      - model.predict_proba(x[:64])).max() < 1e-4

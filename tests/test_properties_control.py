@@ -1,0 +1,134 @@
+"""Property-based tests on the control loop and firmware invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import rng as rng_mod
+from repro.core.gating import GatingController
+from repro.core.predictor import DualModePredictor
+from repro.ml.base import Estimator
+from repro.uarch.modes import Mode
+
+
+class _ArrayModel(Estimator):
+    """Replays a fixed probability array."""
+
+    def __init__(self, probs):
+        self.probs = np.asarray(probs, dtype=float)
+        self.decision_threshold = 0.5
+
+    def fit(self, x, y):
+        return self
+
+    def predict_proba(self, x):
+        return self.probs[:x.shape[0]]
+
+
+def _controller(hp_probs, lp_probs, horizon=2):
+    predictor = DualModePredictor(
+        "prop",
+        {Mode.HIGH_PERF: _ArrayModel(hp_probs),
+         Mode.LOW_POWER: _ArrayModel(lp_probs)},
+        np.array([0]), 1)
+    return GatingController(predictor, horizon=horizon)
+
+
+@st.composite
+def prob_pair(draw):
+    n = draw(st.integers(6, 80))
+    hp = draw(st.lists(st.floats(0.0, 1.0), min_size=n, max_size=n))
+    lp = draw(st.lists(st.floats(0.0, 1.0), min_size=n, max_size=n))
+    return np.array(hp), np.array(lp)
+
+
+class TestControllerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(prob_pair(), st.integers(1, 4))
+    def test_first_horizon_intervals_high_perf(self, pair, horizon):
+        hp, lp = pair
+        controller = _controller(hp, lp, horizon=horizon)
+        modes, _, _ = controller.schedule(
+            {Mode.HIGH_PERF: hp, Mode.LOW_POWER: lp}, trace_seed=1)
+        assert np.all(modes[:horizon] == 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(prob_pair())
+    def test_switch_accounting_matches_transitions(self, pair):
+        hp, lp = pair
+        controller = _controller(hp, lp)
+        modes, cycles, counts = controller.schedule(
+            {Mode.HIGH_PERF: hp, Mode.LOW_POWER: lp}, trace_seed=1)
+        transitions = int(np.abs(np.diff(modes)).sum())
+        assert int(counts.sum()) == transitions
+        assert np.all(cycles[counts == 0] == 0.0)
+        assert np.all(cycles[counts == 1] > 0.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(prob_pair())
+    def test_decision_provenance(self, pair):
+        """Every mode decision must equal thresholding the probability
+        of the mode active ``horizon`` intervals earlier."""
+        hp, lp = pair
+        controller = _controller(hp, lp)
+        probs = {Mode.HIGH_PERF: hp, Mode.LOW_POWER: lp}
+        modes, _, _ = controller.schedule(probs, trace_seed=1)
+        for t in range(2, modes.shape[0]):
+            src = Mode.LOW_POWER if modes[t - 2] else Mode.HIGH_PERF
+            expected = int(probs[src][t - 2] >= 0.5)
+            assert modes[t] == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(prob_pair())
+    def test_deterministic(self, pair):
+        hp, lp = pair
+        probs = {Mode.HIGH_PERF: hp, Mode.LOW_POWER: lp}
+        a = _controller(hp, lp).schedule(probs, trace_seed=9)
+        b = _controller(hp, lp).schedule(probs, trace_seed=9)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+
+class TestFirmwareProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 3),
+           st.integers(2, 6))
+    def test_forest_vm_parity_random_models(self, seed, n_trees, depth):
+        from repro.firmware import FirmwareVM, compile_model
+        from repro.ml import RandomForestClassifier
+        rng = rng_mod.stream(seed, "fw-prop")
+        x = rng.normal(size=(300, 5))
+        y = (x[:, 0] + x[:, 1] > 0).astype(int)
+        model = RandomForestClassifier(n_trees, depth, seed=seed)
+        model.fit(x, y)
+        trace = FirmwareVM().run(compile_model(model), x[:64])
+        host = model.predict_proba(x[:64])
+        assert np.abs(trace.probabilities - host).max() < 0.01
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_image_checksum_detects_any_flip(self, seed):
+        import dataclasses
+        from repro.core.predictor import DualModePredictor
+        from repro.firmware.deploy import package_firmware
+        from repro.ml import LogisticRegression
+        rng = rng_mod.stream(seed, "chk")
+        x = rng.normal(size=(120, 4))
+        y = (x[:, 0] > 0).astype(int)
+        predictor = DualModePredictor(
+            "chk", {m: LogisticRegression().fit(x, y) for m in Mode},
+            np.arange(4), 1)
+        image = package_firmware(predictor)
+        flip_at = int(rng.integers(
+            len(image.programs[Mode.HIGH_PERF].image)))
+        raw = bytearray(image.programs[Mode.HIGH_PERF].image)
+        raw[flip_at] ^= 0x01
+        tampered = dataclasses.replace(
+            image,
+            programs={
+                Mode.HIGH_PERF: dataclasses.replace(
+                    image.programs[Mode.HIGH_PERF], image=bytes(raw)),
+                Mode.LOW_POWER: image.programs[Mode.LOW_POWER],
+            })
+        assert image.verify()
+        assert not tampered.verify()

@@ -1,0 +1,70 @@
+"""Tests for report rendering and blindspot analytics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.eval.blindspots import _run_lengths
+from repro.eval.reporting import (
+    emit,
+    format_series,
+    format_table,
+    percent,
+)
+
+
+class TestFormatting:
+    def test_table_alignment(self):
+        text = format_table("T", ["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bbbb" in lines[2]
+        assert len({len(line) for line in lines[2:4]}) == 1
+
+    def test_float_formatting(self):
+        text = format_table("T", ["x"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_series(self):
+        text = format_series("S", "n", {"y": [1.0, 2.0]}, [10, 20])
+        assert "10" in text and "2" in text
+
+    def test_percent(self):
+        assert percent(0.1234) == "12.3%"
+        assert percent(0.1234, 2) == "12.34%"
+
+    def test_emit_writes_file(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = emit("unit_test_report", "hello\n")
+        with open(path) as handle:
+            assert handle.read() == "hello\n"
+
+
+class TestRunLengths:
+    def test_empty(self):
+        assert _run_lengths(np.zeros(0, dtype=bool)).size == 0
+
+    def test_no_runs(self):
+        assert _run_lengths(np.zeros(5, dtype=bool)).size == 0
+
+    def test_single_run(self):
+        flags = np.array([False, True, True, True, False])
+        assert _run_lengths(flags).tolist() == [3]
+
+    def test_multiple_runs(self):
+        flags = np.array([True, False, True, True, False, True])
+        assert _run_lengths(flags).tolist() == [1, 2, 1]
+
+    def test_all_true(self):
+        assert _run_lengths(np.ones(4, dtype=bool)).tolist() == [4]
+
+
+class TestQuickDemo:
+    def test_quick_demo_smokes(self):
+        from repro import quick_demo
+        result = quick_demo(seed=5)
+        assert set(result) == {"ppw_gain", "rsv", "pgos",
+                               "low_power_residency", "avg_performance"}
+        assert result["ppw_gain"] > 0.0
+        assert 0.0 <= result["rsv"] <= 1.0
+        assert 0.5 < result["avg_performance"] <= 1.0

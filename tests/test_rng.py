@@ -1,0 +1,47 @@
+"""Tests for named deterministic random streams."""
+
+import numpy as np
+
+from repro import rng as rng_mod
+
+
+class TestStream:
+    def test_same_name_same_sequence(self):
+        a = rng_mod.stream(7, "x").random(10)
+        b = rng_mod.stream(7, "x").random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        a = rng_mod.stream(7, "x").random(10)
+        b = rng_mod.stream(7, "y").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = rng_mod.stream(7, "x").random(10)
+        b = rng_mod.stream(8, "x").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_multi_part_names(self):
+        a = rng_mod.stream(7, "a", 1, "b").random(4)
+        b = rng_mod.stream(7, "a", 1, "b").random(4)
+        assert np.array_equal(a, b)
+
+    def test_name_concatenation_is_not_ambiguous(self):
+        # ("ab", "c") and ("a", "bc") must be distinct streams.
+        a = rng_mod.stream(7, "ab", "c").random(4)
+        b = rng_mod.stream(7, "a", "bc").random(4)
+        assert not np.array_equal(a, b)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert (rng_mod.derive_seed(7, "child")
+                == rng_mod.derive_seed(7, "child"))
+
+    def test_distinct_children(self):
+        seeds = {rng_mod.derive_seed(7, "child", i) for i in range(100)}
+        assert len(seeds) == 100
+
+    def test_non_negative(self):
+        for i in range(20):
+            assert rng_mod.derive_seed(3, i) >= 0

@@ -1,0 +1,93 @@
+"""Tests for SimPoint-style region selection."""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.errors import ConfigurationError
+from repro.workloads.generator import generate_application
+from repro.workloads.simpoints import (
+    bbv_matrix,
+    kmeans,
+    select_simpoints,
+)
+
+
+def make_trace(n=400, seed=3):
+    app = generate_application(
+        "sp", "test", {"pointer_chase": 0.5, "compute_fp": 0.5},
+        seed=seed)
+    return app.workload(0).trace(n, 0)
+
+
+class TestBBV:
+    def test_rows_are_frequencies(self):
+        bbvs = bbv_matrix(make_trace(), window=10)
+        assert np.allclose(bbvs.sum(axis=1), 1.0)
+        assert np.all(bbvs >= 0.0)
+
+    def test_region_count(self):
+        bbvs = bbv_matrix(make_trace(405), window=10)
+        assert bbvs.shape[0] == 40
+
+    def test_too_short_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bbv_matrix(make_trace(5), window=10)
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bbv_matrix(make_trace(), window=0)
+
+    def test_deterministic(self):
+        a = bbv_matrix(make_trace(), window=10)
+        b = bbv_matrix(make_trace(), window=10)
+        assert np.array_equal(a, b)
+
+
+class TestKMeans:
+    def test_recovers_separated_clusters(self):
+        rng = rng_mod.stream(1, "km")
+        a = rng.normal(0.0, 0.1, (50, 3))
+        b = rng.normal(5.0, 0.1, (40, 3))
+        data = np.vstack([a, b])
+        _, assign = kmeans(data, 2, rng_mod.stream(2, "km"))
+        # Each true cluster maps to exactly one k-means cluster.
+        assert len(set(assign[:50])) == 1
+        assert len(set(assign[50:])) == 1
+        assert assign[0] != assign[-1]
+
+    def test_k_bounds(self):
+        data = np.zeros((5, 2))
+        with pytest.raises(ConfigurationError):
+            kmeans(data, 0, rng_mod.stream(1, "km"))
+        with pytest.raises(ConfigurationError):
+            kmeans(data, 6, rng_mod.stream(1, "km"))
+
+    def test_assignments_in_range(self):
+        data = rng_mod.stream(3, "km").normal(size=(30, 4))
+        _, assign = kmeans(data, 3, rng_mod.stream(4, "km"))
+        assert assign.min() >= 0
+        assert assign.max() < 3
+
+
+class TestSelectSimPoints:
+    def test_weights_sum_to_one(self):
+        points = select_simpoints(make_trace(), k=4, window=10)
+        assert sum(p.weight for p in points) == pytest.approx(1.0)
+
+    def test_regions_sorted_and_within_trace(self):
+        trace = make_trace(390)
+        points = select_simpoints(trace, k=3, window=10)
+        starts = [p.start_interval for p in points]
+        assert starts == sorted(starts)
+        for p in points:
+            assert 0 <= p.start_interval < p.end_interval <= 390
+
+    def test_k_capped_by_regions(self):
+        points = select_simpoints(make_trace(30), k=10, window=10)
+        assert len(points) <= 3
+
+    def test_deterministic(self):
+        a = select_simpoints(make_trace(), k=4)
+        b = select_simpoints(make_trace(), k=4)
+        assert a == b

@@ -1,0 +1,153 @@
+"""Tests for the structural simulation tier.
+
+These close the substitution chain: phase physics -> synthetic
+address/branch streams -> real LRU caches and gshare predictor should
+recover the miss/mispredict rates the annotated tier assumes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import rng as rng_mod
+from repro.errors import ConfigurationError
+from repro.uarch.addresses import AddressModel, BranchStream
+from repro.uarch.branch import GsharePredictor
+from repro.uarch.caches import CacheHierarchy
+from repro.uarch.modes import Mode
+from repro.uarch.structural import (
+    simulate_phase_structural,
+    synthesize_structural_stream,
+)
+from repro.workloads.phases import get_archetype
+
+
+def _phase(name, seed=3):
+    return get_archetype(name).sample(rng_mod.stream(seed, "st", name))
+
+
+class TestAddressModel:
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            AddressModel(_phase("balanced_mixed"), 1).generate(0)
+
+    def test_addresses_line_aligned(self):
+        addrs = AddressModel(_phase("balanced_mixed"), 1).generate(500)
+        assert np.all(addrs % 64 == 0)
+
+    def test_cache_friendly_phase_hits_l1(self):
+        phase = _phase("int_crypto_rounds")  # ~0.5 mpki
+        model = AddressModel(phase, 1)
+        hierarchy = CacheHierarchy()
+        addrs = model.generate(8000)
+        for a in addrs[:2000]:  # warm
+            hierarchy.access(int(a))
+        hierarchy.l1.reset_stats()
+        for a in addrs[2000:]:
+            hierarchy.access(int(a))
+        assert hierarchy.l1.stats.miss_rate < 0.05
+
+    def test_pointer_chase_misses_match_physics(self):
+        phase = _phase("linked_list_walk")
+        model = AddressModel(phase, 1)
+        hierarchy = CacheHierarchy()
+        addrs = model.generate(20000)
+        for a in addrs[:5000]:
+            hierarchy.access(int(a))
+        hierarchy.l1.reset_stats()
+        for a in addrs[5000:]:
+            hierarchy.access(int(a))
+        target = phase.l1d_mpki / (
+            1000.0 * (phase.frac_load + phase.frac_store))
+        assert hierarchy.l1.stats.miss_rate == pytest.approx(
+            target, abs=0.12)
+
+    def test_streaming_addresses_never_reuse(self):
+        phase = _phase("stream_copy")
+        addrs = AddressModel(phase, 1).generate(4000)
+        high = addrs[addrs >= (1 << 26) * 64]
+        assert high.size > 0
+        assert np.unique(high).size == high.size
+
+
+class TestBranchStream:
+    def test_predictable_phase_low_miss_rate(self):
+        phase = _phase("stream_copy")  # ~0.2 branch mpki
+        stream = BranchStream(phase, 1)
+        pcs, taken = stream.generate(6000)
+        predictor = GsharePredictor()
+        misses = 0
+        for pc, t in zip(pcs.tolist(), taken.tolist()):
+            misses += predictor.predict(pc) != bool(t)
+            predictor.update(pc, bool(t))
+        assert misses / 6000 < 0.15
+
+    def test_branchy_phase_miss_rate_near_target(self):
+        phase = _phase("decision_logic")  # ~19 mpki at ~26% branches
+        stream = BranchStream(phase, 1)
+        pcs, taken = stream.generate(12000)
+        predictor = GsharePredictor()
+        misses = 0
+        for pc, t in zip(pcs[2000:].tolist(), taken[2000:].tolist()):
+            misses += predictor.predict(pc) != bool(t)
+            predictor.update(pc, bool(t))
+        rate = misses / 10000
+        assert rate == pytest.approx(stream.target_rate, abs=0.05)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ConfigurationError):
+            BranchStream(_phase("balanced_mixed"), 1).generate(0)
+
+
+class TestStructuralCore:
+    def test_stream_shapes(self):
+        stream = synthesize_structural_stream(
+            _phase("balanced_mixed"), 2000, seed=5)
+        n = stream.uops.n_uops
+        assert stream.addresses.shape == (n,)
+        assert stream.branch_pcs.shape == (n,)
+        mem = stream.addresses > 0
+        from repro.uarch.isa import UopType
+        types = stream.uops.types
+        is_mem = ((types == int(UopType.LOAD))
+                  | (types == int(UopType.STORE)))
+        # Every memory uop has an address (address 0 is legal but rare).
+        assert mem[is_mem].mean() > 0.99
+
+    def test_structural_run_produces_sane_ipc(self):
+        result, model = simulate_phase_structural(
+            _phase("balanced_mixed"), 6000, Mode.HIGH_PERF, seed=5)
+        assert 0.1 < result.ipc < 8.0
+
+    def test_structural_matches_annotated_direction(self):
+        """Cache-friendly compute must out-IPC pointer chasing in the
+        structural tier too."""
+        fast, _ = simulate_phase_structural(
+            _phase("int_crypto_rounds"), 6000, Mode.HIGH_PERF, seed=5)
+        slow, _ = simulate_phase_structural(
+            _phase("linked_list_walk"), 6000, Mode.HIGH_PERF, seed=5)
+        assert fast.ipc > 2.0 * slow.ipc
+
+    def test_structural_miss_rates_close_annotation_loop(self):
+        phase = _phase("hash_probe_cold")
+        _result, model = simulate_phase_structural(
+            phase, 10000, Mode.HIGH_PERF, seed=5, warmup_uops=6000)
+        target = phase.l1d_mpki / (
+            1000.0 * (phase.frac_load + phase.frac_store))
+        assert model.measured_l1_miss_rate() == pytest.approx(
+            target, abs=0.15)
+
+    def test_structural_branch_rate_tracks_physics(self):
+        phase = _phase("branchy_parser")
+        result, model = simulate_phase_structural(
+            phase, 10000, Mode.HIGH_PERF, seed=5, warmup_uops=6000)
+        per_uop = model.branch_mispredict_count / result.n_uops
+        target = phase.branch_mpki / 1000.0
+        assert per_uop == pytest.approx(target, abs=0.01)
+
+    def test_width_still_matters_structurally(self):
+        phase = _phase("gemm_tile")
+        hp, _ = simulate_phase_structural(phase, 8000, Mode.HIGH_PERF,
+                                          seed=5)
+        lp, _ = simulate_phase_structural(phase, 8000, Mode.LOW_POWER,
+                                          seed=5)
+        assert lp.ipc < hp.ipc

@@ -1,0 +1,55 @@
+"""Tests for the reproduction report aggregator."""
+
+import os
+
+from repro.eval.summary import build_report, collect_results, write_report
+
+
+class TestSummary:
+    def _seed_results(self, directory):
+        os.makedirs(directory, exist_ok=True)
+        with open(os.path.join(directory, "fig8_headline.txt"), "w") as f:
+            f.write("Figure 8 rows\n")
+        with open(os.path.join(directory, "custom_extra.txt"), "w") as f:
+            f.write("extra content\n")
+
+    def test_collect(self, tmp_path):
+        directory = str(tmp_path / "results")
+        self._seed_results(directory)
+        results = collect_results(directory)
+        assert results == {"fig8_headline": "Figure 8 rows\n",
+                           "custom_extra": "extra content\n"}
+
+    def test_collect_missing_dir(self, tmp_path):
+        assert collect_results(str(tmp_path / "nope")) == {}
+
+    def test_report_orders_sections(self, tmp_path):
+        directory = str(tmp_path / "results")
+        self._seed_results(directory)
+        text = build_report(directory)
+        assert text.index("Evaluation (Section 7)") < text.index(
+            "Figure 8 rows")
+        # Missing outputs are flagged, extras collected at the end.
+        assert "not yet generated" in text
+        assert "extra content" in text
+        assert text.index("Figure 8 rows") < text.index("extra content")
+
+    def test_write_report(self, tmp_path):
+        directory = str(tmp_path / "results")
+        self._seed_results(directory)
+        path = write_report(path=str(tmp_path / "REPORT.md"),
+                            directory=directory)
+        with open(path) as handle:
+            assert "# Reproduction report" in handle.read()
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+        directory = str(tmp_path / "results")
+        self._seed_results(directory)
+        os.environ["REPRO_RESULTS_DIR"] = directory
+        try:
+            out_path = str(tmp_path / "R.md")
+            assert main(["report", "--output", out_path]) == 0
+            assert os.path.exists(out_path)
+        finally:
+            del os.environ["REPRO_RESULTS_DIR"]
