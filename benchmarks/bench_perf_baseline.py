@@ -1,0 +1,197 @@
+"""Performance baseline for the execution engine.
+
+Times the dataset-scale hot paths — trace generation, serial vs
+parallel ``evaluate_predictor``, and cold- vs warm-cache runs — and
+writes a machine-readable ``BENCH_perf.json`` at the repo root so
+future PRs have a perf trajectory to compare against.
+
+Run standalone (no pytest session fixtures needed)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_baseline.py
+
+Scale knobs: ``--workers`` (default 4), ``--apps``/``--intervals`` to
+grow the corpus. The deployed predictor is a fixed-probability stub so
+the measurement isolates the simulation/evaluation pipeline from model
+training.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.predictor import DualModePredictor
+from repro.data.builders import build_mode_dataset
+from repro.eval.runner import evaluate_predictor
+from repro.exec import EXEC_STATS, ParallelMap, SimCache
+from repro.ml.base import Estimator
+from repro.telemetry.collector import TelemetryCollector
+from repro.uarch.interval_model import IntervalModel
+from repro.uarch.modes import Mode
+from repro.workloads.generator import generate_application
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_FAMILIES = ("pointer_chase", "compute_fp", "store_burst", "branchy",
+             "bandwidth", "compute_int", "dep_chain", "media")
+
+
+class _ConstModel(Estimator):
+    """Fixed-probability stub model (picklable for process pools)."""
+
+    def __init__(self, prob: float) -> None:
+        self.prob = prob
+        self.decision_threshold = 0.5
+
+    def fit(self, x, y):
+        return self
+
+    def predict_proba(self, x):
+        return np.full(x.shape[0], self.prob)
+
+
+def _predictor() -> DualModePredictor:
+    return DualModePredictor(
+        name="bench_const",
+        models={Mode.HIGH_PERF: _ConstModel(0.7),
+                Mode.LOW_POWER: _ConstModel(0.4)},
+        counter_ids=np.array([0, 1, 2, 3]),
+        granularity_factor=1,
+    )
+
+
+def _generate_corpus(n_apps: int, workloads_per_app: int,
+                     intervals: int, seed: int = 11):
+    traces = []
+    for i in range(n_apps):
+        family = _FAMILIES[i % len(_FAMILIES)]
+        app = generate_application(f"perfapp{i}", "bench",
+                                   {family: 0.7, "balanced": 0.3},
+                                   seed=seed + i)
+        for w in range(workloads_per_app):
+            traces.append(app.workload(w).trace(intervals, 0))
+    return traces
+
+
+def _timed(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def run(workers: int = 4, n_apps: int = 8, workloads_per_app: int = 3,
+        intervals: int = 240,
+        output: Path | None = None) -> dict:
+    """Execute every measurement and write ``BENCH_perf.json``."""
+    predictor = _predictor()
+
+    gen_s, traces = _timed(
+        lambda: _generate_corpus(n_apps, workloads_per_app, intervals))
+    print(f"trace generation: {len(traces)} traces in {gen_s:.3f}s")
+
+    # Serial vs parallel deployment evaluation. Fresh collectors keep
+    # the in-process LRU from leaking work between measurements.
+    serial_s, serial_suite = _timed(lambda: evaluate_predictor(
+        predictor, traces, collector=TelemetryCollector(),
+        pmap=ParallelMap("serial")))
+    parallel_s, parallel_suite = _timed(lambda: evaluate_predictor(
+        predictor, traces, collector=TelemetryCollector(),
+        pmap=ParallelMap("process", n_workers=workers)))
+    assert serial_suite.mean_ppw_gain == parallel_suite.mean_ppw_gain, \
+        "parallel run diverged from serial"
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    print(f"evaluate_predictor: serial {serial_s:.3f}s, "
+          f"{workers}-worker process {parallel_s:.3f}s "
+          f"({speedup:.2f}x, {os.cpu_count()} CPUs visible)")
+
+    # Cold vs warm simulation cache, same corpus.
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-simcache-bench-"))
+    try:
+        def _cached_collector():
+            return TelemetryCollector(
+                model=IntervalModel(simcache=SimCache(cache_dir)))
+
+        cold_s, cold_suite = _timed(lambda: evaluate_predictor(
+            predictor, traces, collector=_cached_collector(),
+            pmap=ParallelMap("serial")))
+        warm_s, warm_suite = _timed(lambda: evaluate_predictor(
+            predictor, traces, collector=_cached_collector(),
+            pmap=ParallelMap("serial")))
+        assert warm_suite.mean_ppw_gain == serial_suite.mean_ppw_gain, \
+            "cached run diverged from uncached"
+        cache_speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+        print(f"evaluate_predictor cache: cold {cold_s:.3f}s, "
+              f"warm {warm_s:.3f}s ({cache_speedup:.2f}x)")
+
+        # Dataset building hits the cache at whole-matrix granularity,
+        # so a warm build skips simulation, telemetry and labelling.
+        counter_ids = list(range(12))
+        ds_cold_s, _ = _timed(lambda: build_mode_dataset(
+            traces, Mode.LOW_POWER, counter_ids,
+            collector=_cached_collector(),
+            simcache=SimCache(cache_dir)))
+        ds_warm_s, _ = _timed(lambda: build_mode_dataset(
+            traces, Mode.LOW_POWER, counter_ids,
+            collector=_cached_collector(),
+            simcache=SimCache(cache_dir)))
+        ds_speedup = ds_cold_s / ds_warm_s if ds_warm_s > 0 else float("inf")
+        print(f"build_mode_dataset cache: cold {ds_cold_s:.3f}s, "
+              f"warm {ds_warm_s:.3f}s ({ds_speedup:.2f}x)")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    payload = {
+        "schema": 1,
+        "cpus_visible": os.cpu_count(),
+        "corpus": {
+            "n_traces": len(traces),
+            "intervals_per_trace": intervals,
+            "n_apps": n_apps,
+        },
+        "trace_generation_s": round(gen_s, 4),
+        "evaluate_predictor": {
+            "serial_s": round(serial_s, 4),
+            "parallel_s": round(parallel_s, 4),
+            "backend": "process",
+            "workers": workers,
+            "speedup": round(speedup, 3),
+        },
+        "simcache": {
+            "evaluate_cold_s": round(cold_s, 4),
+            "evaluate_warm_s": round(warm_s, 4),
+            "evaluate_speedup": round(cache_speedup, 3),
+            "dataset_cold_s": round(ds_cold_s, 4),
+            "dataset_warm_s": round(ds_warm_s, 4),
+            "dataset_speedup": round(ds_speedup, 3),
+        },
+        "exec_stats": EXEC_STATS.snapshot(),
+    }
+    output = output or (REPO_ROOT / "BENCH_perf.json")
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {output}")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--apps", type=int, default=8)
+    parser.add_argument("--workloads-per-app", type=int, default=3)
+    parser.add_argument("--intervals", type=int, default=240)
+    parser.add_argument("--output", type=Path, default=None)
+    args = parser.parse_args(argv)
+    run(workers=args.workers, n_apps=args.apps,
+        workloads_per_app=args.workloads_per_app,
+        intervals=args.intervals, output=args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

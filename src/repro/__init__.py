@@ -25,6 +25,8 @@ Package map — see DESIGN.md for the full inventory:
   post-silicon update flow.
 * ``repro.data`` — dataset builders and caching.
 * ``repro.eval`` — PGOS/RSV metrics, deployment runner, blindspots.
+* ``repro.exec`` — execution engine: parallel map backends, the
+  content-addressed simulation cache, stage/cache instrumentation.
 """
 
 from repro.config import (

@@ -28,6 +28,16 @@ from repro.config import experiment_seed
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None,
                         help="experiment seed (default: REPRO_SEED or 7)")
+    parser.add_argument("--exec-backend", default=None,
+                        choices=["serial", "thread", "process"],
+                        help="execution backend for dataset-scale fan-out "
+                             "(default: REPRO_EXEC_BACKEND or serial)")
+    parser.add_argument("--exec-workers", type=int, default=None,
+                        help="worker count for parallel backends "
+                             "(default: REPRO_EXEC_WORKERS or CPU count)")
+    parser.add_argument("--exec-report", action="store_true",
+                        help="print stage timings, cache hit rates and "
+                             "worker utilisation at exit")
 
 
 def _seed(args: argparse.Namespace) -> int:
@@ -198,7 +208,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    if args.exec_backend is not None or args.exec_workers is not None:
+        from repro.exec import configure
+        configure(backend=args.exec_backend, n_workers=args.exec_workers)
+    status = args.func(args)
+    if args.exec_report:
+        from repro.exec import EXEC_STATS
+        print(EXEC_STATS.report())
+    return status
 
 
 if __name__ == "__main__":

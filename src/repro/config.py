@@ -35,6 +35,13 @@ DEFAULT_SEED = 7
 #: Instructions per telemetry snapshot interval (Section 4.1).
 BASE_INTERVAL_INSTRUCTIONS = 10_000
 
+#: Environment variable bounding the interval model's in-process LRU
+#: memo (entries, not bytes). One entry holds one trace x mode result.
+INTERVAL_LRU_ENV_VAR = "REPRO_INTERVAL_LRU"
+
+#: Default LRU bound when the environment does not override it.
+DEFAULT_INTERVAL_LRU = 1024
+
 
 def experiment_scale() -> float:
     """Return the dataset scale factor from ``REPRO_SCALE`` (default 1.0)."""
@@ -47,6 +54,22 @@ def experiment_scale() -> float:
         ) from exc
     if value <= 0:
         raise ValueError(f"{SCALE_ENV_VAR} must be positive, got {value}")
+    return value
+
+
+def interval_lru_size() -> int:
+    """LRU memo bound from ``REPRO_INTERVAL_LRU`` (default 1024)."""
+    raw = os.environ.get(INTERVAL_LRU_ENV_VAR, str(DEFAULT_INTERVAL_LRU))
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{INTERVAL_LRU_ENV_VAR} must be an int, got {raw!r}"
+        ) from exc
+    if value < 1:
+        raise ValueError(
+            f"{INTERVAL_LRU_ENV_VAR} must be >= 1, got {value}"
+        )
     return value
 
 

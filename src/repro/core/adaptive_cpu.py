@@ -21,6 +21,7 @@ from repro.core.labels import gating_labels
 from repro.core.predictor import DualModePredictor
 from repro.core.sla import SLAAccounting, sla_window_violations
 from repro.errors import DatasetError
+from repro.exec.parallel import ParallelMap, default_parallel_map
 from repro.telemetry.collector import TelemetryCollector, coarsen
 from repro.uarch.modes import Mode
 from repro.uarch.power import MODE_SWITCH_ENERGY_NJ, PowerModel
@@ -169,6 +170,16 @@ class AdaptiveCPU:
             switch_count=int(switch_counts.sum()),
         )
 
-    def run_many(self, traces: list[TraceSpec]) -> list[AdaptiveRunResult]:
-        """Deploy on a whole trace corpus."""
-        return [self.run(trace) for trace in traces]
+    def run_many(self, traces: list[TraceSpec],
+                 pmap: ParallelMap | None = None,
+                 ) -> list[AdaptiveRunResult]:
+        """Deploy on a whole trace corpus.
+
+        ``pmap`` selects the execution backend (default: the
+        process-wide :func:`~repro.exec.parallel.default_parallel_map`,
+        i.e. serial unless configured otherwise). Traces are
+        independent and internally seeded, so every backend returns
+        bit-identical results in trace order.
+        """
+        pmap = pmap if pmap is not None else default_parallel_map()
+        return pmap.map(self.run, traces, stage="adaptive_run")

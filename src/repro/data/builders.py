@@ -10,6 +10,11 @@ microcontroller and computing the prediction (Figure 3).
 
 from __future__ import annotations
 
+import dataclasses
+import functools
+import hashlib
+import json
+
 import numpy as np
 
 from repro import rng as rng_mod
@@ -18,6 +23,8 @@ from repro.config import experiment_scale
 from repro.core.labels import gating_labels
 from repro.data.dataset import GatingDataset, concat_datasets
 from repro.errors import DatasetError
+from repro.exec.parallel import ParallelMap, default_parallel_map
+from repro.exec.simcache import SimCache, default_simcache
 from repro.telemetry.collector import TelemetryCollector, coarsen
 from repro.uarch.modes import Mode
 from repro.workloads.categories import hdtr_corpus
@@ -28,52 +35,95 @@ from repro.workloads.spec2017 import spec2017_traces
 PREDICTION_HORIZON = 2
 
 
+def _catalog_token(collector: TelemetryCollector) -> str:
+    """Stable fingerprint of the counter catalog (for cache keys)."""
+    blob = json.dumps(
+        [dataclasses.asdict(c) for c in collector.catalog.counters],
+        sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _build_trace_part(trace: TraceSpec, mode: Mode,
+                      counter_ids: np.ndarray, sla: SLAConfig,
+                      collector: TelemetryCollector,
+                      granularity_factor: int,
+                      horizon: int) -> GatingDataset:
+    """One trace's slice of the supervised dataset (parallel unit)."""
+    results = collector.model.simulate_both(trace)
+    snap = collector.snapshot(trace, mode, counter_ids,
+                              result=results[mode])
+    if granularity_factor > 1:
+        snap = coarsen(snap, granularity_factor)
+    labels = gating_labels(trace, sla, collector.model,
+                           granularity_factor, results=results)
+    t_count = min(snap.n_intervals, labels.n_intervals)
+    if t_count <= horizon:
+        raise DatasetError(
+            f"trace {trace.name} too short for horizon {horizon} at "
+            f"granularity factor {granularity_factor}"
+        )
+    x = snap.normalized[:t_count - horizon]
+    y = labels.labels[horizon:t_count]
+    n = x.shape[0]
+    return GatingDataset(
+        x=x,
+        y=y,
+        groups=np.full(n, trace.app.name),
+        workloads=np.full(n, trace.workload.name),
+        traces=np.full(n, trace.name),
+        mode=mode,
+        counter_ids=counter_ids,
+        granularity=(BASE_INTERVAL_INSTRUCTIONS * granularity_factor),
+        sla_floor=sla.performance_floor,
+    )
+
+
 def build_mode_dataset(traces: list[TraceSpec], mode: Mode,
                        counter_ids: list[int] | np.ndarray,
                        sla: SLAConfig = DEFAULT_SLA,
                        collector: TelemetryCollector | None = None,
                        granularity_factor: int = 1,
-                       horizon: int = PREDICTION_HORIZON) -> GatingDataset:
+                       horizon: int = PREDICTION_HORIZON,
+                       pmap: ParallelMap | None = None,
+                       simcache: SimCache | None = None) -> GatingDataset:
     """Build the supervised dataset for one telemetry mode.
 
     Features are telemetry observed while running in ``mode``; two
     such datasets (one per mode) train the paper's two side-by-side
     models.
+
+    Per-trace work fans out through ``pmap`` (serial by default) and
+    the assembled matrices persist in ``simcache`` when one is
+    attached (or ``REPRO_SIMCACHE_DIR`` is set), keyed by trace
+    content, counter set, SLA, granularity and machine config — both
+    paths are bit-identical to a serial, uncached build.
     """
     if not traces:
         raise DatasetError("no traces supplied")
     collector = collector or TelemetryCollector()
     counter_ids = np.asarray(counter_ids, dtype=np.int64)
-    parts: list[GatingDataset] = []
-    for trace in traces:
-        results = collector.model.simulate_both(trace)
-        snap = collector.snapshot(trace, mode, counter_ids,
-                                  result=results[mode])
-        if granularity_factor > 1:
-            snap = coarsen(snap, granularity_factor)
-        labels = gating_labels(trace, sla, collector.model,
-                               granularity_factor, results=results)
-        t_count = min(snap.n_intervals, labels.n_intervals)
-        if t_count <= horizon:
-            raise DatasetError(
-                f"trace {trace.name} too short for horizon {horizon} at "
-                f"granularity factor {granularity_factor}"
-            )
-        x = snap.normalized[:t_count - horizon]
-        y = labels.labels[horizon:t_count]
-        n = x.shape[0]
-        parts.append(GatingDataset(
-            x=x,
-            y=y,
-            groups=np.full(n, trace.app.name),
-            workloads=np.full(n, trace.workload.name),
-            traces=np.full(n, trace.name),
-            mode=mode,
-            counter_ids=counter_ids,
-            granularity=(BASE_INTERVAL_INSTRUCTIONS * granularity_factor),
-            sla_floor=sla.performance_floor,
-        ))
-    return concat_datasets(parts)
+    simcache = simcache if simcache is not None else default_simcache()
+    key = None
+    if simcache is not None:
+        key = simcache.dataset_key(
+            traces, mode, counter_ids, sla, granularity_factor, horizon,
+            collector.model.machine,
+            catalog_token=_catalog_token(collector))
+        cached = simcache.load_dataset(key)
+        if cached is not None:
+            return cached
+    pmap = pmap if pmap is not None else default_parallel_map()
+    parts = pmap.map(
+        functools.partial(_build_trace_part, mode=mode,
+                          counter_ids=counter_ids, sla=sla,
+                          collector=collector,
+                          granularity_factor=granularity_factor,
+                          horizon=horizon),
+        traces, stage="build_dataset")
+    dataset = concat_datasets(parts)
+    if key is not None:
+        simcache.store_dataset(key, dataset)
+    return dataset
 
 
 def dataset_from_traces(traces: list[TraceSpec],
@@ -82,12 +132,15 @@ def dataset_from_traces(traces: list[TraceSpec],
                         collector: TelemetryCollector | None = None,
                         granularity_factor: int = 1,
                         horizon: int = PREDICTION_HORIZON,
+                        pmap: ParallelMap | None = None,
+                        simcache: SimCache | None = None,
                         ) -> dict[Mode, GatingDataset]:
     """Both per-mode datasets for one trace corpus."""
     collector = collector or TelemetryCollector()
     return {
         mode: build_mode_dataset(traces, mode, counter_ids, sla,
-                                 collector, granularity_factor, horizon)
+                                 collector, granularity_factor, horizon,
+                                 pmap=pmap, simcache=simcache)
         for mode in Mode
     }
 
@@ -123,11 +176,14 @@ def build_hdtr_datasets(seed: int, counter_ids: list[int] | np.ndarray,
                         granularity_factor: int = 1,
                         collector: TelemetryCollector | None = None,
                         traces: list[TraceSpec] | None = None,
+                        pmap: ParallelMap | None = None,
+                        simcache: SimCache | None = None,
                         ) -> dict[Mode, GatingDataset]:
     """Per-mode training datasets over the scaled HDTR corpus."""
     traces = traces if traces is not None else hdtr_traces(seed)
     return dataset_from_traces(traces, counter_ids, sla, collector,
-                               granularity_factor)
+                               granularity_factor, pmap=pmap,
+                               simcache=simcache)
 
 
 def build_spec_datasets(seed: int, counter_ids: list[int] | np.ndarray,
@@ -135,9 +191,12 @@ def build_spec_datasets(seed: int, counter_ids: list[int] | np.ndarray,
                         granularity_factor: int = 1,
                         collector: TelemetryCollector | None = None,
                         traces: list[TraceSpec] | None = None,
+                        pmap: ParallelMap | None = None,
+                        simcache: SimCache | None = None,
                         ) -> dict[Mode, GatingDataset]:
     """Per-mode datasets over the held-out SPEC2017-like suite."""
     traces = traces if traces is not None else spec2017_traces(
         rng_mod.derive_seed(seed, "spec-test"))
     return dataset_from_traces(traces, counter_ids, sla, collector,
-                               granularity_factor)
+                               granularity_factor, pmap=pmap,
+                               simcache=simcache)

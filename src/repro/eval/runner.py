@@ -11,6 +11,7 @@ performance — per benchmark and over the suite (Figures 8/9, Tables
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 import numpy as np
 
@@ -19,6 +20,8 @@ from repro.core.adaptive_cpu import AdaptiveCPU, AdaptiveRunResult
 from repro.core.predictor import DualModePredictor
 from repro.errors import DatasetError
 from repro.eval.metrics import effective_sla_window, pgos, pooled_rsv
+from repro.exec.parallel import ParallelMap
+from repro.exec.stats import EXEC_STATS
 from repro.telemetry.collector import TelemetryCollector
 from repro.uarch.power import PowerModel
 from repro.workloads.generator import TraceSpec
@@ -46,12 +49,17 @@ class SuiteEval:
     per_benchmark: tuple[BenchmarkEval, ...]
     runs: tuple[AdaptiveRunResult, ...]
 
+    @functools.cached_property
+    def _benchmark_index(self) -> dict[str, BenchmarkEval]:
+        return {bench.app_name: bench for bench in self.per_benchmark}
+
     def benchmark(self, app_name: str) -> BenchmarkEval:
-        """Results for one benchmark by name."""
-        for bench in self.per_benchmark:
-            if bench.app_name == app_name:
-                return bench
-        raise DatasetError(f"no benchmark {app_name!r} in evaluation")
+        """Results for one benchmark by name (O(1) after first call)."""
+        try:
+            return self._benchmark_index[app_name]
+        except KeyError:
+            raise DatasetError(
+                f"no benchmark {app_name!r} in evaluation") from None
 
     def _mean(self, attr: str, apps: list[str] | None = None) -> float:
         values = [getattr(b, attr) for b in self.per_benchmark
@@ -116,26 +124,31 @@ def evaluate_predictor(predictor: DualModePredictor,
                        sla: SLAConfig = DEFAULT_SLA,
                        collector: TelemetryCollector | None = None,
                        power: PowerModel | None = None,
-                       window: int | None = None) -> SuiteEval:
+                       window: int | None = None,
+                       pmap: ParallelMap | None = None) -> SuiteEval:
     """Deploy a predictor on a trace corpus and aggregate the results.
 
     ``window`` is the RSV window in predictions; by default it is the
     scaled Eq.-2 window for the predictor's gating granularity.
+    ``pmap`` selects the execution backend for the per-trace closed
+    loops (serial unless configured); suite metrics are bit-identical
+    across backends.
     """
     if not traces:
         raise DatasetError("no traces to evaluate")
     cpu = AdaptiveCPU(predictor, collector=collector, power=power, sla=sla)
-    runs = cpu.run_many(traces)
+    runs = cpu.run_many(traces, pmap=pmap)
     granularity = runs[0].granularity
     if window is None:
         window = effective_sla_window(granularity, cpu.machine, sla)
     by_app: dict[str, list[AdaptiveRunResult]] = {}
     for run in runs:
         by_app.setdefault(run.app_name, []).append(run)
-    per_benchmark = tuple(
-        _aggregate_app(app, app_runs, window)
-        for app, app_runs in sorted(by_app.items())
-    )
+    with EXEC_STATS.stage("evaluate_aggregate"):
+        per_benchmark = tuple(
+            _aggregate_app(app, app_runs, window)
+            for app, app_runs in sorted(by_app.items())
+        )
     return SuiteEval(
         predictor_name=predictor.name,
         granularity=granularity,

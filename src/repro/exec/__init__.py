@@ -1,0 +1,39 @@
+"""Shared execution engine for dataset-scale paths.
+
+Three pieces, used together by every loop that fans out over traces,
+configurations or folds:
+
+* :class:`~repro.exec.parallel.ParallelMap` — serial/thread/process
+  backends behind one ordered, chunked, deterministic ``map``;
+* :class:`~repro.exec.simcache.SimCache` — a content-addressed on-disk
+  cache of simulation outputs and built feature matrices;
+* :data:`~repro.exec.stats.EXEC_STATS` — process-wide stage timings,
+  cache hit/miss counts and worker utilisation, printed by the CLI's
+  ``--exec-report`` flag.
+
+The invariant the engine guarantees (and the tier-1 suite enforces):
+for any seed, parallel and cached runs produce bit-identical results
+to the serial uncached path.
+"""
+
+from repro.exec.parallel import (
+    BACKENDS,
+    ParallelMap,
+    configure,
+    default_parallel_map,
+    reset_default,
+)
+from repro.exec.simcache import SimCache, default_simcache
+from repro.exec.stats import EXEC_STATS, ExecStats
+
+__all__ = [
+    "BACKENDS",
+    "EXEC_STATS",
+    "ExecStats",
+    "ParallelMap",
+    "SimCache",
+    "configure",
+    "default_parallel_map",
+    "default_simcache",
+    "reset_default",
+]

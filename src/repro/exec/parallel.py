@@ -1,0 +1,206 @@
+"""Deterministic parallel fan-out.
+
+:class:`ParallelMap` is the one abstraction every dataset-scale path
+uses to iterate over traces, configurations or folds. It offers three
+backends — ``serial``, ``thread`` and ``process`` — behind a single
+``map`` call that always returns results in input order, so a parallel
+run is bit-identical to a serial one for any workload whose items are
+independent and internally seeded (everything in this repo is; see
+:mod:`repro.rng`).
+
+Design points:
+
+* **Chunked dispatch** — items are grouped into contiguous chunks to
+  amortise task submission and pickling overhead; chunk results are
+  reassembled by index, never by completion order.
+* **Worker-side RNG seeding** — when a ``seed`` is given, the global
+  NumPy RNG is re-seeded *per item* from ``derive_seed(seed, index)``
+  before the item runs, so any stray use of the global generator is
+  reproducible regardless of which worker executes which item.
+* **Graceful degradation** — if a pool cannot start (no ``fork`` /
+  resource limits) or the payload cannot be pickled, the map silently
+  re-runs serially and records ``parallel.fallback_serial`` in
+  :data:`~repro.exec.stats.EXEC_STATS` instead of crashing the run.
+
+Defaults come from the environment so existing entry points pick up
+parallelism without signature changes: ``REPRO_EXEC_BACKEND`` selects
+the backend (default ``serial``) and ``REPRO_EXEC_WORKERS`` the worker
+count (default: CPU count).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+import time
+from collections.abc import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import ConfigurationError
+from repro.exec.stats import EXEC_STATS
+
+#: Environment variable selecting the default backend.
+BACKEND_ENV_VAR = "REPRO_EXEC_BACKEND"
+
+#: Environment variable selecting the default worker count.
+WORKERS_ENV_VAR = "REPRO_EXEC_WORKERS"
+
+#: Recognised backends, in increasing isolation order.
+BACKENDS = ("serial", "thread", "process")
+
+#: Exceptions that mean "the pool/payload is unusable", not "the task
+#: failed": these trigger the serial fallback. Genuine task errors
+#: (e.g. DatasetError from a worker) propagate unchanged.
+_FALLBACK_ERRORS = (
+    concurrent.futures.BrokenExecutor,
+    pickle.PicklingError,
+    AttributeError,  # "Can't pickle local object ..."
+    TypeError,  # "cannot pickle '_thread.lock' object"
+    ImportError,
+    OSError,
+)
+
+
+def _run_chunk(fn: Callable, indexed: Sequence[tuple[int, object]],
+               seed: int | None) -> tuple[list, float]:
+    """Run one chunk of (index, item) pairs; returns (results, busy_s)."""
+    start = time.perf_counter()
+    out = []
+    for index, item in indexed:
+        if seed is not None:
+            np.random.seed(rng_mod.derive_seed(seed, "exec-item", index)
+                           % (2 ** 32))
+        out.append(fn(item))
+    return out, time.perf_counter() - start
+
+
+class ParallelMap:
+    """Ordered, chunked, deterministic map over independent items."""
+
+    def __init__(self, backend: str | None = None,
+                 n_workers: int | None = None,
+                 chunk_size: int | None = None,
+                 seed: int | None = None) -> None:
+        if backend is None:
+            backend = os.environ.get(BACKEND_ENV_VAR, "serial")
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown exec backend {backend!r}; expected one of "
+                f"{BACKENDS}"
+            )
+        if n_workers is None:
+            raw = os.environ.get(WORKERS_ENV_VAR)
+            n_workers = int(raw) if raw else (os.cpu_count() or 1)
+        if n_workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {n_workers}"
+            )
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.backend = backend
+        self.n_workers = n_workers
+        self.chunk_size = chunk_size
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _chunks(self, indexed: list[tuple[int, object]],
+                ) -> list[list[tuple[int, object]]]:
+        """Contiguous chunks sized to keep every worker busy."""
+        size = self.chunk_size
+        if size is None:
+            # ~4 chunks per worker balances load without drowning the
+            # queue in per-item submissions.
+            size = max(1, -(-len(indexed) // (self.n_workers * 4)))
+        return [indexed[i:i + size] for i in range(0, len(indexed), size)]
+
+    def _map_serial(self, fn: Callable,
+                    indexed: list[tuple[int, object]]) -> list:
+        results, _ = _run_chunk(fn, indexed, self.seed)
+        return results
+
+    def _map_pool(self, fn: Callable, indexed: list[tuple[int, object]],
+                  ) -> tuple[list, float]:
+        """Fan a chunked map out over a pool; returns (results, busy_s)."""
+        if self.backend == "thread":
+            executor_cls = concurrent.futures.ThreadPoolExecutor
+        else:
+            executor_cls = concurrent.futures.ProcessPoolExecutor
+        chunks = self._chunks(indexed)
+        with executor_cls(max_workers=self.n_workers) as pool:
+            futures = [pool.submit(_run_chunk, fn, chunk, self.seed)
+                       for chunk in chunks]
+            results: list = [None] * len(indexed)
+            busy = 0.0
+            cursor = 0
+            for chunk, future in zip(chunks, futures):
+                chunk_results, chunk_busy = future.result()
+                busy += chunk_busy
+                results[cursor:cursor + len(chunk)] = chunk_results
+                cursor += len(chunk)
+        return results, busy
+
+    def map(self, fn: Callable, items: Iterable,
+            stage: str = "parallel_map") -> list:
+        """Apply ``fn`` to every item; results are in input order.
+
+        ``stage`` names the entry under which wall/busy time is
+        recorded in :data:`~repro.exec.stats.EXEC_STATS`.
+        """
+        indexed = list(enumerate(items))
+        start = time.perf_counter()
+        effective_workers = 1
+        if (self.backend == "serial" or self.n_workers <= 1
+                or len(indexed) <= 1):
+            results = self._map_serial(fn, indexed)
+            busy = time.perf_counter() - start
+        else:
+            try:
+                results, busy = self._map_pool(fn, indexed)
+                effective_workers = min(self.n_workers, len(indexed))
+            except _FALLBACK_ERRORS:
+                EXEC_STATS.incr("parallel.fallback_serial")
+                serial_start = time.perf_counter()
+                results = self._map_serial(fn, indexed)
+                busy = time.perf_counter() - serial_start
+        EXEC_STATS.add_time(stage, time.perf_counter() - start, busy,
+                            workers=effective_workers)
+        EXEC_STATS.incr(f"{stage}.items", len(indexed))
+        return results
+
+
+#: Session-wide override installed by :func:`configure` (e.g. the CLI).
+_DEFAULT: ParallelMap | None = None
+
+
+def configure(backend: str | None = None, n_workers: int | None = None,
+              chunk_size: int | None = None,
+              seed: int | None = None) -> ParallelMap:
+    """Install the process-wide default :class:`ParallelMap`.
+
+    Entry points that take a ``pmap`` argument fall back to this
+    default when none is passed, so one ``configure`` call (or the
+    ``REPRO_EXEC_*`` environment variables) parallelises every
+    dataset-scale path at once.
+    """
+    global _DEFAULT
+    _DEFAULT = ParallelMap(backend=backend, n_workers=n_workers,
+                           chunk_size=chunk_size, seed=seed)
+    return _DEFAULT
+
+
+def default_parallel_map() -> ParallelMap:
+    """The configured default, or a fresh env-driven instance."""
+    if _DEFAULT is not None:
+        return _DEFAULT
+    return ParallelMap()
+
+
+def reset_default() -> None:
+    """Drop any :func:`configure` override (tests)."""
+    global _DEFAULT
+    _DEFAULT = None

@@ -1,0 +1,226 @@
+"""Content-addressed on-disk simulation cache.
+
+Benchmarks, dataset builders and hyperparameter sweeps revisit the
+same traces over and over — across processes, across runs, across
+PRs. The in-process LRU memo in :class:`~repro.uarch.interval_model.
+IntervalModel` only helps within one process; this cache persists two
+kinds of artefacts to disk so repeated work is skipped entirely:
+
+* **simulation results** — the full per-interval output of
+  ``IntervalModel.simulate`` (IPC, cycles, the base-signal matrix);
+* **built datasets** — the feature matrices produced by
+  :func:`repro.data.builders.build_mode_dataset`.
+
+Entries are *content addressed*: the key is a SHA-256 over everything
+the output is a pure function of — the trace specification (seed,
+phase sequence, per-phase physics), the mode, the full machine
+configuration, and a schema version bumped whenever the simulator's
+numerics change. Anything that would alter the output therefore
+changes the key, which is how invalidation works; stale entries are
+simply never looked up again.
+
+The cache is off by default. Point ``REPRO_SIMCACHE_DIR`` at a
+directory (or pass a :class:`SimCache` explicitly) to enable it.
+Writes are atomic (temp file + rename) so concurrent workers of a
+process pool can share one cache directory safely; corrupt or
+truncated entries are treated as misses and deleted.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.exec.stats import EXEC_STATS
+
+#: Bump when simulator numerics or storage layout change: old entries
+#: stop being addressable and are naturally evicted by disuse.
+SCHEMA_VERSION = 1
+
+#: Environment variable enabling the cache at a directory.
+SIMCACHE_ENV_VAR = "REPRO_SIMCACHE_DIR"
+
+
+def _machine_token(machine) -> str:
+    """Canonical string for a MachineConfig (nested dataclasses)."""
+    return json.dumps(dataclasses.asdict(machine), sort_keys=True,
+                      default=str)
+
+
+def trace_fingerprint(trace) -> bytes:
+    """Stable digest of everything a simulation reads from a trace."""
+    h = hashlib.sha256()
+    h.update(trace.name.encode())
+    h.update(str(trace.seed).encode())
+    h.update(str(trace.interval_instructions).encode())
+    h.update(np.ascontiguousarray(trace.phase_seq, dtype=np.int64).tobytes())
+    # The phase physics table fully determines what the phase indices
+    # mean; two apps with identical names but different phase draws
+    # must not collide.
+    h.update(np.ascontiguousarray(trace.physics(), dtype=np.float64)
+             .tobytes())
+    return h.digest()
+
+
+class SimCache:
+    """Content-addressed store for simulation and dataset artefacts."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Keys.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _digest(*tokens: bytes | str) -> str:
+        h = hashlib.sha256()
+        h.update(f"schema={SCHEMA_VERSION}".encode())
+        for token in tokens:
+            h.update(b"\x00")
+            h.update(token if isinstance(token, bytes) else token.encode())
+        return h.hexdigest()
+
+    def sim_key(self, trace, mode, machine) -> str:
+        """Key for one ``IntervalModel.simulate(trace, mode)`` output."""
+        return self._digest(b"sim", trace_fingerprint(trace), mode.value,
+                            _machine_token(machine))
+
+    def dataset_key(self, traces, mode, counter_ids, sla,
+                    granularity_factor: int, horizon: int, machine,
+                    catalog_token: str = "") -> str:
+        """Key for one built per-mode gating dataset."""
+        ids = np.asarray(counter_ids, dtype=np.int64)
+        return self._digest(
+            b"dataset",
+            b"".join(trace_fingerprint(t) for t in traces),
+            mode.value,
+            ids.tobytes(),
+            f"{sla.performance_floor}/{sla.window_ms}/{sla.guarantee}",
+            f"g={granularity_factor}/h={horizon}",
+            _machine_token(machine),
+            catalog_token,
+        )
+
+    # ------------------------------------------------------------------
+    # Storage.
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.npz"
+
+    def _write(self, key: str, payload: dict[str, np.ndarray],
+               meta: dict) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        try:
+            with open(tmp, "wb") as fh:
+                # Uncompressed: entries are small (T x ~50 floats) and
+                # load latency is the whole point of the cache.
+                np.savez(fh, __meta__=np.array(json.dumps(meta)), **payload)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        EXEC_STATS.incr("simcache.store")
+
+    def _read(self, key: str) -> tuple[dict, dict] | None:
+        path = self._path(key)
+        if not path.exists():
+            EXEC_STATS.incr("simcache.miss")
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                meta = json.loads(str(data["__meta__"]))
+                payload = {name: data[name] for name in data.files
+                           if name != "__meta__"}
+        except Exception:
+            # Truncated/corrupt entry (e.g. an interrupted writer on a
+            # filesystem without atomic replace): drop and recompute.
+            path.unlink(missing_ok=True)
+            EXEC_STATS.incr("simcache.miss")
+            return None
+        EXEC_STATS.incr("simcache.hit")
+        return payload, meta
+
+    # ------------------------------------------------------------------
+    # Simulation results.
+    # ------------------------------------------------------------------
+    def store_result(self, key: str, result) -> None:
+        """Persist one ``IntervalResult``."""
+        self._write(key, {
+            "ipc": result.ipc,
+            "cycles": result.cycles,
+            "signals": result.signals,
+        }, {
+            "trace_name": result.trace_name,
+            "mode": result.mode.value,
+            "interval_instructions": result.interval_instructions,
+        })
+
+    def load_result(self, key: str):
+        """Load one ``IntervalResult`` or ``None`` on miss."""
+        entry = self._read(key)
+        if entry is None:
+            return None
+        payload, meta = entry
+        from repro.uarch.interval_model import IntervalResult
+        from repro.uarch.modes import Mode
+        return IntervalResult(
+            trace_name=meta["trace_name"],
+            mode=Mode(meta["mode"]),
+            ipc=payload["ipc"],
+            cycles=payload["cycles"],
+            signals=payload["signals"],
+            interval_instructions=int(meta["interval_instructions"]),
+        )
+
+    # ------------------------------------------------------------------
+    # Built datasets.
+    # ------------------------------------------------------------------
+    def store_dataset(self, key: str, dataset) -> None:
+        """Persist one built ``GatingDataset``."""
+        self._write(key, {
+            "x": dataset.x,
+            "y": dataset.y,
+            "groups": dataset.groups,
+            "workloads": dataset.workloads,
+            "traces": dataset.traces,
+            "counter_ids": dataset.counter_ids,
+        }, {
+            "mode": dataset.mode.value,
+            "granularity": dataset.granularity,
+            "sla_floor": dataset.sla_floor,
+        })
+
+    def load_dataset(self, key: str):
+        """Load one built ``GatingDataset`` or ``None`` on miss."""
+        entry = self._read(key)
+        if entry is None:
+            return None
+        payload, meta = entry
+        from repro.data.dataset import GatingDataset
+        from repro.uarch.modes import Mode
+        return GatingDataset(
+            x=payload["x"],
+            y=payload["y"],
+            groups=payload["groups"],
+            workloads=payload["workloads"],
+            traces=payload["traces"],
+            mode=Mode(meta["mode"]),
+            counter_ids=payload["counter_ids"],
+            granularity=int(meta["granularity"]),
+            sla_floor=float(meta["sla_floor"]),
+        )
+
+
+def default_simcache() -> SimCache | None:
+    """Env-driven cache: ``REPRO_SIMCACHE_DIR`` names the directory."""
+    root = os.environ.get(SIMCACHE_ENV_VAR)
+    if not root:
+        return None
+    return SimCache(root)

@@ -1,0 +1,143 @@
+"""Execution instrumentation.
+
+A process-wide registry of lightweight performance counters: per-stage
+wall time, cache hit/miss counts, and worker utilisation for parallel
+fan-outs. Every dataset-scale path (simulation, dataset building,
+deployment evaluation, hyperparameter screening) reports here, and the
+CLI's ``--exec-report`` flag prints the aggregate at exit.
+
+The registry is intentionally global: the interesting question at
+dataset scale is "where did this *process* spend its time", and a
+single report answering it beats threading a stats object through
+every call signature. Workers in a process pool accumulate into their
+own copy; :class:`ParallelMap` folds their busy time back into the
+parent's stage entry so utilisation stays meaningful.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import threading
+import time
+
+
+@dataclasses.dataclass
+class StageStat:
+    """Accumulated timing for one named execution stage."""
+
+    calls: int = 0
+    wall_s: float = 0.0
+    busy_s: float = 0.0  # summed worker-side task time
+    workers: int = 1  # widest pool observed for this stage
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of ``workers x wall`` spent doing work."""
+        if self.wall_s <= 0.0 or self.workers <= 0:
+            return 0.0
+        return self.busy_s / (self.wall_s * self.workers)
+
+
+class ExecStats:
+    """Thread-safe registry of stage timings and event counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stages: dict[str, StageStat] = {}
+        self._counters: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+    def add_time(self, stage: str, wall_s: float, busy_s: float | None = None,
+                 workers: int = 1) -> None:
+        """Account one completed stage execution."""
+        with self._lock:
+            stat = self._stages.setdefault(stage, StageStat())
+            stat.calls += 1
+            stat.wall_s += wall_s
+            stat.busy_s += wall_s if busy_s is None else busy_s
+            stat.workers = max(stat.workers, workers)
+
+    @contextlib.contextmanager
+    def stage(self, name: str):
+        """Time a ``with`` block as one execution of ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    def incr(self, counter: str, n: int = 1) -> None:
+        """Bump a named event counter."""
+        with self._lock:
+            self._counters[counter] = self._counters.get(counter, 0) + n
+
+    def count(self, counter: str) -> int:
+        """Current value of a named event counter (0 if never bumped)."""
+        with self._lock:
+            return self._counters.get(counter, 0)
+
+    def reset(self) -> None:
+        """Clear all stages and counters (tests, bench reruns)."""
+        with self._lock:
+            self._stages.clear()
+            self._counters.clear()
+
+    # ------------------------------------------------------------------
+    # Reporting.
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Machine-readable copy of every stage and counter."""
+        with self._lock:
+            return {
+                "stages": {
+                    name: {
+                        "calls": s.calls,
+                        "wall_s": s.wall_s,
+                        "busy_s": s.busy_s,
+                        "workers": s.workers,
+                        "utilization": s.utilization,
+                    }
+                    for name, s in sorted(self._stages.items())
+                },
+                "counters": dict(sorted(self._counters.items())),
+            }
+
+    def hit_rate(self, prefix: str) -> float | None:
+        """Hit rate for a ``<prefix>.hit``/``<prefix>.miss`` counter pair."""
+        hits = self.count(f"{prefix}.hit")
+        misses = self.count(f"{prefix}.miss")
+        total = hits + misses
+        if total == 0:
+            return None
+        return hits / total
+
+    def report(self) -> str:
+        """Human-readable execution report (the ``--exec-report`` text)."""
+        snap = self.snapshot()
+        lines = ["=== execution report ==="]
+        if snap["stages"]:
+            lines.append(f"{'stage':<24s} {'calls':>6s} {'wall s':>9s} "
+                         f"{'busy s':>9s} {'util':>6s}")
+            for name, s in snap["stages"].items():
+                lines.append(
+                    f"{name:<24s} {s['calls']:>6d} {s['wall_s']:>9.3f} "
+                    f"{s['busy_s']:>9.3f} {s['utilization'] * 100:>5.0f}%"
+                )
+        if snap["counters"]:
+            lines.append("counters:")
+            for name, value in snap["counters"].items():
+                lines.append(f"  {name:<30s} {value}")
+        for prefix in ("interval_lru", "simcache"):
+            rate = self.hit_rate(prefix)
+            if rate is not None:
+                lines.append(f"{prefix} hit rate: {rate * 100:.1f}%")
+        if len(lines) == 1:
+            lines.append("(no stages recorded)")
+        return "\n".join(lines)
+
+
+#: The process-wide registry every execution path reports into.
+EXEC_STATS = ExecStats()

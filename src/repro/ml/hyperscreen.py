@@ -11,11 +11,13 @@ predicts low variance on unseen workloads.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from collections.abc import Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import DatasetError
+from repro.exec.parallel import ParallelMap, default_parallel_map
 from repro.ml.base import Estimator
 from repro.ml.crossval import Fold
 
@@ -38,13 +40,43 @@ class ScreenRecord:
         return self.metrics[metric][1]
 
 
+def _screen_one(config: Mapping[str, object], *,
+                model_factory: Callable[[Mapping[str, object]], Estimator],
+                x: np.ndarray, y: np.ndarray, folds: Sequence[Fold],
+                metric_fns: Mapping[str, MetricFn],
+                threshold_tuner) -> ScreenRecord:
+    """Screen one configuration across every fold (parallel unit)."""
+    per_fold: dict[str, list[float]] = {name: [] for name in metric_fns}
+    for fold in folds:
+        model = model_factory(config)
+        model.fit(x[fold.tuning_idx], y[fold.tuning_idx])
+        if threshold_tuner is not None:
+            threshold_tuner(model, x[fold.tuning_idx],
+                            y[fold.tuning_idx])
+        scores = model.predict_proba(x[fold.validation_idx])
+        preds = (scores >= model.decision_threshold).astype(np.int64)
+        y_val = y[fold.validation_idx]
+        for name, fn in metric_fns.items():
+            per_fold[name].append(fn(y_val, preds, scores))
+    metrics = {
+        name: (float(np.mean(vals)), float(np.std(vals)))
+        for name, vals in per_fold.items()
+    }
+    return ScreenRecord(
+        config=dict(config),
+        metrics=metrics,
+        per_fold={name: tuple(vals) for name, vals in per_fold.items()},
+    )
+
+
 def screen_configs(model_factory: Callable[[Mapping[str, object]], Estimator],
                    configs: Sequence[Mapping[str, object]],
                    x: np.ndarray, y: np.ndarray, folds: Sequence[Fold],
                    metric_fns: Mapping[str, MetricFn],
                    threshold_tuner: Callable[[Estimator, np.ndarray,
                                               np.ndarray], float]
-                   | None = None) -> list[ScreenRecord]:
+                   | None = None,
+                   pmap: ParallelMap | None = None) -> list[ScreenRecord]:
     """Train every configuration across every fold; collect metrics.
 
     Parameters
@@ -54,33 +86,21 @@ def screen_configs(model_factory: Callable[[Mapping[str, object]], Estimator],
     threshold_tuner:
         Optional post-fit sensitivity adjustment run on the tuning set
         (the paper keeps tuning-set SLA violations below 1%).
+    pmap:
+        Execution backend for the per-configuration fan-out (serial
+        unless configured). Configurations are independent, so record
+        order and contents match the serial path exactly; unpicklable
+        factories degrade gracefully to serial under the process
+        backend.
     """
     if not configs:
         raise DatasetError("no configurations to screen")
-    records: list[ScreenRecord] = []
-    for config in configs:
-        per_fold: dict[str, list[float]] = {name: [] for name in metric_fns}
-        for fold in folds:
-            model = model_factory(config)
-            model.fit(x[fold.tuning_idx], y[fold.tuning_idx])
-            if threshold_tuner is not None:
-                threshold_tuner(model, x[fold.tuning_idx],
-                                y[fold.tuning_idx])
-            scores = model.predict_proba(x[fold.validation_idx])
-            preds = (scores >= model.decision_threshold).astype(np.int64)
-            y_val = y[fold.validation_idx]
-            for name, fn in metric_fns.items():
-                per_fold[name].append(fn(y_val, preds, scores))
-        metrics = {
-            name: (float(np.mean(vals)), float(np.std(vals)))
-            for name, vals in per_fold.items()
-        }
-        records.append(ScreenRecord(
-            config=dict(config),
-            metrics=metrics,
-            per_fold={name: tuple(vals) for name, vals in per_fold.items()},
-        ))
-    return records
+    pmap = pmap if pmap is not None else default_parallel_map()
+    return pmap.map(
+        functools.partial(_screen_one, model_factory=model_factory,
+                          x=x, y=y, folds=folds, metric_fns=metric_fns,
+                          threshold_tuner=threshold_tuner),
+        configs, stage="hyperscreen")
 
 
 def select_best(records: Sequence[ScreenRecord], metric: str = "pgos",

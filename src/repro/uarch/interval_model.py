@@ -31,8 +31,10 @@ from collections import OrderedDict
 import numpy as np
 
 from repro import rng as rng_mod
-from repro.config import MachineConfig
+from repro.config import MachineConfig, interval_lru_size
 from repro.errors import SimulationError
+from repro.exec.simcache import SimCache, default_simcache
+from repro.exec.stats import EXEC_STATS
 from repro.uarch.modes import Mode
 from repro.uarch.signals import N_SIGNALS, signal_index
 from repro.workloads.generator import PHYSICS_FIELDS, TraceSpec
@@ -112,14 +114,25 @@ class IntervalModel:
 
     Results are memoised in a bounded LRU cache keyed by (trace, mode),
     because dataset builders revisit the same traces at several gating
-    granularities and in both modes.
+    granularities and in both modes. The bound defaults to the
+    ``REPRO_INTERVAL_LRU`` environment variable (see
+    :func:`repro.config.interval_lru_size`); hit/miss counts surface in
+    the :data:`~repro.exec.stats.EXEC_STATS` report.
+
+    When a :class:`~repro.exec.simcache.SimCache` is attached (or
+    ``REPRO_SIMCACHE_DIR`` is set), results additionally persist to a
+    content-addressed disk cache shared across processes and runs.
     """
 
     def __init__(self, machine: MachineConfig | None = None,
-                 cache_size: int = 1024) -> None:
+                 cache_size: int | None = None,
+                 simcache: SimCache | None = None) -> None:
         self.machine = machine or MachineConfig()
         self._cache: "OrderedDict[tuple, IntervalResult]" = OrderedDict()
-        self._cache_size = cache_size
+        self._cache_size = (interval_lru_size() if cache_size is None
+                            else cache_size)
+        self.simcache = simcache if simcache is not None else (
+            default_simcache())
 
     # ------------------------------------------------------------------
     # Mode-dependent machine parameters.
@@ -254,7 +267,26 @@ class IntervalModel:
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
+            EXEC_STATS.incr("interval_lru.hit")
             return cached
+        EXEC_STATS.incr("interval_lru.miss")
+        disk_key = None
+        if self.simcache is not None:
+            disk_key = self.simcache.sim_key(trace, mode, self.machine)
+            result = self.simcache.load_result(disk_key)
+            if result is not None:
+                self._remember(key, result)
+                return result
+        with EXEC_STATS.stage("interval_simulate"):
+            result = self._simulate_uncached(trace, mode)
+        self._remember(key, result)
+        if disk_key is not None:
+            self.simcache.store_result(disk_key, result)
+        return result
+
+    def _simulate_uncached(self, trace: TraceSpec,
+                           mode: Mode) -> IntervalResult:
+        """The actual simulation, bypassing both cache tiers."""
         physics = self.mode_adjusted_physics(
             self._jittered_physics(trace), mode)
         components = self.cpi_components(physics, mode)
@@ -269,7 +301,7 @@ class IntervalModel:
         inst = float(trace.interval_instructions)
         cycles = inst * cpi
         signals = self._signals(trace, physics, components, cpi, cycles, mode)
-        result = IntervalResult(
+        return IntervalResult(
             trace_name=trace.name,
             mode=mode,
             ipc=ipc,
@@ -277,10 +309,12 @@ class IntervalModel:
             signals=signals,
             interval_instructions=trace.interval_instructions,
         )
+
+    def _remember(self, key: tuple, result: IntervalResult) -> None:
+        """Insert into the bounded LRU memo."""
         self._cache[key] = result
         if len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
-        return result
 
     def simulate_both(self, trace: TraceSpec,
                       ) -> dict[Mode, IntervalResult]:

@@ -1,0 +1,327 @@
+"""Tests for the shared execution engine (repro.exec).
+
+The engine's contract: for any seed, parallel and cached runs produce
+bit-identical results to the serial uncached path. Every test here
+asserts exact equality, never approximate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import MachineConfig, interval_lru_size
+from repro.core.adaptive_cpu import AdaptiveCPU
+from repro.core.predictor import DualModePredictor
+from repro.data.builders import build_mode_dataset
+from repro.errors import ConfigurationError, DatasetError
+from repro.eval.runner import evaluate_predictor
+from repro.exec import EXEC_STATS, ParallelMap, SimCache, reset_default
+from repro.exec.simcache import default_simcache
+from repro.ml.base import Estimator
+from repro.ml.crossval import Fold
+from repro.ml.hyperscreen import screen_configs
+from repro.telemetry.collector import TelemetryCollector
+from repro.uarch.interval_model import IntervalModel
+from repro.uarch.modes import Mode
+from repro.workloads.generator import generate_application
+
+
+def _square(i):
+    return i * i
+
+
+class _ConstModel(Estimator):
+    """Fixed-probability model; module level so process pools can
+    pickle it."""
+
+    def __init__(self, prob: float) -> None:
+        self.prob = prob
+        self.decision_threshold = 0.5
+
+    def fit(self, x, y):
+        return self
+
+    def predict_proba(self, x):
+        return np.full(x.shape[0], self.prob)
+
+
+def _const_factory(config):
+    return _ConstModel(float(config["prob"]))
+
+
+def _accuracy(y_true, y_pred, scores):
+    return float((y_true == y_pred).mean())
+
+
+@pytest.fixture(autouse=True)
+def _no_global_override():
+    reset_default()
+    yield
+    reset_default()
+
+
+@pytest.fixture(scope="module")
+def traces():
+    out = []
+    for i, family in enumerate(["pointer_chase", "compute_fp",
+                                "store_burst"]):
+        app = generate_application(f"exeapp{i}", "test", {family: 1.0},
+                                   seed=40 + i)
+        out.extend(app.workload(w).trace(90, 0) for w in range(2))
+    return out
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return DualModePredictor(
+        name="const",
+        models={Mode.HIGH_PERF: _ConstModel(0.7),
+                Mode.LOW_POWER: _ConstModel(0.4)},
+        counter_ids=np.array([0, 1, 2]),
+        granularity_factor=1,
+    )
+
+
+class TestParallelMap:
+    def test_results_ordered_across_backends(self):
+        expected = [_square(i) for i in range(23)]
+        for backend in ("serial", "thread", "process"):
+            pmap = ParallelMap(backend=backend, n_workers=2, chunk_size=3)
+            assert pmap.map(_square, range(23)) == expected, backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelMap(backend="gpu")
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelMap(n_workers=0)
+
+    def test_env_defaults(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "thread")
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "3")
+        pmap = ParallelMap()
+        assert pmap.backend == "thread"
+        assert pmap.n_workers == 3
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        before = EXEC_STATS.count("parallel.fallback_serial")
+        pmap = ParallelMap(backend="process", n_workers=2)
+        result = pmap.map(lambda i: i + 1, range(6))
+        assert result == [1, 2, 3, 4, 5, 6]
+        assert EXEC_STATS.count("parallel.fallback_serial") == before + 1
+
+    def test_task_errors_propagate(self):
+        pmap = ParallelMap(backend="serial")
+        with pytest.raises(ZeroDivisionError):
+            pmap.map(lambda i: 1 // i, [1, 0, 2])
+
+    def test_stage_recorded(self):
+        pmap = ParallelMap(backend="serial")
+        pmap.map(_square, range(4), stage="unit_stage")
+        snap = EXEC_STATS.snapshot()
+        assert "unit_stage" in snap["stages"]
+        assert snap["counters"]["unit_stage.items"] >= 4
+
+
+class TestParallelEquivalence:
+    """Serial == thread == process, bit for bit (same seeds)."""
+
+    def test_run_many_bitwise_identical(self, traces, predictor):
+        results = {}
+        for backend in ("serial", "thread", "process"):
+            cpu = AdaptiveCPU(predictor, collector=TelemetryCollector())
+            results[backend] = cpu.run_many(
+                traces, pmap=ParallelMap(backend=backend, n_workers=2))
+        serial = results["serial"]
+        for backend in ("thread", "process"):
+            for rs, rp in zip(serial, results[backend]):
+                assert rs.trace_name == rp.trace_name
+                assert np.array_equal(rs.modes, rp.modes)
+                assert np.array_equal(rs.ipc, rp.ipc)
+                assert np.array_equal(rs.cycles, rp.cycles)
+                assert rs.energy_j == rp.energy_j
+                assert rs.switch_count == rp.switch_count
+
+    def test_suite_metrics_bitwise_identical(self, traces, predictor):
+        serial = evaluate_predictor(predictor, traces,
+                                    collector=TelemetryCollector())
+        process = evaluate_predictor(
+            predictor, traces, collector=TelemetryCollector(),
+            pmap=ParallelMap(backend="process", n_workers=2))
+        assert serial.mean_ppw_gain == process.mean_ppw_gain
+        assert serial.mean_rsv == process.mean_rsv
+        assert serial.mean_pgos == process.mean_pgos
+        assert serial.mean_residency == process.mean_residency
+
+    def test_build_dataset_bitwise_identical(self, traces):
+        ids = [0, 1, 2, 3]
+        serial = build_mode_dataset(traces, Mode.LOW_POWER, ids,
+                                    collector=TelemetryCollector())
+        for backend in ("thread", "process"):
+            parallel = build_mode_dataset(
+                traces, Mode.LOW_POWER, ids,
+                collector=TelemetryCollector(),
+                pmap=ParallelMap(backend=backend, n_workers=2))
+            assert np.array_equal(serial.x, parallel.x)
+            assert np.array_equal(serial.y, parallel.y)
+            assert np.array_equal(serial.traces, parallel.traces)
+
+    def test_hyperscreen_identical(self, traces):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(60, 4))
+        y = (x[:, 0] > 0).astype(np.int64)
+        folds = [Fold(fold_id=0, tuning_apps=("a",),
+                      validation_apps=("b",),
+                      tuning_idx=np.arange(0, 40),
+                      validation_idx=np.arange(40, 60)),
+                 Fold(fold_id=1, tuning_apps=("b",),
+                      validation_apps=("a",),
+                      tuning_idx=np.arange(20, 60),
+                      validation_idx=np.arange(0, 20))]
+        configs = [{"prob": 0.2}, {"prob": 0.8}]
+        serial = screen_configs(_const_factory, configs, x, y, folds,
+                                {"acc": _accuracy})
+        process = screen_configs(_const_factory, configs, x, y, folds,
+                                 {"acc": _accuracy},
+                                 pmap=ParallelMap("process", 2))
+        assert [r.config for r in serial] == [r.config for r in process]
+        assert [r.per_fold for r in serial] == [r.per_fold for r in process]
+
+
+class TestSimCache:
+    def test_roundtrip_bitwise_identical(self, traces, tmp_path):
+        trace = traces[0]
+        plain = IntervalModel(simcache=None).simulate(trace, Mode.LOW_POWER)
+        cache = SimCache(tmp_path / "c")
+        writer = IntervalModel(simcache=cache)
+        written = writer.simulate(trace, Mode.LOW_POWER)
+        hits_before = EXEC_STATS.count("simcache.hit")
+        reader = IntervalModel(simcache=cache)  # fresh LRU
+        loaded = reader.simulate(trace, Mode.LOW_POWER)
+        assert EXEC_STATS.count("simcache.hit") == hits_before + 1
+        for result in (written, loaded):
+            assert np.array_equal(plain.ipc, result.ipc)
+            assert np.array_equal(plain.cycles, result.cycles)
+            assert np.array_equal(plain.signals, result.signals)
+        assert loaded.trace_name == trace.name
+        assert loaded.mode is Mode.LOW_POWER
+
+    def test_machine_config_invalidates(self, traces, tmp_path):
+        trace = traces[0]
+        cache = SimCache(tmp_path / "c")
+        default = MachineConfig()
+        slower = MachineConfig(memory_latency=400)
+        assert (cache.sim_key(trace, Mode.LOW_POWER, default)
+                != cache.sim_key(trace, Mode.LOW_POWER, slower))
+        IntervalModel(simcache=cache).simulate(trace, Mode.LOW_POWER)
+        misses_before = EXEC_STATS.count("simcache.miss")
+        IntervalModel(machine=slower,
+                      simcache=cache).simulate(trace, Mode.LOW_POWER)
+        assert EXEC_STATS.count("simcache.miss") == misses_before + 1
+
+    def test_mode_and_trace_distinguish_keys(self, traces, tmp_path):
+        cache = SimCache(tmp_path / "c")
+        machine = MachineConfig()
+        keys = {
+            cache.sim_key(traces[0], Mode.LOW_POWER, machine),
+            cache.sim_key(traces[0], Mode.HIGH_PERF, machine),
+            cache.sim_key(traces[1], Mode.LOW_POWER, machine),
+        }
+        assert len(keys) == 3
+
+    def test_corrupt_entry_treated_as_miss(self, traces, tmp_path):
+        trace = traces[0]
+        cache = SimCache(tmp_path / "c")
+        model = IntervalModel(simcache=cache)
+        expected = model.simulate(trace, Mode.LOW_POWER)
+        key = cache.sim_key(trace, Mode.LOW_POWER, model.machine)
+        path = cache._path(key)
+        path.write_bytes(b"not an npz file")
+        reloaded = IntervalModel(simcache=cache).simulate(
+            trace, Mode.LOW_POWER)
+        assert np.array_equal(expected.signals, reloaded.signals)
+
+    def test_dataset_roundtrip_bitwise_identical(self, traces, tmp_path):
+        ids = [0, 1, 2]
+        plain = build_mode_dataset(traces, Mode.HIGH_PERF, ids,
+                                   collector=TelemetryCollector())
+        cache = SimCache(tmp_path / "d")
+        first = build_mode_dataset(traces, Mode.HIGH_PERF, ids,
+                                   collector=TelemetryCollector(),
+                                   simcache=cache)
+        second = build_mode_dataset(traces, Mode.HIGH_PERF, ids,
+                                    collector=TelemetryCollector(),
+                                    simcache=cache)
+        for ds in (first, second):
+            assert np.array_equal(plain.x, ds.x)
+            assert np.array_equal(plain.y, ds.y)
+            assert np.array_equal(plain.groups, ds.groups)
+            assert ds.mode is Mode.HIGH_PERF
+            assert ds.granularity == plain.granularity
+
+    def test_env_default(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_SIMCACHE_DIR", raising=False)
+        assert default_simcache() is None
+        monkeypatch.setenv("REPRO_SIMCACHE_DIR", str(tmp_path / "env"))
+        cache = default_simcache()
+        assert cache is not None
+        assert cache.root == tmp_path / "env"
+
+
+class TestIntervalLRU:
+    def test_env_configures_bound(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INTERVAL_LRU", "2")
+        assert interval_lru_size() == 2
+        model = IntervalModel(simcache=None)
+        assert model._cache_size == 2
+
+    def test_invalid_env_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INTERVAL_LRU", "zero")
+        with pytest.raises(ValueError):
+            interval_lru_size()
+        monkeypatch.setenv("REPRO_INTERVAL_LRU", "0")
+        with pytest.raises(ValueError):
+            interval_lru_size()
+
+    def test_bound_enforced_and_counters_reported(self, traces):
+        model = IntervalModel(cache_size=1, simcache=None)
+        misses_before = EXEC_STATS.count("interval_lru.miss")
+        hits_before = EXEC_STATS.count("interval_lru.hit")
+        model.simulate(traces[0], Mode.LOW_POWER)
+        model.simulate(traces[0], Mode.LOW_POWER)  # hit
+        model.simulate(traces[1], Mode.LOW_POWER)  # evicts traces[0]
+        model.simulate(traces[0], Mode.LOW_POWER)  # miss again
+        assert len(model._cache) == 1
+        assert EXEC_STATS.count("interval_lru.hit") == hits_before + 1
+        assert EXEC_STATS.count("interval_lru.miss") == misses_before + 3
+
+
+class TestSuiteEvalLookup:
+    def test_benchmark_by_name(self, traces, predictor):
+        suite = evaluate_predictor(predictor, traces,
+                                   collector=TelemetryCollector())
+        for bench in suite.per_benchmark:
+            assert suite.benchmark(bench.app_name) is bench
+
+    def test_missing_benchmark_raises(self, traces, predictor):
+        suite = evaluate_predictor(predictor, traces,
+                                   collector=TelemetryCollector())
+        with pytest.raises(DatasetError):
+            suite.benchmark("no_such_app")
+
+
+class TestStatsReport:
+    def test_report_contains_stages_and_rates(self):
+        with EXEC_STATS.stage("report_stage"):
+            pass
+        EXEC_STATS.incr("simcache.hit")
+        text = EXEC_STATS.report()
+        assert "report_stage" in text
+        assert "simcache hit rate" in text
+
+    def test_snapshot_roundtrip(self):
+        EXEC_STATS.add_time("snap_stage", 2.0, busy_s=3.0, workers=2)
+        snap = EXEC_STATS.snapshot()
+        stage = snap["stages"]["snap_stage"]
+        assert stage["workers"] == 2
+        assert stage["utilization"] == pytest.approx(0.75)
