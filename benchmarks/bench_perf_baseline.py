@@ -1,13 +1,19 @@
 """Performance baseline for the execution engine.
 
 Times the dataset-scale hot paths — trace generation, serial vs
-parallel ``evaluate_predictor``, and cold- vs warm-cache runs — and
-writes a machine-readable ``BENCH_perf.json`` at the repo root so
+parallel ``evaluate_predictor``, cold- vs warm-cache runs, and the
+batched kernels (SoA cycle scoreboard, stacked interval passes,
+batched closed-loop inference) against the scalar reference paths —
+and writes a machine-readable ``BENCH_perf.json`` at the repo root so
 future PRs have a perf trajectory to compare against.
 
 Run standalone (no pytest session fixtures needed)::
 
     PYTHONPATH=src python benchmarks/bench_perf_baseline.py
+
+``--quick`` runs only the batched-vs-reference warm comparison on a
+small corpus and exits non-zero if the batched path is slower — the
+CI perf smoke.
 
 Scale knobs: ``--workers`` (default 4), ``--apps``/``--intervals`` to
 grow the corpus. The deployed predictor is a fixed-probability stub so
@@ -18,6 +24,7 @@ training.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import shutil
@@ -27,15 +34,19 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.config import BATCH_SIM_ENV_VAR, DEFAULT_SLA
 from repro.core.predictor import DualModePredictor
 from repro.data.builders import build_mode_dataset
 from repro.eval.runner import evaluate_predictor
 from repro.exec import EXEC_STATS, ParallelMap, SimCache
 from repro.ml.base import Estimator
 from repro.telemetry.collector import TelemetryCollector
+from repro.uarch.core_model import ClusteredCoreModel
 from repro.uarch.interval_model import IntervalModel
+from repro.uarch.isa import synthesize_uops
 from repro.uarch.modes import Mode
 from repro.workloads.generator import generate_application
+from repro.workloads.phases import sample_phase_instance
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -84,6 +95,111 @@ def _timed(fn) -> tuple[float, object]:
     start = time.perf_counter()
     result = fn()
     return time.perf_counter() - start, result
+
+
+@contextlib.contextmanager
+def _batch_sim(enabled: bool):
+    """Temporarily force the batch-simulation layer on or off."""
+    saved = os.environ.get(BATCH_SIM_ENV_VAR)
+    os.environ[BATCH_SIM_ENV_VAR] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop(BATCH_SIM_ENV_VAR, None)
+        else:
+            os.environ[BATCH_SIM_ENV_VAR] = saved
+
+
+def _bench_cycle_kernel(n_uops: int = 20000) -> dict:
+    """SoA scoreboard vs reference loop on one synthetic stream."""
+    rng = np.random.default_rng(23)
+    phase = sample_phase_instance("balanced_mixed", rng)
+    stream = synthesize_uops(phase, n_uops, seed=23)
+    soa_s, soa = _timed(
+        lambda: ClusteredCoreModel(kernel="soa").execute(stream))
+    ref_s, ref = _timed(
+        lambda: ClusteredCoreModel(kernel="reference").execute(stream))
+    assert soa == ref, "SoA cycle kernel diverged from reference"
+    speedup = ref_s / soa_s if soa_s > 0 else float("inf")
+    print(f"cycle kernel ({n_uops} uops): soa {soa_s:.3f}s, "
+          f"reference {ref_s:.3f}s ({speedup:.2f}x)")
+    return {
+        "n_uops": n_uops,
+        "soa_s": round(soa_s, 4),
+        "reference_s": round(ref_s, 4),
+        "speedup": round(speedup, 3),
+    }
+
+
+def _bench_batched(traces, cache_dir: Path) -> dict:
+    """Warm batched vs warm scalar: the acceptance measurement.
+
+    Both measurements run against the same warm on-disk simulation
+    cache; only the batch layer differs. The dataset-level cache entry
+    is evicted before each build so the comparison exercises the build
+    itself, not the whole-matrix cache hit (which predates batching).
+    """
+    predictor = _predictor()
+    counter_ids = list(range(12))
+
+    def _collector():
+        return TelemetryCollector(
+            model=IntervalModel(simcache=SimCache(cache_dir)))
+
+    # Warm every cache tier with the batch layer on: sim results and
+    # the deployed counter set's snapshots via evaluation, the build's
+    # counter set's snapshots and the label sets via one build.
+    with _batch_sim(True):
+        evaluate_predictor(predictor, traces, collector=_collector(),
+                           pmap=ParallelMap("serial"))
+        build_mode_dataset(traces, Mode.LOW_POWER, counter_ids,
+                           collector=_collector(),
+                           simcache=SimCache(cache_dir))
+
+    def _eval(enabled: bool):
+        with _batch_sim(enabled):
+            return _timed(lambda: evaluate_predictor(
+                predictor, traces, collector=_collector(),
+                pmap=ParallelMap("serial")))
+
+    def _build(enabled: bool):
+        with _batch_sim(enabled):
+            cache = SimCache(cache_dir)
+            collector = _collector()
+            key = cache.dataset_key(
+                traces, Mode.LOW_POWER, np.asarray(counter_ids),
+                DEFAULT_SLA, 1, 2, collector.model.machine,
+                catalog_token=collector.catalog_token())
+            cache.evict(key)
+            return _timed(lambda: build_mode_dataset(
+                traces, Mode.LOW_POWER, counter_ids,
+                collector=collector, simcache=cache))
+
+    eval_scalar_s, scalar_suite = _eval(False)
+    eval_batched_s, batched_suite = _eval(True)
+    assert scalar_suite.mean_ppw_gain == batched_suite.mean_ppw_gain, \
+        "batched evaluation diverged from scalar"
+    ds_scalar_s, ds_scalar = _build(False)
+    ds_batched_s, ds_batched = _build(True)
+    assert np.array_equal(ds_scalar.x, ds_batched.x), \
+        "batched dataset build diverged from scalar"
+    eval_speedup = (eval_scalar_s / eval_batched_s
+                    if eval_batched_s > 0 else float("inf"))
+    ds_speedup = (ds_scalar_s / ds_batched_s
+                  if ds_batched_s > 0 else float("inf"))
+    print(f"evaluate_predictor warm: scalar {eval_scalar_s:.3f}s, "
+          f"batched {eval_batched_s:.3f}s ({eval_speedup:.2f}x)")
+    print(f"build_mode_dataset warm: scalar {ds_scalar_s:.3f}s, "
+          f"batched {ds_batched_s:.3f}s ({ds_speedup:.2f}x)")
+    return {
+        "evaluate_scalar_warm_s": round(eval_scalar_s, 4),
+        "evaluate_batched_warm_s": round(eval_batched_s, 4),
+        "evaluate_speedup": round(eval_speedup, 3),
+        "dataset_scalar_warm_s": round(ds_scalar_s, 4),
+        "dataset_batched_warm_s": round(ds_batched_s, 4),
+        "dataset_speedup": round(ds_speedup, 3),
+    }
 
 
 def run(workers: int = 4, n_apps: int = 8, workloads_per_app: int = 3,
@@ -144,8 +260,12 @@ def run(workers: int = 4, n_apps: int = 8, workloads_per_app: int = 3,
         ds_speedup = ds_cold_s / ds_warm_s if ds_warm_s > 0 else float("inf")
         print(f"build_mode_dataset cache: cold {ds_cold_s:.3f}s, "
               f"warm {ds_warm_s:.3f}s ({ds_speedup:.2f}x)")
+
+        batched = _bench_batched(traces, cache_dir)
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
+
+    kernel = _bench_cycle_kernel()
 
     payload = {
         "schema": 1,
@@ -171,12 +291,47 @@ def run(workers: int = 4, n_apps: int = 8, workloads_per_app: int = 3,
             "dataset_warm_s": round(ds_warm_s, 4),
             "dataset_speedup": round(ds_speedup, 3),
         },
+        "batched": batched,
+        "cycle_kernel": kernel,
         "exec_stats": EXEC_STATS.snapshot(),
     }
     output = output or (REPO_ROOT / "BENCH_perf.json")
     output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {output}")
     return payload
+
+
+def run_quick(n_apps: int = 3, workloads_per_app: int = 2,
+              intervals: int = 100) -> int:
+    """CI perf smoke: batched must not be slower than the scalar path.
+
+    Runs only the warm batched-vs-scalar comparison (plus the cycle
+    kernel micro) on a small corpus; exits non-zero on a regression.
+    """
+    traces = _generate_corpus(n_apps, workloads_per_app, intervals)
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-quick-bench-"))
+    try:
+        batched = _bench_batched(traces, cache_dir)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    kernel = _bench_cycle_kernel(n_uops=12000)
+    failures = []
+    if batched["evaluate_speedup"] < 1.0:
+        failures.append(
+            f"warm evaluate_predictor: batched slower than scalar "
+            f"({batched['evaluate_speedup']:.2f}x)")
+    if batched["dataset_speedup"] < 1.0:
+        failures.append(
+            f"warm build_mode_dataset: batched slower than scalar "
+            f"({batched['dataset_speedup']:.2f}x)")
+    if kernel["speedup"] < 1.0:
+        failures.append(
+            f"cycle kernel: soa slower than reference "
+            f"({kernel['speedup']:.2f}x)")
+    for failure in failures:
+        print(f"PERF REGRESSION: {failure}")
+    print("perf smoke:", "FAIL" if failures else "OK")
+    return 1 if failures else 0
 
 
 def main(argv=None) -> int:
@@ -186,7 +341,12 @@ def main(argv=None) -> int:
     parser.add_argument("--workloads-per-app", type=int, default=3)
     parser.add_argument("--intervals", type=int, default=240)
     parser.add_argument("--output", type=Path, default=None)
+    parser.add_argument("--quick", action="store_true",
+                        help="perf smoke: batched vs reference only, "
+                             "non-zero exit if batched is slower")
     args = parser.parse_args(argv)
+    if args.quick:
+        return run_quick()
     run(workers=args.workers, n_apps=args.apps,
         workloads_per_app=args.workloads_per_app,
         intervals=args.intervals, output=args.output)

@@ -11,13 +11,18 @@ outputs land in ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.config import experiment_seed
 from repro.core.pipeline import build_standard_models
 from repro.data.builders import hdtr_traces
 from repro.eval.runner import evaluate_predictor
+from repro.exec.simcache import SIMCACHE_ENV_VAR, SimCache
 from repro.telemetry.collector import TelemetryCollector
+from repro.uarch.interval_model import IntervalModel
 from repro.workloads.spec2017 import spec2017_traces
 
 #: Seed offset separating the held-out suite from training generation.
@@ -30,8 +35,23 @@ def seed():
 
 
 @pytest.fixture(scope="session")
-def collector():
-    return TelemetryCollector()
+def simcache(tmp_path_factory):
+    """One on-disk simulation cache shared by every benchmark.
+
+    ``REPRO_SIMCACHE_DIR`` (when set) names a persistent directory so
+    warm re-runs skip simulation, snapshot materialisation and dataset
+    assembly entirely; otherwise a session-scoped temp dir still lets
+    the benchmarks of one run share each other's work.
+    """
+    root = os.environ.get(SIMCACHE_ENV_VAR)
+    if root:
+        return SimCache(Path(root))
+    return SimCache(tmp_path_factory.mktemp("simcache"))
+
+
+@pytest.fixture(scope="session")
+def collector(simcache):
+    return TelemetryCollector(model=IntervalModel(simcache=simcache))
 
 
 @pytest.fixture(scope="session")

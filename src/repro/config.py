@@ -42,6 +42,22 @@ INTERVAL_LRU_ENV_VAR = "REPRO_INTERVAL_LRU"
 #: Default LRU bound when the environment does not override it.
 DEFAULT_INTERVAL_LRU = 1024
 
+#: Environment variable selecting the cycle-level kernel: ``soa`` (the
+#: vectorized structure-of-arrays scoreboard, default) or ``reference``
+#: (the original per-uop Python loop). Both are bit-identical; the
+#: reference path exists as the ground truth the SoA kernel is
+#: validated against.
+CYCLE_KERNEL_ENV_VAR = "REPRO_CYCLE_KERNEL"
+
+#: Recognised cycle-kernel names.
+CYCLE_KERNELS = ("soa", "reference")
+
+#: Environment variable gating the batch-simulation layer: ``1``
+#: (default) enables stacked interval passes, chunked cache prewarming
+#: and batched closed-loop inference; ``0`` selects the scalar per-
+#: (trace, mode) paths exactly as they existed before the batch layer.
+BATCH_SIM_ENV_VAR = "REPRO_BATCH_SIM"
+
 
 def experiment_scale() -> float:
     """Return the dataset scale factor from ``REPRO_SCALE`` (default 1.0)."""
@@ -71,6 +87,27 @@ def interval_lru_size() -> int:
             f"{INTERVAL_LRU_ENV_VAR} must be >= 1, got {value}"
         )
     return value
+
+
+def cycle_kernel() -> str:
+    """Selected cycle-level kernel from ``REPRO_CYCLE_KERNEL``."""
+    value = os.environ.get(CYCLE_KERNEL_ENV_VAR, "soa")
+    if value not in CYCLE_KERNELS:
+        raise ValueError(
+            f"{CYCLE_KERNEL_ENV_VAR} must be one of {CYCLE_KERNELS}, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def batch_sim_enabled() -> bool:
+    """Whether the batch-simulation layer is on (``REPRO_BATCH_SIM``)."""
+    value = os.environ.get(BATCH_SIM_ENV_VAR, "1")
+    if value not in ("0", "1"):
+        raise ValueError(
+            f"{BATCH_SIM_ENV_VAR} must be '0' or '1', got {value!r}"
+        )
+    return value == "1"
 
 
 def experiment_seed() -> int:

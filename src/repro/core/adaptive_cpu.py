@@ -16,12 +16,14 @@ import dataclasses
 import numpy as np
 
 from repro.config import DEFAULT_SLA, MachineConfig, SLAConfig
+from repro.config import batch_sim_enabled
 from repro.core.gating import GatingController
-from repro.core.labels import gating_labels
+from repro.core.labels import LabelSet, gating_labels
 from repro.core.predictor import DualModePredictor
 from repro.core.sla import SLAAccounting, sla_window_violations
 from repro.errors import DatasetError
 from repro.exec.parallel import ParallelMap, default_parallel_map
+from repro.exec.stats import EXEC_STATS
 from repro.telemetry.collector import TelemetryCollector, coarsen
 from repro.uarch.modes import Mode
 from repro.uarch.power import MODE_SWITCH_ENERGY_NJ, PowerModel
@@ -77,6 +79,23 @@ class AdaptiveRunResult:
                                      window_intervals, performance_floor)
 
 
+@dataclasses.dataclass(frozen=True)
+class _PreparedRun:
+    """Everything one closed-loop run needs except the predictions.
+
+    The per-trace unit of the batched ``run_many`` path: preparation
+    (simulation, telemetry, labels, energy) fans out across workers,
+    while inference over the concatenated feature windows happens once
+    per (mode, model) in the parent.
+    """
+
+    trace: TraceSpec
+    features: dict[Mode, np.ndarray]  # (t_count, C) per telemetry mode
+    labels: LabelSet
+    t_count: int
+    energy_by_mode: dict[Mode, np.ndarray]  # (t_count,) joules
+
+
 class AdaptiveCPU:
     """Closed-loop deployment of a dual-mode predictor."""
 
@@ -95,8 +114,8 @@ class AdaptiveCPU:
                                            horizon=horizon)
         self.horizon = horizon
 
-    def run(self, trace: TraceSpec) -> AdaptiveRunResult:
-        """Deploy the predictor on one trace and account the outcome."""
+    def _prepare(self, trace: TraceSpec) -> _PreparedRun:
+        """Simulation, telemetry, labels and energy for one trace."""
         factor = self.predictor.granularity_factor
         results = self.collector.model.simulate_both(trace)
 
@@ -118,11 +137,35 @@ class AdaptiveCPU:
                 f"trace {trace.name} too short at granularity {factor}"
             )
 
-        probs = {
-            mode: self.predictor.predict_proba(
-                snaps[mode].normalized[:t_count], mode)
-            for mode in Mode
-        }
+        # Energy: per-base-interval energies of each mode, coarsened
+        # to the gating granularity.
+        energy_by_mode = {}
+        for mode in Mode:
+            per_interval = self.power.interval_energy_j(results[mode])
+            t_full = t_count * factor
+            energy_by_mode[mode] = per_interval[:t_full].reshape(
+                t_count, factor).sum(axis=1)
+
+        return _PreparedRun(
+            trace=trace,
+            features={mode: snaps[mode].normalized[:t_count]
+                      for mode in Mode},
+            labels=labels,
+            t_count=t_count,
+            energy_by_mode=energy_by_mode,
+        )
+
+    def _prepare_chunk(self, traces: list[TraceSpec]) -> list[_PreparedRun]:
+        """Prepare a whole chunk: stacked simulation, then per-trace."""
+        self.collector.model.simulate_batch(traces)
+        return [self._prepare(trace) for trace in traces]
+
+    def _finalize(self, prep: _PreparedRun,
+                  probs: dict[Mode, np.ndarray]) -> AdaptiveRunResult:
+        """Schedule modes from predictions and account the outcome."""
+        trace = prep.trace
+        labels = prep.labels
+        t_count = prep.t_count
         modes, switch_cycles, switch_counts = self.controller.schedule(
             probs, trace.seed)
 
@@ -132,16 +175,8 @@ class AdaptiveCPU:
         inst = labels.granularity
         ipc = inst / cycles
 
-        # Energy: per-base-interval energies of each mode, coarsened
-        # and selected per chosen mode, plus switch energy.
-        energy_by_mode = {}
-        for mode in Mode:
-            per_interval = self.power.interval_energy_j(results[mode])
-            t_full = t_count * factor
-            energy_by_mode[mode] = per_interval[:t_full].reshape(
-                t_count, factor).sum(axis=1)
-        energy = np.where(gated, energy_by_mode[Mode.LOW_POWER],
-                          energy_by_mode[Mode.HIGH_PERF])
+        energy = np.where(gated, prep.energy_by_mode[Mode.LOW_POWER],
+                          prep.energy_by_mode[Mode.HIGH_PERF])
         energy = energy + switch_counts * MODE_SWITCH_ENERGY_NJ * 1e-9
         # Switch cycles also burn static power in the active mode.
         switch_time = switch_cycles / (self.machine.frequency_ghz * 1e9)
@@ -151,7 +186,7 @@ class AdaptiveCPU:
         energy = energy + switch_time * static_w
 
         baseline_cycles = labels.cycles_high[:t_count]
-        baseline_energy = float(energy_by_mode[Mode.HIGH_PERF].sum())
+        baseline_energy = float(prep.energy_by_mode[Mode.HIGH_PERF].sum())
 
         return AdaptiveRunResult(
             trace_name=trace.name,
@@ -170,6 +205,15 @@ class AdaptiveCPU:
             switch_count=int(switch_counts.sum()),
         )
 
+    def run(self, trace: TraceSpec) -> AdaptiveRunResult:
+        """Deploy the predictor on one trace and account the outcome."""
+        prep = self._prepare(trace)
+        probs = {
+            mode: self.predictor.predict_proba(prep.features[mode], mode)
+            for mode in Mode
+        }
+        return self._finalize(prep, probs)
+
     def run_many(self, traces: list[TraceSpec],
                  pmap: ParallelMap | None = None,
                  ) -> list[AdaptiveRunResult]:
@@ -180,6 +224,36 @@ class AdaptiveCPU:
         i.e. serial unless configured otherwise). Traces are
         independent and internally seeded, so every backend returns
         bit-identical results in trace order.
+
+        When the batch-simulation layer is on (``REPRO_BATCH_SIM``),
+        per-trace preparation fans out in whole chunks (stacked
+        interval simulation per chunk) and inference runs as one
+        ``predict_proba`` call per (mode, model) over the feature
+        windows of the *entire corpus*, concatenated in the parent —
+        so the inference batch is independent of backend and chunking,
+        keeping every backend bit-identical. Subclasses that override
+        :meth:`run` keep their per-trace semantics and skip the
+        batched path.
         """
         pmap = pmap if pmap is not None else default_parallel_map()
-        return pmap.map(self.run, traces, stage="adaptive_run")
+        if not (batch_sim_enabled() and type(self).run is AdaptiveCPU.run):
+            return pmap.map(self.run, traces, stage="adaptive_run")
+        preps = pmap.map_chunks(self._prepare_chunk, traces,
+                                stage="adaptive_prepare")
+        if not preps:
+            return []
+        with EXEC_STATS.stage("adaptive_infer"):
+            bounds = np.cumsum([0] + [prep.t_count for prep in preps])
+            probs_by_mode = {}
+            for mode in Mode:
+                stacked = np.concatenate(
+                    [prep.features[mode] for prep in preps], axis=0)
+                probs_by_mode[mode] = self.predictor.predict_proba(
+                    stacked, mode)
+        with EXEC_STATS.stage("adaptive_finalize"):
+            out = []
+            for p, prep in enumerate(preps):
+                lo, hi = int(bounds[p]), int(bounds[p + 1])
+                probs = {mode: probs_by_mode[mode][lo:hi] for mode in Mode}
+                out.append(self._finalize(prep, probs))
+        return out

@@ -81,19 +81,32 @@ class GatingController:
         """
         n = probs[Mode.HIGH_PERF].shape[0]
         thresholds = self.predictor.thresholds
-        modes = np.zeros(n, dtype=np.int64)  # start in high-perf
         switch_cycles = np.zeros(n)
         switch_counts = np.zeros(n)
         rng = rng_mod.stream(self.seed, "gating", trace_seed)
-        for t in range(self.horizon, n):
-            src = Mode.LOW_POWER if modes[t - self.horizon] else Mode.HIGH_PERF
-            prob = probs[src][t - self.horizon]
-            gate = prob >= thresholds[src]
-            modes[t] = 1 if gate else 0
-            if modes[t] != modes[t - 1]:
-                prev = Mode.LOW_POWER if modes[t - 1] else Mode.HIGH_PERF
-                cur = Mode.LOW_POWER if modes[t] else Mode.HIGH_PERF
-                cost = self.switch_cost(prev, cur, rng)
-                switch_cycles[t] = cost.cycles
+        # Plain-list walk of the serial decision pipeline: same
+        # comparisons and RNG draw order as the original per-interval
+        # loop over numpy scalars, minus the indexing overhead.
+        p_high = probs[Mode.HIGH_PERF].tolist()
+        p_low = probs[Mode.LOW_POWER].tolist()
+        th_high = thresholds[Mode.HIGH_PERF]
+        th_low = thresholds[Mode.LOW_POWER]
+        base_cycles = self.machine.mode_switch_base_cycles
+        width = self.machine.width_low_power
+        max_transfers = self.machine.max_register_transfers
+        horizon = self.horizon
+        modes = [0] * n  # start in high-perf
+        for t in range(horizon, n):
+            if modes[t - horizon]:
+                gate = 1 if p_low[t - horizon] >= th_low else 0
+            else:
+                gate = 1 if p_high[t - horizon] >= th_high else 0
+            modes[t] = gate
+            if gate != modes[t - 1]:
+                if gate:  # gating: microcode register-transfer flow
+                    transfers = int(rng.integers(4, max_transfers + 1))
+                    switch_cycles[t] = base_cycles + transfers / width
+                else:
+                    switch_cycles[t] = UNGATE_CYCLES
                 switch_counts[t] = 1.0
-        return modes, switch_cycles, switch_counts
+        return np.array(modes, dtype=np.int64), switch_cycles, switch_counts

@@ -13,7 +13,7 @@ import dataclasses
 
 import numpy as np
 
-from repro.config import DEFAULT_SLA, SLAConfig
+from repro.config import DEFAULT_SLA, SLAConfig, batch_sim_enabled
 from repro.errors import DatasetError
 from repro.uarch.interval_model import IntervalModel, IntervalResult
 from repro.uarch.modes import Mode
@@ -74,7 +74,17 @@ def gating_labels(trace: TraceSpec, sla: SLAConfig = DEFAULT_SLA,
         Pre-computed both-mode simulation results to reuse.
     """
     model = model or IntervalModel()
+    disk_key = None
     if results is None:
+        # Labels are a pure function of (trace, SLA floor, granularity,
+        # machine), so when the simulator carries a SimCache a warm
+        # build loads them directly and never touches the simulator.
+        if model.simcache is not None and batch_sim_enabled():
+            disk_key = model.simcache.labels_key(
+                trace, sla, granularity_factor, model.machine)
+            cached = model.simcache.load_labels(disk_key)
+            if cached is not None:
+                return cached
         results = model.simulate_both(trace)
     cycles_high = coarsen_cycles(results[Mode.HIGH_PERF].cycles,
                                  granularity_factor)
@@ -85,7 +95,7 @@ def gating_labels(trace: TraceSpec, sla: SLAConfig = DEFAULT_SLA,
     ipc_low = inst / cycles_low
     ratio = ipc_low / ipc_high
     labels = (ratio >= sla.performance_floor).astype(np.int64)
-    return LabelSet(
+    label_set = LabelSet(
         trace_name=trace.name,
         labels=labels,
         ratio=ratio,
@@ -96,6 +106,9 @@ def gating_labels(trace: TraceSpec, sla: SLAConfig = DEFAULT_SLA,
         granularity=inst,
         sla_floor=sla.performance_floor,
     )
+    if disk_key is not None:
+        model.simcache.store_labels(disk_key, label_set)
+    return label_set
 
 
 def ideal_residency(traces: list[TraceSpec], sla: SLAConfig = DEFAULT_SLA,

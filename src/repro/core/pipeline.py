@@ -23,6 +23,7 @@ below a budget (Section 6.3).
 from __future__ import annotations
 
 import dataclasses
+import functools
 from collections.abc import Callable, Iterable
 
 import numpy as np
@@ -34,6 +35,7 @@ from repro.data.builders import dataset_from_traces
 from repro.data.dataset import GatingDataset
 from repro.errors import ConfigurationError
 from repro.eval.metrics import effective_sla_window, pooled_rsv
+from repro.exec.parallel import ParallelMap, default_parallel_map
 from repro.eval.metrics import pgos as pgos_metric
 from repro.ml.base import Estimator
 from repro.ml.forest import RandomForestClassifier
@@ -149,6 +151,31 @@ def _calibration_split(dataset: GatingDataset, fraction: float,
     return dataset.subset(~cal_mask), dataset.subset(cal_mask)
 
 
+def _fit_candidate(unit: tuple[Mode, int], *,
+                   factory: Callable[[Mode], Estimator],
+                   datasets: dict[Mode, GatingDataset],
+                   rsv_budget: float, calibration_fraction: float,
+                   seed: int) -> tuple[float, int, Estimator]:
+    """Fit/tune/score one (mode, candidate) restart (parallel unit).
+
+    The calibration split is a pure function of ``(seed, mode)`` and
+    candidate seeds derive from the candidate index alone, so every
+    cell of the (mode, candidate) grid is independent and the fan-out
+    is bit-identical to the nested serial loops on any backend.
+    """
+    mode, candidate = unit
+    fit_ds, cal_ds = _calibration_split(datasets[mode],
+                                        calibration_fraction, seed)
+    model = factory(mode)
+    if candidate > 0 and hasattr(model, "seed"):
+        model.seed = rng_mod.derive_seed(  # type: ignore
+            seed, "candidate", mode.value, candidate)
+    model.fit(fit_ds.x, fit_ds.y)
+    tune_threshold_for_rsv(model, cal_ds, rsv_budget)
+    preds = model.predict(cal_ds.x)
+    return (pgos_metric(cal_ds.y, preds), candidate, model)
+
+
 def train_dual_predictor(name: str,
                          factory: Callable[[Mode], Estimator],
                          datasets: dict[Mode, GatingDataset],
@@ -156,7 +183,9 @@ def train_dual_predictor(name: str,
                          rsv_budget: float | None = DEFAULT_RSV_BUDGET,
                          calibration_fraction: float = 0.15,
                          n_candidates: int = 1,
-                         seed: int = 0) -> DualModePredictor:
+                         seed: int = 0,
+                         pmap: ParallelMap | None = None,
+                         ) -> DualModePredictor:
     """Train one model per telemetry mode and package them.
 
     ``rsv_budget`` enables post-training sensitivity tuning on a
@@ -165,7 +194,8 @@ def train_dual_predictor(name: str,
     several random restarts and keeps the one with the highest
     calibration-set PGOS at its tuned threshold — the deployment-time
     face of the paper's "screen models for those that perform most
-    consistently" principle.
+    consistently" principle. Candidate fits across both modes fan out
+    through ``pmap`` (serial by default) as one (mode, candidate) grid.
     """
     models: dict[Mode, Estimator] = {}
     counter_ids = None
@@ -175,32 +205,33 @@ def train_dual_predictor(name: str,
             counter_ids = ds.counter_ids
         elif not np.array_equal(counter_ids, ds.counter_ids):
             raise ConfigurationError("per-mode counter sets must match")
-        if rsv_budget is not None and calibration_fraction > 0.0:
-            fit_ds, cal_ds = _calibration_split(ds, calibration_fraction,
-                                                seed)
-            scored: list[tuple[float, int, Estimator]] = []
-            for candidate in range(max(1, n_candidates)):
-                model = factory(mode)
-                if candidate > 0 and hasattr(model, "seed"):
-                    model.seed = rng_mod.derive_seed(  # type: ignore
-                        seed, "candidate", mode.value, candidate)
-                model.fit(fit_ds.x, fit_ds.y)
-                tune_threshold_for_rsv(model, cal_ds, rsv_budget)
-                preds = model.predict(cal_ds.x)
-                scored.append((pgos_metric(cal_ds.y, preds), candidate,
-                               model))
+    assert counter_ids is not None
+    if rsv_budget is not None and calibration_fraction > 0.0:
+        pmap = pmap if pmap is not None else default_parallel_map()
+        n_cand = max(1, n_candidates)
+        grid = [(mode, candidate) for mode in Mode
+                for candidate in range(n_cand)]
+        cells = pmap.map(
+            functools.partial(_fit_candidate, factory=factory,
+                              datasets=datasets, rsv_budget=rsv_budget,
+                              calibration_fraction=calibration_fraction,
+                              seed=seed),
+            grid, stage="train_candidates")
+        for i, mode in enumerate(Mode):
+            scored = cells[i * n_cand:(i + 1) * n_cand]
             # The median candidate by calibration PGOS: random restarts
             # at the tails are either unlucky fits or lucky-aggressive
             # ones that generalise worse.
             scored.sort(key=lambda item: item[:2])
             models[mode] = scored[len(scored) // 2][2]
-            continue
-        model = factory(mode)
-        model.fit(ds.x, ds.y)
-        if rsv_budget is not None:
-            tune_threshold_for_rsv(model, ds, rsv_budget)
-        models[mode] = model
-    assert counter_ids is not None
+    else:
+        for mode in Mode:
+            ds = datasets[mode]
+            model = factory(mode)
+            model.fit(ds.x, ds.y)
+            if rsv_budget is not None:
+                tune_threshold_for_rsv(model, ds, rsv_budget)
+            models[mode] = model
     return DualModePredictor(
         name=name,
         models=models,

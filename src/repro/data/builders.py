@@ -10,16 +10,13 @@ microcontroller and computing the prediction (Figure 3).
 
 from __future__ import annotations
 
-import dataclasses
 import functools
-import hashlib
-import json
 
 import numpy as np
 
 from repro import rng as rng_mod
 from repro.config import BASE_INTERVAL_INSTRUCTIONS, DEFAULT_SLA, SLAConfig
-from repro.config import experiment_scale
+from repro.config import batch_sim_enabled, experiment_scale
 from repro.core.labels import gating_labels
 from repro.data.dataset import GatingDataset, concat_datasets
 from repro.errors import DatasetError
@@ -37,10 +34,7 @@ PREDICTION_HORIZON = 2
 
 def _catalog_token(collector: TelemetryCollector) -> str:
     """Stable fingerprint of the counter catalog (for cache keys)."""
-    blob = json.dumps(
-        [dataclasses.asdict(c) for c in collector.catalog.counters],
-        sort_keys=True)
-    return hashlib.sha256(blob.encode()).hexdigest()
+    return collector.catalog_token()
 
 
 def _build_trace_part(trace: TraceSpec, mode: Mode,
@@ -49,13 +43,21 @@ def _build_trace_part(trace: TraceSpec, mode: Mode,
                       granularity_factor: int,
                       horizon: int) -> GatingDataset:
     """One trace's slice of the supervised dataset (parallel unit)."""
-    results = collector.model.simulate_both(trace)
-    snap = collector.snapshot(trace, mode, counter_ids,
-                              result=results[mode])
+    if batch_sim_enabled():
+        # Snapshot and labels each consult their own disk-cache tier
+        # (and the simulator's LRU, prewarmed by the chunk's stacked
+        # pass, on a miss) — a fully warm build never simulates.
+        snap = collector.snapshot(trace, mode, counter_ids)
+        labels = gating_labels(trace, sla, collector.model,
+                               granularity_factor)
+    else:
+        results = collector.model.simulate_both(trace)
+        snap = collector.snapshot(trace, mode, counter_ids,
+                                  result=results[mode])
+        labels = gating_labels(trace, sla, collector.model,
+                               granularity_factor, results=results)
     if granularity_factor > 1:
         snap = coarsen(snap, granularity_factor)
-    labels = gating_labels(trace, sla, collector.model,
-                           granularity_factor, results=results)
     t_count = min(snap.n_intervals, labels.n_intervals)
     if t_count <= horizon:
         raise DatasetError(
@@ -76,6 +78,37 @@ def _build_trace_part(trace: TraceSpec, mode: Mode,
         granularity=(BASE_INTERVAL_INSTRUCTIONS * granularity_factor),
         sla_floor=sla.performance_floor,
     )
+
+
+def _build_trace_chunk(traces: list[TraceSpec], part_fn, mode: Mode,
+                       counter_ids: np.ndarray, sla: SLAConfig,
+                       collector: TelemetryCollector,
+                       granularity_factor: int) -> list[GatingDataset]:
+    """Chunk unit of the batched build: stacked simulation, then parts.
+
+    ``simulate_batch`` warms the model's LRU (and SimCache) with one
+    stacked interval pass over every (trace, mode) pair of the chunk,
+    so each subsequent per-trace part is pure assembly. Traces whose
+    snapshot *and* labels are already on disk are skipped — a fully
+    warm build reads those two small artefacts and never touches the
+    simulator.
+    """
+    simcache = collector.model.simcache
+    if simcache is None or not batch_sim_enabled():
+        needs_sim = list(traces)
+    else:
+        machine = collector.model.machine
+        token = collector.catalog_token()
+        needs_sim = [
+            trace for trace in traces
+            if not (simcache.has(simcache.snapshot_key(
+                        trace, mode, machine, counter_ids, token))
+                    and simcache.has(simcache.labels_key(
+                        trace, sla, granularity_factor, machine)))
+        ]
+    if needs_sim:
+        collector.model.simulate_batch(needs_sim)
+    return [part_fn(trace) for trace in traces]
 
 
 def build_mode_dataset(traces: list[TraceSpec], mode: Mode,
@@ -103,6 +136,11 @@ def build_mode_dataset(traces: list[TraceSpec], mode: Mode,
     collector = collector or TelemetryCollector()
     counter_ids = np.asarray(counter_ids, dtype=np.int64)
     simcache = simcache if simcache is not None else default_simcache()
+    if simcache is None:
+        # Fall back to the cache already attached to the simulator, so
+        # a collector wired to a shared SimCache (the benchmark
+        # fixtures) also persists its built datasets there.
+        simcache = collector.model.simcache
     key = None
     if simcache is not None:
         key = simcache.dataset_key(
@@ -113,13 +151,23 @@ def build_mode_dataset(traces: list[TraceSpec], mode: Mode,
         if cached is not None:
             return cached
     pmap = pmap if pmap is not None else default_parallel_map()
-    parts = pmap.map(
-        functools.partial(_build_trace_part, mode=mode,
-                          counter_ids=counter_ids, sla=sla,
-                          collector=collector,
-                          granularity_factor=granularity_factor,
-                          horizon=horizon),
-        traces, stage="build_dataset")
+    part_fn = functools.partial(_build_trace_part, mode=mode,
+                                counter_ids=counter_ids, sla=sla,
+                                collector=collector,
+                                granularity_factor=granularity_factor,
+                                horizon=horizon)
+    if batch_sim_enabled():
+        # Whole chunks reach each worker, so the interval simulations
+        # of a chunk run as one stacked batch pass before the per-trace
+        # assembly (which then hits the warm LRU).
+        parts = pmap.map_chunks(
+            functools.partial(_build_trace_chunk, part_fn=part_fn,
+                              mode=mode, counter_ids=counter_ids,
+                              sla=sla, collector=collector,
+                              granularity_factor=granularity_factor),
+            traces, stage="build_dataset")
+    else:
+        parts = pmap.map(part_fn, traces, stage="build_dataset")
     dataset = concat_datasets(parts)
     if key is not None:
         simcache.store_dataset(key, dataset)

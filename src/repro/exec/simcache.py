@@ -91,6 +91,28 @@ class SimCache:
         return self._digest(b"sim", trace_fingerprint(trace), mode.value,
                             _machine_token(machine))
 
+    def snapshot_key(self, trace, mode, machine, counter_ids,
+                     catalog_token: str) -> str:
+        """Key for one materialised telemetry snapshot.
+
+        The snapshot is a pure function of the simulation inputs plus
+        the counter catalog and the requested counter subset, so all of
+        them participate in the digest.
+        """
+        ids = np.asarray(counter_ids, dtype=np.int64)
+        return self._digest(b"snapshot", trace_fingerprint(trace),
+                            mode.value, _machine_token(machine),
+                            ids.tobytes(), catalog_token)
+
+    def labels_key(self, trace, sla, granularity_factor: int,
+                   machine) -> str:
+        """Key for one trace's gating ``LabelSet`` at one granularity."""
+        return self._digest(
+            b"labels", trace_fingerprint(trace),
+            f"{sla.performance_floor}/g={granularity_factor}",
+            _machine_token(machine),
+        )
+
     def dataset_key(self, traces, mode, counter_ids, sla,
                     granularity_factor: int, horizon: int, machine,
                     catalog_token: str = "") -> str:
@@ -147,6 +169,14 @@ class SimCache:
         EXEC_STATS.incr("simcache.hit")
         return payload, meta
 
+    def evict(self, key: str) -> None:
+        """Drop one entry (benchmarks isolating specific cache tiers)."""
+        self._path(key).unlink(missing_ok=True)
+
+    def has(self, key: str) -> bool:
+        """Whether an entry exists, without reading it (prewarm probes)."""
+        return self._path(key).exists()
+
     # ------------------------------------------------------------------
     # Simulation results.
     # ------------------------------------------------------------------
@@ -177,6 +207,91 @@ class SimCache:
             cycles=payload["cycles"],
             signals=payload["signals"],
             interval_instructions=int(meta["interval_instructions"]),
+        )
+
+    # ------------------------------------------------------------------
+    # Telemetry snapshots.
+    # ------------------------------------------------------------------
+    def store_snapshot(self, key: str, snapshot) -> None:
+        """Persist one ``TelemetrySnapshot``.
+
+        ``normalized`` is not stored: it is ``counts / cycles[:, None]``
+        and the load path recomputes it with the exact same division.
+        """
+        self._write(key, {
+            "counter_ids": snapshot.counter_ids,
+            "counts": snapshot.counts,
+            "cycles": snapshot.cycles,
+            "ipc": snapshot.ipc,
+        }, {
+            "trace_name": snapshot.trace_name,
+            "mode": snapshot.mode.value,
+            "interval_instructions": snapshot.interval_instructions,
+        })
+
+    def load_snapshot(self, key: str):
+        """Load one ``TelemetrySnapshot`` or ``None`` on miss."""
+        entry = self._read(key)
+        if entry is None:
+            return None
+        payload, meta = entry
+        from repro.telemetry.collector import TelemetrySnapshot
+        from repro.uarch.modes import Mode
+        return TelemetrySnapshot(
+            trace_name=meta["trace_name"],
+            mode=Mode(meta["mode"]),
+            counter_ids=payload["counter_ids"],
+            counts=payload["counts"],
+            normalized=payload["counts"] / payload["cycles"][:, None],
+            cycles=payload["cycles"],
+            ipc=payload["ipc"],
+            interval_instructions=int(meta["interval_instructions"]),
+        )
+
+    # ------------------------------------------------------------------
+    # Gating label sets.
+    # ------------------------------------------------------------------
+    def store_labels(self, key: str, labels) -> None:
+        """Persist one ``LabelSet``.
+
+        Only the coarsened per-mode cycle arrays are stored; IPCs, the
+        ratio and the binary labels are recomputed on load with the
+        exact operations of ``gating_labels``, so the loaded set is
+        bit-identical to a computed one.
+        """
+        self._write(key, {
+            "cycles_high": labels.cycles_high,
+            "cycles_low": labels.cycles_low,
+        }, {
+            "trace_name": labels.trace_name,
+            "granularity": labels.granularity,
+            "sla_floor": labels.sla_floor,
+        })
+
+    def load_labels(self, key: str):
+        """Load one ``LabelSet`` or ``None`` on miss."""
+        entry = self._read(key)
+        if entry is None:
+            return None
+        payload, meta = entry
+        from repro.core.labels import LabelSet
+        inst = int(meta["granularity"])
+        floor = float(meta["sla_floor"])
+        cycles_high = payload["cycles_high"]
+        cycles_low = payload["cycles_low"]
+        ipc_high = inst / cycles_high
+        ipc_low = inst / cycles_low
+        ratio = ipc_low / ipc_high
+        return LabelSet(
+            trace_name=meta["trace_name"],
+            labels=(ratio >= floor).astype(np.int64),
+            ratio=ratio,
+            ipc_high=ipc_high,
+            ipc_low=ipc_low,
+            cycles_high=cycles_high,
+            cycles_low=cycles_low,
+            granularity=inst,
+            sla_floor=floor,
         )
 
     # ------------------------------------------------------------------

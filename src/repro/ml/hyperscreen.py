@@ -40,24 +40,37 @@ class ScreenRecord:
         return self.metrics[metric][1]
 
 
-def _screen_one(config: Mapping[str, object], *,
-                model_factory: Callable[[Mapping[str, object]], Estimator],
-                x: np.ndarray, y: np.ndarray, folds: Sequence[Fold],
-                metric_fns: Mapping[str, MetricFn],
-                threshold_tuner) -> ScreenRecord:
-    """Screen one configuration across every fold (parallel unit)."""
-    per_fold: dict[str, list[float]] = {name: [] for name in metric_fns}
-    for fold in folds:
-        model = model_factory(config)
-        model.fit(x[fold.tuning_idx], y[fold.tuning_idx])
-        if threshold_tuner is not None:
-            threshold_tuner(model, x[fold.tuning_idx],
-                            y[fold.tuning_idx])
-        scores = model.predict_proba(x[fold.validation_idx])
-        preds = (scores >= model.decision_threshold).astype(np.int64)
-        y_val = y[fold.validation_idx]
-        for name, fn in metric_fns.items():
-            per_fold[name].append(fn(y_val, preds, scores))
+def _screen_cell(pair: tuple[Mapping[str, object], Fold], *,
+                 model_factory: Callable[[Mapping[str, object]], Estimator],
+                 x: np.ndarray, y: np.ndarray,
+                 metric_fns: Mapping[str, MetricFn],
+                 threshold_tuner) -> dict[str, float]:
+    """Train/score one (configuration, fold) cell (parallel unit).
+
+    Every cell is independent — the estimator is freshly built from the
+    config and all randomness is internal to its seed — so fanning the
+    full (config, fold) grid keeps every backend bit-identical to the
+    nested serial loops while exposing ``len(configs) * len(folds)``-way
+    parallelism instead of ``len(configs)``-way.
+    """
+    config, fold = pair
+    model = model_factory(config)
+    model.fit(x[fold.tuning_idx], y[fold.tuning_idx])
+    if threshold_tuner is not None:
+        threshold_tuner(model, x[fold.tuning_idx], y[fold.tuning_idx])
+    scores = model.predict_proba(x[fold.validation_idx])
+    preds = (scores >= model.decision_threshold).astype(np.int64)
+    y_val = y[fold.validation_idx]
+    return {name: fn(y_val, preds, scores)
+            for name, fn in metric_fns.items()}
+
+
+def _assemble_record(config: Mapping[str, object],
+                     cells: Sequence[Mapping[str, float]],
+                     metric_fns: Mapping[str, MetricFn]) -> ScreenRecord:
+    """Fold one configuration's cells back into a ScreenRecord."""
+    per_fold = {name: [cell[name] for cell in cells]
+                for name in metric_fns}
     metrics = {
         name: (float(np.mean(vals)), float(np.std(vals)))
         for name, vals in per_fold.items()
@@ -87,20 +100,27 @@ def screen_configs(model_factory: Callable[[Mapping[str, object]], Estimator],
         Optional post-fit sensitivity adjustment run on the tuning set
         (the paper keeps tuning-set SLA violations below 1%).
     pmap:
-        Execution backend for the per-configuration fan-out (serial
-        unless configured). Configurations are independent, so record
-        order and contents match the serial path exactly; unpicklable
-        factories degrade gracefully to serial under the process
-        backend.
+        Execution backend for the (configuration, fold) fan-out
+        (serial unless configured). Cells are independent, so record
+        order and contents match the nested serial loops exactly;
+        unpicklable factories degrade gracefully to serial under the
+        process backend.
     """
     if not configs:
         raise DatasetError("no configurations to screen")
     pmap = pmap if pmap is not None else default_parallel_map()
-    return pmap.map(
-        functools.partial(_screen_one, model_factory=model_factory,
-                          x=x, y=y, folds=folds, metric_fns=metric_fns,
+    grid = [(config, fold) for config in configs for fold in folds]
+    cells = pmap.map(
+        functools.partial(_screen_cell, model_factory=model_factory,
+                          x=x, y=y, metric_fns=metric_fns,
                           threshold_tuner=threshold_tuner),
-        configs, stage="hyperscreen")
+        grid, stage="hyperscreen")
+    n_folds = len(folds)
+    return [
+        _assemble_record(config, cells[i * n_folds:(i + 1) * n_folds],
+                         metric_fns)
+        for i, config in enumerate(configs)
+    ]
 
 
 def select_best(records: Sequence[ScreenRecord], metric: str = "pgos",

@@ -31,6 +31,7 @@ Named members reproduce the paper's counter sets:
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 
 import numpy as np
 
@@ -152,6 +153,17 @@ class CounterCatalog:
 
     def __len__(self) -> int:
         return len(self.counters)
+
+    def token(self) -> str:
+        """Stable content fingerprint of the catalog (cache keys)."""
+        if not hasattr(self, "_token"):
+            h = hashlib.sha256()
+            for c in self.counters:
+                h.update(repr((c.counter_id, c.name, c.kind, c.base1,
+                               c.base2, c.gain, c.w2, c.offset,
+                               c.noise_mult)).encode())
+            self._token = h.hexdigest()
+        return self._token
 
     def __getitem__(self, counter_id: int) -> CounterDef:
         return self.counters[counter_id]

@@ -24,11 +24,12 @@ low-power/high-performance ratio that drives gating labels.
 from __future__ import annotations
 
 import dataclasses
+import heapq
 
 import numpy as np
 
 from repro import rng as rng_mod
-from repro.config import MachineConfig
+from repro.config import MachineConfig, cycle_kernel
 from repro.errors import SimulationError
 from repro.uarch.isa import (
     BASE_LATENCY,
@@ -56,6 +57,12 @@ STEERING_CHUNK = 16
 #: overrides dependence locality.
 STEERING_IMBALANCE = 12
 
+#: Uops per wavefront chunk in the SoA kernel. Decoded numpy arrays
+#: are materialised into plain Python lists one chunk at a time, which
+#: bounds the transient list footprint while the scoreboard state
+#: (rings, pools, front end, retirement) carries across chunks.
+WAVEFRONT_CHUNK = 4096
+
 
 @dataclasses.dataclass(frozen=True)
 class CycleSimResult:
@@ -81,23 +88,25 @@ class CycleSimResult:
 
 
 class _UnitPool:
-    """A pool of pipelined execution units; pick the earliest free."""
+    """A pool of pipelined execution units; pick the earliest free.
+
+    ``free`` is a min-heap of unit-free times. Only the multiset of
+    times matters: issuing always takes the minimum (``free[0]``) and
+    replaces it with ``at + 1``, so the heap is observationally — and
+    bit- — identical to the former linear scan while O(log units).
+    """
 
     __slots__ = ("free",)
 
     def __init__(self, n_units: int) -> None:
+        # All-equal entries already satisfy the heap invariant.
         self.free = [0.0] * max(n_units, 1)
 
     def issue(self, ready: float) -> float:
         """Issue at the earliest cycle >= ready with a free unit."""
-        best = 0
         best_time = self.free[0]
-        for i in range(1, len(self.free)):
-            if self.free[i] < best_time:
-                best = i
-                best_time = self.free[i]
         at = ready if ready > best_time else best_time
-        self.free[best] = at + 1.0
+        heapq.heapreplace(self.free, at + 1.0)
         return at
 
 
@@ -125,12 +134,25 @@ class _Ring:
 
 
 class ClusteredCoreModel:
-    """Cycle-level two-cluster core for one operating mode."""
+    """Cycle-level two-cluster core for one operating mode.
+
+    ``kernel`` selects between two bit-identical implementations of
+    :meth:`execute`: ``"soa"`` (default; structure-of-arrays decode +
+    chunked wavefront scoreboard) and ``"reference"`` (the original
+    per-uop loop, kept as ground truth). Subclasses that override the
+    outcome hooks automatically fall back to the reference loop, since
+    the SoA decode pass assumes the trace-annotated outcomes.
+    """
 
     def __init__(self, machine: MachineConfig | None = None,
-                 mode: Mode = Mode.HIGH_PERF) -> None:
+                 mode: Mode = Mode.HIGH_PERF,
+                 kernel: str | None = None) -> None:
         self.machine = machine or MachineConfig()
         self.mode = mode
+        self.kernel = kernel if kernel is not None else cycle_kernel()
+        if self.kernel not in ("soa", "reference"):
+            raise ValueError(
+                f"kernel must be 'soa' or 'reference', got {self.kernel!r}")
 
     @property
     def active_clusters(self) -> int:
@@ -156,9 +178,22 @@ class ClusteredCoreModel:
         """Whether branch ``i`` mispredicts."""
         return bool(stream.mispredicted[i])
 
+    def _hooks_are_default(self) -> bool:
+        """Whether outcomes come straight from the stream annotations."""
+        cls = type(self)
+        return (cls.load_outcome is ClusteredCoreModel.load_outcome
+                and cls.store_outcome is ClusteredCoreModel.store_outcome
+                and cls.branch_outcome is ClusteredCoreModel.branch_outcome)
+
     # ------------------------------------------------------------------
     def execute(self, stream: UopStream) -> CycleSimResult:
         """Run a micro-op stream to completion; return timing/events."""
+        if self.kernel == "soa" and self._hooks_are_default():
+            return self._execute_soa(stream)
+        return self._execute_reference(stream)
+
+    def _execute_reference(self, stream: UopStream) -> CycleSimResult:
+        """The original per-uop loop: ground truth for the SoA kernel."""
         machine = self.machine
         cluster_cfg = machine.cluster
         n_clusters = self.active_clusters
@@ -331,6 +366,274 @@ class ClusteredCoreModel:
                 store_queues[cluster].release(drain_at)
 
         total_cycles = max(float(retire_gate), float(complete.max())) + 1.0
+        return CycleSimResult(
+            mode=self.mode,
+            n_uops=n,
+            cycles=total_cycles,
+            branch_mispredicts=branch_misses,
+            loads=loads,
+            stores=stores,
+            l2_accesses=l2,
+            l3_accesses=l3,
+            dram_accesses=dram,
+            intercluster_transfers=xc_transfers,
+        )
+
+    def _execute_soa(self, stream: UopStream) -> CycleSimResult:
+        """Structure-of-arrays scoreboard kernel.
+
+        Three passes, bit-identical to :meth:`_execute_reference`:
+
+        1. *Decode* (vectorized): uop classes, per-uop execution
+           latency with the memory hierarchy folded in for loads that
+           miss the L1, MSHR need, and branch-redirect flags are
+           computed for the whole stream with array ops.
+        2. *Events* (vectorized): load/store/mispredict/L2/L3/DRAM
+           counts come from mask reductions instead of per-uop
+           increments.
+        3. *Timing* (chunked wavefront): the serial recurrence — ring
+           reservations, unit-pool issue, dataflow with the
+           inter-cluster bypass, retirement — runs over plain Python
+           lists materialised one :data:`WAVEFRONT_CHUNK` at a time,
+           with ring state inlined as slot-indexed lists (no per-call
+           method dispatch) and unit pools as raw heaps.
+
+        All floating-point operations happen in the same order and on
+        the same IEEE doubles as the reference loop, so results match
+        bit for bit (enforced by tests/test_batch_kernels.py).
+        """
+        n = stream.n_uops
+        if n == 0:
+            return self._execute_reference(stream)
+        machine = self.machine
+        cluster_cfg = machine.cluster
+        n_clusters = self.active_clusters
+        fe_width = cluster_cfg.issue_width * n_clusters
+
+        types = stream.types.astype(np.int64, copy=False)
+        src1 = stream.src1.astype(np.int64, copy=False)
+        src2 = stream.src2.astype(np.int64, copy=False)
+        mem_level = stream.mem_level.astype(np.int64, copy=False)
+
+        t_load = int(UopType.LOAD)
+        t_store = int(UopType.STORE)
+
+        # ---- Decode pass (vectorized). ----
+        base_lat = np.zeros(len(UopType))
+        for uop_t, lat in BASE_LATENCY.items():
+            base_lat[int(uop_t)] = float(lat)
+        latency = base_lat[types]
+        is_load = types == t_load
+        needs_mshr = is_load & (mem_level >= MEM_L2)
+        mem_lat = np.zeros(MEM_DRAM + 1)
+        mem_lat[MEM_L2] = float(machine.l2_latency)
+        mem_lat[MEM_L3] = float(machine.l3_latency)
+        mem_lat[MEM_DRAM] = float(machine.memory_latency)
+        latency = np.where(
+            needs_mshr, mem_lat[np.clip(mem_level, 0, MEM_DRAM)], latency)
+        redirects = (types == int(UopType.BRANCH)) & stream.mispredicted
+
+        # ---- Event pass (vectorized). ----
+        loads = int(np.count_nonzero(is_load))
+        stores = int(np.count_nonzero(types == t_store))
+        branch_misses = int(np.count_nonzero(redirects))
+        l2 = int(np.count_nonzero(is_load & (mem_level == MEM_L2)))
+        l3 = int(np.count_nonzero(is_load & (mem_level == MEM_L3)))
+        dram = int(np.count_nonzero(is_load & (mem_level == MEM_DRAM)))
+
+        # ---- Steering candidates (vectorized). ----
+        multi = n_clusters > 1
+        if multi:
+            idx = np.arange(n)
+            follow_np = np.where(
+                (src1 >= 0) & (idx - src1 < STEERING_CHUNK), src1, -1)
+            rr_np = (idx // STEERING_CHUNK) % n_clusters
+
+        # ---- Timing scoreboard state (inlined rings + raw heaps). ----
+        rob_size = max(machine.rob_entries, 1)
+        sched_size = max(cluster_cfg.scheduler_entries, 1)
+        lq_size = max(cluster_cfg.load_queue_entries, 1)
+        sq_size = max(cluster_cfg.store_queue_entries, 1)
+        mshr_size = max(cluster_cfg.mshr_entries, 1)
+        rob_times = [0.0] * rob_size
+        sched_times = [[0.0] * sched_size for _ in range(n_clusters)]
+        lq_times = [[0.0] * lq_size for _ in range(n_clusters)]
+        sq_times = [[0.0] * sq_size for _ in range(n_clusters)]
+        mshr_times = [[0.0] * mshr_size for _ in range(n_clusters)]
+        sched_count = [0] * n_clusters
+        lq_count = [0] * n_clusters
+        sq_count = [0] * n_clusters
+        mshr_count = [0] * n_clusters
+        pool_units = {
+            int(UopType.ALU): cluster_cfg.alu_units,
+            int(UopType.MUL): max(cluster_cfg.alu_units // 2, 1),
+            int(UopType.FP): cluster_cfg.fpu_units,
+            int(UopType.LOAD): cluster_cfg.load_ports,
+            int(UopType.STORE): cluster_cfg.store_ports,
+            int(UopType.BRANCH): cluster_cfg.alu_units,
+        }
+        pools = [[[0.0] * max(pool_units[t], 1) for t in range(len(UopType))]
+                 for _ in range(n_clusters)]
+
+        complete = [0.0] * n
+        cluster_of = [0] * n
+        cluster_load = [0] * n_clusters
+        drain_interval = 1.0 if multi else 2.5
+        last_drain = [0.0] * n_clusters
+        retire_gate = 0.0
+        retire_in_cycle = 0
+        fe_cycle = 0.0
+        fe_in_cycle = 0
+        redirect_until = 0.0
+        max_done = 0.0
+        xc_transfers = 0
+        xc_latency = float(machine.intercluster_latency)
+        penalty = float(machine.branch_mispredict_penalty)
+        refill = float(REDIRECT_REFILL)
+        retire_width = machine.retire_width
+        heapreplace = heapq.heapreplace
+
+        for lo in range(0, n, WAVEFRONT_CHUNK):
+            hi = min(lo + WAVEFRONT_CHUNK, n)
+            c_type = types[lo:hi].tolist()
+            c_src1 = src1[lo:hi].tolist()
+            c_src2 = src2[lo:hi].tolist()
+            c_lat = latency[lo:hi].tolist()
+            c_mshr = needs_mshr[lo:hi].tolist()
+            c_redirect = redirects[lo:hi].tolist()
+            if multi:
+                c_follow = follow_np[lo:hi].tolist()
+                c_rr = rr_np[lo:hi].tolist()
+            for k in range(hi - lo):
+                i = lo + k
+                # ---- Fetch: bandwidth + redirect. ----
+                if redirect_until > fe_cycle:
+                    fe_cycle = redirect_until
+                    fe_in_cycle = 0
+                fetch = fe_cycle
+                fe_in_cycle += 1
+                if fe_in_cycle >= fe_width:
+                    fe_cycle += 1.0
+                    fe_in_cycle = 0
+
+                # ---- Cluster steering (same heuristic as reference).
+                if multi:
+                    f = c_follow[k]
+                    cluster = cluster_of[f] if f >= 0 else c_rr[k]
+                    if n_clusters == 2:
+                        lightest = (0 if cluster_load[0] <= cluster_load[1]
+                                    else 1)
+                    else:
+                        lightest = min(range(n_clusters),
+                                       key=cluster_load.__getitem__)
+                    if (cluster_load[cluster] - cluster_load[lightest]
+                            > STEERING_IMBALANCE):
+                        cluster = lightest
+                    cluster_load[cluster] += 1
+                else:
+                    cluster = 0
+                cluster_of[i] = cluster
+
+                # ---- Dispatch: pipeline depth + structural capacity.
+                dispatch = fetch + FRONTEND_DEPTH
+                rob_slot = i % rob_size
+                gate = rob_times[rob_slot]
+                if gate > dispatch:
+                    dispatch = gate
+                st = sched_times[cluster]
+                sched_slot = sched_count[cluster] % sched_size
+                sched_count[cluster] += 1
+                gate = st[sched_slot]
+                if gate > dispatch:
+                    dispatch = gate
+                ut = c_type[k]
+                if ut == t_load:
+                    qt = lq_times[cluster]
+                    q_slot = lq_count[cluster] % lq_size
+                    lq_count[cluster] += 1
+                    gate = qt[q_slot]
+                    if gate > dispatch:
+                        dispatch = gate
+                elif ut == t_store:
+                    qt = sq_times[cluster]
+                    q_slot = sq_count[cluster] % sq_size
+                    sq_count[cluster] += 1
+                    gate = qt[q_slot]
+                    if gate > dispatch:
+                        dispatch = gate
+
+                # ---- Ready: dataflow with inter-cluster bypass. ----
+                ready = dispatch + 1.0
+                bypass_gate = dispatch - 8.0
+                s = c_src1[k]
+                if s >= 0:
+                    avail = complete[s]
+                    if cluster_of[s] != cluster:
+                        xc_transfers += 1
+                        if avail > bypass_gate:
+                            avail += xc_latency
+                    if avail > ready:
+                        ready = avail
+                s = c_src2[k]
+                if s >= 0:
+                    avail = complete[s]
+                    if cluster_of[s] != cluster:
+                        xc_transfers += 1
+                        if avail > bypass_gate:
+                            avail += xc_latency
+                    if avail > ready:
+                        ready = avail
+
+                # ---- Issue and execute. ----
+                pool = pools[cluster][ut]
+                best = pool[0]
+                issue_at = ready if ready > best else best
+                heapreplace(pool, issue_at + 1.0)
+                lat = c_lat[k]
+                if c_mshr[k]:
+                    mt = mshr_times[cluster]
+                    m_slot = mshr_count[cluster] % mshr_size
+                    mshr_count[cluster] += 1
+                    gate = mt[m_slot]
+                    if gate > issue_at:
+                        issue_at = gate
+                    mt[m_slot] = issue_at + lat
+                done = issue_at + lat
+                complete[i] = done
+                if done > max_done:
+                    max_done = done
+                st[sched_slot] = issue_at + 1.0
+
+                # ---- Branch resolution. ----
+                if c_redirect[k]:
+                    redirect = done + penalty
+                    if redirect > redirect_until:
+                        redirect_until = redirect
+                        fe_cycle = redirect + refill
+                        fe_in_cycle = 0
+
+                # ---- Retire in order at retire width. ----
+                at = done if done > retire_gate else retire_gate
+                if at == retire_gate:
+                    retire_in_cycle += 1
+                    if retire_in_cycle >= retire_width:
+                        retire_gate += 1.0
+                        retire_in_cycle = 0
+                else:
+                    retire_gate = at
+                    retire_in_cycle = 1
+                rob_times[rob_slot] = at
+                if ut == t_load:
+                    qt[q_slot] = at
+                elif ut == t_store:
+                    drain_at = at + 2.0
+                    floor = last_drain[cluster] + drain_interval
+                    if floor > drain_at:
+                        drain_at = floor
+                    last_drain[cluster] = drain_at
+                    qt[q_slot] = drain_at
+
+        total_cycles = max(retire_gate, max_done) + 1.0
         return CycleSimResult(
             mode=self.mode,
             n_uops=n,

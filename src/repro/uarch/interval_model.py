@@ -31,7 +31,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro import rng as rng_mod
-from repro.config import MachineConfig, interval_lru_size
+from repro.config import MachineConfig, batch_sim_enabled, interval_lru_size
 from repro.errors import SimulationError
 from repro.exec.simcache import SimCache, default_simcache
 from repro.exec.stats import EXEC_STATS
@@ -319,7 +319,353 @@ class IntervalModel:
     def simulate_both(self, trace: TraceSpec,
                       ) -> dict[Mode, IntervalResult]:
         """Simulate a trace in both modes (the paper's data recipe)."""
+        if batch_sim_enabled():
+            batch = self.simulate_batch([trace])
+            return {mode: batch[(trace.name, trace.seed,
+                                 trace.n_intervals, mode)]
+                    for mode in Mode}
         return {mode: self.simulate(trace, mode) for mode in Mode}
+
+    # ------------------------------------------------------------------
+    # Batched simulation.
+    # ------------------------------------------------------------------
+    def simulate_batch(self, traces, modes=None,
+                       ) -> dict[tuple, IntervalResult]:
+        """Simulate many (trace, mode) pairs in stacked tensor passes.
+
+        Physics matrices for all cache-missing pairs are stacked into
+        one ``(P, T, F)`` tensor (grouped by interval count ``T``) and
+        the CPI decomposition plus every base signal are computed in a
+        single vectorised pass. Every array operation is elementwise,
+        so each row of the batch is bit-identical to a scalar
+        :meth:`simulate` call (enforced by tests/test_batch_kernels.py).
+
+        Both cache tiers are honoured per pair: LRU and disk hits are
+        sliced out up front and only the misses are computed; fresh
+        results enter both tiers exactly as in :meth:`simulate`.
+
+        Returns a dict keyed by ``(name, seed, n_intervals, mode)`` —
+        the same key :meth:`simulate` memoises under.
+        """
+        modes_t = tuple(Mode) if modes is None else tuple(modes)
+        pairs = []
+        seen = set()
+        for trace in traces:
+            for mode in modes_t:
+                key = (trace.name, trace.seed, trace.n_intervals, mode)
+                if key not in seen:
+                    seen.add(key)
+                    pairs.append((key, trace, mode))
+
+        results: dict[tuple, IntervalResult] = {}
+        misses = []
+        for key, trace, mode in pairs:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                EXEC_STATS.incr("interval_lru.hit")
+                results[key] = cached
+                continue
+            EXEC_STATS.incr("interval_lru.miss")
+            disk_key = None
+            if self.simcache is not None:
+                disk_key = self.simcache.sim_key(trace, mode, self.machine)
+                result = self.simcache.load_result(disk_key)
+                if result is not None:
+                    self._remember(key, result)
+                    results[key] = result
+                    continue
+            misses.append((key, trace, mode, disk_key))
+        if not misses:
+            return results
+
+        # Stack pairs with equal interval counts; heterogeneous traces
+        # simply land in separate groups.
+        groups: dict[int, list] = {}
+        for item in misses:
+            groups.setdefault(item[1].n_intervals, []).append(item)
+        EXEC_STATS.incr("interval_batch.pairs", len(misses))
+        with EXEC_STATS.stage("interval_simulate_batch"):
+            for _, group in sorted(groups.items()):
+                computed = self._simulate_batch_uncached(
+                    [(trace, mode) for _, trace, mode, _ in group])
+                for (key, trace, mode, disk_key), result in zip(group,
+                                                                computed):
+                    self._remember(key, result)
+                    if disk_key is not None:
+                        self.simcache.store_result(disk_key, result)
+                    results[key] = result
+        return results
+
+    def _simulate_batch_uncached(self, pairs: list[tuple[TraceSpec, Mode]],
+                                 ) -> list[IntervalResult]:
+        """Compute a batch of same-``T`` pairs, bypassing both caches."""
+        modes = [mode for _, mode in pairs]
+        # Workload jitter is per trace (shared between modes), so a
+        # trace appearing in both modes is jittered once and its matrix
+        # reused in both rows — exactly the values the scalar path sees.
+        jittered: dict[tuple, np.ndarray] = {}
+        rows = []
+        for trace, _ in pairs:
+            tkey = (trace.name, trace.seed, trace.n_intervals)
+            if tkey not in jittered:
+                jittered[tkey] = self._jittered_physics(trace)
+            rows.append(jittered[tkey])
+        physics = np.stack(rows)  # (P, T, F); rows are fresh copies
+
+        # Mode-adjusted front end, applied in place on low-power rows
+        # with the same elementwise ops as mode_adjusted_physics.
+        lp_rows = np.flatnonzero(
+            np.array([mode is Mode.LOW_POWER for mode in modes]))
+        if lp_rows.size:
+            physics[lp_rows, :, _F["icache_mpki"]] = (
+                physics[lp_rows, :, _F["icache_mpki"]]
+                * LOW_POWER_ICACHE_FACTOR)
+            miss_rate = 1.0 - physics[lp_rows, :, _F["uopcache_hit_rate"]]
+            physics[lp_rows, :, _F["uopcache_hit_rate"]] = np.clip(
+                1.0 - miss_rate * LOW_POWER_UOPC_MISS_FACTOR, 0.0, 1.0)
+
+        components = self._cpi_components_batch(physics, modes)
+        cpi = np.zeros(physics.shape[:2])
+        for part in components.values():
+            cpi = cpi + part
+        if np.any(cpi <= 0.0):
+            raise SimulationError("non-positive CPI encountered")
+        width = self._mode_col(modes, self.effective_width)
+        ipc = np.minimum(1.0 / cpi, width)
+        cpi = 1.0 / ipc
+        inst = np.array([[float(trace.interval_instructions)]
+                         for trace, _ in pairs])
+        cycles = inst * cpi
+        signals = self._signals_batch(pairs, physics, components, cpi, cycles)
+        return [
+            IntervalResult(
+                trace_name=trace.name,
+                mode=mode,
+                ipc=ipc[p],
+                cycles=cycles[p],
+                signals=signals[p],
+                interval_instructions=trace.interval_instructions,
+            )
+            for p, (trace, mode) in enumerate(pairs)
+        ]
+
+    @staticmethod
+    def _mode_col(modes: list[Mode], fn) -> np.ndarray:
+        """Per-mode machine scalars as a broadcastable (P, 1) column."""
+        return np.array([[fn(mode)] for mode in modes])
+
+    def _cpi_components_batch(self, physics: np.ndarray, modes: list[Mode],
+                              ) -> dict[str, np.ndarray]:
+        """:meth:`cpi_components` over a stacked (P, T, F) tensor.
+
+        Per-mode machine scalars broadcast as (P, 1) columns; every
+        operation is elementwise, so row ``p`` equals
+        ``cpi_components(physics[p], modes[p])`` bit for bit.
+        """
+        m = self.machine
+        width = self._mode_col(modes, self.effective_width)
+        ilp = physics[:, :, _F["ilp"]]
+        cpi_base = 1.0 / np.minimum(width, ilp)
+
+        refill = MISPREDICT_REFILL_UOPS / width
+        cpi_branch = (physics[:, :, _F["branch_mpki"]] / 1000.0
+                      * (m.branch_mispredict_penalty + refill))
+        cpi_frontend = (
+            physics[:, :, _F["icache_mpki"]] / 1000.0 * m.icache_miss_penalty
+            + (1.0 - physics[:, :, _F["uopcache_hit_rate"]])
+            * UOPCACHE_MISS_PENALTY
+        )
+        cpi_tlb = ((physics[:, :, _F["itlb_mpki"]]
+                    + physics[:, :, _F["dtlb_mpki"]])
+                   / 1000.0 * m.tlb_miss_penalty)
+
+        l1d = physics[:, :, _F["l1d_mpki"]]
+        l2 = physics[:, :, _F["l2_mpki"]]
+        l3 = physics[:, :, _F["l3_mpki"]]
+        mem_cost = ((l1d - l2) * m.l2_latency
+                    + (l2 - l3) * m.l3_latency
+                    + l3 * m.memory_latency) / 1000.0
+        mlp_eff = np.clip(physics[:, :, _F["mlp"]], 1.0,
+                          self._mode_col(modes, self.mshr_cap))
+        cpi_memory = mem_cost / mlp_eff * (1.0 - MEMORY_OVERLAP)
+
+        sq_penalty = np.array(
+            [[SQ_PENALTY_LOW_POWER if mode is Mode.LOW_POWER
+              else SQ_PENALTY_HIGH_PERF] for mode in modes])
+        cpi_sq = (physics[:, :, _F["sq_pressure"]]
+                  * physics[:, :, _F["frac_store"]] * sq_penalty)
+
+        xc_const = (m.intercluster_uop_fraction * m.intercluster_latency
+                    / self.effective_width(Mode.HIGH_PERF)
+                    * UOPS_PER_INSTRUCTION)
+        xc_col = np.array([[xc_const if mode is Mode.HIGH_PERF else 0.0]
+                           for mode in modes])
+        cpi_xc = np.broadcast_to(xc_col, cpi_base.shape).copy()
+
+        return {
+            "base": cpi_base,
+            "branch": cpi_branch,
+            "frontend": cpi_frontend,
+            "tlb": cpi_tlb,
+            "memory": cpi_memory,
+            "store_queue": cpi_sq,
+            "intercluster": cpi_xc,
+        }
+
+    def _signals_batch(self, pairs: list[tuple[TraceSpec, Mode]],
+                       physics: np.ndarray,
+                       components: dict[str, np.ndarray], cpi: np.ndarray,
+                       cycles: np.ndarray) -> np.ndarray:
+        """:meth:`_signals` over a stacked batch -> (P, T, N_SIGNALS).
+
+        The deterministic signal synthesis is one tensor pass; only the
+        per-pair measurement-noise draw stays a loop, because each pair
+        owns a named RNG stream whose draw order must match the scalar
+        path exactly.
+        """
+        m = self.machine
+        modes = [mode for _, mode in pairs]
+        n_pairs, t_count = cpi.shape
+        inst = np.array([[float(trace.interval_instructions)]
+                         for trace, _ in pairs])
+        out = np.zeros((n_pairs, t_count, N_SIGNALS))
+
+        def put(name: str, values: np.ndarray | float) -> None:
+            out[:, :, signal_index(name)] = values
+
+        ipc = 1.0 / cpi
+        frac_load = physics[:, :, _F["frac_load"]]
+        frac_store = physics[:, :, _F["frac_store"]]
+        frac_branch = physics[:, :, _F["frac_branch"]]
+        frac_fp = physics[:, :, _F["frac_fp"]]
+        frac_int = 1.0 - (frac_load + frac_store + frac_branch + frac_fp)
+
+        uops = inst * UOPS_PER_INSTRUCTION
+        loads = inst * frac_load
+        stores = inst * frac_store
+        branches = inst * frac_branch
+        l1d_misses = inst * physics[:, :, _F["l1d_mpki"]] / 1000.0
+        l2_misses = inst * physics[:, :, _F["l2_mpki"]] / 1000.0
+        l3_misses = inst * physics[:, :, _F["l3_mpki"]] / 1000.0
+        icache_misses = inst * physics[:, :, _F["icache_mpki"]] / 1000.0
+        br_miss = inst * physics[:, :, _F["branch_mpki"]] / 1000.0
+        dirty = physics[:, :, _F["dirty_frac"]]
+        uopc_hit = physics[:, :, _F["uopcache_hit_rate"]]
+        width = self._mode_col(modes, self.effective_width)
+
+        put("cycles", cycles)
+        put("instructions", inst)
+        put("uops_issued", uops + br_miss * width * 2.0)  # incl. wrong path
+        put("uops_retired", uops)
+        put("loads_retired", loads)
+        put("stores_retired", stores)
+        put("branches_retired", branches)
+        put("fp_ops_retired", inst * frac_fp)
+        put("int_ops_retired", inst * frac_int)
+        put("l1d_reads", loads)
+        put("l1d_writes", stores)
+        put("l1d_misses", l1d_misses)
+        put("l1d_hits", np.maximum(loads + stores - l1d_misses, 0.0))
+        l2_accesses = l1d_misses + icache_misses
+        put("l2_accesses", l2_accesses)
+        put("l2_misses", l2_misses)
+        put("l2_hits", np.maximum(l2_accesses - l2_misses, 0.0))
+        put("l3_accesses", l2_misses)
+        put("l3_misses", l3_misses)
+        put("l3_hits", np.maximum(l2_misses - l3_misses, 0.0))
+        put("memory_reads", l3_misses)
+        l2_evictions = l2_misses  # each fill evicts in steady state
+        put("l2_evictions", l2_evictions)
+        put("l2_silent_evictions", l2_evictions * (1.0 - dirty))
+        put("l2_dirty_evictions", l2_evictions * dirty)
+        put("branch_mispredicts", br_miss)
+        put("wrong_path_uops",
+            br_miss * width * m.branch_mispredict_penalty * 0.5)
+        machine_clears = inst * 2e-5
+        put("pipeline_flushes", br_miss + machine_clears)
+        put("machine_clears", machine_clears)
+        put("icache_misses", icache_misses)
+        fetch_blocks = inst / 8.0
+        put("icache_hits", np.maximum(fetch_blocks - icache_misses, 0.0))
+        put("uopcache_hits", uops * uopc_hit)
+        put("uopcache_misses", uops * (1.0 - uopc_hit))
+        put("itlb_misses", inst * physics[:, :, _F["itlb_mpki"]] / 1000.0)
+        put("dtlb_misses", inst * physics[:, :, _F["dtlb_mpki"]] / 1000.0)
+
+        # Stall accounting from the CPI decomposition.
+        stall_share = np.maximum(cpi - components["base"], 0.0) / cpi
+        put("stall_cycles", cycles * stall_share)
+        fe_share = (components["branch"] + components["frontend"]) / cpi
+        put("frontend_stall_cycles", cycles * fe_share)
+        mem_share = components["memory"] / cpi
+        put("memory_stall_cycles", cycles * mem_share)
+        sq_share = components["store_queue"] / cpi
+        put("sq_full_stall_cycles", cycles * sq_share)
+        dep_share = np.maximum(
+            components["base"] - 1.0 / width, 0.0) / cpi
+        put("dep_stall_cycles", cycles * dep_share)
+        put("backend_stall_cycles", cycles * (mem_share + sq_share + dep_share))
+
+        # Occupancies via Little's law (summed entries x cycles).
+        ilp = physics[:, :, _F["ilp"]]
+        put("uops_ready", np.minimum(ilp, width) * cycles)
+        avg_inst_latency = 5.0 + (components["memory"]
+                                  * physics[:, :, _F["mlp"]]
+                                  / np.maximum(frac_load, 0.02))
+        in_flight = np.minimum(ipc * avg_inst_latency, m.rob_entries)
+        put("rob_occupancy", in_flight * cycles)
+        sched_total = np.array(
+            [[m.cluster.scheduler_entries * mode.active_clusters]
+             for mode in modes])
+        sched_occ = np.minimum(in_flight * 0.45, sched_total)
+        put("scheduler_occupancy", sched_occ * cycles)
+        put("uops_stalled_dep",
+            np.maximum(sched_occ - np.minimum(ilp, width), 0.0) * cycles)
+        store_residency = 4.0 + physics[:, :, _F["sq_pressure"]] * 44.0
+        sq_occ = np.minimum(frac_store * ipc * store_residency,
+                            self._mode_col(modes, self.sq_entries))
+        put("sq_occupancy", sq_occ * cycles)
+        load_residency = 4.0 + (components["memory"] * 1000.0
+                                / np.maximum(frac_load * 1000.0, 1.0))
+        lq_occ = np.minimum(frac_load * ipc * load_residency,
+                            self._mode_col(modes, self.lq_entries))
+        put("lq_occupancy", lq_occ * cycles)
+        # MSHR occupancy reflects exploited memory-level parallelism:
+        # outstanding misses while memory-bound, capped by the MSHRs.
+        mlp_exploited = np.clip(physics[:, :, _F["mlp"]], 1.0,
+                                self._mode_col(modes, self.mshr_cap))
+        put("mshr_occupancy", mlp_exploited * mem_share * cycles)
+
+        put("preg_refs", uops * 1.9)
+        put("preg_allocs", uops * 0.85)
+        hp_col = np.array([[mode is Mode.HIGH_PERF] for mode in modes])
+        put("intercluster_transfers",
+            np.where(hp_col, uops * m.intercluster_uop_fraction, 0.0))
+        put("mode_switches", 0.0)
+        prefetches = l2_misses * 0.6
+        put("prefetches_issued", prefetches)
+        put("prefetch_hits", prefetches * 0.5)
+        put("fp_divides", inst * frac_fp * 0.05)
+        put("int_muls", inst * frac_int * 0.08)
+        put("mem_bandwidth_bytes",
+            (l3_misses + l2_evictions * dirty) * m.line_bytes)
+        put("store_buffer_drains",
+            stores * physics[:, :, _F["sq_pressure"]] * 0.1)
+
+        # Per-interval sampling noise on event counts. Each pair owns a
+        # named RNG stream, so the (T, N_SIGNALS) draw stays per pair.
+        exact = [signal_index("cycles"), signal_index("instructions")]
+        result = np.empty_like(out)
+        for p, (trace, mode) in enumerate(pairs):
+            rng = rng_mod.stream(trace.seed, "signal-noise", mode.value)
+            noise_sigma = (0.01
+                           + physics[p, :, _F["noise_scale"]][:, None] * 0.3)
+            noise = np.exp(rng.normal(0.0, 1.0, (t_count, N_SIGNALS))
+                           * noise_sigma)
+            noise[:, exact] = 1.0
+            result[p] = out[p] * noise
+        return result
 
     # ------------------------------------------------------------------
     # Base-signal synthesis.
