@@ -35,10 +35,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.config import BATCH_SIM_ENV_VAR, DEFAULT_SLA
+from repro.config import EXEC_ARENA_ENV_VAR
 from repro.core.predictor import DualModePredictor
 from repro.data.builders import build_mode_dataset
 from repro.eval.runner import evaluate_predictor
-from repro.exec import EXEC_STATS, ParallelMap, SimCache
+from repro.exec import EXEC_STATS, ParallelMap, SimCache, close_pools
 from repro.ml.base import Estimator
 from repro.telemetry.collector import TelemetryCollector
 from repro.uarch.core_model import ClusteredCoreModel
@@ -98,17 +99,22 @@ def _timed(fn) -> tuple[float, object]:
 
 
 @contextlib.contextmanager
-def _batch_sim(enabled: bool):
-    """Temporarily force the batch-simulation layer on or off."""
-    saved = os.environ.get(BATCH_SIM_ENV_VAR)
-    os.environ[BATCH_SIM_ENV_VAR] = "1" if enabled else "0"
+def _env(var: str, value: str):
+    """Temporarily pin one environment variable."""
+    saved = os.environ.get(var)
+    os.environ[var] = value
     try:
         yield
     finally:
         if saved is None:
-            os.environ.pop(BATCH_SIM_ENV_VAR, None)
+            os.environ.pop(var, None)
         else:
-            os.environ[BATCH_SIM_ENV_VAR] = saved
+            os.environ[var] = saved
+
+
+def _batch_sim(enabled: bool):
+    """Temporarily force the batch-simulation layer on or off."""
+    return _env(BATCH_SIM_ENV_VAR, "1" if enabled else "0")
 
 
 def _bench_cycle_kernel(n_uops: int = 20000) -> dict:
@@ -202,6 +208,71 @@ def _bench_batched(traces, cache_dir: Path) -> dict:
     }
 
 
+def _payload_counters(stage: str) -> tuple[int, int]:
+    return (EXEC_STATS.count(f"{stage}.payload_bytes"),
+            EXEC_STATS.count(f"{stage}.payload_tasks"))
+
+
+def _bench_arena(traces, workers: int = 2, repeats: int = 3) -> dict:
+    """Arena vs pickled dispatch, and warm-pool vs pool-per-call.
+
+    Both comparisons run the same process-backend deployment; only the
+    arena kill-switch / pool persistence differ, and both variants are
+    asserted bit-identical before any number is reported. Payload
+    bytes per task come from the engine's own sampling counters
+    (``adaptive_prepare.payload_bytes`` / ``.payload_tasks``).
+    """
+    predictor = _predictor()
+    stage = "adaptive_prepare"
+
+    def _deploy(arena_on: bool, persistent: bool):
+        with _env(EXEC_ARENA_ENV_VAR, "1" if arena_on else "0"):
+            pmap = ParallelMap("process", n_workers=workers,
+                               persistent=persistent)
+            return _timed(lambda: evaluate_predictor(
+                predictor, traces, collector=TelemetryCollector(),
+                pmap=pmap))
+
+    bytes0, tasks0 = _payload_counters(stage)
+    _, pickled_suite = _deploy(False, True)
+    bytes1, tasks1 = _payload_counters(stage)
+    _, arena_suite = _deploy(True, True)
+    bytes2, tasks2 = _payload_counters(stage)
+    assert pickled_suite.mean_ppw_gain == arena_suite.mean_ppw_gain, \
+        "arena-backed run diverged from pickled dispatch"
+    pickled_bpt = (bytes1 - bytes0) / max(1, tasks1 - tasks0)
+    arena_bpt = (bytes2 - bytes1) / max(1, tasks2 - tasks1)
+    ratio = pickled_bpt / arena_bpt if arena_bpt > 0 else float("inf")
+    print(f"task payload: pickled {pickled_bpt:.0f} B/task, "
+          f"arena {arena_bpt:.0f} B/task ({ratio:.1f}x smaller)")
+
+    def _repeated(persistent: bool) -> float:
+        close_pools()  # start both variants pool-cold
+        total = 0.0
+        for _ in range(repeats):
+            elapsed, _suite = _deploy(True, persistent)
+            total += elapsed
+        return total
+
+    fresh_s = _repeated(False)
+    warm_s = _repeated(True)
+    close_pools()
+    reuse_speedup = fresh_s / warm_s if warm_s > 0 else float("inf")
+    print(f"pool lifecycle ({repeats} deployments): fresh pools "
+          f"{fresh_s:.3f}s, persistent pool {warm_s:.3f}s "
+          f"({reuse_speedup:.2f}x)")
+    return {
+        "workers": workers,
+        "payload_pickled_bytes_per_task": round(pickled_bpt, 1),
+        "payload_arena_bytes_per_task": round(arena_bpt, 1),
+        "payload_reduction": round(ratio, 2),
+        "pool_fresh_s": round(fresh_s, 4),
+        "pool_persistent_s": round(warm_s, 4),
+        "pool_reuse_speedup": round(reuse_speedup, 3),
+        "repeats": repeats,
+    }
+
+
 def run(workers: int = 4, n_apps: int = 8, workloads_per_app: int = 3,
         intervals: int = 240,
         output: Path | None = None) -> dict:
@@ -265,6 +336,7 @@ def run(workers: int = 4, n_apps: int = 8, workloads_per_app: int = 3,
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
+    arena = _bench_arena(traces, workers=min(2, workers))
     kernel = _bench_cycle_kernel()
 
     payload = {
@@ -292,6 +364,7 @@ def run(workers: int = 4, n_apps: int = 8, workloads_per_app: int = 3,
             "dataset_speedup": round(ds_speedup, 3),
         },
         "batched": batched,
+        "arena": arena,
         "cycle_kernel": kernel,
         "exec_stats": EXEC_STATS.snapshot(),
     }
@@ -314,6 +387,7 @@ def run_quick(n_apps: int = 3, workloads_per_app: int = 2,
         batched = _bench_batched(traces, cache_dir)
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
+    arena = _bench_arena(traces, workers=2, repeats=2)
     kernel = _bench_cycle_kernel(n_uops=12000)
     failures = []
     if batched["evaluate_speedup"] < 1.0:
@@ -324,6 +398,12 @@ def run_quick(n_apps: int = 3, workloads_per_app: int = 2,
         failures.append(
             f"warm build_mode_dataset: batched slower than scalar "
             f"({batched['dataset_speedup']:.2f}x)")
+    if (arena["payload_arena_bytes_per_task"]
+            >= arena["payload_pickled_bytes_per_task"]):
+        failures.append(
+            f"arena dispatch ships more payload than pickled baseline "
+            f"({arena['payload_arena_bytes_per_task']:.0f} vs "
+            f"{arena['payload_pickled_bytes_per_task']:.0f} B/task)")
     if kernel["speedup"] < 1.0:
         failures.append(
             f"cycle kernel: soa slower than reference "

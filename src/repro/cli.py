@@ -29,15 +29,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=None,
                         help="experiment seed (default: REPRO_SEED or 7)")
     parser.add_argument("--exec-backend", default=None,
-                        choices=["serial", "thread", "process"],
-                        help="execution backend for dataset-scale fan-out "
-                             "(default: REPRO_EXEC_BACKEND or serial)")
+                        choices=["serial", "thread", "process", "auto"],
+                        help="execution backend for dataset-scale fan-out; "
+                             "'auto' probes and only fans out when workers "
+                             "would win (default: REPRO_EXEC_BACKEND or "
+                             "serial)")
     parser.add_argument("--exec-workers", type=int, default=None,
                         help="worker count for parallel backends "
                              "(default: REPRO_EXEC_WORKERS or CPU count)")
+    parser.add_argument("--exec-arena", type=int, default=None,
+                        choices=[0, 1],
+                        help="ship trace corpora to process workers via a "
+                             "zero-copy memory-mapped arena (default: "
+                             "REPRO_EXEC_ARENA or 1)")
+    parser.add_argument("--exec-chunk", type=int, default=None,
+                        help="fixed items per parallel task (default: "
+                             "REPRO_EXEC_CHUNK, or adaptive from per-item "
+                             "cost)")
     parser.add_argument("--exec-report", action="store_true",
-                        help="print stage timings, cache hit rates and "
-                             "worker utilisation at exit")
+                        help="print stage timings, cache hit rates, payload "
+                             "bytes and worker utilisation at exit")
 
 
 def _seed(args: argparse.Namespace) -> int:
@@ -208,9 +219,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.exec_backend is not None or args.exec_workers is not None:
+    if args.exec_arena is not None:
+        import os
+        from repro.config import EXEC_ARENA_ENV_VAR
+        os.environ[EXEC_ARENA_ENV_VAR] = str(args.exec_arena)
+    if (args.exec_backend is not None or args.exec_workers is not None
+            or args.exec_chunk is not None):
         from repro.exec import configure
-        configure(backend=args.exec_backend, n_workers=args.exec_workers)
+        configure(backend=args.exec_backend, n_workers=args.exec_workers,
+                  chunk_size=args.exec_chunk)
     status = args.func(args)
     if args.exec_report:
         from repro.exec import EXEC_STATS

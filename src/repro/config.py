@@ -58,6 +58,24 @@ CYCLE_KERNELS = ("soa", "reference")
 #: (trace, mode) paths exactly as they existed before the batch layer.
 BATCH_SIM_ENV_VAR = "REPRO_BATCH_SIM"
 
+#: Environment variable gating the zero-copy trace arena: ``1``
+#: (default) lets process-backend fan-outs pack the trace corpus into a
+#: memory-mapped segment that workers attach to by path, shrinking task
+#: payloads to index lists; ``0`` ships full objects per task exactly
+#: as before the arena existed.
+EXEC_ARENA_ENV_VAR = "REPRO_EXEC_ARENA"
+
+#: Environment variable forcing a fixed ParallelMap chunk size. Unset
+#: (the default) selects the adaptive heuristic: chunks sized from the
+#: stage's observed per-item cost, falling back to ~4 chunks/worker.
+EXEC_CHUNK_ENV_VAR = "REPRO_EXEC_CHUNK"
+
+#: Environment variable selecting worker-pool lifetime: ``persistent``
+#: (default) keeps one warm pool per (backend, n_workers) for the life
+#: of the process; ``fresh`` recreates a pool per map call (the
+#: pre-arena behaviour, useful for benchmarking pool-churn cost).
+EXEC_POOL_ENV_VAR = "REPRO_EXEC_POOL"
+
 
 def experiment_scale() -> float:
     """Return the dataset scale factor from ``REPRO_SCALE`` (default 1.0)."""
@@ -108,6 +126,43 @@ def batch_sim_enabled() -> bool:
             f"{BATCH_SIM_ENV_VAR} must be '0' or '1', got {value!r}"
         )
     return value == "1"
+
+
+def exec_arena_enabled() -> bool:
+    """Whether the zero-copy trace arena is on (``REPRO_EXEC_ARENA``)."""
+    value = os.environ.get(EXEC_ARENA_ENV_VAR, "1")
+    if value not in ("0", "1"):
+        raise ValueError(
+            f"{EXEC_ARENA_ENV_VAR} must be '0' or '1', got {value!r}"
+        )
+    return value == "1"
+
+
+def exec_chunk_size() -> int | None:
+    """Fixed chunk size from ``REPRO_EXEC_CHUNK``, or None for adaptive."""
+    raw = os.environ.get(EXEC_CHUNK_ENV_VAR)
+    if raw is None or raw == "":
+        return None
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{EXEC_CHUNK_ENV_VAR} must be an int, got {raw!r}"
+        ) from exc
+    if value < 1:
+        raise ValueError(f"{EXEC_CHUNK_ENV_VAR} must be >= 1, got {value}")
+    return value
+
+
+def exec_pool_persistent() -> bool:
+    """Whether worker pools persist across map calls (``REPRO_EXEC_POOL``)."""
+    value = os.environ.get(EXEC_POOL_ENV_VAR, "persistent")
+    if value not in ("persistent", "fresh"):
+        raise ValueError(
+            f"{EXEC_POOL_ENV_VAR} must be 'persistent' or 'fresh', "
+            f"got {value!r}"
+        )
+    return value == "persistent"
 
 
 def experiment_seed() -> int:

@@ -12,16 +12,19 @@ performance baseline, and prediction/ground-truth pairs for PGOS/RSV.
 from __future__ import annotations
 
 import dataclasses
+import functools
+import pickle
 
 import numpy as np
 
 from repro.config import DEFAULT_SLA, MachineConfig, SLAConfig
-from repro.config import batch_sim_enabled
+from repro.config import batch_sim_enabled, exec_arena_enabled
 from repro.core.gating import GatingController
 from repro.core.labels import LabelSet, gating_labels
 from repro.core.predictor import DualModePredictor
 from repro.core.sla import SLAAccounting, sla_window_violations
 from repro.errors import DatasetError
+from repro.exec.arena import TraceArena
 from repro.exec.parallel import ParallelMap, default_parallel_map
 from repro.exec.stats import EXEC_STATS
 from repro.telemetry.collector import TelemetryCollector, coarsen
@@ -77,6 +80,19 @@ class AdaptiveRunResult:
         """System-level windowed SLA measurement for this run."""
         return sla_window_violations(self.cycles, self.cycles_baseline,
                                      window_intervals, performance_floor)
+
+
+def _arena_prepare_chunk(handle: str, indices: list[int]):
+    """Worker-side prepare: attach to the arena, rebuild, prepare.
+
+    Module-level so process pools can pickle it; the task payload is
+    just ``(handle, indices)`` — the traces, the CPU (predictor,
+    collector, machine) and the power model all travel once via the
+    arena instead of once per chunk.
+    """
+    arena = TraceArena.attach(handle)
+    cpu = arena.object("cpu")
+    return cpu._prepare_chunk([arena.trace(i) for i in indices])
 
 
 @dataclasses.dataclass(frozen=True)
@@ -227,29 +243,26 @@ class AdaptiveCPU:
 
         When the batch-simulation layer is on (``REPRO_BATCH_SIM``),
         per-trace preparation fans out in whole chunks (stacked
-        interval simulation per chunk) and inference runs as one
-        ``predict_proba`` call per (mode, model) over the feature
-        windows of the *entire corpus*, concatenated in the parent —
-        so the inference batch is independent of backend and chunking,
-        keeping every backend bit-identical. Subclasses that override
+        interval simulation per chunk; process backends ship the
+        corpus once via a :class:`~repro.exec.arena.TraceArena` when
+        ``REPRO_EXEC_ARENA=1``) and inference runs as one
+        ``predict_proba`` call per distinct *model* over the feature
+        windows of the *entire corpus* — all modes sharing an
+        estimator are scored in a single concatenated call. The
+        inference batch is independent of backend and chunking, so
+        every backend stays bit-identical. Subclasses that override
         :meth:`run` keep their per-trace semantics and skip the
         batched path.
         """
         pmap = pmap if pmap is not None else default_parallel_map()
         if not (batch_sim_enabled() and type(self).run is AdaptiveCPU.run):
             return pmap.map(self.run, traces, stage="adaptive_run")
-        preps = pmap.map_chunks(self._prepare_chunk, traces,
-                                stage="adaptive_prepare")
+        preps = self._prepare_many(traces, pmap)
         if not preps:
             return []
         with EXEC_STATS.stage("adaptive_infer"):
             bounds = np.cumsum([0] + [prep.t_count for prep in preps])
-            probs_by_mode = {}
-            for mode in Mode:
-                stacked = np.concatenate(
-                    [prep.features[mode] for prep in preps], axis=0)
-                probs_by_mode[mode] = self.predictor.predict_proba(
-                    stacked, mode)
+            probs_by_mode = self._infer_many(preps)
         with EXEC_STATS.stage("adaptive_finalize"):
             out = []
             for p, prep in enumerate(preps):
@@ -257,3 +270,68 @@ class AdaptiveCPU:
                 probs = {mode: probs_by_mode[mode][lo:hi] for mode in Mode}
                 out.append(self._finalize(prep, probs))
         return out
+
+    def _prepare_many(self, traces: list[TraceSpec],
+                      pmap: ParallelMap) -> list[_PreparedRun]:
+        """Fan preparation out, via the trace arena when it pays.
+
+        The arena is built only when dispatch will actually cross a
+        process boundary (``REPRO_EXEC_ARENA=1`` and a process/auto
+        backend on a multi-item corpus): workers then receive
+        ``(handle, indices)`` and attach to the shared mapping instead
+        of unpickling the CPU and traces per chunk. Any failure to
+        package (an unpicklable collaborator) falls back to the plain
+        per-chunk path, which has its own serial fallback — results
+        are bit-identical either way.
+        """
+        arena = None
+        if (exec_arena_enabled() and len(traces) > 1
+                and pmap.uses_processes(len(traces), "adaptive_prepare")):
+            try:
+                arena = TraceArena.build(
+                    traces, objects={"cpu": self}, machine=self.machine)
+            except (pickle.PicklingError, AttributeError, TypeError):
+                EXEC_STATS.incr("arena.build_fallback")
+        if arena is None:
+            return pmap.map_chunks(self._prepare_chunk, traces,
+                                   stage="adaptive_prepare")
+        try:
+            fn = functools.partial(_arena_prepare_chunk, arena.handle)
+            return pmap.map_chunks(fn, range(len(traces)),
+                                   stage="adaptive_prepare")
+        finally:
+            arena.close()
+
+    def _infer_many(self, preps: list[_PreparedRun],
+                    ) -> dict[Mode, np.ndarray]:
+        """One ``predict_proba`` per distinct *model* over all modes.
+
+        Modes that share an estimator (single-model predictors, Table-6
+        blends reusing a forest) are concatenated into one feature
+        block and scored in a single call; modes with their own model
+        keep one call each. Row-wise inference is order-independent,
+        so slicing the stacked result back out is bit-identical to
+        per-mode calls.
+        """
+        probs_by_mode: dict[Mode, np.ndarray] = {}
+        groups: dict[int, list[Mode]] = {}
+        for mode in Mode:
+            key = id(self.predictor.model_for(mode))
+            groups.setdefault(key, []).append(mode)
+        for modes in groups.values():
+            blocks = [
+                np.concatenate([prep.features[mode] for prep in preps],
+                               axis=0)
+                for mode in modes
+            ]
+            EXEC_STATS.incr("adaptive_infer.model_calls")
+            if len(modes) == 1:
+                probs_by_mode[modes[0]] = self.predictor.predict_proba(
+                    blocks[0], modes[0])
+                continue
+            stacked = np.concatenate(blocks, axis=0)
+            probs = self.predictor.predict_proba(stacked, modes[0])
+            rows = blocks[0].shape[0]
+            for k, mode in enumerate(modes):
+                probs_by_mode[mode] = probs[k * rows:(k + 1) * rows]
+        return probs_by_mode

@@ -11,17 +11,21 @@ microcontroller and computing the prediction (Figure 3).
 from __future__ import annotations
 
 import functools
+import pickle
 
 import numpy as np
 
 from repro import rng as rng_mod
 from repro.config import BASE_INTERVAL_INSTRUCTIONS, DEFAULT_SLA, SLAConfig
-from repro.config import batch_sim_enabled, experiment_scale
+from repro.config import batch_sim_enabled, exec_arena_enabled
+from repro.config import experiment_scale
 from repro.core.labels import gating_labels
 from repro.data.dataset import GatingDataset, concat_datasets
 from repro.errors import DatasetError
+from repro.exec.arena import TraceArena
 from repro.exec.parallel import ParallelMap, default_parallel_map
 from repro.exec.simcache import SimCache, default_simcache
+from repro.exec.stats import EXEC_STATS
 from repro.telemetry.collector import TelemetryCollector, coarsen
 from repro.uarch.modes import Mode
 from repro.workloads.categories import hdtr_corpus
@@ -111,6 +115,31 @@ def _build_trace_chunk(traces: list[TraceSpec], part_fn, mode: Mode,
     return [part_fn(trace) for trace in traces]
 
 
+def _arena_build_chunk(handle: str, indices: list[int], *, mode: Mode,
+                       counter_ids: np.ndarray, sla: SLAConfig,
+                       granularity_factor: int,
+                       horizon: int) -> list[GatingDataset]:
+    """Worker-side build: attach to the arena, rebuild, assemble.
+
+    Module-level so process pools can pickle it; the collector (which
+    drags the interval model and counter catalog) and the traces ride
+    in the arena, so the per-task payload is ``(handle, indices)``
+    plus the small scalar knobs in this partial.
+    """
+    arena = TraceArena.attach(handle)
+    collector = arena.object("collector")
+    traces = [arena.trace(i) for i in indices]
+    part_fn = functools.partial(_build_trace_part, mode=mode,
+                                counter_ids=counter_ids, sla=sla,
+                                collector=collector,
+                                granularity_factor=granularity_factor,
+                                horizon=horizon)
+    return _build_trace_chunk(traces, part_fn=part_fn, mode=mode,
+                              counter_ids=counter_ids, sla=sla,
+                              collector=collector,
+                              granularity_factor=granularity_factor)
+
+
 def build_mode_dataset(traces: list[TraceSpec], mode: Mode,
                        counter_ids: list[int] | np.ndarray,
                        sla: SLAConfig = DEFAULT_SLA,
@@ -159,13 +188,34 @@ def build_mode_dataset(traces: list[TraceSpec], mode: Mode,
     if batch_sim_enabled():
         # Whole chunks reach each worker, so the interval simulations
         # of a chunk run as one stacked batch pass before the per-trace
-        # assembly (which then hits the warm LRU).
-        parts = pmap.map_chunks(
-            functools.partial(_build_trace_chunk, part_fn=part_fn,
-                              mode=mode, counter_ids=counter_ids,
-                              sla=sla, collector=collector,
-                              granularity_factor=granularity_factor),
-            traces, stage="build_dataset")
+        # assembly (which then hits the warm LRU). Process dispatch
+        # ships the corpus and collector once via the trace arena.
+        arena = None
+        if (exec_arena_enabled() and len(traces) > 1
+                and pmap.uses_processes(len(traces), "build_dataset")):
+            try:
+                arena = TraceArena.build(
+                    traces, objects={"collector": collector})
+            except (pickle.PicklingError, AttributeError, TypeError):
+                EXEC_STATS.incr("arena.build_fallback")
+        if arena is not None:
+            try:
+                parts = pmap.map_chunks(
+                    functools.partial(
+                        _arena_build_chunk, arena.handle, mode=mode,
+                        counter_ids=counter_ids, sla=sla,
+                        granularity_factor=granularity_factor,
+                        horizon=horizon),
+                    range(len(traces)), stage="build_dataset")
+            finally:
+                arena.close()
+        else:
+            parts = pmap.map_chunks(
+                functools.partial(_build_trace_chunk, part_fn=part_fn,
+                                  mode=mode, counter_ids=counter_ids,
+                                  sla=sla, collector=collector,
+                                  granularity_factor=granularity_factor),
+                traces, stage="build_dataset")
     else:
         parts = pmap.map(part_fn, traces, stage="build_dataset")
     dataset = concat_datasets(parts)

@@ -131,8 +131,10 @@ def evaluate_predictor(predictor: DualModePredictor,
     ``window`` is the RSV window in predictions; by default it is the
     scaled Eq.-2 window for the predictor's gating granularity.
     ``pmap`` selects the execution backend for the per-trace closed
-    loops (serial unless configured); suite metrics are bit-identical
-    across backends.
+    loops (serial unless configured); process backends ship the corpus
+    once via the :class:`~repro.exec.arena.TraceArena` when
+    ``REPRO_EXEC_ARENA=1``. Suite metrics are bit-identical across
+    backends and arena settings.
     """
     if not traces:
         raise DatasetError("no traces to evaluate")

@@ -1,24 +1,32 @@
 """Shared execution engine for dataset-scale paths.
 
-Three pieces, used together by every loop that fans out over traces,
+Four pieces, used together by every loop that fans out over traces,
 configurations or folds:
 
-* :class:`~repro.exec.parallel.ParallelMap` — serial/thread/process
-  backends behind one ordered, chunked, deterministic ``map``;
+* :class:`~repro.exec.parallel.ParallelMap` — serial/thread/process/
+  ``auto`` backends behind one ordered, chunked, deterministic
+  ``map``, with persistent warm worker pools and adaptive chunk
+  sizing;
+* :class:`~repro.exec.arena.TraceArena` — a memory-mapped, zero-copy
+  package of a trace corpus (plus shared objects and bulk arrays)
+  that process-pool workers attach to by handle, shrinking task
+  payloads to index lists;
 * :class:`~repro.exec.simcache.SimCache` — a content-addressed on-disk
   cache of simulation outputs and built feature matrices;
 * :data:`~repro.exec.stats.EXEC_STATS` — process-wide stage timings,
-  cache hit/miss counts and worker utilisation, printed by the CLI's
-  ``--exec-report`` flag.
+  cache hit/miss counts, payload bytes and worker utilisation,
+  printed by the CLI's ``--exec-report`` flag.
 
 The invariant the engine guarantees (and the tier-1 suite enforces):
-for any seed, parallel and cached runs produce bit-identical results
-to the serial uncached path.
+for any seed, parallel, cached and arena-backed runs produce
+bit-identical results to the serial uncached path.
 """
 
+from repro.exec.arena import TraceArena, detach_all
 from repro.exec.parallel import (
     BACKENDS,
     ParallelMap,
+    close_pools,
     configure,
     default_parallel_map,
     reset_default,
@@ -32,8 +40,11 @@ __all__ = [
     "ExecStats",
     "ParallelMap",
     "SimCache",
+    "TraceArena",
+    "close_pools",
     "configure",
     "default_parallel_map",
     "default_simcache",
+    "detach_all",
     "reset_default",
 ]

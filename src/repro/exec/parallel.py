@@ -1,18 +1,31 @@
 """Deterministic parallel fan-out.
 
 :class:`ParallelMap` is the one abstraction every dataset-scale path
-uses to iterate over traces, configurations or folds. It offers three
-backends — ``serial``, ``thread`` and ``process`` — behind a single
-``map`` call that always returns results in input order, so a parallel
-run is bit-identical to a serial one for any workload whose items are
-independent and internally seeded (everything in this repo is; see
-:mod:`repro.rng`).
+uses to iterate over traces, configurations or folds. It offers four
+backends — ``serial``, ``thread``, ``process`` and ``auto`` — behind a
+single ``map`` call that always returns results in input order, so a
+parallel run is bit-identical to a serial one for any workload whose
+items are independent and internally seeded (everything in this repo
+is; see :mod:`repro.rng`).
 
 Design points:
 
 * **Chunked dispatch** — items are grouped into contiguous chunks to
   amortise task submission and pickling overhead; chunk results are
-  reassembled by index, never by completion order.
+  reassembled by index, never by completion order. Chunk size is
+  adaptive: when :data:`~repro.exec.stats.EXEC_STATS` has seen the
+  stage before, chunks are sized from the observed per-item cost to
+  hit a target task duration; otherwise ~4 chunks per worker.
+* **Persistent pools** — worker pools are created lazily, keyed by
+  ``(backend, n_workers)``, and reused across ``map``/``map_chunks``
+  calls and across stages, so fork/spawn cost is paid once per
+  process instead of once per call. :func:`close_pools` (registered
+  ``atexit``) shuts them down; ``REPRO_EXEC_POOL=fresh`` restores the
+  pool-per-call behaviour for comparison.
+* **Adaptive dispatch** — the ``auto`` backend measures a one-item
+  probe (or reuses the stage's cost history) and only pays for a
+  process pool when the remaining work would amortise it; tiny
+  corpora and 1-CPU containers stay serial.
 * **Worker-side RNG seeding** — when a ``seed`` is given, the global
   NumPy RNG is re-seeded *per item* from ``derive_seed(seed, index)``
   before the item runs, so any stray use of the global generator is
@@ -21,23 +34,30 @@ Design points:
   resource limits) or the payload cannot be pickled, the map silently
   re-runs serially and records ``parallel.fallback_serial`` in
   :data:`~repro.exec.stats.EXEC_STATS` instead of crashing the run.
+  Maps that run *inside* a process-pool worker always resolve to
+  serial, so nested fan-outs (model training inside a hyperscreen
+  cell) cannot recursively spawn pools.
 
 Defaults come from the environment so existing entry points pick up
 parallelism without signature changes: ``REPRO_EXEC_BACKEND`` selects
-the backend (default ``serial``) and ``REPRO_EXEC_WORKERS`` the worker
-count (default: CPU count).
+the backend (default ``serial``), ``REPRO_EXEC_WORKERS`` the worker
+count (default: CPU count), ``REPRO_EXEC_CHUNK`` pins the chunk size,
+and ``REPRO_EXEC_POOL`` picks persistent vs fresh pools.
 """
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures
 import os
 import pickle
+import threading
 import time
 from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro import config as config_mod
 from repro import rng as rng_mod
 from repro.errors import ConfigurationError
 from repro.exec.stats import EXEC_STATS
@@ -48,8 +68,18 @@ BACKEND_ENV_VAR = "REPRO_EXEC_BACKEND"
 #: Environment variable selecting the default worker count.
 WORKERS_ENV_VAR = "REPRO_EXEC_WORKERS"
 
-#: Recognised backends, in increasing isolation order.
-BACKENDS = ("serial", "thread", "process")
+#: Recognised backends, in increasing isolation order; ``auto`` probes
+#: and picks between ``serial`` and ``process`` per call.
+BACKENDS = ("serial", "thread", "process", "auto")
+
+#: ``auto`` only fans out when the estimated total work for a map call
+#: is at least this many seconds — below it, pool submission overhead
+#: eats the win and serial execution is faster.
+AUTO_MIN_PARALLEL_S = 0.2
+
+#: Adaptive chunk sizing targets tasks of roughly this duration: long
+#: enough to amortise submission, short enough to balance load.
+TARGET_CHUNK_S = 0.05
 
 #: Exceptions that mean "the pool/payload is unusable", not "the task
 #: failed": these trigger the serial fallback. Genuine task errors
@@ -62,6 +92,65 @@ _FALLBACK_ERRORS = (
     ImportError,
     OSError,
 )
+
+#: Set in process-pool workers (via the pool initializer) so maps that
+#: run inside a worker stay serial instead of forking grandchildren.
+_IN_WORKER = False
+
+
+def _pool_worker_init() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+# ---------------------------------------------------------------------
+# Persistent pools.
+# ---------------------------------------------------------------------
+_POOLS: dict[tuple[str, int], concurrent.futures.Executor] = {}
+_POOL_LOCK = threading.Lock()
+
+
+def _get_pool(backend: str,
+              n_workers: int) -> concurrent.futures.Executor:
+    """The process-wide warm pool for (backend, n_workers)."""
+    key = (backend, n_workers)
+    with _POOL_LOCK:
+        pool = _POOLS.get(key)
+        if pool is not None:
+            EXEC_STATS.incr("parallel.pool_reuse")
+            return pool
+        start = time.perf_counter()
+        if backend == "thread":
+            pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=n_workers)
+        else:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=n_workers, initializer=_pool_worker_init)
+        _POOLS[key] = pool
+        EXEC_STATS.incr("parallel.pool_create")
+        EXEC_STATS.add_time("pool_create", time.perf_counter() - start)
+        return pool
+
+
+def _discard_pool(backend: str, n_workers: int,
+                  pool: concurrent.futures.Executor) -> None:
+    """Forget a broken pool so the next call builds a fresh one."""
+    with _POOL_LOCK:
+        if _POOLS.get((backend, n_workers)) is pool:
+            del _POOLS[(backend, n_workers)]
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def close_pools() -> None:
+    """Shut down every persistent pool (atexit, tests, benchmarks)."""
+    with _POOL_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(close_pools)
 
 
 def _run_chunk(fn: Callable, indexed: Sequence[tuple[int, object]],
@@ -94,7 +183,8 @@ class ParallelMap:
     def __init__(self, backend: str | None = None,
                  n_workers: int | None = None,
                  chunk_size: int | None = None,
-                 seed: int | None = None) -> None:
+                 seed: int | None = None,
+                 persistent: bool | None = None) -> None:
         if backend is None:
             backend = os.environ.get(BACKEND_ENV_VAR, "serial")
         if backend not in BACKENDS:
@@ -117,16 +207,99 @@ class ParallelMap:
         self.n_workers = n_workers
         self.chunk_size = chunk_size
         self.seed = seed
+        self.persistent = persistent
 
     # ------------------------------------------------------------------
-    def _chunks(self, indexed: list[tuple[int, object]],
+    # Adaptive dispatch.
+    # ------------------------------------------------------------------
+    def _resolve_backend(self, n_items: int, stage: str) -> str:
+        """Concrete backend for one call: a name, or ``probe``.
+
+        ``probe`` means "auto, with no cost history": the caller runs
+        the first item serially, times it, and finishes with
+        :meth:`_decide_from_probe`.
+        """
+        if _IN_WORKER:
+            return "serial"
+        if self.backend != "auto":
+            return self.backend
+        if (n_items <= 1 or self.n_workers <= 1
+                or (os.cpu_count() or 1) <= 1):
+            return "serial"
+        cost = EXEC_STATS.per_item_cost(stage)
+        if cost is None:
+            return "probe"
+        return "process" if cost * n_items >= AUTO_MIN_PARALLEL_S \
+            else "serial"
+
+    @staticmethod
+    def _decide_from_probe(probe_s: float, n_rest: int) -> str:
+        return "process" if probe_s * n_rest >= AUTO_MIN_PARALLEL_S \
+            else "serial"
+
+    def uses_processes(self, n_items: int, stage: str) -> bool:
+        """Would a map of ``n_items`` under ``stage`` cross the IPC
+        boundary? Callers use this to decide whether building a
+        :class:`~repro.exec.arena.TraceArena` is worth it. ``probe``
+        counts: the probe may escalate to a process pool."""
+        return self._resolve_backend(n_items, stage) in ("process", "probe")
+
+    def _persistent(self) -> bool:
+        if self.persistent is not None:
+            return self.persistent
+        return config_mod.exec_pool_persistent()
+
+    def _acquire_pool(self, backend: str) -> concurrent.futures.Executor:
+        if self._persistent():
+            return _get_pool(backend, self.n_workers)
+        if backend == "thread":
+            return concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.n_workers)
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.n_workers, initializer=_pool_worker_init)
+
+    def _release_pool(self, backend: str,
+                      pool: concurrent.futures.Executor,
+                      broken: bool) -> None:
+        if not self._persistent():
+            pool.shutdown(wait=True, cancel_futures=broken)
+        elif broken:
+            _discard_pool(backend, self.n_workers, pool)
+
+    @staticmethod
+    def _sample_payload(stage: str, task: tuple, n_tasks: int) -> None:
+        """Record the pickled size of one representative task.
+
+        ``<stage>.payload_bytes / <stage>.payload_tasks`` then reads as
+        bytes shipped per task — the quantity the arena exists to
+        shrink. Sampling one task per call keeps the cost negligible;
+        chunks within a call are near-identical in shape. Raises the
+        pickling error for unpicklable payloads, which the caller
+        treats like any submission failure (serial fallback).
+        """
+        blob = pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+        EXEC_STATS.incr(f"{stage}.payload_bytes", len(blob))
+        EXEC_STATS.incr(f"{stage}.payload_tasks", 1)
+        EXEC_STATS.incr(f"{stage}.payload_tasks_total", n_tasks)
+
+    # ------------------------------------------------------------------
+    def _chunks(self, indexed: list[tuple[int, object]], stage: str,
                 ) -> list[list[tuple[int, object]]]:
         """Contiguous chunks sized to keep every worker busy."""
         size = self.chunk_size
         if size is None:
-            # ~4 chunks per worker balances load without drowning the
-            # queue in per-item submissions.
-            size = max(1, -(-len(indexed) // (self.n_workers * 4)))
+            size = config_mod.exec_chunk_size()
+        if size is None:
+            cost = EXEC_STATS.per_item_cost(stage)
+            if cost is not None and cost > 0.0:
+                # Target ~TARGET_CHUNK_S of work per task, but never
+                # fewer chunks than workers.
+                per_worker = -(-len(indexed) // self.n_workers)
+                size = max(1, min(int(TARGET_CHUNK_S / cost), per_worker))
+            else:
+                # ~4 chunks per worker balances load without drowning
+                # the queue in per-item submissions.
+                size = max(1, -(-len(indexed) // (self.n_workers * 4)))
         return [indexed[i:i + size] for i in range(0, len(indexed), size)]
 
     def _map_serial(self, fn: Callable,
@@ -135,14 +308,15 @@ class ParallelMap:
         return results
 
     def _map_pool(self, fn: Callable, indexed: list[tuple[int, object]],
-                  ) -> tuple[list, float]:
-        """Fan a chunked map out over a pool; returns (results, busy_s)."""
-        if self.backend == "thread":
-            executor_cls = concurrent.futures.ThreadPoolExecutor
-        else:
-            executor_cls = concurrent.futures.ProcessPoolExecutor
-        chunks = self._chunks(indexed)
-        with executor_cls(max_workers=self.n_workers) as pool:
+                  backend: str, stage: str) -> tuple[list, float, int]:
+        """Fan a chunked map over a pool; (results, busy_s, workers)."""
+        chunks = self._chunks(indexed, stage)
+        if backend == "process":
+            self._sample_payload(stage, (fn, chunks[0], self.seed),
+                                 len(chunks))
+        pool = self._acquire_pool(backend)
+        broken = False
+        try:
             futures = [pool.submit(_run_chunk, fn, chunk, self.seed)
                        for chunk in chunks]
             results: list = [None] * len(indexed)
@@ -153,7 +327,12 @@ class ParallelMap:
                 busy += chunk_busy
                 results[cursor:cursor + len(chunk)] = chunk_results
                 cursor += len(chunk)
-        return results, busy
+        except concurrent.futures.BrokenExecutor:
+            broken = True
+            raise
+        finally:
+            self._release_pool(backend, pool, broken)
+        return results, busy, min(self.n_workers, len(chunks))
 
     def map(self, fn: Callable, items: Iterable,
             stage: str = "parallel_map") -> list:
@@ -165,22 +344,37 @@ class ParallelMap:
         indexed = list(enumerate(items))
         start = time.perf_counter()
         effective_workers = 1
-        if (self.backend == "serial" or self.n_workers <= 1
+        backend = self._resolve_backend(len(indexed), stage)
+        results: list = []
+        busy = 0.0
+        if backend == "probe":
+            probe_results, probe_busy = _run_chunk(
+                fn, indexed[:1], self.seed)
+            results.extend(probe_results)
+            busy += probe_busy
+            indexed = indexed[1:]
+            backend = self._decide_from_probe(probe_busy, len(indexed))
+            EXEC_STATS.incr("parallel.auto_probe")
+        if (backend == "serial" or self.n_workers <= 1
                 or len(indexed) <= 1):
-            results = self._map_serial(fn, indexed)
-            busy = time.perf_counter() - start
+            rest, rest_busy = _run_chunk(fn, indexed, self.seed)
+            results.extend(rest)
+            busy += rest_busy
         else:
             try:
-                results, busy = self._map_pool(fn, indexed)
-                effective_workers = min(self.n_workers, len(indexed))
+                rest, rest_busy, effective_workers = self._map_pool(
+                    fn, indexed, backend, stage)
+                results.extend(rest)
+                busy += rest_busy
             except _FALLBACK_ERRORS:
                 EXEC_STATS.incr("parallel.fallback_serial")
                 serial_start = time.perf_counter()
-                results = self._map_serial(fn, indexed)
-                busy = time.perf_counter() - serial_start
+                rest, _ = _run_chunk(fn, indexed, self.seed)
+                results.extend(rest)
+                busy += time.perf_counter() - serial_start
         EXEC_STATS.add_time(stage, time.perf_counter() - start, busy,
                             workers=effective_workers)
-        EXEC_STATS.incr(f"{stage}.items", len(indexed))
+        EXEC_STATS.incr(f"{stage}.items", len(results))
         return results
 
     def map_chunks(self, fn: Callable[[list], list], items: Iterable,
@@ -198,44 +392,67 @@ class ParallelMap:
         the whole item list is one chunk — maximum batching.
         """
         items = list(items)
+        n_items = len(items)
         start = time.perf_counter()
         effective_workers = 1
+        backend = self._resolve_backend(n_items, stage)
+        results: list = []
+        busy = 0.0
+        first_index = 0
+        if backend == "probe":
+            probe_results, probe_busy = _run_batch(
+                fn, 0, items[:1], self.seed)
+            results.extend(probe_results)
+            busy += probe_busy
+            items = items[1:]
+            first_index = 1
+            backend = self._decide_from_probe(probe_busy, len(items))
+            EXEC_STATS.incr("parallel.auto_probe")
         if not items:
-            results: list = []
-            busy = 0.0
-        elif (self.backend == "serial" or self.n_workers <= 1
+            pass
+        elif (backend == "serial" or self.n_workers <= 1
                 or len(items) <= 1):
-            results, busy = _run_batch(fn, 0, items, self.seed)
+            rest, rest_busy = _run_batch(fn, first_index, items, self.seed)
+            results.extend(rest)
+            busy += rest_busy
         else:
-            indexed = list(enumerate(items))
-            chunks = self._chunks(indexed)
+            indexed = [(first_index + i, item)
+                       for i, item in enumerate(items)]
             try:
-                results, busy = self._map_chunk_pool(fn, chunks)
-                effective_workers = min(self.n_workers, len(chunks))
+                rest, rest_busy, effective_workers = self._map_chunk_pool(
+                    fn, self._chunks(indexed, stage), stage)
+                results.extend(rest)
+                busy += rest_busy
             except _FALLBACK_ERRORS:
                 EXEC_STATS.incr("parallel.fallback_serial")
                 serial_start = time.perf_counter()
-                results, busy = _run_batch(fn, 0, items, self.seed)
-                busy = time.perf_counter() - serial_start
-        if len(results) != len(items):
+                rest, _ = _run_batch(fn, first_index, items, self.seed)
+                results.extend(rest)
+                busy += time.perf_counter() - serial_start
+        if len(results) != n_items:
             raise ConfigurationError(
                 f"map_chunks fn returned {len(results)} results for "
-                f"{len(items)} items"
+                f"{n_items} items"
             )
         EXEC_STATS.add_time(stage, time.perf_counter() - start, busy,
                             workers=effective_workers)
-        EXEC_STATS.incr(f"{stage}.items", len(items))
+        EXEC_STATS.incr(f"{stage}.items", n_items)
         return results
 
     def _map_chunk_pool(self, fn: Callable[[list], list],
                         chunks: list[list[tuple[int, object]]],
-                        ) -> tuple[list, float]:
-        """Fan whole chunks out to a pool; returns (results, busy_s)."""
-        if self.backend == "thread":
-            executor_cls = concurrent.futures.ThreadPoolExecutor
-        else:
-            executor_cls = concurrent.futures.ProcessPoolExecutor
-        with executor_cls(max_workers=self.n_workers) as pool:
+                        stage: str) -> tuple[list, float, int]:
+        """Fan whole chunks out to a pool; (results, busy_s, workers)."""
+        backend = "thread" if self.backend == "thread" else "process"
+        if backend == "process":
+            self._sample_payload(
+                stage,
+                (fn, chunks[0][0][0],
+                 [item for _, item in chunks[0]], self.seed),
+                len(chunks))
+        pool = self._acquire_pool(backend)
+        broken = False
+        try:
             futures = [
                 pool.submit(_run_batch, fn, chunk[0][0],
                             [item for _, item in chunk], self.seed)
@@ -247,7 +464,12 @@ class ParallelMap:
                 chunk_results, chunk_busy = future.result()
                 busy += chunk_busy
                 results.extend(chunk_results)
-        return results, busy
+        except concurrent.futures.BrokenExecutor:
+            broken = True
+            raise
+        finally:
+            self._release_pool(backend, pool, broken)
+        return results, busy, min(self.n_workers, len(chunks))
 
 
 #: Session-wide override installed by :func:`configure` (e.g. the CLI).
@@ -256,7 +478,8 @@ _DEFAULT: ParallelMap | None = None
 
 def configure(backend: str | None = None, n_workers: int | None = None,
               chunk_size: int | None = None,
-              seed: int | None = None) -> ParallelMap:
+              seed: int | None = None,
+              persistent: bool | None = None) -> ParallelMap:
     """Install the process-wide default :class:`ParallelMap`.
 
     Entry points that take a ``pmap`` argument fall back to this
@@ -266,7 +489,8 @@ def configure(backend: str | None = None, n_workers: int | None = None,
     """
     global _DEFAULT
     _DEFAULT = ParallelMap(backend=backend, n_workers=n_workers,
-                           chunk_size=chunk_size, seed=seed)
+                           chunk_size=chunk_size, seed=seed,
+                           persistent=persistent)
     return _DEFAULT
 
 

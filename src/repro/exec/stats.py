@@ -30,13 +30,24 @@ class StageStat:
     wall_s: float = 0.0
     busy_s: float = 0.0  # summed worker-side task time
     workers: int = 1  # widest pool observed for this stage
+    capacity_s: float = 0.0  # sum of per-call wall x effective workers
 
     @property
     def utilization(self) -> float:
-        """Fraction of ``workers x wall`` spent doing work."""
-        if self.wall_s <= 0.0 or self.workers <= 0:
+        """Fraction of available worker-seconds spent doing work.
+
+        Capacity is accumulated per call as ``wall x effective_workers``,
+        so a stage whose calls mix parallel fan-outs with serial
+        fallbacks is judged against the workers each call actually had —
+        not against the widest pool ever observed, which made serial
+        fallbacks look like 25% utilisation on a 4-worker pool.
+        """
+        capacity = self.capacity_s
+        if capacity <= 0.0:
+            capacity = self.wall_s * self.workers
+        if capacity <= 0.0:
             return 0.0
-        return self.busy_s / (self.wall_s * self.workers)
+        return self.busy_s / capacity
 
 
 class ExecStats:
@@ -59,6 +70,7 @@ class ExecStats:
             stat.wall_s += wall_s
             stat.busy_s += wall_s if busy_s is None else busy_s
             stat.workers = max(stat.workers, workers)
+            stat.capacity_s += wall_s * max(1, workers)
 
     @contextlib.contextmanager
     def stage(self, name: str):
@@ -79,6 +91,22 @@ class ExecStats:
         with self._lock:
             return self._counters.get(counter, 0)
 
+    def per_item_cost(self, stage: str) -> float | None:
+        """Observed busy seconds per item for a stage, if known.
+
+        Uses the ``<stage>.items`` counter that :class:`ParallelMap`
+        maintains alongside each stage timing; returns ``None`` until
+        the stage has run at least once. The adaptive dispatcher uses
+        this to size chunks and to decide whether a fan-out is worth a
+        pool at all.
+        """
+        with self._lock:
+            stat = self._stages.get(stage)
+            items = self._counters.get(f"{stage}.items", 0)
+        if stat is None or items <= 0 or stat.busy_s <= 0.0:
+            return None
+        return stat.busy_s / items
+
     def reset(self) -> None:
         """Clear all stages and counters (tests, bench reruns)."""
         with self._lock:
@@ -98,6 +126,7 @@ class ExecStats:
                         "wall_s": s.wall_s,
                         "busy_s": s.busy_s,
                         "workers": s.workers,
+                        "capacity_s": s.capacity_s,
                         "utilization": s.utilization,
                     }
                     for name, s in sorted(self._stages.items())

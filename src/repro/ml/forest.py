@@ -10,12 +10,44 @@ implements.
 
 from __future__ import annotations
 
+import functools
+import pickle
+
 import numpy as np
 
 from repro import rng as rng_mod
+from repro.config import exec_arena_enabled
 from repro.errors import ConfigurationError, NotFittedError
+from repro.exec.arena import TraceArena
+from repro.exec.parallel import default_parallel_map
+from repro.exec.stats import EXEC_STATS
 from repro.ml.base import Estimator, check_xy
 from repro.ml.tree import DecisionTreeClassifier
+
+
+def _fit_tree_task(task: tuple[np.ndarray, int], *, x: np.ndarray,
+                   y: np.ndarray, max_depth: int, min_samples_leaf: int,
+                   max_features) -> DecisionTreeClassifier:
+    """Grow one tree from pre-drawn bootstrap indices (parallel unit)."""
+    idx, tree_seed = task
+    tree = DecisionTreeClassifier(
+        max_depth=max_depth,
+        min_samples_leaf=min_samples_leaf,
+        max_features=max_features,
+        seed=tree_seed,
+    )
+    return tree.fit(x[idx], y[idx])
+
+
+def _arena_fit_tree(handle: str, t: int) -> DecisionTreeClassifier:
+    """Worker-side tree fit: x/y/indices ride the arena, tasks are
+    tree numbers."""
+    arena = TraceArena.attach(handle)
+    params = arena.object("params")
+    tree = DecisionTreeClassifier(
+        seed=int(arena.array("seeds")[t]), **params)
+    idx = arena.array("idx")[t]
+    return tree.fit(arena.array("x")[idx], arena.array("y")[idx])
 
 
 class RandomForestClassifier(Estimator):
@@ -37,23 +69,57 @@ class RandomForestClassifier(Estimator):
         self.trees_: list[DecisionTreeClassifier] | None = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        """Grow the ensemble; tree fits fan out through the exec engine.
+
+        Bootstrap indices are pre-drawn *sequentially* from the same
+        ``forest-bootstrap`` stream as the original loop and each tree
+        keeps its ``derive_seed(seed, "tree", t)`` seed, so the fitted
+        forest is bit-identical regardless of backend, worker count or
+        chunking. Under a process/auto backend the training matrix,
+        index block and per-tree seeds ship once via a
+        :class:`~repro.exec.arena.TraceArena`; task payloads are tree
+        numbers.
+        """
         x, y = check_xy(x, y)
         rng = rng_mod.stream(self.seed, "forest-bootstrap")
         n = x.shape[0]
-        self.trees_ = []
-        for t in range(self.n_trees):
-            if self.bootstrap:
-                idx = rng.integers(0, n, size=n)
-            else:
-                idx = np.arange(n)
-            tree = DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                seed=rng_mod.derive_seed(self.seed, "tree", t),
-            )
-            tree.fit(x[idx], y[idx])
-            self.trees_.append(tree)
+        if self.bootstrap:
+            idx_all = [rng.integers(0, n, size=n)
+                       for _ in range(self.n_trees)]
+        else:
+            idx_all = [np.arange(n) for _ in range(self.n_trees)]
+        seeds = [rng_mod.derive_seed(self.seed, "tree", t)
+                 for t in range(self.n_trees)]
+        pmap = default_parallel_map()
+        arena = None
+        if (exec_arena_enabled() and self.n_trees > 1
+                and pmap.uses_processes(self.n_trees, "forest_fit")):
+            try:
+                arena = TraceArena.build(
+                    arrays={"x": x, "y": y,
+                            "idx": np.stack(idx_all),
+                            "seeds": np.asarray(seeds, dtype=np.int64)},
+                    objects={"params": {
+                        "max_depth": self.max_depth,
+                        "min_samples_leaf": self.min_samples_leaf,
+                        "max_features": self.max_features,
+                    }})
+            except (pickle.PicklingError, AttributeError, TypeError):
+                EXEC_STATS.incr("arena.build_fallback")
+        if arena is not None:
+            try:
+                self.trees_ = pmap.map(
+                    functools.partial(_arena_fit_tree, arena.handle),
+                    range(self.n_trees), stage="forest_fit")
+            finally:
+                arena.close()
+        else:
+            self.trees_ = pmap.map(
+                functools.partial(_fit_tree_task, x=x, y=y,
+                                  max_depth=self.max_depth,
+                                  min_samples_leaf=self.min_samples_leaf,
+                                  max_features=self.max_features),
+                list(zip(idx_all, seeds)), stage="forest_fit")
         return self
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:

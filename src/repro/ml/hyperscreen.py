@@ -12,12 +12,16 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import pickle
 from collections.abc import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.config import exec_arena_enabled
 from repro.errors import DatasetError
+from repro.exec.arena import TraceArena
 from repro.exec.parallel import ParallelMap, default_parallel_map
+from repro.exec.stats import EXEC_STATS
 from repro.ml.base import Estimator
 from repro.ml.crossval import Fold
 
@@ -65,6 +69,26 @@ def _screen_cell(pair: tuple[Mapping[str, object], Fold], *,
             for name, fn in metric_fns.items()}
 
 
+def _arena_screen_cell(handle: str,
+                       pair: tuple[Mapping[str, object], Fold],
+                       ) -> dict[str, float]:
+    """Worker-side cell: features/labels and factory ride the arena.
+
+    Only the (config, fold) pair ships per task; ``x``/``y`` are
+    zero-copy views of the shared mapping (fancy indexing by fold
+    copies the selected rows, so the read-only views are never
+    written).
+    """
+    arena = TraceArena.attach(handle)
+    return _screen_cell(
+        pair,
+        model_factory=arena.object("model_factory"),
+        x=arena.array("x"), y=arena.array("y"),
+        metric_fns=arena.object("metric_fns"),
+        threshold_tuner=arena.object("threshold_tuner"),
+    )
+
+
 def _assemble_record(config: Mapping[str, object],
                      cells: Sequence[Mapping[str, float]],
                      metric_fns: Mapping[str, MetricFn]) -> ScreenRecord:
@@ -110,11 +134,30 @@ def screen_configs(model_factory: Callable[[Mapping[str, object]], Estimator],
         raise DatasetError("no configurations to screen")
     pmap = pmap if pmap is not None else default_parallel_map()
     grid = [(config, fold) for config in configs for fold in folds]
-    cells = pmap.map(
-        functools.partial(_screen_cell, model_factory=model_factory,
-                          x=x, y=y, metric_fns=metric_fns,
-                          threshold_tuner=threshold_tuner),
-        grid, stage="hyperscreen")
+    arena = None
+    if (exec_arena_enabled() and len(grid) > 1
+            and pmap.uses_processes(len(grid), "hyperscreen")):
+        try:
+            arena = TraceArena.build(
+                arrays={"x": np.asarray(x), "y": np.asarray(y)},
+                objects={"model_factory": model_factory,
+                         "metric_fns": dict(metric_fns),
+                         "threshold_tuner": threshold_tuner})
+        except (pickle.PicklingError, AttributeError, TypeError):
+            EXEC_STATS.incr("arena.build_fallback")
+    if arena is not None:
+        try:
+            cells = pmap.map(
+                functools.partial(_arena_screen_cell, arena.handle),
+                grid, stage="hyperscreen")
+        finally:
+            arena.close()
+    else:
+        cells = pmap.map(
+            functools.partial(_screen_cell, model_factory=model_factory,
+                              x=x, y=y, metric_fns=metric_fns,
+                              threshold_tuner=threshold_tuner),
+            grid, stage="hyperscreen")
     n_folds = len(folds)
     return [
         _assemble_record(config, cells[i * n_folds:(i + 1) * n_folds],

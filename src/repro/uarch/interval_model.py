@@ -134,6 +134,18 @@ class IntervalModel:
         self.simcache = simcache if simcache is not None else (
             default_simcache())
 
+    def __getstate__(self) -> dict:
+        """Pickle without the LRU memo.
+
+        The memo is a pure accelerator — dropping it can never change a
+        result — and shipping up to ``REPRO_INTERVAL_LRU`` cached
+        interval tensors per task is exactly the payload bloat the
+        execution engine exists to avoid.
+        """
+        state = self.__dict__.copy()
+        state["_cache"] = OrderedDict()
+        return state
+
     # ------------------------------------------------------------------
     # Mode-dependent machine parameters.
     # ------------------------------------------------------------------

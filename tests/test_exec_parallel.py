@@ -126,21 +126,36 @@ class TestParallelMap:
 class TestParallelEquivalence:
     """Serial == thread == process, bit for bit (same seeds)."""
 
-    def test_run_many_bitwise_identical(self, traces, predictor):
+    def test_run_many_bitwise_identical(self, traces, predictor,
+                                        monkeypatch):
+        """serial == thread == process == arena-backed, bit for bit —
+        including two back-to-back process runs on a reused warm pool."""
         results = {}
+        # Arena off: thread and process ship pickled traces per chunk.
+        monkeypatch.setenv("REPRO_EXEC_ARENA", "0")
         for backend in ("serial", "thread", "process"):
             cpu = AdaptiveCPU(predictor, collector=TelemetryCollector())
             results[backend] = cpu.run_many(
                 traces, pmap=ParallelMap(backend=backend, n_workers=2))
+        # Arena on: process workers attach to the shared mapping; the
+        # second call reuses the warm persistent pool.
+        monkeypatch.setenv("REPRO_EXEC_ARENA", "1")
+        cpu = AdaptiveCPU(predictor, collector=TelemetryCollector())
+        arena_pmap = ParallelMap(backend="process", n_workers=2,
+                                 persistent=True)
+        results["arena"] = cpu.run_many(traces, pmap=arena_pmap)
+        reuse_before = EXEC_STATS.count("parallel.pool_reuse")
+        results["arena_warm"] = cpu.run_many(traces, pmap=arena_pmap)
+        assert EXEC_STATS.count("parallel.pool_reuse") > reuse_before
         serial = results["serial"]
-        for backend in ("thread", "process"):
-            for rs, rp in zip(serial, results[backend]):
-                assert rs.trace_name == rp.trace_name
-                assert np.array_equal(rs.modes, rp.modes)
-                assert np.array_equal(rs.ipc, rp.ipc)
-                assert np.array_equal(rs.cycles, rp.cycles)
-                assert rs.energy_j == rp.energy_j
-                assert rs.switch_count == rp.switch_count
+        for variant in ("thread", "process", "arena", "arena_warm"):
+            for rs, rp in zip(serial, results[variant]):
+                assert rs.trace_name == rp.trace_name, variant
+                assert np.array_equal(rs.modes, rp.modes), variant
+                assert np.array_equal(rs.ipc, rp.ipc), variant
+                assert np.array_equal(rs.cycles, rp.cycles), variant
+                assert rs.energy_j == rp.energy_j, variant
+                assert rs.switch_count == rp.switch_count, variant
 
     def test_suite_metrics_bitwise_identical(self, traces, predictor):
         serial = evaluate_predictor(predictor, traces,
