@@ -338,6 +338,7 @@ def run(workers: int = 4, n_apps: int = 8, workloads_per_app: int = 3,
 
     arena = _bench_arena(traces, workers=min(2, workers))
     kernel = _bench_cycle_kernel()
+    resilience = _bench_resilience(traces)
 
     payload = {
         "schema": 1,
@@ -366,6 +367,7 @@ def run(workers: int = 4, n_apps: int = 8, workloads_per_app: int = 3,
         "batched": batched,
         "arena": arena,
         "cycle_kernel": kernel,
+        "resilience": resilience,
         "exec_stats": EXEC_STATS.snapshot(),
     }
     output = output or (REPO_ROOT / "BENCH_perf.json")
@@ -374,12 +376,56 @@ def run(workers: int = 4, n_apps: int = 8, workloads_per_app: int = 3,
     return payload
 
 
+def _bench_resilience(traces, repeats: int = 3,
+                      loads_per_sample: int = 5) -> dict:
+    """Fault-free cost of the integrity layer.
+
+    Times warm cached dataset loads with per-entry checksum
+    verification on (the default) vs off (``REPRO_SIMCACHE_VERIFY=0``);
+    min-of-repeats over multi-load samples to stay above timer noise.
+    The retry/timeout bookkeeping has no toggle because its fault-free
+    cost is a handful of integer compares per chunk — verification is
+    the only resilience feature that touches every cached byte.
+    """
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-resil-bench-"))
+    counter_ids = list(range(12))
+    try:
+        cache = SimCache(cache_dir)
+        collector = TelemetryCollector(
+            model=IntervalModel(simcache=cache))
+        build_mode_dataset(traces, Mode.LOW_POWER, counter_ids,
+                           collector=collector, simcache=cache)
+
+        def _sample() -> float:
+            start = time.perf_counter()
+            for _ in range(loads_per_sample):
+                build_mode_dataset(traces, Mode.LOW_POWER, counter_ids,
+                                   collector=collector, simcache=cache)
+            return time.perf_counter() - start
+
+        with _env("REPRO_SIMCACHE_VERIFY", "1"):
+            verify_on = min(_sample() for _ in range(repeats))
+        with _env("REPRO_SIMCACHE_VERIFY", "0"):
+            verify_off = min(_sample() for _ in range(repeats))
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    ratio = verify_on / verify_off if verify_off > 0 else 1.0
+    print(f"simcache verify overhead: on {verify_on:.4f}s, "
+          f"off {verify_off:.4f}s ({(ratio - 1) * 100:+.1f}%)")
+    return {
+        "verify_on_s": round(verify_on, 4),
+        "verify_off_s": round(verify_off, 4),
+        "overhead_ratio": round(ratio, 4),
+    }
+
+
 def run_quick(n_apps: int = 3, workloads_per_app: int = 2,
               intervals: int = 100) -> int:
     """CI perf smoke: batched must not be slower than the scalar path.
 
     Runs only the warm batched-vs-scalar comparison (plus the cycle
-    kernel micro) on a small corpus; exits non-zero on a regression.
+    kernel micro and the resilience-overhead guard) on a small corpus;
+    exits non-zero on a regression.
     """
     traces = _generate_corpus(n_apps, workloads_per_app, intervals)
     cache_dir = Path(tempfile.mkdtemp(prefix="repro-quick-bench-"))
@@ -389,7 +435,18 @@ def run_quick(n_apps: int = 3, workloads_per_app: int = 2,
         shutil.rmtree(cache_dir, ignore_errors=True)
     arena = _bench_arena(traces, workers=2, repeats=2)
     kernel = _bench_cycle_kernel(n_uops=12000)
+    resilience = _bench_resilience(traces)
     failures = []
+    # Checksumming every loaded entry must stay in the noise: fail only
+    # when the overhead is both >5% relative AND >50 ms absolute, so a
+    # microsecond-scale wobble on a fast machine cannot flake CI.
+    if (resilience["overhead_ratio"] > 1.05
+            and (resilience["verify_on_s"] - resilience["verify_off_s"])
+            > 0.05):
+        failures.append(
+            f"simcache verification overhead "
+            f"{(resilience['overhead_ratio'] - 1) * 100:.1f}% exceeds "
+            f"the 5% budget")
     if batched["evaluate_speedup"] < 1.0:
         failures.append(
             f"warm evaluate_predictor: batched slower than scalar "

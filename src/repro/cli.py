@@ -46,9 +46,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="fixed items per parallel task (default: "
                              "REPRO_EXEC_CHUNK, or adaptive from per-item "
                              "cost)")
+    parser.add_argument("--exec-retries", type=int, default=None,
+                        help="retries for a failed parallel chunk before "
+                             "degrading or raising (default: "
+                             "REPRO_EXEC_RETRIES or 2)")
+    parser.add_argument("--exec-timeout", type=float, default=None,
+                        help="per-task timeout in seconds for pool "
+                             "backends; 0 disables (default: "
+                             "REPRO_EXEC_TIMEOUT or off)")
+    parser.add_argument("--fault-spec", default=None,
+                        help="deterministic fault-injection spec, e.g. "
+                             "'seed=7,crash=0.05,corrupt_cache=0.1' "
+                             "(default: REPRO_FAULT_SPEC or off)")
     parser.add_argument("--exec-report", action="store_true",
                         help="print stage timings, cache hit rates, payload "
-                             "bytes and worker utilisation at exit")
+                             "bytes, worker utilisation and resilience "
+                             "counters at exit")
 
 
 def _seed(args: argparse.Namespace) -> int:
@@ -223,11 +236,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         import os
         from repro.config import EXEC_ARENA_ENV_VAR
         os.environ[EXEC_ARENA_ENV_VAR] = str(args.exec_arena)
+    if args.fault_spec is not None:
+        # Through the environment rather than install_fault_plan so
+        # process-pool workers inherit the spec too.
+        import os
+        from repro.config import FAULT_SPEC_ENV_VAR
+        from repro.exec.faults import FaultPlan
+        FaultPlan.parse(args.fault_spec)  # fail fast on a bad spec
+        os.environ[FAULT_SPEC_ENV_VAR] = args.fault_spec
     if (args.exec_backend is not None or args.exec_workers is not None
-            or args.exec_chunk is not None):
+            or args.exec_chunk is not None
+            or args.exec_retries is not None
+            or args.exec_timeout is not None):
         from repro.exec import configure
+        timeout = args.exec_timeout
+        if timeout is not None and timeout <= 0:
+            timeout = None
         configure(backend=args.exec_backend, n_workers=args.exec_workers,
-                  chunk_size=args.exec_chunk)
+                  chunk_size=args.exec_chunk, retries=args.exec_retries,
+                  timeout=timeout)
     status = args.func(args)
     if args.exec_report:
         from repro.exec import EXEC_STATS

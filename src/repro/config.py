@@ -76,6 +76,31 @@ EXEC_CHUNK_ENV_VAR = "REPRO_EXEC_CHUNK"
 #: pre-arena behaviour, useful for benchmarking pool-churn cost).
 EXEC_POOL_ENV_VAR = "REPRO_EXEC_POOL"
 
+#: Environment variable bounding how many times ``ParallelMap`` retries
+#: a failed chunk (worker crash, broken pool, task timeout) before
+#: degrading to the next backend rung or raising a typed error.
+EXEC_RETRIES_ENV_VAR = "REPRO_EXEC_RETRIES"
+
+#: Default retry budget when the environment does not override it.
+DEFAULT_EXEC_RETRIES = 2
+
+#: Environment variable setting the per-task timeout (seconds) for
+#: pool-backed dispatch. Unset or ``0`` disables timeouts (serial
+#: execution is never preemptible and always ignores this).
+EXEC_TIMEOUT_ENV_VAR = "REPRO_EXEC_TIMEOUT"
+
+#: Environment variable holding a deterministic fault-injection spec
+#: (see :class:`repro.exec.faults.FaultPlan`), e.g.
+#: ``"seed=7,crash=0.05,corrupt_cache=0.1"``. Unset disables injection.
+FAULT_SPEC_ENV_VAR = "REPRO_FAULT_SPEC"
+
+#: Environment variable gating SimCache per-entry checksum
+#: verification on read: ``1`` (default) verifies every loaded entry
+#: against its stored digest; ``0`` skips verification (perf-overhead
+#: benchmarking only — corrupt entries then surface only when the
+#: container format itself fails to parse).
+SIMCACHE_VERIFY_ENV_VAR = "REPRO_SIMCACHE_VERIFY"
+
 
 def experiment_scale() -> float:
     """Return the dataset scale factor from ``REPRO_SCALE`` (default 1.0)."""
@@ -152,6 +177,51 @@ def exec_chunk_size() -> int | None:
     if value < 1:
         raise ValueError(f"{EXEC_CHUNK_ENV_VAR} must be >= 1, got {value}")
     return value
+
+
+def exec_retries() -> int:
+    """Chunk retry budget from ``REPRO_EXEC_RETRIES`` (default 2)."""
+    raw = os.environ.get(EXEC_RETRIES_ENV_VAR,
+                         str(DEFAULT_EXEC_RETRIES))
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{EXEC_RETRIES_ENV_VAR} must be an int, got {raw!r}"
+        ) from exc
+    if value < 0:
+        raise ValueError(
+            f"{EXEC_RETRIES_ENV_VAR} must be >= 0, got {value}"
+        )
+    return value
+
+
+def exec_timeout() -> float | None:
+    """Per-task timeout (s) from ``REPRO_EXEC_TIMEOUT`` (default off)."""
+    raw = os.environ.get(EXEC_TIMEOUT_ENV_VAR)
+    if raw is None or raw == "":
+        return None
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{EXEC_TIMEOUT_ENV_VAR} must be a float, got {raw!r}"
+        ) from exc
+    if value < 0:
+        raise ValueError(
+            f"{EXEC_TIMEOUT_ENV_VAR} must be >= 0, got {value}"
+        )
+    return value if value > 0 else None
+
+
+def simcache_verify_enabled() -> bool:
+    """Whether SimCache verifies checksums (``REPRO_SIMCACHE_VERIFY``)."""
+    value = os.environ.get(SIMCACHE_VERIFY_ENV_VAR, "1")
+    if value not in ("0", "1"):
+        raise ValueError(
+            f"{SIMCACHE_VERIFY_ENV_VAR} must be '0' or '1', got {value!r}"
+        )
+    return value == "1"
 
 
 def exec_pool_persistent() -> bool:

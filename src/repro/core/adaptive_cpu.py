@@ -23,7 +23,7 @@ from repro.core.gating import GatingController
 from repro.core.labels import LabelSet, gating_labels
 from repro.core.predictor import DualModePredictor
 from repro.core.sla import SLAAccounting, sla_window_violations
-from repro.errors import DatasetError
+from repro.errors import ArenaIntegrityError, DatasetError
 from repro.exec.arena import TraceArena
 from repro.exec.parallel import ParallelMap, default_parallel_map
 from repro.exec.stats import EXEC_STATS
@@ -298,6 +298,13 @@ class AdaptiveCPU:
         try:
             fn = functools.partial(_arena_prepare_chunk, arena.handle)
             return pmap.map_chunks(fn, range(len(traces)),
+                                   stage="adaptive_prepare")
+        except ArenaIntegrityError:
+            # A worker found the segment corrupt (or an injected
+            # corrupt_arena fault fired): re-run via pickled dispatch,
+            # which is bit-identical, just slower.
+            EXEC_STATS.incr("arena.attach_fallback")
+            return pmap.map_chunks(self._prepare_chunk, traces,
                                    stage="adaptive_prepare")
         finally:
             arena.close()

@@ -21,7 +21,7 @@ from repro.config import batch_sim_enabled, exec_arena_enabled
 from repro.config import experiment_scale
 from repro.core.labels import gating_labels
 from repro.data.dataset import GatingDataset, concat_datasets
-from repro.errors import DatasetError
+from repro.errors import ArenaIntegrityError, DatasetError
 from repro.exec.arena import TraceArena
 from repro.exec.parallel import ParallelMap, default_parallel_map
 from repro.exec.simcache import SimCache, default_simcache
@@ -198,6 +198,7 @@ def build_mode_dataset(traces: list[TraceSpec], mode: Mode,
                     traces, objects={"collector": collector})
             except (pickle.PicklingError, AttributeError, TypeError):
                 EXEC_STATS.incr("arena.build_fallback")
+        parts = None
         if arena is not None:
             try:
                 parts = pmap.map_chunks(
@@ -207,9 +208,13 @@ def build_mode_dataset(traces: list[TraceSpec], mode: Mode,
                         granularity_factor=granularity_factor,
                         horizon=horizon),
                     range(len(traces)), stage="build_dataset")
+            except ArenaIntegrityError:
+                # Corrupt/injected-corrupt segment: fall back to
+                # pickled dispatch below — bit-identical, just slower.
+                EXEC_STATS.incr("arena.attach_fallback")
             finally:
                 arena.close()
-        else:
+        if parts is None:
             parts = pmap.map_chunks(
                 functools.partial(_build_trace_chunk, part_fn=part_fn,
                                   mode=mode, counter_ids=counter_ids,

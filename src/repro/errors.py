@@ -25,3 +25,30 @@ class DatasetError(ReproError):
 
 class SimulationError(ReproError):
     """The simulator reached an invalid state."""
+
+
+class ExecFaultError(ReproError):
+    """The execution engine hit a fault it could not recover from.
+
+    Base class for every typed failure of the resilient execution
+    substrate (``repro.exec``). The engine's contract is that any
+    fault — injected or organic — either degrades transparently
+    (identical results via retry/fallback) or surfaces as a subclass
+    of this error; it never silently returns a wrong answer.
+    """
+
+
+class WorkerCrashError(ExecFaultError):
+    """A pool worker died (or was made to die) while running a task."""
+
+
+class WorkerTimeoutError(ExecFaultError):
+    """A task exceeded the per-task execution timeout on every retry."""
+
+
+class CacheCorruptionError(ExecFaultError):
+    """An on-disk cache entry failed its integrity check."""
+
+
+class ArenaIntegrityError(ExecFaultError):
+    """An arena segment failed magic/version/checksum validation."""

@@ -14,15 +14,27 @@ configurations or folds:
 * :class:`~repro.exec.simcache.SimCache` — a content-addressed on-disk
   cache of simulation outputs and built feature matrices;
 * :data:`~repro.exec.stats.EXEC_STATS` — process-wide stage timings,
-  cache hit/miss counts, payload bytes and worker utilisation,
-  printed by the CLI's ``--exec-report`` flag.
+  cache hit/miss counts, payload bytes, worker utilisation and
+  resilience counters, printed by the CLI's ``--exec-report`` flag;
+* :mod:`~repro.exec.faults` — deterministic, seedable fault injection
+  (:class:`~repro.exec.faults.FaultPlan`, ``REPRO_FAULT_SPEC``) that
+  exercises every recovery path above.
 
 The invariant the engine guarantees (and the tier-1 suite enforces):
 for any seed, parallel, cached and arena-backed runs produce
-bit-identical results to the serial uncached path.
+bit-identical results to the serial uncached path — and under any
+fault plan, a run either still produces those bit-identical results
+or raises a typed :class:`~repro.errors.ExecFaultError`; it never
+silently returns a wrong answer.
 """
 
 from repro.exec.arena import TraceArena, detach_all
+from repro.exec.faults import (
+    FaultPlan,
+    active_plan,
+    inject,
+    install_fault_plan,
+)
 from repro.exec.parallel import (
     BACKENDS,
     ParallelMap,
@@ -38,13 +50,17 @@ __all__ = [
     "BACKENDS",
     "EXEC_STATS",
     "ExecStats",
+    "FaultPlan",
     "ParallelMap",
     "SimCache",
     "TraceArena",
+    "active_plan",
     "close_pools",
     "configure",
     "default_parallel_map",
     "default_simcache",
     "detach_all",
+    "inject",
+    "install_fault_plan",
     "reset_default",
 ]

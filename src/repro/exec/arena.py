@@ -12,7 +12,8 @@ backend lost to serial.
 :class:`TraceArena` fixes the movement half of that. It packs the
 corpus once into a single memory-mapped file:
 
-``[magic | header length | pickled header | aligned raw data region]``
+``[magic | header length | header CRC32 | pickled header |
+aligned raw data region]``
 
 The *header* carries everything small-but-shared exactly once: the
 deduplicated application specs, per-trace metadata rows, named-array
@@ -34,6 +35,15 @@ values. Reconstructed traces compare equal element-for-element with
 the originals (``tests/test_exec_arena.py``), so arena-backed runs are
 bit-identical to pickled dispatch — enforced alongside the
 serial == thread == process identity in ``tests/test_exec_parallel.py``.
+
+Integrity: :meth:`TraceArena._open` validates the whole segment before
+any view is handed out — magic, declared header length against the
+file size, a CRC32 of the pickled header, the format version, and the
+declared data-region length. Every violation (including an injected
+``corrupt_arena`` fault) raises a typed
+:class:`~repro.errors.ArenaIntegrityError`, which arena call sites
+catch to fall back to pickled dispatch: a stale, truncated or
+bit-rotted segment costs throughput, never correctness.
 """
 
 from __future__ import annotations
@@ -46,19 +56,26 @@ import struct
 import tempfile
 import threading
 import time
+import zlib
 from collections import OrderedDict
 from collections.abc import Mapping, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ArenaIntegrityError
+from repro.exec import faults
 from repro.exec.stats import EXEC_STATS
 
 #: File magic identifying an arena segment.
 MAGIC = b"RPRARENA"
 
 #: Arena format version; bumped on any layout change.
-VERSION = 1
+#: (2: header CRC32 + declared data length in the header.)
+VERSION = 2
+
+#: Bytes between the magic and the header blob: ``<Q`` header length
+#: plus ``<I`` CRC32 of the header blob.
+_PREFIX_LEN = 8 + 4
 
 #: Data-region offsets are rounded up to this alignment so numpy views
 #: of any dtype the repo uses (float64/int64) are naturally aligned.
@@ -162,17 +179,20 @@ class TraceArena:
             "arrays": array_rows,
             "objects": dict(objects or {}),
             "machine": machine,
+            "data_len": offset,
         }
         header_blob = pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)
-        data_start = _aligned(len(MAGIC) + 8 + len(header_blob))
+        prefix_len = len(MAGIC) + _PREFIX_LEN
+        data_start = _aligned(prefix_len + len(header_blob))
 
         fd, path = tempfile.mkstemp(prefix="repro-arena-", suffix=".bin")
         try:
             with os.fdopen(fd, "wb") as fh:
                 fh.write(MAGIC)
                 fh.write(struct.pack("<Q", len(header_blob)))
+                fh.write(struct.pack("<I", zlib.crc32(header_blob)))
                 fh.write(header_blob)
-                fh.write(b"\x00" * (data_start - len(MAGIC) - 8
+                fh.write(b"\x00" * (data_start - prefix_len
                                     - len(header_blob)))
                 for at, raw in data_parts:
                     fh.seek(data_start + at)
@@ -196,25 +216,72 @@ class TraceArena:
 
     @classmethod
     def _open(cls, path: str, owner: bool) -> "TraceArena":
-        with open(path, "rb") as fh:
-            mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
-        if mm[:len(MAGIC)] != MAGIC:
+        """Map and fully validate a segment, or raise
+        :class:`~repro.errors.ArenaIntegrityError`."""
+        try:
+            with open(path, "rb") as fh:
+                mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError) as exc:
+            raise ArenaIntegrityError(
+                f"arena {path} cannot be mapped: {exc}"
+            ) from exc
+        prefix_len = len(MAGIC) + _PREFIX_LEN
+        try:
+            if len(mm) < prefix_len:
+                raise ArenaIntegrityError(
+                    f"arena {path} is truncated ({len(mm)} bytes, "
+                    f"need at least {prefix_len})"
+                )
+            if mm[:len(MAGIC)] != MAGIC:
+                raise ArenaIntegrityError(
+                    f"{path} is not an arena segment (bad magic)"
+                )
+            (header_len,) = struct.unpack_from("<Q", mm, len(MAGIC))
+            (header_crc,) = struct.unpack_from("<I", mm, len(MAGIC) + 8)
+            if prefix_len + header_len > len(mm):
+                raise ArenaIntegrityError(
+                    f"arena {path} declares a {header_len}-byte header "
+                    f"but holds only {len(mm)} bytes"
+                )
+            header_blob = mm[prefix_len:prefix_len + header_len]
+            if zlib.crc32(header_blob) != header_crc:
+                raise ArenaIntegrityError(
+                    f"arena {path} failed its header checksum"
+                )
+            try:
+                header = pickle.loads(header_blob)
+            except Exception as exc:
+                raise ArenaIntegrityError(
+                    f"arena {path} header does not unpickle: {exc}"
+                ) from exc
+            if header.get("version") != VERSION:
+                raise ArenaIntegrityError(
+                    f"arena {path} has version {header.get('version')}, "
+                    f"expected {VERSION}"
+                )
+            data_start = _aligned(prefix_len + header_len)
+            if data_start + header.get("data_len", 0) > len(mm):
+                raise ArenaIntegrityError(
+                    f"arena {path} data region is truncated"
+                )
+            header["_data_start"] = data_start
+        except ArenaIntegrityError:
             mm.close()
-            raise ConfigurationError(f"{path} is not an arena segment")
-        (header_len,) = struct.unpack_from("<Q", mm, len(MAGIC))
-        header = pickle.loads(mm[len(MAGIC) + 8:len(MAGIC) + 8 + header_len])
-        if header.get("version") != VERSION:
-            mm.close()
-            raise ConfigurationError(
-                f"arena {path} has version {header.get('version')}, "
-                f"expected {VERSION}"
-            )
-        header["_data_start"] = _aligned(len(MAGIC) + 8 + header_len)
+            raise
         return cls(path, mm, header, owner)
 
     @classmethod
     def attach(cls, handle: str) -> "TraceArena":
-        """Attach to an arena by handle, memoised per process."""
+        """Attach to an arena by handle, memoised per process.
+
+        Raises :class:`~repro.errors.ArenaIntegrityError` when the
+        segment fails validation (or an injected ``corrupt_arena``
+        fault fires); callers fall back to pickled dispatch.
+        """
+        if faults.should_inject("corrupt_arena", handle):
+            raise ArenaIntegrityError(
+                f"injected arena corruption attaching {handle}"
+            )
         with _ATTACH_LOCK:
             arena = _ATTACHED.get(handle)
             if arena is not None and not arena._closed:

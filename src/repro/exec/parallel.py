@@ -30,19 +30,33 @@ Design points:
   NumPy RNG is re-seeded *per item* from ``derive_seed(seed, index)``
   before the item runs, so any stray use of the global generator is
   reproducible regardless of which worker executes which item.
-* **Graceful degradation** — if a pool cannot start (no ``fork`` /
-  resource limits) or the payload cannot be pickled, the map silently
-  re-runs serially and records ``parallel.fallback_serial`` in
-  :data:`~repro.exec.stats.EXEC_STATS` instead of crashing the run.
-  Maps that run *inside* a process-pool worker always resolve to
-  serial, so nested fan-outs (model training inside a hyperscreen
-  cell) cannot recursively spawn pools.
+* **Fault tolerance** — failed chunks (worker crashes, broken pools,
+  per-task timeouts) are retried with exponential backoff up to
+  ``REPRO_EXEC_RETRIES`` times. A broken process pool is rebuilt once;
+  if it breaks again the map degrades to the thread backend, and when
+  the retry budget is exhausted the final rung is a serial re-run —
+  the same ladder (process → thread → serial) as pool-startup and
+  pickling failures, every step recorded in
+  :data:`~repro.exec.stats.EXEC_STATS` (``parallel.retries``,
+  ``parallel.timeouts``, ``parallel.pool_rebuild``,
+  ``parallel.degrade_thread``, ``parallel.fallback_serial``). Only
+  hung tasks that time out on *every* retry surface an error — the
+  typed :class:`~repro.errors.WorkerTimeoutError` — because a hang
+  would also hang the serial rung. Genuine task errors (a
+  ``DatasetError`` raised by the worker function) propagate unchanged
+  and are never retried. Maps that run *inside* a process-pool worker
+  always resolve to serial, so nested fan-outs (model training inside
+  a hyperscreen cell) cannot recursively spawn pools. The
+  :mod:`repro.exec.faults` layer can inject every one of these
+  failures deterministically (``REPRO_FAULT_SPEC``).
 
 Defaults come from the environment so existing entry points pick up
 parallelism without signature changes: ``REPRO_EXEC_BACKEND`` selects
 the backend (default ``serial``), ``REPRO_EXEC_WORKERS`` the worker
 count (default: CPU count), ``REPRO_EXEC_CHUNK`` pins the chunk size,
-and ``REPRO_EXEC_POOL`` picks persistent vs fresh pools.
+``REPRO_EXEC_POOL`` picks persistent vs fresh pools,
+``REPRO_EXEC_RETRIES`` bounds chunk retries and ``REPRO_EXEC_TIMEOUT``
+sets the per-task timeout (pool backends only).
 """
 
 from __future__ import annotations
@@ -59,7 +73,12 @@ import numpy as np
 
 from repro import config as config_mod
 from repro import rng as rng_mod
-from repro.errors import ConfigurationError
+from repro.errors import (
+    ConfigurationError,
+    WorkerCrashError,
+    WorkerTimeoutError,
+)
+from repro.exec import faults
 from repro.exec.stats import EXEC_STATS
 
 #: Environment variable selecting the default backend.
@@ -91,7 +110,20 @@ _FALLBACK_ERRORS = (
     TypeError,  # "cannot pickle '_thread.lock' object"
     ImportError,
     OSError,
+    WorkerCrashError,  # crash retries exhausted: last rung is serial
 )
+
+#: Chunk failures worth retrying on a (possibly rebuilt) pool — the
+#: pool died under the task, not the task under its own inputs.
+_RETRYABLE_ERRORS = (
+    concurrent.futures.BrokenExecutor,
+    WorkerCrashError,
+)
+
+#: Exponential-backoff schedule between chunk retries:
+#: ``BACKOFF_BASE_S * 2**(attempt - 1)``, capped at ``BACKOFF_MAX_S``.
+BACKOFF_BASE_S = 0.02
+BACKOFF_MAX_S = 1.0
 
 #: Set in process-pool workers (via the pool initializer) so maps that
 #: run inside a worker stay serial instead of forking grandchildren.
@@ -108,6 +140,12 @@ def _pool_worker_init() -> None:
 # ---------------------------------------------------------------------
 _POOLS: dict[tuple[str, int], concurrent.futures.Executor] = {}
 _POOL_LOCK = threading.Lock()
+
+#: Pools discarded mid-map because their workers died. They are shut
+#: down without waiting at discard time (the caller is busy retrying);
+#: :func:`close_pools` drains them so a crashed persistent pool cannot
+#: leak broken worker processes past an explicit engine shutdown.
+_DISCARDED_POOLS: list[concurrent.futures.Executor] = []
 
 
 def _get_pool(backend: str,
@@ -138,24 +176,64 @@ def _discard_pool(backend: str, n_workers: int,
     with _POOL_LOCK:
         if _POOLS.get((backend, n_workers)) is pool:
             del _POOLS[(backend, n_workers)]
+        _DISCARDED_POOLS.append(pool)
     pool.shutdown(wait=False, cancel_futures=True)
 
 
 def close_pools() -> None:
-    """Shut down every persistent pool (atexit, tests, benchmarks)."""
+    """Shut down every persistent pool (atexit, tests, benchmarks).
+
+    Also drains pools discarded mid-map after their workers died:
+    those executors were shut down without waiting at discard time, so
+    without this second pass a crashed persistent pool could leak its
+    remaining worker processes until interpreter exit.
+    """
     with _POOL_LOCK:
         pools = list(_POOLS.values())
         _POOLS.clear()
+        pools.extend(_DISCARDED_POOLS)
+        _DISCARDED_POOLS.clear()
     for pool in pools:
-        pool.shutdown(wait=True, cancel_futures=True)
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:
+            # A pool whose manager thread already died can raise on a
+            # second shutdown; nothing is left to reclaim from it.
+            EXEC_STATS.incr("parallel.pool_close_error")
 
 
 atexit.register(close_pools)
 
 
+def _chunk_fault_point(stage: str | None, first_index: int,
+                       attempt: int) -> None:
+    """Worker-side fault site, consulted once per pooled chunk.
+
+    Crash and hang faults only exist where there is a worker to kill
+    or a timeout to trip, so serial execution (including the serial
+    fallback rung) never passes through here — which is what keeps a
+    fault-injected serial run bit-identical to a fault-free one. The
+    retry attempt is part of the site key, so a chunk that crashed on
+    attempt 0 draws a fresh decision on attempt 1.
+    """
+    site = f"{stage}/{first_index}/{attempt}"
+    if faults.should_inject("crash", site, track_occurrence=False):
+        if _IN_WORKER:
+            os._exit(13)  # a genuine worker death: BrokenProcessPool
+        raise WorkerCrashError(
+            f"injected worker crash in stage {stage!r} "
+            f"(chunk at index {first_index}, attempt {attempt})"
+        )
+    faults.maybe_hang(site)
+
+
 def _run_chunk(fn: Callable, indexed: Sequence[tuple[int, object]],
-               seed: int | None) -> tuple[list, float]:
+               seed: int | None, stage: str | None = None,
+               attempt: int = 0,
+               pooled: bool = False) -> tuple[list, float]:
     """Run one chunk of (index, item) pairs; returns (results, busy_s)."""
+    if pooled and indexed:
+        _chunk_fault_point(stage, indexed[0][0], attempt)
     start = time.perf_counter()
     out = []
     for index, item in indexed:
@@ -167,8 +245,12 @@ def _run_chunk(fn: Callable, indexed: Sequence[tuple[int, object]],
 
 
 def _run_batch(fn: Callable, first_index: int, items: list,
-               seed: int | None) -> tuple[list, float]:
+               seed: int | None, stage: str | None = None,
+               attempt: int = 0,
+               pooled: bool = False) -> tuple[list, float]:
     """Run one whole-chunk call of a batch function; see ``map_chunks``."""
+    if pooled and items:
+        _chunk_fault_point(stage, first_index, attempt)
     start = time.perf_counter()
     if seed is not None:
         np.random.seed(rng_mod.derive_seed(seed, "exec-chunk", first_index)
@@ -184,7 +266,9 @@ class ParallelMap:
                  n_workers: int | None = None,
                  chunk_size: int | None = None,
                  seed: int | None = None,
-                 persistent: bool | None = None) -> None:
+                 persistent: bool | None = None,
+                 retries: int | None = None,
+                 timeout: float | None = None) -> None:
         if backend is None:
             backend = os.environ.get(BACKEND_ENV_VAR, "serial")
         if backend not in BACKENDS:
@@ -203,11 +287,21 @@ class ParallelMap:
             raise ConfigurationError(
                 f"chunk_size must be >= 1, got {chunk_size}"
             )
+        if retries is not None and retries < 0:
+            raise ConfigurationError(
+                f"retries must be >= 0, got {retries}"
+            )
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError(
+                f"timeout must be > 0, got {timeout}"
+            )
         self.backend = backend
         self.n_workers = n_workers
         self.chunk_size = chunk_size
         self.seed = seed
         self.persistent = persistent
+        self.retries = retries
+        self.timeout = timeout
 
     # ------------------------------------------------------------------
     # Adaptive dispatch.
@@ -277,10 +371,24 @@ class ParallelMap:
         pickling error for unpicklable payloads, which the caller
         treats like any submission failure (serial fallback).
         """
+        if faults.should_inject("payload", stage):
+            raise pickle.PicklingError(
+                f"injected unpicklable payload in stage {stage!r}"
+            )
         blob = pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
         EXEC_STATS.incr(f"{stage}.payload_bytes", len(blob))
         EXEC_STATS.incr(f"{stage}.payload_tasks", 1)
         EXEC_STATS.incr(f"{stage}.payload_tasks_total", n_tasks)
+
+    def _retries(self) -> int:
+        if self.retries is not None:
+            return self.retries
+        return config_mod.exec_retries()
+
+    def _timeout(self) -> float | None:
+        if self.timeout is not None:
+            return self.timeout
+        return config_mod.exec_timeout()
 
     # ------------------------------------------------------------------
     def _chunks(self, indexed: list[tuple[int, object]], stage: str,
@@ -307,6 +415,93 @@ class ParallelMap:
         results, _ = _run_chunk(fn, indexed, self.seed)
         return results
 
+    def _pool_dispatch(self, backend: str, stage: str, chunks: list,
+                       submit_args: Callable[[object, int], tuple],
+                       ) -> tuple[list, float, int]:
+        """Submit chunks to a pool with retry, backoff and timeouts.
+
+        ``submit_args(chunk, attempt)`` builds the positional argument
+        tuple for ``pool.submit``. Returns per-chunk results in chunk
+        order, total busy seconds and the effective worker count.
+
+        The degradation ladder on retryable failures (a crashed worker
+        or a broken pool): retry on the same pool with exponential
+        backoff; if the *process* pool itself broke, rebuild it once,
+        then degrade to a thread pool. Exhausting the retry budget
+        re-raises the last failure — for crashes that reaches ``map``'s
+        serial fallback, while per-task timeouts surface as a typed
+        :class:`~repro.errors.WorkerTimeoutError` because a hung task
+        would also hang the serial rung. Chunks completed on earlier
+        attempts are never resubmitted, so a genuine task error from a
+        later chunk still propagates unchanged.
+        """
+        retries = self._retries()
+        timeout = self._timeout()
+        results: dict[int, list] = {}
+        busy = 0.0
+        attempt = 0
+        rebuilt = False
+        current = backend
+        pending = list(range(len(chunks)))
+        while True:
+            pool = self._acquire_pool(current)
+            broken = False
+            failure: BaseException | None = None
+            futures: list = []
+            try:
+                try:
+                    futures = [
+                        (ci, pool.submit(*submit_args(chunks[ci], attempt)))
+                        for ci in pending
+                    ]
+                    for ci, future in futures:
+                        try:
+                            chunk_results, chunk_busy = future.result(
+                                timeout=timeout)
+                        except concurrent.futures.TimeoutError as exc:
+                            EXEC_STATS.incr("parallel.timeouts")
+                            broken = True  # a hung worker poisons the pool
+                            failure = WorkerTimeoutError(
+                                f"task in stage {stage!r} exceeded "
+                                f"{timeout}s (attempt {attempt})"
+                            )
+                            failure.__cause__ = exc
+                            break
+                        except _RETRYABLE_ERRORS as exc:
+                            broken = broken or isinstance(
+                                exc, concurrent.futures.BrokenExecutor)
+                            failure = exc
+                            break
+                        else:
+                            results[ci] = chunk_results
+                            busy += chunk_busy
+                except concurrent.futures.BrokenExecutor as exc:
+                    # submit() itself can raise on an already-broken pool.
+                    broken = True
+                    failure = exc
+            finally:
+                if failure is not None:
+                    for _, future in futures:
+                        future.cancel()
+                self._release_pool(current, pool, broken)
+            pending = [ci for ci in pending if ci not in results]
+            if failure is None:
+                ordered = [results[ci] for ci in range(len(chunks))]
+                return ordered, busy, min(self.n_workers, len(chunks))
+            if attempt >= retries:
+                raise failure
+            attempt += 1
+            EXEC_STATS.incr("parallel.retries")
+            time.sleep(min(BACKOFF_MAX_S,
+                           BACKOFF_BASE_S * 2 ** (attempt - 1)))
+            if broken and current == "process":
+                if not rebuilt:
+                    rebuilt = True
+                    EXEC_STATS.incr("parallel.pool_rebuild")
+                else:
+                    current = "thread"
+                    EXEC_STATS.incr("parallel.degrade_thread")
+
     def _map_pool(self, fn: Callable, indexed: list[tuple[int, object]],
                   backend: str, stage: str) -> tuple[list, float, int]:
         """Fan a chunked map over a pool; (results, busy_s, workers)."""
@@ -314,25 +509,16 @@ class ParallelMap:
         if backend == "process":
             self._sample_payload(stage, (fn, chunks[0], self.seed),
                                  len(chunks))
-        pool = self._acquire_pool(backend)
-        broken = False
-        try:
-            futures = [pool.submit(_run_chunk, fn, chunk, self.seed)
-                       for chunk in chunks]
-            results: list = [None] * len(indexed)
-            busy = 0.0
-            cursor = 0
-            for chunk, future in zip(chunks, futures):
-                chunk_results, chunk_busy = future.result()
-                busy += chunk_busy
-                results[cursor:cursor + len(chunk)] = chunk_results
-                cursor += len(chunk)
-        except concurrent.futures.BrokenExecutor:
-            broken = True
-            raise
-        finally:
-            self._release_pool(backend, pool, broken)
-        return results, busy, min(self.n_workers, len(chunks))
+
+        def submit_args(chunk, attempt):
+            return (_run_chunk, fn, chunk, self.seed, stage, attempt, True)
+
+        per_chunk, busy, workers = self._pool_dispatch(
+            backend, stage, chunks, submit_args)
+        results: list = []
+        for chunk_results in per_chunk:
+            results.extend(chunk_results)
+        return results, busy, workers
 
     def map(self, fn: Callable, items: Iterable,
             stage: str = "parallel_map") -> list:
@@ -450,26 +636,18 @@ class ParallelMap:
                 (fn, chunks[0][0][0],
                  [item for _, item in chunks[0]], self.seed),
                 len(chunks))
-        pool = self._acquire_pool(backend)
-        broken = False
-        try:
-            futures = [
-                pool.submit(_run_batch, fn, chunk[0][0],
-                            [item for _, item in chunk], self.seed)
-                for chunk in chunks
-            ]
-            results: list = []
-            busy = 0.0
-            for future in futures:
-                chunk_results, chunk_busy = future.result()
-                busy += chunk_busy
-                results.extend(chunk_results)
-        except concurrent.futures.BrokenExecutor:
-            broken = True
-            raise
-        finally:
-            self._release_pool(backend, pool, broken)
-        return results, busy, min(self.n_workers, len(chunks))
+
+        def submit_args(chunk, attempt):
+            return (_run_batch, fn, chunk[0][0],
+                    [item for _, item in chunk], self.seed,
+                    stage, attempt, True)
+
+        per_chunk, busy, workers = self._pool_dispatch(
+            backend, stage, chunks, submit_args)
+        results: list = []
+        for chunk_results in per_chunk:
+            results.extend(chunk_results)
+        return results, busy, workers
 
 
 #: Session-wide override installed by :func:`configure` (e.g. the CLI).
@@ -479,7 +657,9 @@ _DEFAULT: ParallelMap | None = None
 def configure(backend: str | None = None, n_workers: int | None = None,
               chunk_size: int | None = None,
               seed: int | None = None,
-              persistent: bool | None = None) -> ParallelMap:
+              persistent: bool | None = None,
+              retries: int | None = None,
+              timeout: float | None = None) -> ParallelMap:
     """Install the process-wide default :class:`ParallelMap`.
 
     Entry points that take a ``pmap`` argument fall back to this
@@ -490,7 +670,8 @@ def configure(backend: str | None = None, n_workers: int | None = None,
     global _DEFAULT
     _DEFAULT = ParallelMap(backend=backend, n_workers=n_workers,
                            chunk_size=chunk_size, seed=seed,
-                           persistent=persistent)
+                           persistent=persistent, retries=retries,
+                           timeout=timeout)
     return _DEFAULT
 
 

@@ -22,8 +22,17 @@ simply never looked up again.
 The cache is off by default. Point ``REPRO_SIMCACHE_DIR`` at a
 directory (or pass a :class:`SimCache` explicitly) to enable it.
 Writes are atomic (temp file + rename) so concurrent workers of a
-process pool can share one cache directory safely; corrupt or
-truncated entries are treated as misses and deleted.
+process pool can share one cache directory safely.
+
+Integrity: every entry stores a ``__digest__`` — a SHA-256 over its
+metadata and the exact bytes of every array — which is re-verified on
+load (``REPRO_SIMCACHE_VERIFY=0`` skips the check for overhead
+benchmarking). An entry that fails to parse *or* fails its digest is
+moved into ``<root>/quarantine/`` (counted under
+``simcache.quarantine``) and reported as a miss, so bit-rot or a
+torn write on a filesystem without atomic replace can never feed a
+silently-wrong artefact back into an experiment — the entry is simply
+recomputed.
 """
 
 from __future__ import annotations
@@ -32,18 +41,43 @@ import dataclasses
 import hashlib
 import json
 import os
+import zipfile
 from pathlib import Path
 
 import numpy as np
 
+from repro import config as config_mod
+from repro.errors import CacheCorruptionError
+from repro.exec import faults
 from repro.exec.stats import EXEC_STATS
 
 #: Bump when simulator numerics or storage layout change: old entries
 #: stop being addressable and are naturally evicted by disuse.
-SCHEMA_VERSION = 1
+#: (2: per-entry ``__digest__`` checksum became mandatory.)
+SCHEMA_VERSION = 2
 
 #: Environment variable enabling the cache at a directory.
 SIMCACHE_ENV_VAR = "REPRO_SIMCACHE_DIR"
+
+
+def _flip_byte(path: Path) -> None:
+    """XOR one mid-file byte in place (``corrupt_cache`` injection).
+
+    The flip lands in real entry bytes, so detection exercises the same
+    digest verification that catches organic bit-rot — the injector
+    does not get to fake the corruption *or* the detection.
+    """
+    try:
+        size = path.stat().st_size
+        if size == 0:
+            return
+        with open(path, "r+b") as fh:
+            fh.seek(size // 2)
+            byte = fh.read(1)
+            fh.seek(size // 2)
+            fh.write(bytes([byte[0] ^ 0xFF]) if byte else b"\xff")
+    except OSError:
+        pass  # a vanished/unwritable entry is itself a fault; move on
 
 
 def _machine_token(machine) -> str:
@@ -135,23 +169,57 @@ class SimCache:
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.npz"
 
+    @staticmethod
+    def _entry_digest(payload: dict[str, np.ndarray], meta: dict) -> str:
+        """SHA-256 over an entry's metadata and exact array bytes."""
+        h = hashlib.sha256()
+        h.update(json.dumps(meta, sort_keys=True).encode())
+        for name in sorted(payload):
+            arr = np.ascontiguousarray(payload[name])
+            h.update(name.encode())
+            h.update(arr.dtype.str.encode())
+            h.update(str(arr.shape).encode())
+            h.update(arr.tobytes())
+        return h.hexdigest()
+
     def _write(self, key: str, payload: dict[str, np.ndarray],
                meta: dict) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp{os.getpid()}")
+        digest = self._entry_digest(payload, meta)
         try:
             with open(tmp, "wb") as fh:
                 # Uncompressed: entries are small (T x ~50 floats) and
                 # load latency is the whole point of the cache.
-                np.savez(fh, __meta__=np.array(json.dumps(meta)), **payload)
+                np.savez(fh, __meta__=np.array(json.dumps(meta)),
+                         __digest__=np.array(digest), **payload)
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)
         EXEC_STATS.incr("simcache.store")
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it is recomputed, not trusted.
+
+        Quarantined files are kept (under ``<root>/quarantine/``) rather
+        than deleted: they are the forensic evidence for what corrupted
+        them, and keeping them costs one rename.
+        """
+        qdir = self.root / "quarantine"
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            # A concurrent reader may have quarantined it first; as
+            # long as the entry is gone from the live tree we are done.
+            path.unlink(missing_ok=True)
+        EXEC_STATS.incr("simcache.quarantine")
+
     def _read(self, key: str) -> tuple[dict, dict] | None:
         path = self._path(key)
+        if faults.should_inject("corrupt_cache", key) and path.exists():
+            _flip_byte(path)
         if not path.exists():
             EXEC_STATS.incr("simcache.miss")
             return None
@@ -159,11 +227,27 @@ class SimCache:
             with np.load(path, allow_pickle=False) as data:
                 meta = json.loads(str(data["__meta__"]))
                 payload = {name: data[name] for name in data.files
-                           if name != "__meta__"}
-        except Exception:
-            # Truncated/corrupt entry (e.g. an interrupted writer on a
-            # filesystem without atomic replace): drop and recompute.
-            path.unlink(missing_ok=True)
+                           if name not in ("__meta__", "__digest__")}
+                if config_mod.simcache_verify_enabled():
+                    stored = (str(data["__digest__"])
+                              if "__digest__" in data.files else None)
+                    expected = self._entry_digest(payload, meta)
+                    if stored != expected:
+                        raise CacheCorruptionError(
+                            f"cache entry {key} failed its integrity "
+                            f"check (stored digest {stored!r})"
+                        )
+        except (CacheCorruptionError, OSError, EOFError, KeyError,
+                ValueError, zipfile.BadZipFile) as exc:
+            # OSError/EOFError/BadZipFile: truncated or unreadable
+            # container (e.g. a torn write on a filesystem without
+            # atomic replace). KeyError/ValueError: parseable container
+            # with missing or malformed members (json decode errors are
+            # ValueErrors). CacheCorruptionError: digest mismatch.
+            # All route through quarantine and read as a miss; anything
+            # else (a genuine bug) propagates.
+            del exc
+            self._quarantine(path)
             EXEC_STATS.incr("simcache.miss")
             return None
         EXEC_STATS.incr("simcache.hit")

@@ -134,6 +134,32 @@ class ExecStats:
                 "counters": dict(sorted(self._counters.items())),
             }
 
+    #: Counters summarised under ``resilience:`` in :meth:`report` —
+    #: every rung of the degradation ladder plus integrity detections
+    #: and injected faults, so a chaos run's recovery story is legible
+    #: at a glance.
+    RESILIENCE_COUNTERS = (
+        "parallel.retries",
+        "parallel.timeouts",
+        "parallel.pool_rebuild",
+        "parallel.degrade_thread",
+        "parallel.fallback_serial",
+        "simcache.quarantine",
+        "arena.attach_fallback",
+    )
+
+    def resilience(self) -> dict[str, int]:
+        """Non-zero resilience counters (degradations, recoveries,
+        integrity detections, injected faults)."""
+        with self._lock:
+            out = {name: self._counters[name]
+                   for name in self.RESILIENCE_COUNTERS
+                   if self._counters.get(name)}
+            out.update({name: value
+                        for name, value in sorted(self._counters.items())
+                        if name.startswith("faults.injected.") and value})
+        return out
+
     def hit_rate(self, prefix: str) -> float | None:
         """Hit rate for a ``<prefix>.hit``/``<prefix>.miss`` counter pair."""
         hits = self.count(f"{prefix}.hit")
@@ -158,6 +184,11 @@ class ExecStats:
         if snap["counters"]:
             lines.append("counters:")
             for name, value in snap["counters"].items():
+                lines.append(f"  {name:<30s} {value}")
+        resilience = self.resilience()
+        if resilience:
+            lines.append("resilience:")
+            for name, value in resilience.items():
                 lines.append(f"  {name:<30s} {value}")
         for prefix in ("interval_lru", "simcache"):
             rate = self.hit_rate(prefix)

@@ -17,7 +17,11 @@ import numpy as np
 
 from repro import rng as rng_mod
 from repro.config import exec_arena_enabled
-from repro.errors import ConfigurationError, NotFittedError
+from repro.errors import (
+    ArenaIntegrityError,
+    ConfigurationError,
+    NotFittedError,
+)
 from repro.exec.arena import TraceArena
 from repro.exec.parallel import default_parallel_map
 from repro.exec.stats import EXEC_STATS
@@ -106,14 +110,19 @@ class RandomForestClassifier(Estimator):
                     }})
             except (pickle.PicklingError, AttributeError, TypeError):
                 EXEC_STATS.incr("arena.build_fallback")
+        self.trees_ = None
         if arena is not None:
             try:
                 self.trees_ = pmap.map(
                     functools.partial(_arena_fit_tree, arena.handle),
                     range(self.n_trees), stage="forest_fit")
+            except ArenaIntegrityError:
+                # Corrupt/injected-corrupt segment: fall back to
+                # pickled dispatch below — bit-identical, just slower.
+                EXEC_STATS.incr("arena.attach_fallback")
             finally:
                 arena.close()
-        else:
+        if self.trees_ is None:
             self.trees_ = pmap.map(
                 functools.partial(_fit_tree_task, x=x, y=y,
                                   max_depth=self.max_depth,

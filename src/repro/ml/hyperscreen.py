@@ -18,7 +18,7 @@ from collections.abc import Callable, Mapping, Sequence
 import numpy as np
 
 from repro.config import exec_arena_enabled
-from repro.errors import DatasetError
+from repro.errors import ArenaIntegrityError, DatasetError
 from repro.exec.arena import TraceArena
 from repro.exec.parallel import ParallelMap, default_parallel_map
 from repro.exec.stats import EXEC_STATS
@@ -145,14 +145,19 @@ def screen_configs(model_factory: Callable[[Mapping[str, object]], Estimator],
                          "threshold_tuner": threshold_tuner})
         except (pickle.PicklingError, AttributeError, TypeError):
             EXEC_STATS.incr("arena.build_fallback")
+    cells = None
     if arena is not None:
         try:
             cells = pmap.map(
                 functools.partial(_arena_screen_cell, arena.handle),
                 grid, stage="hyperscreen")
+        except ArenaIntegrityError:
+            # Corrupt/injected-corrupt segment: fall back to pickled
+            # dispatch below — bit-identical, just slower.
+            EXEC_STATS.incr("arena.attach_fallback")
         finally:
             arena.close()
-    else:
+    if cells is None:
         cells = pmap.map(
             functools.partial(_screen_cell, model_factory=model_factory,
                               x=x, y=y, metric_fns=metric_fns,

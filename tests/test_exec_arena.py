@@ -16,7 +16,7 @@ import pytest
 from repro.core.adaptive_cpu import AdaptiveCPU
 from repro.core.predictor import DualModePredictor
 from repro.data.builders import build_mode_dataset
-from repro.errors import ConfigurationError
+from repro.errors import ArenaIntegrityError
 from repro.exec import EXEC_STATS, ParallelMap, TraceArena, reset_default
 from repro.exec import arena as arena_mod
 from repro.exec.parallel import AUTO_MIN_PARALLEL_S
@@ -167,7 +167,7 @@ class TestArenaRoundTrip:
     def test_non_arena_file_rejected(self, tmp_path):
         bogus = tmp_path / "bogus.bin"
         bogus.write_bytes(b"not an arena" * 10)
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(ArenaIntegrityError):
             TraceArena.attach(str(bogus))
 
 
