@@ -273,6 +273,60 @@ def _bench_arena(traces, workers: int = 2, repeats: int = 3) -> dict:
     }
 
 
+def _bench_obs(traces, span_iters: int = 200_000) -> dict:
+    """Observability overhead: tracing must be (nearly) free.
+
+    Two measurements: the per-call cost of a disabled ``tracer.span()``
+    — one env-cached branch plus a shared null singleton, budgeted in
+    nanoseconds — and a traced vs untraced warm deployment, asserted
+    bit-identical before the ratio is reported.
+    """
+    from repro.config import TRACE_ENV_VAR
+    from repro.obs import tracer
+
+    tracer.refresh()
+    assert not tracer.enabled()
+    span = tracer.span
+    start = time.perf_counter()
+    for _ in range(span_iters):
+        with span("bench.noop"):
+            pass
+    disabled_ns = (time.perf_counter() - start) / span_iters * 1e9
+
+    predictor = _predictor()
+
+    def _deploy():
+        return _timed(lambda: evaluate_predictor(
+            predictor, traces, collector=TelemetryCollector(),
+            pmap=ParallelMap("serial")))
+
+    _deploy()  # equalise one-time costs (imports, allocator warm-up)
+    plain_s, plain_suite = _deploy()
+    fd, trace_path = tempfile.mkstemp(prefix="repro-obs-bench-",
+                                      suffix=".json")
+    os.close(fd)
+    try:
+        with _env(TRACE_ENV_VAR, trace_path):
+            with tracer.trace("bench.obs"):
+                traced_s, traced_suite = _deploy()
+    finally:
+        tracer.refresh()
+        os.unlink(trace_path)
+    assert plain_suite.mean_ppw_gain == traced_suite.mean_ppw_gain, \
+        "traced run diverged from untraced"
+    ratio = traced_s / plain_s if plain_s > 0 else 1.0
+    print(f"obs: disabled span() {disabled_ns:.0f} ns/call; traced "
+          f"evaluate {traced_s:.3f}s vs untraced {plain_s:.3f}s "
+          f"({(ratio - 1) * 100:+.1f}%)")
+    return {
+        "span_iters": span_iters,
+        "disabled_span_ns": round(disabled_ns, 1),
+        "untraced_s": round(plain_s, 4),
+        "traced_s": round(traced_s, 4),
+        "overhead_ratio": round(ratio, 4),
+    }
+
+
 def run(workers: int = 4, n_apps: int = 8, workloads_per_app: int = 3,
         intervals: int = 240,
         output: Path | None = None) -> dict:
@@ -339,6 +393,7 @@ def run(workers: int = 4, n_apps: int = 8, workloads_per_app: int = 3,
     arena = _bench_arena(traces, workers=min(2, workers))
     kernel = _bench_cycle_kernel()
     resilience = _bench_resilience(traces)
+    obs = _bench_obs(traces)
 
     payload = {
         "schema": 1,
@@ -368,6 +423,7 @@ def run(workers: int = 4, n_apps: int = 8, workloads_per_app: int = 3,
         "arena": arena,
         "cycle_kernel": kernel,
         "resilience": resilience,
+        "observability": obs,
         "exec_stats": EXEC_STATS.snapshot(),
     }
     output = output or (REPO_ROOT / "BENCH_perf.json")
@@ -436,6 +492,7 @@ def run_quick(n_apps: int = 3, workloads_per_app: int = 2,
     arena = _bench_arena(traces, workers=2, repeats=2)
     kernel = _bench_cycle_kernel(n_uops=12000)
     resilience = _bench_resilience(traces)
+    obs = _bench_obs(traces, span_iters=100_000)
     failures = []
     # Checksumming every loaded entry must stay in the noise: fail only
     # when the overhead is both >5% relative AND >50 ms absolute, so a
@@ -465,6 +522,19 @@ def run_quick(n_apps: int = 3, workloads_per_app: int = 2,
         failures.append(
             f"cycle kernel: soa slower than reference "
             f"({kernel['speedup']:.2f}x)")
+    # A disabled span is one branch + a shared singleton; 2 µs/call is
+    # ~10x its expected cost, so tripping this means the fast path grew
+    # an allocation. The traced-run gate is relative AND absolute so
+    # timer noise on a fast corpus cannot flake CI.
+    if obs["disabled_span_ns"] > 2000:
+        failures.append(
+            f"disabled tracer span costs "
+            f"{obs['disabled_span_ns']:.0f} ns/call (budget 2000 ns)")
+    if (obs["overhead_ratio"] > 1.25
+            and (obs["traced_s"] - obs["untraced_s"]) > 0.1):
+        failures.append(
+            f"tracing overhead {(obs['overhead_ratio'] - 1) * 100:.1f}% "
+            f"exceeds the 25% budget")
     for failure in failures:
         print(f"PERF REGRESSION: {failure}")
     print("perf smoke:", "FAIL" if failures else "OK")

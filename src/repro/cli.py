@@ -62,6 +62,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="print stage timings, cache hit rates, payload "
                              "bytes, worker utilisation and resilience "
                              "counters at exit")
+    parser.add_argument("--trace", nargs="?", const="1", default=None,
+                        metavar="PATH",
+                        help="emit a structured JSON trace of the run; "
+                             "with no PATH, writes repro_trace.json "
+                             "(default: REPRO_TRACE or off)")
+    parser.add_argument("--obs-report", action="store_true",
+                        help="print the observability report at exit: "
+                             "per-stage wall time and throughput, cache "
+                             "hit ratios, arena payload bytes, worker-pool "
+                             "health and merged worker-side counters")
 
 
 def _seed(args: argparse.Namespace) -> int:
@@ -232,33 +242,30 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.exec_arena is not None:
-        import os
-        from repro.config import EXEC_ARENA_ENV_VAR
-        os.environ[EXEC_ARENA_ENV_VAR] = str(args.exec_arena)
+    from repro.config import ExecConfig
     if args.fault_spec is not None:
-        # Through the environment rather than install_fault_plan so
-        # process-pool workers inherit the spec too.
-        import os
-        from repro.config import FAULT_SPEC_ENV_VAR
         from repro.exec.faults import FaultPlan
         FaultPlan.parse(args.fault_spec)  # fail fast on a bad spec
-        os.environ[FAULT_SPEC_ENV_VAR] = args.fault_spec
+    config = ExecConfig.from_cli(args)
+    # Through the environment (not just install_exec_config) so
+    # process-pool workers inherit every knob too.
+    config.apply_env()
     if (args.exec_backend is not None or args.exec_workers is not None
             or args.exec_chunk is not None
             or args.exec_retries is not None
             or args.exec_timeout is not None):
         from repro.exec import configure
-        timeout = args.exec_timeout
-        if timeout is not None and timeout <= 0:
-            timeout = None
-        configure(backend=args.exec_backend, n_workers=args.exec_workers,
-                  chunk_size=args.exec_chunk, retries=args.exec_retries,
-                  timeout=timeout)
-    status = args.func(args)
+        configure(backend=config.backend, n_workers=config.workers,
+                  chunk_size=config.chunk, retries=config.retries,
+                  timeout=config.timeout)
+    from repro import obs
+    with obs.tracer.trace(f"repro.{args.command}"):
+        status = args.func(args)
     if args.exec_report:
         from repro.exec import EXEC_STATS
         print(EXEC_STATS.report())
+    if args.obs_report:
+        print(obs.render_report())
     return status
 
 

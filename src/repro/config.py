@@ -18,8 +18,11 @@ The values mirror the paper wherever the paper states them:
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import os
+
+from repro.errors import ConfigurationError
 
 #: Environment variable that scales dataset sizes for experiments.
 #: ``1.0`` is the scaled default documented in EXPERIMENTS.md; larger
@@ -101,23 +104,34 @@ FAULT_SPEC_ENV_VAR = "REPRO_FAULT_SPEC"
 #: container format itself fails to parse).
 SIMCACHE_VERIFY_ENV_VAR = "REPRO_SIMCACHE_VERIFY"
 
+#: Environment variable selecting the default execution backend.
+EXEC_BACKEND_ENV_VAR = "REPRO_EXEC_BACKEND"
 
-def experiment_scale() -> float:
-    """Return the dataset scale factor from ``REPRO_SCALE`` (default 1.0)."""
-    raw = os.environ.get(SCALE_ENV_VAR, "1.0")
-    try:
-        value = float(raw)
-    except ValueError as exc:
-        raise ValueError(
-            f"{SCALE_ENV_VAR} must be a float, got {raw!r}"
-        ) from exc
-    if value <= 0:
-        raise ValueError(f"{SCALE_ENV_VAR} must be positive, got {value}")
-    return value
+#: Environment variable selecting the default worker count (unset:
+#: the CPU count at use time).
+EXEC_WORKERS_ENV_VAR = "REPRO_EXEC_WORKERS"
+
+#: Recognised execution backends, in increasing isolation order;
+#: ``auto`` probes and picks between ``serial`` and ``process`` per
+#: call. (:data:`repro.exec.parallel.BACKENDS` aliases this.)
+EXEC_BACKENDS = ("serial", "thread", "process", "auto")
+
+#: Environment variable pointing SimCache at its on-disk directory.
+#: Unset disables the cache.
+SIMCACHE_DIR_ENV_VAR = "REPRO_SIMCACHE_DIR"
+
+#: Environment variable gating the span tracer (:mod:`repro.obs`):
+#: unset or ``0`` disables tracing, ``1`` enables it with the default
+#: output path, any other value enables it and names the trace file.
+TRACE_ENV_VAR = "REPRO_TRACE"
 
 
-def interval_lru_size() -> int:
-    """LRU memo bound from ``REPRO_INTERVAL_LRU`` (default 1024)."""
+# ---------------------------------------------------------------------
+# Raw environment parsers. Each reads exactly one knob and raises the
+# historical per-variable error message; :meth:`ExecConfig.from_env`
+# is their only caller.
+# ---------------------------------------------------------------------
+def _env_interval_lru() -> int:
     raw = os.environ.get(INTERVAL_LRU_ENV_VAR, str(DEFAULT_INTERVAL_LRU))
     try:
         value = int(raw)
@@ -132,8 +146,7 @@ def interval_lru_size() -> int:
     return value
 
 
-def cycle_kernel() -> str:
-    """Selected cycle-level kernel from ``REPRO_CYCLE_KERNEL``."""
+def _env_cycle_kernel() -> str:
     value = os.environ.get(CYCLE_KERNEL_ENV_VAR, "soa")
     if value not in CYCLE_KERNELS:
         raise ValueError(
@@ -143,28 +156,41 @@ def cycle_kernel() -> str:
     return value
 
 
-def batch_sim_enabled() -> bool:
-    """Whether the batch-simulation layer is on (``REPRO_BATCH_SIM``)."""
-    value = os.environ.get(BATCH_SIM_ENV_VAR, "1")
+def _env_flag(var: str, default: str) -> bool:
+    value = os.environ.get(var, default)
     if value not in ("0", "1"):
-        raise ValueError(
-            f"{BATCH_SIM_ENV_VAR} must be '0' or '1', got {value!r}"
-        )
+        raise ValueError(f"{var} must be '0' or '1', got {value!r}")
     return value == "1"
 
 
-def exec_arena_enabled() -> bool:
-    """Whether the zero-copy trace arena is on (``REPRO_EXEC_ARENA``)."""
-    value = os.environ.get(EXEC_ARENA_ENV_VAR, "1")
-    if value not in ("0", "1"):
-        raise ValueError(
-            f"{EXEC_ARENA_ENV_VAR} must be '0' or '1', got {value!r}"
+def _env_backend() -> str:
+    value = os.environ.get(EXEC_BACKEND_ENV_VAR, "serial")
+    if value not in EXEC_BACKENDS:
+        raise ConfigurationError(
+            f"unknown exec backend {value!r}; expected one of "
+            f"{EXEC_BACKENDS}"
         )
-    return value == "1"
+    return value
 
 
-def exec_chunk_size() -> int | None:
-    """Fixed chunk size from ``REPRO_EXEC_CHUNK``, or None for adaptive."""
+def _env_workers() -> int | None:
+    raw = os.environ.get(EXEC_WORKERS_ENV_VAR)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{EXEC_WORKERS_ENV_VAR} must be an int, got {raw!r}"
+        ) from exc
+    if value < 1:
+        raise ConfigurationError(
+            f"n_workers must be >= 1, got {value}"
+        )
+    return value
+
+
+def _env_chunk() -> int | None:
     raw = os.environ.get(EXEC_CHUNK_ENV_VAR)
     if raw is None or raw == "":
         return None
@@ -179,10 +205,8 @@ def exec_chunk_size() -> int | None:
     return value
 
 
-def exec_retries() -> int:
-    """Chunk retry budget from ``REPRO_EXEC_RETRIES`` (default 2)."""
-    raw = os.environ.get(EXEC_RETRIES_ENV_VAR,
-                         str(DEFAULT_EXEC_RETRIES))
+def _env_retries() -> int:
+    raw = os.environ.get(EXEC_RETRIES_ENV_VAR, str(DEFAULT_EXEC_RETRIES))
     try:
         value = int(raw)
     except ValueError as exc:
@@ -196,8 +220,7 @@ def exec_retries() -> int:
     return value
 
 
-def exec_timeout() -> float | None:
-    """Per-task timeout (s) from ``REPRO_EXEC_TIMEOUT`` (default off)."""
+def _env_timeout() -> float | None:
     raw = os.environ.get(EXEC_TIMEOUT_ENV_VAR)
     if raw is None or raw == "":
         return None
@@ -214,25 +237,387 @@ def exec_timeout() -> float | None:
     return value if value > 0 else None
 
 
-def simcache_verify_enabled() -> bool:
-    """Whether SimCache verifies checksums (``REPRO_SIMCACHE_VERIFY``)."""
-    value = os.environ.get(SIMCACHE_VERIFY_ENV_VAR, "1")
-    if value not in ("0", "1"):
-        raise ValueError(
-            f"{SIMCACHE_VERIFY_ENV_VAR} must be '0' or '1', got {value!r}"
-        )
-    return value == "1"
-
-
-def exec_pool_persistent() -> bool:
-    """Whether worker pools persist across map calls (``REPRO_EXEC_POOL``)."""
+def _env_pool() -> str:
     value = os.environ.get(EXEC_POOL_ENV_VAR, "persistent")
     if value not in ("persistent", "fresh"):
         raise ValueError(
             f"{EXEC_POOL_ENV_VAR} must be 'persistent' or 'fresh', "
             f"got {value!r}"
         )
-    return value == "persistent"
+    return value
+
+
+def _env_optional(var: str) -> str | None:
+    raw = os.environ.get(var)
+    return raw if raw else None
+
+
+def _env_trace() -> str | None:
+    raw = os.environ.get(TRACE_ENV_VAR)
+    if raw is None or raw in ("", "0"):
+        return None
+    return raw
+
+
+#: Every environment variable :meth:`ExecConfig.from_env` consumes, in
+#: the order its memo key is built.
+EXEC_ENV_VARS = (
+    EXEC_BACKEND_ENV_VAR,
+    EXEC_WORKERS_ENV_VAR,
+    EXEC_POOL_ENV_VAR,
+    EXEC_ARENA_ENV_VAR,
+    EXEC_CHUNK_ENV_VAR,
+    EXEC_RETRIES_ENV_VAR,
+    EXEC_TIMEOUT_ENV_VAR,
+    SIMCACHE_DIR_ENV_VAR,
+    SIMCACHE_VERIFY_ENV_VAR,
+    FAULT_SPEC_ENV_VAR,
+    CYCLE_KERNEL_ENV_VAR,
+    BATCH_SIM_ENV_VAR,
+    INTERVAL_LRU_ENV_VAR,
+    TRACE_ENV_VAR,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecConfig:
+    """The typed face of every runtime knob the engine reads.
+
+    One frozen value object replaces ~15 scattered ``os.environ``
+    reads: build it with :meth:`from_env` (the environment variables
+    keep working), :meth:`from_cli` (CLI flags layered over the
+    environment) or directly, and install it for a scope with
+    :meth:`override`. Internal call sites read the active config via
+    the module-level accessor functions (``cycle_kernel()``,
+    ``exec_retries()``, ...), which are now thin shims over
+    :func:`active_exec_config`.
+
+    ``None`` means "engine default decided at use time": ``workers``
+    falls back to the CPU count, ``chunk`` to adaptive sizing,
+    ``timeout``/``fault_spec``/``simcache_dir``/``trace`` to off.
+    """
+
+    backend: str = "serial"
+    workers: int | None = None
+    pool: str = "persistent"
+    arena: bool = True
+    chunk: int | None = None
+    retries: int = DEFAULT_EXEC_RETRIES
+    timeout: float | None = None
+    simcache_dir: str | None = None
+    simcache_verify: bool = True
+    fault_spec: str | None = None
+    cycle_kernel: str = "soa"
+    batch_sim: bool = True
+    interval_lru: int = DEFAULT_INTERVAL_LRU
+    trace: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in EXEC_BACKENDS:
+            raise ConfigurationError(
+                f"unknown exec backend {self.backend!r}; expected one "
+                f"of {EXEC_BACKENDS}"
+            )
+        if self.pool not in ("persistent", "fresh"):
+            raise ValueError(
+                f"pool must be 'persistent' or 'fresh', got {self.pool!r}"
+            )
+        if self.cycle_kernel not in CYCLE_KERNELS:
+            raise ValueError(
+                f"cycle_kernel must be one of {CYCLE_KERNELS}, "
+                f"got {self.cycle_kernel!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(
+                f"n_workers must be >= 1, got {self.workers}"
+            )
+        if self.chunk is not None and self.chunk < 1:
+            raise ValueError(f"chunk must be >= 1, got {self.chunk}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be > 0, got {self.timeout}")
+        if self.interval_lru < 1:
+            raise ValueError(
+                f"interval_lru must be >= 1, got {self.interval_lru}"
+            )
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(cls) -> "ExecConfig":
+        """Parse every ``REPRO_*`` engine knob into one config.
+
+        Memoized on the raw environment strings, so repeated calls on
+        an unchanged environment are a tuple compare — and a
+        monkeypatched environment (tests) is picked up immediately.
+        Invalid values raise the same per-variable errors the old
+        accessor functions raised.
+        """
+        global _FROM_ENV_CACHE
+        key = tuple(os.environ.get(var) for var in EXEC_ENV_VARS)
+        cached = _FROM_ENV_CACHE
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        config = cls(
+            backend=_env_backend(),
+            workers=_env_workers(),
+            pool=_env_pool(),
+            arena=_env_flag(EXEC_ARENA_ENV_VAR, "1"),
+            chunk=_env_chunk(),
+            retries=_env_retries(),
+            timeout=_env_timeout(),
+            simcache_dir=_env_optional(SIMCACHE_DIR_ENV_VAR),
+            simcache_verify=_env_flag(SIMCACHE_VERIFY_ENV_VAR, "1"),
+            fault_spec=_env_optional(FAULT_SPEC_ENV_VAR),
+            cycle_kernel=_env_cycle_kernel(),
+            batch_sim=_env_flag(BATCH_SIM_ENV_VAR, "1"),
+            interval_lru=_env_interval_lru(),
+            trace=_env_trace(),
+        )
+        _FROM_ENV_CACHE = (key, config)
+        return config
+
+    @classmethod
+    def from_cli(cls, args) -> "ExecConfig":
+        """Environment config with CLI flags layered on top.
+
+        ``args`` is an ``argparse.Namespace`` (missing attributes are
+        simply ignored, so any subcommand's namespace works). A flag
+        left at its ``None`` default keeps the environment's value.
+        """
+        config = cls.from_env()
+        updates: dict[str, object] = {}
+        for attr, field in (("exec_backend", "backend"),
+                            ("exec_workers", "workers"),
+                            ("exec_chunk", "chunk"),
+                            ("exec_retries", "retries"),
+                            ("fault_spec", "fault_spec"),
+                            ("trace", "trace")):
+            value = getattr(args, attr, None)
+            if value is not None:
+                updates[field] = value
+        arena = getattr(args, "exec_arena", None)
+        if arena is not None:
+            updates["arena"] = bool(arena)
+        timeout = getattr(args, "exec_timeout", None)
+        if timeout is not None:
+            updates["timeout"] = timeout if timeout > 0 else None
+        return dataclasses.replace(config, **updates) if updates else config
+
+    def replace(self, **changes) -> "ExecConfig":
+        """A copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Round-tripping.
+    # ------------------------------------------------------------------
+    def to_env(self) -> dict[str, str | None]:
+        """Environment-variable image of this config.
+
+        ``None`` values mean "unset the variable". The mapping
+        round-trips: applying it and calling :meth:`from_env` yields
+        a config equal to this one.
+        """
+        return {
+            EXEC_BACKEND_ENV_VAR: self.backend,
+            EXEC_WORKERS_ENV_VAR:
+                None if self.workers is None else str(self.workers),
+            EXEC_POOL_ENV_VAR: self.pool,
+            EXEC_ARENA_ENV_VAR: "1" if self.arena else "0",
+            EXEC_CHUNK_ENV_VAR:
+                None if self.chunk is None else str(self.chunk),
+            EXEC_RETRIES_ENV_VAR: str(self.retries),
+            EXEC_TIMEOUT_ENV_VAR:
+                None if self.timeout is None else repr(self.timeout),
+            SIMCACHE_DIR_ENV_VAR: self.simcache_dir,
+            SIMCACHE_VERIFY_ENV_VAR: "1" if self.simcache_verify else "0",
+            FAULT_SPEC_ENV_VAR: self.fault_spec,
+            CYCLE_KERNEL_ENV_VAR: self.cycle_kernel,
+            BATCH_SIM_ENV_VAR: "1" if self.batch_sim else "0",
+            INTERVAL_LRU_ENV_VAR: str(self.interval_lru),
+            TRACE_ENV_VAR: self.trace,
+        }
+
+    def apply_env(self) -> None:
+        """Write this config into ``os.environ``.
+
+        The one sanctioned way to make a config visible to *process
+        pool workers*, which inherit the environment but not this
+        process's :func:`install_exec_config` state.
+        """
+        for var, value in self.to_env().items():
+            if value is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = value
+
+    # ------------------------------------------------------------------
+    # Scoped installation.
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def override(self):
+        """Install this config as the process-local active config for
+        a ``with`` block (the environment is untouched — use
+        :meth:`apply_env` when process-pool workers must see it too).
+        """
+        global _ACTIVE
+        previous = _ACTIVE
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            _ACTIVE = previous
+
+
+_FROM_ENV_CACHE: tuple[tuple, ExecConfig] | None = None
+_ACTIVE: ExecConfig | None = None
+
+
+def active_exec_config() -> ExecConfig:
+    """The installed :class:`ExecConfig`, else :meth:`ExecConfig.from_env`."""
+    if _ACTIVE is not None:
+        return _ACTIVE
+    return ExecConfig.from_env()
+
+
+def install_exec_config(config: ExecConfig | None) -> None:
+    """Install (or with ``None`` clear) the process-wide active config."""
+    global _ACTIVE
+    _ACTIVE = config
+
+
+def experiment_scale() -> float:
+    """Return the dataset scale factor from ``REPRO_SCALE`` (default 1.0)."""
+    raw = os.environ.get(SCALE_ENV_VAR, "1.0")
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{SCALE_ENV_VAR} must be a float, got {raw!r}"
+        ) from exc
+    if value <= 0:
+        raise ValueError(f"{SCALE_ENV_VAR} must be positive, got {value}")
+    return value
+
+
+# ---------------------------------------------------------------------
+# Knob accessors. Each is a deprecated thin shim over the active
+# :class:`ExecConfig`: the environment variables keep working (through
+# ``ExecConfig.from_env``), but new code should read
+# ``active_exec_config().<field>`` directly.
+# ---------------------------------------------------------------------
+def interval_lru_size() -> int:
+    """LRU memo bound from ``REPRO_INTERVAL_LRU`` (default 1024).
+
+    .. deprecated:: read ``active_exec_config().interval_lru``.
+    """
+    return active_exec_config().interval_lru
+
+
+def cycle_kernel() -> str:
+    """Selected cycle-level kernel from ``REPRO_CYCLE_KERNEL``.
+
+    .. deprecated:: read ``active_exec_config().cycle_kernel``.
+    """
+    return active_exec_config().cycle_kernel
+
+
+def batch_sim_enabled() -> bool:
+    """Whether the batch-simulation layer is on (``REPRO_BATCH_SIM``).
+
+    .. deprecated:: read ``active_exec_config().batch_sim``.
+    """
+    return active_exec_config().batch_sim
+
+
+def exec_arena_enabled() -> bool:
+    """Whether the zero-copy trace arena is on (``REPRO_EXEC_ARENA``).
+
+    .. deprecated:: read ``active_exec_config().arena``.
+    """
+    return active_exec_config().arena
+
+
+def exec_chunk_size() -> int | None:
+    """Fixed chunk size from ``REPRO_EXEC_CHUNK``, or None for adaptive.
+
+    .. deprecated:: read ``active_exec_config().chunk``.
+    """
+    return active_exec_config().chunk
+
+
+def exec_retries() -> int:
+    """Chunk retry budget from ``REPRO_EXEC_RETRIES`` (default 2).
+
+    .. deprecated:: read ``active_exec_config().retries``.
+    """
+    return active_exec_config().retries
+
+
+def exec_timeout() -> float | None:
+    """Per-task timeout (s) from ``REPRO_EXEC_TIMEOUT`` (default off).
+
+    .. deprecated:: read ``active_exec_config().timeout``.
+    """
+    return active_exec_config().timeout
+
+
+def simcache_verify_enabled() -> bool:
+    """Whether SimCache verifies checksums (``REPRO_SIMCACHE_VERIFY``).
+
+    .. deprecated:: read ``active_exec_config().simcache_verify``.
+    """
+    return active_exec_config().simcache_verify
+
+
+def exec_pool_persistent() -> bool:
+    """Whether worker pools persist across map calls (``REPRO_EXEC_POOL``).
+
+    .. deprecated:: read ``active_exec_config().pool``.
+    """
+    return active_exec_config().pool == "persistent"
+
+
+def exec_backend() -> str:
+    """Default execution backend from ``REPRO_EXEC_BACKEND``.
+
+    .. deprecated:: read ``active_exec_config().backend``.
+    """
+    return active_exec_config().backend
+
+
+def exec_workers() -> int | None:
+    """Default worker count from ``REPRO_EXEC_WORKERS`` (None: CPU count).
+
+    .. deprecated:: read ``active_exec_config().workers``.
+    """
+    return active_exec_config().workers
+
+
+def simcache_dir() -> str | None:
+    """SimCache directory from ``REPRO_SIMCACHE_DIR`` (None: disabled).
+
+    .. deprecated:: read ``active_exec_config().simcache_dir``.
+    """
+    return active_exec_config().simcache_dir
+
+
+def fault_spec() -> str | None:
+    """Fault-injection spec from ``REPRO_FAULT_SPEC`` (None: disabled).
+
+    .. deprecated:: read ``active_exec_config().fault_spec``.
+    """
+    return active_exec_config().fault_spec
+
+
+def trace_spec() -> str | None:
+    """Trace destination from ``REPRO_TRACE`` (None: tracing off).
+
+    .. deprecated:: read ``active_exec_config().trace``.
+    """
+    return active_exec_config().trace
 
 
 def experiment_seed() -> int:

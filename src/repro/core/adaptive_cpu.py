@@ -27,6 +27,7 @@ from repro.errors import ArenaIntegrityError, DatasetError
 from repro.exec.arena import TraceArena
 from repro.exec.parallel import ParallelMap, default_parallel_map
 from repro.exec.stats import EXEC_STATS
+from repro.obs import tracer
 from repro.telemetry.collector import TelemetryCollector, coarsen
 from repro.uarch.modes import Mode
 from repro.uarch.power import MODE_SWITCH_ENERGY_NJ, PowerModel
@@ -257,13 +258,16 @@ class AdaptiveCPU:
         pmap = pmap if pmap is not None else default_parallel_map()
         if not (batch_sim_enabled() and type(self).run is AdaptiveCPU.run):
             return pmap.map(self.run, traces, stage="adaptive_run")
-        preps = self._prepare_many(traces, pmap)
+        with tracer.span("deploy.prepare", traces=len(traces)):
+            preps = self._prepare_many(traces, pmap)
         if not preps:
             return []
-        with EXEC_STATS.stage("adaptive_infer"):
+        with EXEC_STATS.stage("adaptive_infer"), \
+                tracer.span("deploy.infer", traces=len(preps)):
             bounds = np.cumsum([0] + [prep.t_count for prep in preps])
             probs_by_mode = self._infer_many(preps)
-        with EXEC_STATS.stage("adaptive_finalize"):
+        with EXEC_STATS.stage("adaptive_finalize"), \
+                tracer.span("deploy.finalize", traces=len(preps)):
             out = []
             for p, prep in enumerate(preps):
                 lo, hi = int(bounds[p]), int(bounds[p + 1])
@@ -333,10 +337,14 @@ class AdaptiveCPU:
             ]
             EXEC_STATS.incr("adaptive_infer.model_calls")
             if len(modes) == 1:
+                EXEC_STATS.observe("adaptive_infer.batch_rows",
+                                   blocks[0].shape[0])
                 probs_by_mode[modes[0]] = self.predictor.predict_proba(
                     blocks[0], modes[0])
                 continue
             stacked = np.concatenate(blocks, axis=0)
+            EXEC_STATS.observe("adaptive_infer.batch_rows",
+                               stacked.shape[0])
             probs = self.predictor.predict_proba(stacked, modes[0])
             rows = blocks[0].shape[0]
             for k, mode in enumerate(modes):

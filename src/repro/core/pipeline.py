@@ -24,18 +24,22 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import pickle
 from collections.abc import Callable, Iterable
 
 import numpy as np
 
 from repro import rng as rng_mod
-from repro.config import DEFAULT_SLA, SLAConfig
+from repro.config import DEFAULT_SLA, SLAConfig, exec_arena_enabled
 from repro.core.predictor import DualModePredictor
 from repro.data.builders import dataset_from_traces
 from repro.data.dataset import GatingDataset
-from repro.errors import ConfigurationError
+from repro.errors import ArenaIntegrityError, ConfigurationError
 from repro.eval.metrics import effective_sla_window, pooled_rsv
+from repro.exec.arena import TraceArena
 from repro.exec.parallel import ParallelMap, default_parallel_map
+from repro.exec.stats import EXEC_STATS
+from repro.obs import tracer
 from repro.eval.metrics import pgos as pgos_metric
 from repro.ml.base import Estimator
 from repro.ml.forest import RandomForestClassifier
@@ -176,6 +180,120 @@ def _fit_candidate(unit: tuple[Mode, int], *,
     return (pgos_metric(cal_ds.y, preds), candidate, model)
 
 
+def _build_train_arena(factory: Callable[[Mode], Estimator],
+                       datasets: dict[Mode, GatingDataset]) -> TraceArena:
+    """Pack the per-mode training datasets (and factory) into an arena.
+
+    Feature/label matrices and the per-row name columns ship as named
+    bulk arrays (``np.frombuffer`` round-trips unicode dtypes, so the
+    string columns ride the data region too); only the scalar metadata
+    and the factory go through the pickled header. Workers then attach
+    once per process instead of unpickling the full training set per
+    chunk.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict[str, dict] = {}
+    for mode, ds in datasets.items():
+        tag = mode.value
+        arrays[f"x_{tag}"] = ds.x
+        arrays[f"y_{tag}"] = ds.y
+        arrays[f"groups_{tag}"] = ds.groups
+        arrays[f"workloads_{tag}"] = ds.workloads
+        arrays[f"traces_{tag}"] = ds.traces
+        arrays[f"counter_ids_{tag}"] = ds.counter_ids
+        meta[tag] = {"granularity": ds.granularity,
+                     "sla_floor": ds.sla_floor}
+    return TraceArena.build(
+        arrays=arrays,
+        objects={"factory": factory, "train_meta": meta})
+
+
+def _datasets_from_arena(arena: TraceArena) -> dict[Mode, GatingDataset]:
+    """Rebuild the per-mode datasets as views of the shared mapping.
+
+    The views are read-only; every consumer (``subset``'s fancy
+    indexing, estimator ``fit``) copies the rows it selects, so the
+    reconstructed datasets behave exactly like their pickled twins.
+    """
+    meta = arena.object("train_meta")
+    datasets: dict[Mode, GatingDataset] = {}
+    for mode in Mode:
+        tag = mode.value
+        if tag not in meta:
+            continue
+        datasets[mode] = GatingDataset(
+            x=arena.array(f"x_{tag}"),
+            y=arena.array(f"y_{tag}"),
+            groups=arena.array(f"groups_{tag}"),
+            workloads=arena.array(f"workloads_{tag}"),
+            traces=arena.array(f"traces_{tag}"),
+            mode=mode,
+            counter_ids=arena.array(f"counter_ids_{tag}"),
+            granularity=int(meta[tag]["granularity"]),
+            sla_floor=float(meta[tag]["sla_floor"]),
+        )
+    return datasets
+
+
+def _arena_fit_candidate(handle: str, unit: tuple[Mode, int], *,
+                         rsv_budget: float, calibration_fraction: float,
+                         seed: int) -> tuple[float, int, Estimator]:
+    """Worker-side candidate fit: datasets and factory ride the arena."""
+    arena = TraceArena.attach(handle)
+    return _fit_candidate(
+        unit,
+        factory=arena.object("factory"),
+        datasets=_datasets_from_arena(arena),
+        rsv_budget=rsv_budget,
+        calibration_fraction=calibration_fraction,
+        seed=seed,
+    )
+
+
+def _fit_candidate_grid(factory: Callable[[Mode], Estimator],
+                        datasets: dict[Mode, GatingDataset],
+                        grid: list[tuple[Mode, int]],
+                        pmap: ParallelMap, *, rsv_budget: float,
+                        calibration_fraction: float, seed: int) -> list:
+    """Fan the (mode, candidate) grid out, via the arena when it pays.
+
+    Mirrors the hyperscreen/dataset-builder arena protocol: the shared
+    training matrices are packaged once when dispatch will actually
+    cross a process boundary; unpicklable factories (the closure-based
+    standard-model factories) fall back to plain dispatch at build
+    time, and a corrupt segment falls back at attach time — results
+    are bit-identical on every path.
+    """
+    arena = None
+    if (exec_arena_enabled() and len(grid) > 1
+            and pmap.uses_processes(len(grid), "train_candidates")):
+        try:
+            arena = _build_train_arena(factory, datasets)
+        except (pickle.PicklingError, AttributeError, TypeError):
+            EXEC_STATS.incr("arena.build_fallback")
+    if arena is not None:
+        try:
+            return pmap.map(
+                functools.partial(
+                    _arena_fit_candidate, arena.handle,
+                    rsv_budget=rsv_budget,
+                    calibration_fraction=calibration_fraction,
+                    seed=seed),
+                grid, stage="train_candidates")
+        except ArenaIntegrityError:
+            # Corrupt/injected-corrupt segment: fall back to pickled
+            # dispatch below — bit-identical, just slower.
+            EXEC_STATS.incr("arena.attach_fallback")
+        finally:
+            arena.close()
+    return pmap.map(
+        functools.partial(_fit_candidate, factory=factory,
+                          datasets=datasets, rsv_budget=rsv_budget,
+                          calibration_fraction=calibration_fraction,
+                          seed=seed),
+        grid, stage="train_candidates")
+
+
 def train_dual_predictor(name: str,
                          factory: Callable[[Mode], Estimator],
                          datasets: dict[Mode, GatingDataset],
@@ -211,12 +329,12 @@ def train_dual_predictor(name: str,
         n_cand = max(1, n_candidates)
         grid = [(mode, candidate) for mode in Mode
                 for candidate in range(n_cand)]
-        cells = pmap.map(
-            functools.partial(_fit_candidate, factory=factory,
-                              datasets=datasets, rsv_budget=rsv_budget,
-                              calibration_fraction=calibration_fraction,
-                              seed=seed),
-            grid, stage="train_candidates")
+        with tracer.span("train.candidates", predictor=name,
+                         candidates=n_cand):
+            cells = _fit_candidate_grid(
+                factory, datasets, grid, pmap,
+                rsv_budget=rsv_budget,
+                calibration_fraction=calibration_fraction, seed=seed)
         for i, mode in enumerate(Mode):
             scored = cells[i * n_cand:(i + 1) * n_cand]
             # The median candidate by calibration PGOS: random restarts

@@ -26,6 +26,7 @@ from repro.exec.arena import TraceArena
 from repro.exec.parallel import ParallelMap, default_parallel_map
 from repro.exec.simcache import SimCache, default_simcache
 from repro.exec.stats import EXEC_STATS
+from repro.obs import tracer
 from repro.telemetry.collector import TelemetryCollector, coarsen
 from repro.uarch.modes import Mode
 from repro.workloads.categories import hdtr_corpus
@@ -162,6 +163,16 @@ def build_mode_dataset(traces: list[TraceSpec], mode: Mode,
     """
     if not traces:
         raise DatasetError("no traces supplied")
+    with tracer.span("build_dataset", mode=mode.value,
+                     traces=len(traces)):
+        return _build_mode_dataset(
+            traces, mode, counter_ids, sla, collector,
+            granularity_factor, horizon, pmap, simcache)
+
+
+def _build_mode_dataset(traces, mode, counter_ids, sla, collector,
+                        granularity_factor, horizon, pmap,
+                        simcache) -> GatingDataset:
     collector = collector or TelemetryCollector()
     counter_ids = np.asarray(counter_ids, dtype=np.int64)
     simcache = simcache if simcache is not None else default_simcache()

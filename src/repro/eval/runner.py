@@ -22,6 +22,7 @@ from repro.errors import DatasetError
 from repro.eval.metrics import effective_sla_window, pgos, pooled_rsv
 from repro.exec.parallel import ParallelMap
 from repro.exec.stats import EXEC_STATS
+from repro.obs import tracer
 from repro.telemetry.collector import TelemetryCollector
 from repro.uarch.power import PowerModel
 from repro.workloads.generator import TraceSpec
@@ -138,22 +139,25 @@ def evaluate_predictor(predictor: DualModePredictor,
     """
     if not traces:
         raise DatasetError("no traces to evaluate")
-    cpu = AdaptiveCPU(predictor, collector=collector, power=power, sla=sla)
-    runs = cpu.run_many(traces, pmap=pmap)
-    granularity = runs[0].granularity
-    if window is None:
-        window = effective_sla_window(granularity, cpu.machine, sla)
-    by_app: dict[str, list[AdaptiveRunResult]] = {}
-    for run in runs:
-        by_app.setdefault(run.app_name, []).append(run)
-    with EXEC_STATS.stage("evaluate_aggregate"):
-        per_benchmark = tuple(
-            _aggregate_app(app, app_runs, window)
-            for app, app_runs in sorted(by_app.items())
+    with tracer.span("evaluate.predictor", predictor=predictor.name,
+                     traces=len(traces)):
+        cpu = AdaptiveCPU(predictor, collector=collector, power=power,
+                          sla=sla)
+        runs = cpu.run_many(traces, pmap=pmap)
+        granularity = runs[0].granularity
+        if window is None:
+            window = effective_sla_window(granularity, cpu.machine, sla)
+        by_app: dict[str, list[AdaptiveRunResult]] = {}
+        for run in runs:
+            by_app.setdefault(run.app_name, []).append(run)
+        with EXEC_STATS.stage("evaluate_aggregate"):
+            per_benchmark = tuple(
+                _aggregate_app(app, app_runs, window)
+                for app, app_runs in sorted(by_app.items())
+            )
+        return SuiteEval(
+            predictor_name=predictor.name,
+            granularity=granularity,
+            per_benchmark=per_benchmark,
+            runs=tuple(runs),
         )
-    return SuiteEval(
-        predictor_name=predictor.name,
-        granularity=granularity,
-        per_benchmark=per_benchmark,
-        runs=tuple(runs),
-    )

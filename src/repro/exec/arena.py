@@ -65,6 +65,7 @@ import numpy as np
 from repro.errors import ArenaIntegrityError
 from repro.exec import faults
 from repro.exec.stats import EXEC_STATS
+from repro.obs import tracer
 
 #: File magic identifying an arena segment.
 MAGIC = b"RPRARENA"
@@ -133,6 +134,16 @@ class TraceArena:
         serialised — callers treat that as "no arena" and fall back to
         plain dispatch.
         """
+        with tracer.span("arena.build", traces=len(traces)) as sp:
+            arena = cls._build(traces, objects, arrays, machine)
+            sp.set(bytes=len(arena._mm))
+            return arena
+
+    @classmethod
+    def _build(cls, traces: Sequence,
+               objects: Mapping[str, object] | None,
+               arrays: Mapping[str, np.ndarray] | None,
+               machine: object | None) -> "TraceArena":
         start = time.perf_counter()
         apps: list = []
         app_index: dict[int, int] = {}

@@ -51,6 +51,7 @@ import os
 import threading
 import time
 
+from repro import config as config_mod
 from repro.config import FAULT_SPEC_ENV_VAR
 from repro.errors import ConfigurationError
 from repro.exec.stats import EXEC_STATS
@@ -184,12 +185,18 @@ def install_fault_plan(plan: FaultPlan | None) -> None:
 
 
 def active_plan() -> FaultPlan | None:
-    """The installed plan, else the env-driven plan, else ``None``."""
+    """The installed plan, else the config-driven plan, else ``None``.
+
+    The spec string comes from :func:`repro.config.fault_spec` (the
+    ``REPRO_FAULT_SPEC`` knob on :class:`~repro.config.ExecConfig`),
+    so scoped ``ExecConfig.override(...)`` blocks can inject faults
+    without mutating the environment. The parse is memoised per spec.
+    """
     global _ENV_CACHE
     with _LOCK:
         if _INSTALLED is not None:
             return _INSTALLED
-        raw = os.environ.get(FAULT_SPEC_ENV_VAR)
+        raw = config_mod.fault_spec()
         if not raw:
             return None
         if _ENV_CACHE is None or _ENV_CACHE[0] != raw:

@@ -79,17 +79,21 @@ from repro.errors import (
     WorkerTimeoutError,
 )
 from repro.exec import faults
+from repro.obs import tracer
+from repro.obs.metrics import METRICS
 from repro.exec.stats import EXEC_STATS
 
-#: Environment variable selecting the default backend.
-BACKEND_ENV_VAR = "REPRO_EXEC_BACKEND"
+#: Environment variable selecting the default backend (read through
+#: :meth:`repro.config.ExecConfig.from_env`).
+BACKEND_ENV_VAR = config_mod.EXEC_BACKEND_ENV_VAR
 
-#: Environment variable selecting the default worker count.
-WORKERS_ENV_VAR = "REPRO_EXEC_WORKERS"
+#: Environment variable selecting the default worker count (read
+#: through :meth:`repro.config.ExecConfig.from_env`).
+WORKERS_ENV_VAR = config_mod.EXEC_WORKERS_ENV_VAR
 
 #: Recognised backends, in increasing isolation order; ``auto`` probes
 #: and picks between ``serial`` and ``process`` per call.
-BACKENDS = ("serial", "thread", "process", "auto")
+BACKENDS = config_mod.EXEC_BACKENDS
 
 #: ``auto`` only fans out when the estimated total work for a map call
 #: is at least this many seconds — below it, pool submission overhead
@@ -166,6 +170,7 @@ def _get_pool(backend: str,
                 max_workers=n_workers, initializer=_pool_worker_init)
         _POOLS[key] = pool
         EXEC_STATS.incr("parallel.pool_create")
+        METRICS.gauge_add("parallel.pools_open", 1)
         EXEC_STATS.add_time("pool_create", time.perf_counter() - start)
         return pool
 
@@ -186,7 +191,12 @@ def close_pools() -> None:
     Also drains pools discarded mid-map after their workers died:
     those executors were shut down without waiting at discard time, so
     without this second pass a crashed persistent pool could leak its
-    remaining worker processes until interpreter exit.
+    remaining worker processes until interpreter exit. The
+    ``parallel.pools_open`` gauge counts every pool whose workers may
+    still be alive (created minus fully drained), so after this call
+    it reads 0 — the regression test for the degradation ladder
+    asserts exactly that, plus idempotence: a second call finds both
+    registries empty and decrements nothing.
     """
     with _POOL_LOCK:
         pools = list(_POOLS.values())
@@ -200,6 +210,8 @@ def close_pools() -> None:
             # A pool whose manager thread already died can raise on a
             # second shutdown; nothing is left to reclaim from it.
             EXEC_STATS.incr("parallel.pool_close_error")
+        EXEC_STATS.incr("parallel.pool_close")
+        METRICS.gauge_add("parallel.pools_open", -1)
 
 
 atexit.register(close_pools)
@@ -227,36 +239,84 @@ def _chunk_fault_point(stage: str | None, first_index: int,
     faults.maybe_hang(site)
 
 
+def _sidecar_mark() -> tuple | None:
+    """Checkpoint worker-local metrics/spans before a chunk runs.
+
+    Only process-pool workers return a mark: thread workers share the
+    parent's registry (their observations are already in place) and
+    the serial path *is* the parent.
+    """
+    if not _IN_WORKER:
+        return None
+    return (METRICS.mark(), tracer.mark())
+
+
+def _sidecar(marks: tuple | None) -> dict | None:
+    """Everything this worker observed since the mark, picklable.
+
+    Rides home on the chunk-result tuple; the parent merges it so
+    counters bumped inside workers (fault injections, arena attach
+    hits, cache hits) stop dying with the worker process. Spans are
+    drained *and cleared* so a persistent worker never re-ships them.
+    """
+    if marks is None:
+        return None
+    metrics_mark, span_mark = marks
+    return {
+        "pid": os.getpid(),
+        "metrics": METRICS.delta(metrics_mark),
+        "spans": tracer.drain_reset(span_mark),
+    }
+
+
+def _merge_sidecar(sidecar: dict | None) -> None:
+    """Parent-side: fold a worker's sidecar into this process."""
+    if sidecar is None:
+        return
+    if METRICS.merge(sidecar["metrics"]):
+        METRICS.incr("obs.worker_merges")
+        tracer.absorb(sidecar["spans"])
+
+
 def _run_chunk(fn: Callable, indexed: Sequence[tuple[int, object]],
                seed: int | None, stage: str | None = None,
                attempt: int = 0,
-               pooled: bool = False) -> tuple[list, float]:
-    """Run one chunk of (index, item) pairs; returns (results, busy_s)."""
+               pooled: bool = False) -> tuple[list, float, dict | None]:
+    """Run one chunk of (index, item) pairs.
+
+    Returns ``(results, busy_s, sidecar)``; the sidecar is ``None``
+    except in process-pool workers, where it carries the metrics delta
+    and spans recorded while the chunk ran (see :func:`_sidecar`).
+    """
     if pooled and indexed:
         _chunk_fault_point(stage, indexed[0][0], attempt)
+    marks = _sidecar_mark() if pooled else None
     start = time.perf_counter()
     out = []
-    for index, item in indexed:
-        if seed is not None:
-            np.random.seed(rng_mod.derive_seed(seed, "exec-item", index)
-                           % (2 ** 32))
-        out.append(fn(item))
-    return out, time.perf_counter() - start
+    with tracer.span("exec.chunk", stage=stage, items=len(indexed)):
+        for index, item in indexed:
+            if seed is not None:
+                np.random.seed(rng_mod.derive_seed(seed, "exec-item", index)
+                               % (2 ** 32))
+            out.append(fn(item))
+    return out, time.perf_counter() - start, _sidecar(marks)
 
 
 def _run_batch(fn: Callable, first_index: int, items: list,
                seed: int | None, stage: str | None = None,
                attempt: int = 0,
-               pooled: bool = False) -> tuple[list, float]:
+               pooled: bool = False) -> tuple[list, float, dict | None]:
     """Run one whole-chunk call of a batch function; see ``map_chunks``."""
     if pooled and items:
         _chunk_fault_point(stage, first_index, attempt)
+    marks = _sidecar_mark() if pooled else None
     start = time.perf_counter()
-    if seed is not None:
-        np.random.seed(rng_mod.derive_seed(seed, "exec-chunk", first_index)
-                       % (2 ** 32))
-    out = fn(items)
-    return out, time.perf_counter() - start
+    with tracer.span("exec.chunk", stage=stage, items=len(items)):
+        if seed is not None:
+            np.random.seed(rng_mod.derive_seed(seed, "exec-chunk",
+                                               first_index) % (2 ** 32))
+        out = fn(items)
+    return out, time.perf_counter() - start, _sidecar(marks)
 
 
 class ParallelMap:
@@ -270,15 +330,14 @@ class ParallelMap:
                  retries: int | None = None,
                  timeout: float | None = None) -> None:
         if backend is None:
-            backend = os.environ.get(BACKEND_ENV_VAR, "serial")
+            backend = config_mod.exec_backend()
         if backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown exec backend {backend!r}; expected one of "
                 f"{BACKENDS}"
             )
         if n_workers is None:
-            raw = os.environ.get(WORKERS_ENV_VAR)
-            n_workers = int(raw) if raw else (os.cpu_count() or 1)
+            n_workers = config_mod.exec_workers() or (os.cpu_count() or 1)
         if n_workers < 1:
             raise ConfigurationError(
                 f"n_workers must be >= 1, got {n_workers}"
@@ -346,6 +405,7 @@ class ParallelMap:
     def _acquire_pool(self, backend: str) -> concurrent.futures.Executor:
         if self._persistent():
             return _get_pool(backend, self.n_workers)
+        METRICS.gauge_add("parallel.pools_open", 1)
         if backend == "thread":
             return concurrent.futures.ThreadPoolExecutor(
                 max_workers=self.n_workers)
@@ -357,6 +417,8 @@ class ParallelMap:
                       broken: bool) -> None:
         if not self._persistent():
             pool.shutdown(wait=True, cancel_futures=broken)
+            EXEC_STATS.incr("parallel.pool_close")
+            METRICS.gauge_add("parallel.pools_open", -1)
         elif broken:
             _discard_pool(backend, self.n_workers, pool)
 
@@ -412,7 +474,7 @@ class ParallelMap:
 
     def _map_serial(self, fn: Callable,
                     indexed: list[tuple[int, object]]) -> list:
-        results, _ = _run_chunk(fn, indexed, self.seed)
+        results, _, _ = _run_chunk(fn, indexed, self.seed)
         return results
 
     def _pool_dispatch(self, backend: str, stage: str, chunks: list,
@@ -456,8 +518,8 @@ class ParallelMap:
                     ]
                     for ci, future in futures:
                         try:
-                            chunk_results, chunk_busy = future.result(
-                                timeout=timeout)
+                            (chunk_results, chunk_busy,
+                             sidecar) = future.result(timeout=timeout)
                         except concurrent.futures.TimeoutError as exc:
                             EXEC_STATS.incr("parallel.timeouts")
                             broken = True  # a hung worker poisons the pool
@@ -475,6 +537,7 @@ class ParallelMap:
                         else:
                             results[ci] = chunk_results
                             busy += chunk_busy
+                            _merge_sidecar(sidecar)
                 except concurrent.futures.BrokenExecutor as exc:
                     # submit() itself can raise on an already-broken pool.
                     broken = True
@@ -533,31 +596,34 @@ class ParallelMap:
         backend = self._resolve_backend(len(indexed), stage)
         results: list = []
         busy = 0.0
-        if backend == "probe":
-            probe_results, probe_busy = _run_chunk(
-                fn, indexed[:1], self.seed)
-            results.extend(probe_results)
-            busy += probe_busy
-            indexed = indexed[1:]
-            backend = self._decide_from_probe(probe_busy, len(indexed))
-            EXEC_STATS.incr("parallel.auto_probe")
-        if (backend == "serial" or self.n_workers <= 1
-                or len(indexed) <= 1):
-            rest, rest_busy = _run_chunk(fn, indexed, self.seed)
-            results.extend(rest)
-            busy += rest_busy
-        else:
-            try:
-                rest, rest_busy, effective_workers = self._map_pool(
-                    fn, indexed, backend, stage)
+        with tracer.span("exec.map", stage=stage,
+                         items=len(indexed)) as sp:
+            if backend == "probe":
+                probe_results, probe_busy, _ = _run_chunk(
+                    fn, indexed[:1], self.seed)
+                results.extend(probe_results)
+                busy += probe_busy
+                indexed = indexed[1:]
+                backend = self._decide_from_probe(probe_busy, len(indexed))
+                EXEC_STATS.incr("parallel.auto_probe")
+            if (backend == "serial" or self.n_workers <= 1
+                    or len(indexed) <= 1):
+                rest, rest_busy, _ = _run_chunk(fn, indexed, self.seed)
                 results.extend(rest)
                 busy += rest_busy
-            except _FALLBACK_ERRORS:
-                EXEC_STATS.incr("parallel.fallback_serial")
-                serial_start = time.perf_counter()
-                rest, _ = _run_chunk(fn, indexed, self.seed)
-                results.extend(rest)
-                busy += time.perf_counter() - serial_start
+            else:
+                try:
+                    rest, rest_busy, effective_workers = self._map_pool(
+                        fn, indexed, backend, stage)
+                    results.extend(rest)
+                    busy += rest_busy
+                except _FALLBACK_ERRORS:
+                    EXEC_STATS.incr("parallel.fallback_serial")
+                    serial_start = time.perf_counter()
+                    rest, _, _ = _run_chunk(fn, indexed, self.seed)
+                    results.extend(rest)
+                    busy += time.perf_counter() - serial_start
+            sp.set(backend=backend, workers=effective_workers)
         EXEC_STATS.add_time(stage, time.perf_counter() - start, busy,
                             workers=effective_workers)
         EXEC_STATS.incr(f"{stage}.items", len(results))
@@ -585,36 +651,42 @@ class ParallelMap:
         results: list = []
         busy = 0.0
         first_index = 0
-        if backend == "probe":
-            probe_results, probe_busy = _run_batch(
-                fn, 0, items[:1], self.seed)
-            results.extend(probe_results)
-            busy += probe_busy
-            items = items[1:]
-            first_index = 1
-            backend = self._decide_from_probe(probe_busy, len(items))
-            EXEC_STATS.incr("parallel.auto_probe")
-        if not items:
-            pass
-        elif (backend == "serial" or self.n_workers <= 1
-                or len(items) <= 1):
-            rest, rest_busy = _run_batch(fn, first_index, items, self.seed)
-            results.extend(rest)
-            busy += rest_busy
-        else:
-            indexed = [(first_index + i, item)
-                       for i, item in enumerate(items)]
-            try:
-                rest, rest_busy, effective_workers = self._map_chunk_pool(
-                    fn, self._chunks(indexed, stage), stage)
+        with tracer.span("exec.map_chunks", stage=stage,
+                         items=n_items) as sp:
+            if backend == "probe":
+                probe_results, probe_busy, _ = _run_batch(
+                    fn, 0, items[:1], self.seed)
+                results.extend(probe_results)
+                busy += probe_busy
+                items = items[1:]
+                first_index = 1
+                backend = self._decide_from_probe(probe_busy, len(items))
+                EXEC_STATS.incr("parallel.auto_probe")
+            if not items:
+                pass
+            elif (backend == "serial" or self.n_workers <= 1
+                    or len(items) <= 1):
+                rest, rest_busy, _ = _run_batch(
+                    fn, first_index, items, self.seed)
                 results.extend(rest)
                 busy += rest_busy
-            except _FALLBACK_ERRORS:
-                EXEC_STATS.incr("parallel.fallback_serial")
-                serial_start = time.perf_counter()
-                rest, _ = _run_batch(fn, first_index, items, self.seed)
-                results.extend(rest)
-                busy += time.perf_counter() - serial_start
+            else:
+                indexed = [(first_index + i, item)
+                           for i, item in enumerate(items)]
+                try:
+                    rest, rest_busy, effective_workers = (
+                        self._map_chunk_pool(
+                            fn, self._chunks(indexed, stage), stage))
+                    results.extend(rest)
+                    busy += rest_busy
+                except _FALLBACK_ERRORS:
+                    EXEC_STATS.incr("parallel.fallback_serial")
+                    serial_start = time.perf_counter()
+                    rest, _, _ = _run_batch(
+                        fn, first_index, items, self.seed)
+                    results.extend(rest)
+                    busy += time.perf_counter() - serial_start
+            sp.set(backend=backend, workers=effective_workers)
         if len(results) != n_items:
             raise ConfigurationError(
                 f"map_chunks fn returned {len(results)} results for "

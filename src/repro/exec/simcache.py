@@ -56,8 +56,9 @@ from repro.exec.stats import EXEC_STATS
 #: (2: per-entry ``__digest__`` checksum became mandatory.)
 SCHEMA_VERSION = 2
 
-#: Environment variable enabling the cache at a directory.
-SIMCACHE_ENV_VAR = "REPRO_SIMCACHE_DIR"
+#: Environment variable enabling the cache at a directory (alias of
+#: :data:`repro.config.SIMCACHE_DIR_ENV_VAR`; kept for import compat).
+SIMCACHE_ENV_VAR = config_mod.SIMCACHE_DIR_ENV_VAR
 
 
 def _flip_byte(path: Path) -> None:
@@ -195,6 +196,8 @@ class SimCache:
                 np.savez(fh, __meta__=np.array(json.dumps(meta)),
                          __digest__=np.array(digest), **payload)
             os.replace(tmp, path)
+            EXEC_STATS.incr("simcache.bytes_written",
+                            path.stat().st_size)
         finally:
             tmp.unlink(missing_ok=True)
         EXEC_STATS.incr("simcache.store")
@@ -418,8 +421,13 @@ class SimCache:
 
 
 def default_simcache() -> SimCache | None:
-    """Env-driven cache: ``REPRO_SIMCACHE_DIR`` names the directory."""
-    root = os.environ.get(SIMCACHE_ENV_VAR)
+    """Config-driven cache: ``REPRO_SIMCACHE_DIR`` names the directory.
+
+    Reads through :func:`repro.config.simcache_dir`, so an installed
+    :class:`~repro.config.ExecConfig` override wins over the raw
+    environment variable.
+    """
+    root = config_mod.simcache_dir()
     if not root:
         return None
     return SimCache(root)

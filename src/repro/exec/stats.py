@@ -1,203 +1,28 @@
-"""Execution instrumentation.
+"""Execution instrumentation — compatibility shim over :mod:`repro.obs`.
 
-A process-wide registry of lightweight performance counters: per-stage
-wall time, cache hit/miss counts, and worker utilisation for parallel
-fan-outs. Every dataset-scale path (simulation, dataset building,
-deployment evaluation, hyperparameter screening) reports here, and the
-CLI's ``--exec-report`` flag prints the aggregate at exit.
+The stage-timing/counter registry that lived here through PR 1-4 grew
+gauges, histograms and cross-process aggregation in PR 5 and moved to
+:mod:`repro.obs.metrics`, where every layer (not just the execution
+engine) can import it without cycles. This module keeps the historical
+names working:
 
-The registry is intentionally global: the interesting question at
-dataset scale is "where did this *process* spend its time", and a
-single report answering it beats threading a stats object through
-every call signature. Workers in a process pool accumulate into their
-own copy; :class:`ParallelMap` folds their busy time back into the
-parent's stage entry so utilisation stays meaningful.
+* ``EXEC_STATS`` **is** :data:`repro.obs.metrics.METRICS` — the same
+  process-wide registry object, so existing call sites and tests keep
+  observing the same counters.
+* ``ExecStats`` **is** :class:`repro.obs.metrics.Metrics`.
+* ``StageStat`` is re-exported unchanged.
+
+New code should import from :mod:`repro.obs` directly.
 """
 
 from __future__ import annotations
 
-import contextlib
-import dataclasses
-import threading
-import time
+from repro.obs.metrics import METRICS, Metrics, StageStat
 
+#: Legacy alias; the one process-wide metrics registry.
+EXEC_STATS = METRICS
 
-@dataclasses.dataclass
-class StageStat:
-    """Accumulated timing for one named execution stage."""
+#: Legacy alias for the registry class.
+ExecStats = Metrics
 
-    calls: int = 0
-    wall_s: float = 0.0
-    busy_s: float = 0.0  # summed worker-side task time
-    workers: int = 1  # widest pool observed for this stage
-    capacity_s: float = 0.0  # sum of per-call wall x effective workers
-
-    @property
-    def utilization(self) -> float:
-        """Fraction of available worker-seconds spent doing work.
-
-        Capacity is accumulated per call as ``wall x effective_workers``,
-        so a stage whose calls mix parallel fan-outs with serial
-        fallbacks is judged against the workers each call actually had —
-        not against the widest pool ever observed, which made serial
-        fallbacks look like 25% utilisation on a 4-worker pool.
-        """
-        capacity = self.capacity_s
-        if capacity <= 0.0:
-            capacity = self.wall_s * self.workers
-        if capacity <= 0.0:
-            return 0.0
-        return self.busy_s / capacity
-
-
-class ExecStats:
-    """Thread-safe registry of stage timings and event counters."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._stages: dict[str, StageStat] = {}
-        self._counters: dict[str, int] = {}
-
-    # ------------------------------------------------------------------
-    # Recording.
-    # ------------------------------------------------------------------
-    def add_time(self, stage: str, wall_s: float, busy_s: float | None = None,
-                 workers: int = 1) -> None:
-        """Account one completed stage execution."""
-        with self._lock:
-            stat = self._stages.setdefault(stage, StageStat())
-            stat.calls += 1
-            stat.wall_s += wall_s
-            stat.busy_s += wall_s if busy_s is None else busy_s
-            stat.workers = max(stat.workers, workers)
-            stat.capacity_s += wall_s * max(1, workers)
-
-    @contextlib.contextmanager
-    def stage(self, name: str):
-        """Time a ``with`` block as one execution of ``name``."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add_time(name, time.perf_counter() - start)
-
-    def incr(self, counter: str, n: int = 1) -> None:
-        """Bump a named event counter."""
-        with self._lock:
-            self._counters[counter] = self._counters.get(counter, 0) + n
-
-    def count(self, counter: str) -> int:
-        """Current value of a named event counter (0 if never bumped)."""
-        with self._lock:
-            return self._counters.get(counter, 0)
-
-    def per_item_cost(self, stage: str) -> float | None:
-        """Observed busy seconds per item for a stage, if known.
-
-        Uses the ``<stage>.items`` counter that :class:`ParallelMap`
-        maintains alongside each stage timing; returns ``None`` until
-        the stage has run at least once. The adaptive dispatcher uses
-        this to size chunks and to decide whether a fan-out is worth a
-        pool at all.
-        """
-        with self._lock:
-            stat = self._stages.get(stage)
-            items = self._counters.get(f"{stage}.items", 0)
-        if stat is None or items <= 0 or stat.busy_s <= 0.0:
-            return None
-        return stat.busy_s / items
-
-    def reset(self) -> None:
-        """Clear all stages and counters (tests, bench reruns)."""
-        with self._lock:
-            self._stages.clear()
-            self._counters.clear()
-
-    # ------------------------------------------------------------------
-    # Reporting.
-    # ------------------------------------------------------------------
-    def snapshot(self) -> dict:
-        """Machine-readable copy of every stage and counter."""
-        with self._lock:
-            return {
-                "stages": {
-                    name: {
-                        "calls": s.calls,
-                        "wall_s": s.wall_s,
-                        "busy_s": s.busy_s,
-                        "workers": s.workers,
-                        "capacity_s": s.capacity_s,
-                        "utilization": s.utilization,
-                    }
-                    for name, s in sorted(self._stages.items())
-                },
-                "counters": dict(sorted(self._counters.items())),
-            }
-
-    #: Counters summarised under ``resilience:`` in :meth:`report` —
-    #: every rung of the degradation ladder plus integrity detections
-    #: and injected faults, so a chaos run's recovery story is legible
-    #: at a glance.
-    RESILIENCE_COUNTERS = (
-        "parallel.retries",
-        "parallel.timeouts",
-        "parallel.pool_rebuild",
-        "parallel.degrade_thread",
-        "parallel.fallback_serial",
-        "simcache.quarantine",
-        "arena.attach_fallback",
-    )
-
-    def resilience(self) -> dict[str, int]:
-        """Non-zero resilience counters (degradations, recoveries,
-        integrity detections, injected faults)."""
-        with self._lock:
-            out = {name: self._counters[name]
-                   for name in self.RESILIENCE_COUNTERS
-                   if self._counters.get(name)}
-            out.update({name: value
-                        for name, value in sorted(self._counters.items())
-                        if name.startswith("faults.injected.") and value})
-        return out
-
-    def hit_rate(self, prefix: str) -> float | None:
-        """Hit rate for a ``<prefix>.hit``/``<prefix>.miss`` counter pair."""
-        hits = self.count(f"{prefix}.hit")
-        misses = self.count(f"{prefix}.miss")
-        total = hits + misses
-        if total == 0:
-            return None
-        return hits / total
-
-    def report(self) -> str:
-        """Human-readable execution report (the ``--exec-report`` text)."""
-        snap = self.snapshot()
-        lines = ["=== execution report ==="]
-        if snap["stages"]:
-            lines.append(f"{'stage':<24s} {'calls':>6s} {'wall s':>9s} "
-                         f"{'busy s':>9s} {'util':>6s}")
-            for name, s in snap["stages"].items():
-                lines.append(
-                    f"{name:<24s} {s['calls']:>6d} {s['wall_s']:>9.3f} "
-                    f"{s['busy_s']:>9.3f} {s['utilization'] * 100:>5.0f}%"
-                )
-        if snap["counters"]:
-            lines.append("counters:")
-            for name, value in snap["counters"].items():
-                lines.append(f"  {name:<30s} {value}")
-        resilience = self.resilience()
-        if resilience:
-            lines.append("resilience:")
-            for name, value in resilience.items():
-                lines.append(f"  {name:<30s} {value}")
-        for prefix in ("interval_lru", "simcache"):
-            rate = self.hit_rate(prefix)
-            if rate is not None:
-                lines.append(f"{prefix} hit rate: {rate * 100:.1f}%")
-        if len(lines) == 1:
-            lines.append("(no stages recorded)")
-        return "\n".join(lines)
-
-
-#: The process-wide registry every execution path reports into.
-EXEC_STATS = ExecStats()
+__all__ = ["EXEC_STATS", "ExecStats", "StageStat", "METRICS", "Metrics"]

@@ -22,6 +22,7 @@ from repro.errors import ArenaIntegrityError, DatasetError
 from repro.exec.arena import TraceArena
 from repro.exec.parallel import ParallelMap, default_parallel_map
 from repro.exec.stats import EXEC_STATS
+from repro.obs import tracer
 from repro.ml.base import Estimator
 from repro.ml.crossval import Fold
 
@@ -134,6 +135,14 @@ def screen_configs(model_factory: Callable[[Mapping[str, object]], Estimator],
         raise DatasetError("no configurations to screen")
     pmap = pmap if pmap is not None else default_parallel_map()
     grid = [(config, fold) for config in configs for fold in folds]
+    with tracer.span("screen_configs", configs=len(configs),
+                     folds=len(folds)):
+        return _screen_grid(model_factory, configs, x, y, folds,
+                            metric_fns, threshold_tuner, pmap, grid)
+
+
+def _screen_grid(model_factory, configs, x, y, folds, metric_fns,
+                 threshold_tuner, pmap, grid) -> list[ScreenRecord]:
     arena = None
     if (exec_arena_enabled() and len(grid) > 1
             and pmap.uses_processes(len(grid), "hyperscreen")):

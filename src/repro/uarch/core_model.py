@@ -31,6 +31,7 @@ import numpy as np
 from repro import rng as rng_mod
 from repro.config import MachineConfig, cycle_kernel
 from repro.errors import SimulationError
+from repro.obs import tracer
 from repro.uarch.isa import (
     BASE_LATENCY,
     MEM_DRAM,
@@ -653,7 +654,11 @@ def simulate_phase_cycle_level(phase: PhaseInstance, n_uops: int,
                                machine: MachineConfig | None = None,
                                ) -> CycleSimResult:
     """Synthesize a uop stream for a phase and run the cycle model."""
-    stream = synthesize_uops(phase, n_uops,
-                             rng_mod.derive_seed(seed, "cyclesim",
-                                                 phase.name, mode.value))
-    return ClusteredCoreModel(machine, mode).execute(stream)
+    with tracer.span("cycle.simulate_phase", phase=phase.name,
+                     mode=mode.value, uops=n_uops,
+                     kernel=cycle_kernel()):
+        stream = synthesize_uops(phase, n_uops,
+                                 rng_mod.derive_seed(seed, "cyclesim",
+                                                     phase.name,
+                                                     mode.value))
+        return ClusteredCoreModel(machine, mode).execute(stream)

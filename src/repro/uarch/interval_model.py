@@ -35,6 +35,7 @@ from repro.config import MachineConfig, batch_sim_enabled, interval_lru_size
 from repro.errors import SimulationError
 from repro.exec.simcache import SimCache, default_simcache
 from repro.exec.stats import EXEC_STATS
+from repro.obs import tracer
 from repro.uarch.modes import Mode
 from repro.uarch.signals import N_SIGNALS, signal_index
 from repro.workloads.generator import PHYSICS_FIELDS, TraceSpec
@@ -397,7 +398,10 @@ class IntervalModel:
         for item in misses:
             groups.setdefault(item[1].n_intervals, []).append(item)
         EXEC_STATS.incr("interval_batch.pairs", len(misses))
-        with EXEC_STATS.stage("interval_simulate_batch"):
+        EXEC_STATS.observe("interval_batch.miss_rows", len(misses))
+        with EXEC_STATS.stage("interval_simulate_batch"), \
+                tracer.span("interval.simulate_batch",
+                            pairs=len(pairs), misses=len(misses)):
             for _, group in sorted(groups.items()):
                 computed = self._simulate_batch_uncached(
                     [(trace, mode) for _, trace, mode, _ in group])

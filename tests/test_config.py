@@ -1,16 +1,30 @@
-"""Tests for machine/microcontroller/SLA configuration."""
+"""Tests for machine/microcontroller/SLA configuration and the typed
+:class:`~repro.config.ExecConfig` runtime-knob API."""
+
+import argparse
 
 import pytest
 
 from repro.config import (
     DEFAULT_SLA,
+    EXEC_ENV_VARS,
+    ExecConfig,
     MachineConfig,
     MicrocontrollerConfig,
     SLAConfig,
     SUPPORTED_GRANULARITIES,
+    active_exec_config,
+    cycle_kernel,
+    exec_backend,
+    exec_retries,
     experiment_scale,
     experiment_seed,
+    fault_spec,
+    interval_lru_size,
+    simcache_dir,
+    trace_spec,
 )
+from repro.errors import ConfigurationError
 
 
 class TestMachineConfig:
@@ -90,3 +104,168 @@ class TestEnvironmentKnobs:
     def test_seed_env_parsed(self, monkeypatch):
         monkeypatch.setenv("REPRO_SEED", "123")
         assert experiment_seed() == 123
+
+
+def _clear_exec_env(monkeypatch):
+    for var in EXEC_ENV_VARS:
+        monkeypatch.delenv(var, raising=False)
+
+
+class TestExecConfig:
+    def test_defaults_match_historical_behavior(self, monkeypatch):
+        _clear_exec_env(monkeypatch)
+        config = ExecConfig.from_env()
+        assert config == ExecConfig()
+        assert config.backend == "serial"
+        assert config.workers is None
+        assert config.pool == "persistent"
+        assert config.arena is True
+        assert config.chunk is None
+        assert config.retries == 2
+        assert config.timeout is None
+        assert config.simcache_verify is True
+        assert config.cycle_kernel == "soa"
+        assert config.batch_sim is True
+        assert config.trace is None
+
+    def test_every_knob_parses_from_env(self, monkeypatch):
+        _clear_exec_env(monkeypatch)
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "auto")
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "3")
+        monkeypatch.setenv("REPRO_EXEC_POOL", "fresh")
+        monkeypatch.setenv("REPRO_EXEC_ARENA", "0")
+        monkeypatch.setenv("REPRO_EXEC_CHUNK", "16")
+        monkeypatch.setenv("REPRO_EXEC_RETRIES", "5")
+        monkeypatch.setenv("REPRO_EXEC_TIMEOUT", "2.5")
+        monkeypatch.setenv("REPRO_SIMCACHE_DIR", "/tmp/sc")
+        monkeypatch.setenv("REPRO_SIMCACHE_VERIFY", "0")
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "seed=1,crash=0.1")
+        monkeypatch.setenv("REPRO_CYCLE_KERNEL", "reference")
+        monkeypatch.setenv("REPRO_BATCH_SIM", "0")
+        monkeypatch.setenv("REPRO_INTERVAL_LRU", "64")
+        monkeypatch.setenv("REPRO_TRACE", "out.json")
+        config = ExecConfig.from_env()
+        assert config == ExecConfig(
+            backend="auto", workers=3, pool="fresh", arena=False,
+            chunk=16, retries=5, timeout=2.5, simcache_dir="/tmp/sc",
+            simcache_verify=False, fault_spec="seed=1,crash=0.1",
+            cycle_kernel="reference", batch_sim=False, interval_lru=64,
+            trace="out.json")
+
+    def test_timeout_zero_means_off(self, monkeypatch):
+        _clear_exec_env(monkeypatch)
+        monkeypatch.setenv("REPRO_EXEC_TIMEOUT", "0")
+        assert ExecConfig.from_env().timeout is None
+
+    def test_trace_zero_means_off(self, monkeypatch):
+        _clear_exec_env(monkeypatch)
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert ExecConfig.from_env().trace is None
+
+    def test_env_round_trip(self, monkeypatch):
+        """env -> config -> to_env -> from_env is the identity."""
+        _clear_exec_env(monkeypatch)
+        original = ExecConfig(backend="process", workers=2, arena=False,
+                              chunk=7, retries=1, timeout=0.5,
+                              fault_spec="seed=9,crash=0.01",
+                              cycle_kernel="reference", interval_lru=32,
+                              trace="1")
+        for var, value in original.to_env().items():
+            if value is None:
+                monkeypatch.delenv(var, raising=False)
+            else:
+                monkeypatch.setenv(var, value)
+        assert ExecConfig.from_env() == original
+
+    def test_memo_tracks_monkeypatched_env(self, monkeypatch):
+        _clear_exec_env(monkeypatch)
+        assert ExecConfig.from_env().backend == "serial"
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "thread")
+        assert ExecConfig.from_env().backend == "thread"
+
+    def test_override_scopes_without_touching_env(self, monkeypatch):
+        _clear_exec_env(monkeypatch)
+        import os
+        with ExecConfig(backend="thread", retries=7).override():
+            assert active_exec_config().backend == "thread"
+            assert exec_backend() == "thread"
+            assert exec_retries() == 7
+            assert "REPRO_EXEC_BACKEND" not in os.environ
+        assert exec_backend() == "serial"
+
+    def test_overrides_nest(self, monkeypatch):
+        _clear_exec_env(monkeypatch)
+        with ExecConfig(retries=5).override():
+            with ExecConfig(retries=9).override():
+                assert exec_retries() == 9
+            assert exec_retries() == 5
+
+    def test_accessor_shims_read_active_config(self, monkeypatch):
+        _clear_exec_env(monkeypatch)
+        cfg = ExecConfig(simcache_dir="/tmp/x",
+                         fault_spec="seed=2,crash=0.5",
+                         cycle_kernel="reference", interval_lru=17,
+                         trace="t.json")
+        with cfg.override():
+            assert simcache_dir() == "/tmp/x"
+            assert fault_spec() == "seed=2,crash=0.5"
+            assert cycle_kernel() == "reference"
+            assert interval_lru_size() == 17
+            assert trace_spec() == "t.json"
+
+    def test_invalid_backend_is_configuration_error(self, monkeypatch):
+        with pytest.raises(ConfigurationError):
+            ExecConfig(backend="gpu")
+        _clear_exec_env(monkeypatch)
+        monkeypatch.setenv("REPRO_EXEC_BACKEND", "gpu")
+        with pytest.raises(ConfigurationError):
+            ExecConfig.from_env()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"pool": "sometimes"},
+        {"cycle_kernel": "vector9"},
+        {"chunk": 0},
+        {"retries": -1},
+        {"timeout": -2.0},
+        {"interval_lru": 0},
+    ])
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecConfig(**kwargs)
+
+    def test_invalid_workers_is_configuration_error(self):
+        with pytest.raises(ConfigurationError):
+            ExecConfig(workers=0)
+
+    def test_config_is_frozen(self):
+        with pytest.raises(Exception):
+            ExecConfig().backend = "thread"
+
+    def test_from_cli_layers_flags_over_env(self, monkeypatch):
+        _clear_exec_env(monkeypatch)
+        monkeypatch.setenv("REPRO_EXEC_RETRIES", "4")
+        args = argparse.Namespace(
+            exec_backend="process", exec_workers=2, exec_arena=0,
+            exec_chunk=None, exec_retries=None, exec_timeout=0.0,
+            fault_spec=None, trace="1")
+        config = ExecConfig.from_cli(args)
+        assert config.backend == "process"
+        assert config.workers == 2
+        assert config.arena is False
+        assert config.retries == 4  # env survives an un-passed flag
+        assert config.timeout is None  # 0 disables
+        assert config.trace == "1"
+
+    def test_from_cli_tolerates_foreign_namespaces(self, monkeypatch):
+        _clear_exec_env(monkeypatch)
+        config = ExecConfig.from_cli(argparse.Namespace(model="best_rf"))
+        assert config == ExecConfig()
+
+    def test_apply_env_round_trips(self, monkeypatch):
+        _clear_exec_env(monkeypatch)
+        monkeypatch.setenv("REPRO_EXEC_WORKERS", "8")  # will be cleared
+        config = ExecConfig(backend="thread", timeout=1.5)
+        config.apply_env()
+        assert ExecConfig.from_env() == config
+        import os
+        assert "REPRO_EXEC_WORKERS" not in os.environ

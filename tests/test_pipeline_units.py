@@ -140,3 +140,58 @@ class TestTrainDualPredictor:
             traces, [0], relaxed_sla, collector)[Mode.LOW_POWER]
         assert relaxed.positive_rate >= strict.positive_rate
         assert relaxed.sla_floor == pytest.approx(0.7)
+
+
+def _rf_factory(mode):
+    """Module-level (picklable) factory for the arena fan-out test."""
+    return RandomForestClassifier(3, 3, seed=11)
+
+
+class TestArenaTrainFanOut:
+    def test_arena_round_trip_preserves_datasets(self):
+        from repro.core.pipeline import (
+            _build_train_arena,
+            _datasets_from_arena,
+        )
+        datasets = {m: dataclasses.replace(_dataset(), mode=m)
+                    for m in Mode}
+        arena = _build_train_arena(_rf_factory, datasets)
+        try:
+            back = _datasets_from_arena(arena)
+            for mode, ds in datasets.items():
+                twin = back[mode]
+                assert np.array_equal(twin.x, ds.x)
+                assert np.array_equal(twin.y, ds.y)
+                # String columns ride the data region as unicode views.
+                assert np.array_equal(twin.groups, ds.groups)
+                assert np.array_equal(twin.traces, ds.traces)
+                assert twin.granularity == ds.granularity
+                assert twin.sla_floor == ds.sla_floor
+        finally:
+            arena.close()
+
+    def test_process_backend_matches_serial_via_arena(self, monkeypatch):
+        from repro.exec import EXEC_STATS, ParallelMap, close_pools
+        monkeypatch.setenv("REPRO_EXEC_ARENA", "1")
+        datasets = {m: dataclasses.replace(_dataset(rows_per_app=20),
+                                           mode=m)
+                    for m in Mode}
+        serial = train_dual_predictor(
+            "t", _rf_factory, datasets, 1, n_candidates=3, seed=5,
+            pmap=ParallelMap(backend="serial"))
+        close_pools()
+        builds = EXEC_STATS.count("arena.builds")
+        tasks = EXEC_STATS.count("train_candidates.payload_tasks")
+        parallel = train_dual_predictor(
+            "t", _rf_factory, datasets, 1, n_candidates=3, seed=5,
+            pmap=ParallelMap(backend="process", n_workers=2))
+        # The shared matrices rode the arena, not the task pickles.
+        assert EXEC_STATS.count("arena.builds") == builds + 1
+        assert (EXEC_STATS.count("train_candidates.payload_tasks")
+                > tasks)
+        x_test = np.random.default_rng(1).random((30, 3))
+        for mode in Mode:
+            assert np.array_equal(
+                serial.models[mode].predict_proba(x_test),
+                parallel.models[mode].predict_proba(x_test))
+        close_pools()
