@@ -15,6 +15,13 @@ Run standalone (no pytest session fixtures needed)::
 small corpus and exits non-zero if the batched path is slower — the
 CI perf smoke.
 
+``--scale`` runs the large-corpus tier: a ≥10^5-trace dataset build,
+sharded with shared-memory result return under a hard peak-RSS budget,
+against the unsharded pickled path — asserted bit-identical, with
+bytes-returned-per-task and shard throughput merged into the ``scale``
+section of ``BENCH_perf.json`` (``--scale-smoke`` relaxes the guards
+for CI's small-corpus run).
+
 Scale knobs: ``--workers`` (default 4), ``--apps``/``--intervals`` to
 grow the corpus. The deployed predictor is a fixed-probability stub so
 the measurement isolates the simulation/evaluation pipeline from model
@@ -29,6 +36,7 @@ import json
 import os
 import shutil
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -36,6 +44,7 @@ import numpy as np
 
 from repro.config import BATCH_SIM_ENV_VAR, DEFAULT_SLA
 from repro.config import EXEC_ARENA_ENV_VAR
+from repro.config import EXEC_SHARD_ENV_VAR, EXEC_SHMRES_ENV_VAR
 from repro.core.predictor import DualModePredictor
 from repro.data.builders import build_mode_dataset
 from repro.eval.runner import evaluate_predictor
@@ -347,10 +356,19 @@ def run(workers: int = 4, n_apps: int = 8, workloads_per_app: int = 3,
         pmap=ParallelMap("process", n_workers=workers)))
     assert serial_suite.mean_ppw_gain == parallel_suite.mean_ppw_gain, \
         "parallel run diverged from serial"
-    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
-    print(f"evaluate_predictor: serial {serial_s:.3f}s, "
-          f"{workers}-worker process {parallel_s:.3f}s "
-          f"({speedup:.2f}x, {os.cpu_count()} CPUs visible)")
+    cpus = os.cpu_count() or 1
+    ratio = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    if cpus > 1:
+        # A measured multi-core speedup is only meaningful when there
+        # is more than one core to run on.
+        print(f"evaluate_predictor: serial {serial_s:.3f}s, "
+              f"{workers}-worker process {parallel_s:.3f}s "
+              f"({ratio:.2f}x measured speedup, {cpus} CPUs visible)")
+    else:
+        print(f"evaluate_predictor: serial {serial_s:.3f}s, "
+              f"{workers}-worker process {parallel_s:.3f}s "
+              f"(single CPU visible: {ratio:.2f}x is pool overhead, "
+              f"not a speedup)")
 
     # Cold vs warm simulation cache, same corpus.
     cache_dir = Path(tempfile.mkdtemp(prefix="repro-simcache-bench-"))
@@ -409,7 +427,12 @@ def run(workers: int = 4, n_apps: int = 8, workloads_per_app: int = 3,
             "parallel_s": round(parallel_s, 4),
             "backend": "process",
             "workers": workers,
-            "speedup": round(speedup, 3),
+            # A real measured speedup only exists with >1 CPU; on a
+            # single-CPU host the serial/parallel ratio is recorded
+            # separately so it cannot be read as a speedup claim.
+            "single_cpu": cpus == 1,
+            "speedup": round(ratio, 3) if cpus > 1 else None,
+            "parallel_vs_serial_ratio": round(ratio, 3),
         },
         "simcache": {
             "evaluate_cold_s": round(cold_s, 4),
@@ -473,6 +496,162 @@ def _bench_resilience(traces, repeats: int = 3,
         "verify_off_s": round(verify_off, 4),
         "overhead_ratio": round(ratio, 4),
     }
+
+
+def _rss_bytes() -> int:
+    """Current resident set size of this process (Linux)."""
+    with open("/proc/self/statm") as fh:
+        return int(fh.read().split()[1]) * os.sysconf("SC_PAGE_SIZE")
+
+
+class _RssSampler:
+    """Background peak-RSS sampler for one benchmark phase."""
+
+    def __init__(self, interval_s: float = 0.02) -> None:
+        self._interval = interval_s
+        self._stop = threading.Event()
+        self._peak = _rss_bytes()
+        self._thread = threading.Thread(target=self._poll, daemon=True)
+
+    def _poll(self) -> None:
+        while not self._stop.is_set():
+            self._peak = max(self._peak, _rss_bytes())
+            self._stop.wait(self._interval)
+
+    def __enter__(self) -> "_RssSampler":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._stop.set()
+        self._thread.join()
+        self._peak = max(self._peak, _rss_bytes())
+        return False
+
+    @property
+    def peak_mb(self) -> float:
+        return self._peak / 2 ** 20
+
+
+def _result_counters(stage: str) -> tuple[int, int]:
+    return (EXEC_STATS.count(f"{stage}.result_bytes"),
+            EXEC_STATS.count(f"{stage}.result_tasks"))
+
+
+def run_scale(n_traces: int = 100_000, intervals: int = 24,
+              shard: int = 5_000, workers: int = 2, chunk: int = 50,
+              rss_budget_mb: float = 4096.0,
+              output: Path | None = None,
+              full_guards: bool = True) -> tuple[dict, list[str]]:
+    """The ``--scale`` tier: a ≥10^5-trace dataset build, two ways.
+
+    Builds the same corpus once sharded with shared-memory result
+    return (``REPRO_EXEC_SHARD`` + ``REPRO_EXEC_SHMRES=1``) under a
+    hard peak-RSS budget, then once unsharded over pickled returns,
+    asserts bitwise identity, and records bytes-returned-per-task for
+    both paths plus shard throughput into the ``scale`` section of
+    ``BENCH_perf.json``. The chunk size is pinned so per-task result
+    bytes are directly comparable between the two runs.
+
+    ``full_guards=False`` (the CI scale smoke, which runs a far
+    smaller corpus) only guards that shm results are smaller than
+    pickled ones; the full tier also enforces the RSS budget and the
+    ≥10x per-task reduction.
+    """
+    counter_ids = list(range(8))
+    stage = "build_dataset"
+    n_apps = 8
+    gen_s, traces = _timed(lambda: _generate_corpus(
+        n_apps, -(-n_traces // n_apps), intervals))
+    traces = traces[:n_traces]
+    n_shards = -(-len(traces) // shard)
+    print(f"scale corpus: {len(traces)} traces x {intervals} intervals "
+          f"generated in {gen_s:.3f}s")
+
+    def _build():
+        return build_mode_dataset(
+            traces, Mode.LOW_POWER, counter_ids,
+            collector=TelemetryCollector(),
+            pmap=ParallelMap("process", n_workers=workers,
+                             chunk_size=chunk))
+
+    close_pools()
+    bytes0, tasks0 = _result_counters(stage)
+    with _env(EXEC_SHMRES_ENV_VAR, "1"), \
+            _env(EXEC_SHARD_ENV_VAR, str(shard)), \
+            _RssSampler() as shm_rss:
+        shm_s, ds_shm = _timed(_build)
+    bytes1, tasks1 = _result_counters(stage)
+    close_pools()
+    with _env(EXEC_SHMRES_ENV_VAR, "0"), _env(EXEC_SHARD_ENV_VAR, ""), \
+            _RssSampler() as pickled_rss:
+        pickled_s, ds_pickled = _timed(_build)
+    bytes2, tasks2 = _result_counters(stage)
+    close_pools()
+
+    failures: list[str] = []
+    for field in ("x", "y", "groups", "workloads", "traces"):
+        a = getattr(ds_shm, field)
+        b = getattr(ds_pickled, field)
+        if a.dtype != b.dtype or not np.array_equal(a, b):
+            failures.append(
+                f"sharded shm build diverged from unsharded pickled "
+                f"build on {field!r}")
+    shm_bpt = (bytes1 - bytes0) / max(1, tasks1 - tasks0) / chunk
+    pickled_bpt = (bytes2 - bytes1) / max(1, tasks2 - tasks1) / chunk
+    reduction = pickled_bpt / shm_bpt if shm_bpt > 0 else float("inf")
+    throughput = len(traces) / shm_s if shm_s > 0 else float("inf")
+    print(f"scale build ({n_shards} shards of {shard}): shm "
+          f"{shm_s:.1f}s ({throughput:.0f} traces/s, peak RSS "
+          f"{shm_rss.peak_mb:.0f} MB); unsharded pickled "
+          f"{pickled_s:.1f}s (peak RSS {pickled_rss.peak_mb:.0f} MB)")
+    print(f"result return: shm {shm_bpt:.0f} B/task, pickled "
+          f"{pickled_bpt:.0f} B/task ({reduction:.1f}x smaller)")
+
+    if shm_bpt >= pickled_bpt:
+        failures.append(
+            f"shm result payload not smaller than pickled "
+            f"({shm_bpt:.0f} vs {pickled_bpt:.0f} B/task)")
+    if full_guards:
+        if reduction < 10.0:
+            failures.append(
+                f"per-task result bytes reduced only {reduction:.1f}x "
+                f"(budget: >=10x)")
+        if shm_rss.peak_mb > rss_budget_mb:
+            failures.append(
+                f"sharded build peak RSS {shm_rss.peak_mb:.0f} MB "
+                f"exceeds the {rss_budget_mb:.0f} MB budget")
+
+    section = {
+        "n_traces": len(traces),
+        "intervals_per_trace": intervals,
+        "n_samples": int(ds_shm.n_samples),
+        "shard_traces": shard,
+        "n_shards": n_shards,
+        "workers": workers,
+        "chunk_traces": chunk,
+        "generation_s": round(gen_s, 3),
+        "sharded_shm_build_s": round(shm_s, 3),
+        "unsharded_pickled_build_s": round(pickled_s, 3),
+        "shard_throughput_traces_per_s": round(throughput, 1),
+        "sharded_peak_rss_mb": round(shm_rss.peak_mb, 1),
+        "unsharded_peak_rss_mb": round(pickled_rss.peak_mb, 1),
+        "rss_budget_mb": round(rss_budget_mb, 1),
+        "result_bytes_per_task_shm": round(shm_bpt, 1),
+        "result_bytes_per_task_pickled": round(pickled_bpt, 1),
+        "result_reduction": round(reduction, 2),
+        "bit_identical": not any("diverged" in f for f in failures),
+    }
+    output = output or (REPO_ROOT / "BENCH_perf.json")
+    doc = {"schema": 1}
+    if output.exists():
+        doc = json.loads(output.read_text())
+    doc["scale"] = section
+    output.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote scale section to {output}")
+    for failure in failures:
+        print(f"SCALE REGRESSION: {failure}")
+    return section, failures
 
 
 def run_quick(n_apps: int = 3, workloads_per_app: int = 2,
@@ -551,9 +730,32 @@ def main(argv=None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="perf smoke: batched vs reference only, "
                              "non-zero exit if batched is slower")
+    parser.add_argument("--scale", action="store_true",
+                        help="scale tier: sharded shm dataset build vs "
+                             "unsharded pickled on a large corpus; "
+                             "merges a 'scale' section into the "
+                             "perf JSON, non-zero exit on regression")
+    parser.add_argument("--scale-traces", type=int, default=100_000,
+                        help="corpus size for --scale (default 100000)")
+    parser.add_argument("--scale-shard", type=int, default=5_000,
+                        help="traces per shard for --scale "
+                             "(default 5000)")
+    parser.add_argument("--scale-smoke", action="store_true",
+                        help="with --scale: only guard shm < pickled "
+                             "result bytes (CI smoke on a small corpus)")
+    parser.add_argument("--rss-budget-mb", type=float, default=4096.0,
+                        help="peak-RSS budget for the sharded --scale "
+                             "build (default 4096)")
     args = parser.parse_args(argv)
     if args.quick:
         return run_quick()
+    if args.scale:
+        _, failures = run_scale(
+            n_traces=args.scale_traces, shard=args.scale_shard,
+            workers=args.workers, rss_budget_mb=args.rss_budget_mb,
+            output=args.output, full_guards=not args.scale_smoke)
+        print("scale bench:", "FAIL" if failures else "OK")
+        return 1 if failures else 0
     run(workers=args.workers, n_apps=args.apps,
         workloads_per_app=args.workloads_per_app,
         intervals=args.intervals, output=args.output)

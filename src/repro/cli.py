@@ -42,6 +42,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="ship trace corpora to process workers via a "
                              "zero-copy memory-mapped arena (default: "
                              "REPRO_EXEC_ARENA or 1)")
+    parser.add_argument("--exec-shmres", type=int, default=None,
+                        choices=[0, 1],
+                        help="return large worker results through shared-"
+                             "memory segments instead of pickling them "
+                             "(process backend; default: REPRO_EXEC_SHMRES "
+                             "or 1)")
+    parser.add_argument("--exec-shard", type=int, default=None,
+                        metavar="N",
+                        help="stream dataset builds, evaluations and "
+                             "screens in shards of N traces/cells with "
+                             "bounded parent memory (default: "
+                             "REPRO_EXEC_SHARD or unsharded)")
     parser.add_argument("--exec-chunk", type=int, default=None,
                         help="fixed items per parallel task (default: "
                              "REPRO_EXEC_CHUNK, or adaptive from per-item "

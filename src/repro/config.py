@@ -125,6 +125,28 @@ SIMCACHE_DIR_ENV_VAR = "REPRO_SIMCACHE_DIR"
 #: output path, any other value enables it and names the trace file.
 TRACE_ENV_VAR = "REPRO_TRACE"
 
+#: Environment variable gating shared-memory result return: ``1``
+#: (default) lets process-backend fan-outs return large result arrays
+#: through per-chunk mmap segments (descriptors instead of pickled
+#: ndarrays); ``0`` is the kill-switch restoring fully pickled returns.
+EXEC_SHMRES_ENV_VAR = "REPRO_EXEC_SHMRES"
+
+#: Environment variable setting the corpus shard size (traces/cells
+#: per shard) for the streaming dataset-scale entry points
+#: (``build_mode_dataset``, ``AdaptiveCPU.run_many``,
+#: ``screen_configs``). Unset disables sharding — the whole corpus is
+#: one pass, the historical behaviour.
+EXEC_SHARD_ENV_VAR = "REPRO_EXEC_SHARD"
+
+#: Environment variable setting the tracer's 1-in-N span sampling rate
+#: once the span buffer passes its sampling threshold (see
+#: :mod:`repro.obs.tracer`). ``1`` stores every span up to the hard
+#: cap (the pre-sampling behaviour).
+TRACE_SAMPLE_ENV_VAR = "REPRO_TRACE_SAMPLE"
+
+#: Default 1-in-N sampling rate above the tracer threshold.
+DEFAULT_TRACE_SAMPLE = 8
+
 
 # ---------------------------------------------------------------------
 # Raw environment parsers. Each reads exactly one knob and raises the
@@ -259,6 +281,37 @@ def _env_trace() -> str | None:
     return raw
 
 
+def _env_shard() -> int | None:
+    raw = os.environ.get(EXEC_SHARD_ENV_VAR)
+    if raw is None or raw == "":
+        return None
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{EXEC_SHARD_ENV_VAR} must be an int, got {raw!r}"
+        ) from exc
+    if value < 0:
+        raise ValueError(f"{EXEC_SHARD_ENV_VAR} must be >= 0, got {value}")
+    return value if value > 0 else None
+
+
+def _env_trace_sample() -> int:
+    raw = os.environ.get(TRACE_SAMPLE_ENV_VAR,
+                         str(DEFAULT_TRACE_SAMPLE))
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{TRACE_SAMPLE_ENV_VAR} must be an int, got {raw!r}"
+        ) from exc
+    if value < 1:
+        raise ValueError(
+            f"{TRACE_SAMPLE_ENV_VAR} must be >= 1, got {value}"
+        )
+    return value
+
+
 #: Every environment variable :meth:`ExecConfig.from_env` consumes, in
 #: the order its memo key is built.
 EXEC_ENV_VARS = (
@@ -266,6 +319,8 @@ EXEC_ENV_VARS = (
     EXEC_WORKERS_ENV_VAR,
     EXEC_POOL_ENV_VAR,
     EXEC_ARENA_ENV_VAR,
+    EXEC_SHMRES_ENV_VAR,
+    EXEC_SHARD_ENV_VAR,
     EXEC_CHUNK_ENV_VAR,
     EXEC_RETRIES_ENV_VAR,
     EXEC_TIMEOUT_ENV_VAR,
@@ -276,6 +331,7 @@ EXEC_ENV_VARS = (
     BATCH_SIM_ENV_VAR,
     INTERVAL_LRU_ENV_VAR,
     TRACE_ENV_VAR,
+    TRACE_SAMPLE_ENV_VAR,
 )
 
 
@@ -301,6 +357,8 @@ class ExecConfig:
     workers: int | None = None
     pool: str = "persistent"
     arena: bool = True
+    shmres: bool = True
+    shard: int | None = None
     chunk: int | None = None
     retries: int = DEFAULT_EXEC_RETRIES
     timeout: float | None = None
@@ -311,6 +369,7 @@ class ExecConfig:
     batch_sim: bool = True
     interval_lru: int = DEFAULT_INTERVAL_LRU
     trace: str | None = None
+    trace_sample: int = DEFAULT_TRACE_SAMPLE
 
     def __post_init__(self) -> None:
         if self.backend not in EXEC_BACKENDS:
@@ -341,6 +400,12 @@ class ExecConfig:
             raise ValueError(
                 f"interval_lru must be >= 1, got {self.interval_lru}"
             )
+        if self.shard is not None and self.shard < 1:
+            raise ValueError(f"shard must be >= 1, got {self.shard}")
+        if self.trace_sample < 1:
+            raise ValueError(
+                f"trace_sample must be >= 1, got {self.trace_sample}"
+            )
 
     # ------------------------------------------------------------------
     # Construction.
@@ -365,6 +430,8 @@ class ExecConfig:
             workers=_env_workers(),
             pool=_env_pool(),
             arena=_env_flag(EXEC_ARENA_ENV_VAR, "1"),
+            shmres=_env_flag(EXEC_SHMRES_ENV_VAR, "1"),
+            shard=_env_shard(),
             chunk=_env_chunk(),
             retries=_env_retries(),
             timeout=_env_timeout(),
@@ -375,6 +442,7 @@ class ExecConfig:
             batch_sim=_env_flag(BATCH_SIM_ENV_VAR, "1"),
             interval_lru=_env_interval_lru(),
             trace=_env_trace(),
+            trace_sample=_env_trace_sample(),
         )
         _FROM_ENV_CACHE = (key, config)
         return config
@@ -393,6 +461,7 @@ class ExecConfig:
                             ("exec_workers", "workers"),
                             ("exec_chunk", "chunk"),
                             ("exec_retries", "retries"),
+                            ("exec_shard", "shard"),
                             ("fault_spec", "fault_spec"),
                             ("trace", "trace")):
             value = getattr(args, attr, None)
@@ -401,6 +470,9 @@ class ExecConfig:
         arena = getattr(args, "exec_arena", None)
         if arena is not None:
             updates["arena"] = bool(arena)
+        shmres = getattr(args, "exec_shmres", None)
+        if shmres is not None:
+            updates["shmres"] = bool(shmres)
         timeout = getattr(args, "exec_timeout", None)
         if timeout is not None:
             updates["timeout"] = timeout if timeout > 0 else None
@@ -426,6 +498,9 @@ class ExecConfig:
                 None if self.workers is None else str(self.workers),
             EXEC_POOL_ENV_VAR: self.pool,
             EXEC_ARENA_ENV_VAR: "1" if self.arena else "0",
+            EXEC_SHMRES_ENV_VAR: "1" if self.shmres else "0",
+            EXEC_SHARD_ENV_VAR:
+                None if self.shard is None else str(self.shard),
             EXEC_CHUNK_ENV_VAR:
                 None if self.chunk is None else str(self.chunk),
             EXEC_RETRIES_ENV_VAR: str(self.retries),
@@ -438,6 +513,7 @@ class ExecConfig:
             BATCH_SIM_ENV_VAR: "1" if self.batch_sim else "0",
             INTERVAL_LRU_ENV_VAR: str(self.interval_lru),
             TRACE_ENV_VAR: self.trace,
+            TRACE_SAMPLE_ENV_VAR: str(self.trace_sample),
         }
 
     def apply_env(self) -> None:
@@ -538,6 +614,30 @@ def exec_arena_enabled() -> bool:
     .. deprecated:: read ``active_exec_config().arena``.
     """
     return active_exec_config().arena
+
+
+def exec_shmres_enabled() -> bool:
+    """Whether shared-memory result return is on (``REPRO_EXEC_SHMRES``).
+
+    .. deprecated:: read ``active_exec_config().shmres``.
+    """
+    return active_exec_config().shmres
+
+
+def exec_shard_size() -> int | None:
+    """Corpus shard size from ``REPRO_EXEC_SHARD``, or None for one pass.
+
+    .. deprecated:: read ``active_exec_config().shard``.
+    """
+    return active_exec_config().shard
+
+
+def trace_sample_rate() -> int:
+    """Tracer 1-in-N sampling rate from ``REPRO_TRACE_SAMPLE``.
+
+    .. deprecated:: read ``active_exec_config().trace_sample``.
+    """
+    return active_exec_config().trace_sample
 
 
 def exec_chunk_size() -> int | None:

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.config import DEFAULT_SLA, MachineConfig, SLAConfig
 from repro.config import batch_sim_enabled, exec_arena_enabled
+from repro.config import exec_shard_size
 from repro.core.gating import GatingController
 from repro.core.labels import LabelSet, gating_labels
 from repro.core.predictor import DualModePredictor
@@ -254,10 +255,33 @@ class AdaptiveCPU:
         every backend stays bit-identical. Subclasses that override
         :meth:`run` keep their per-trace semantics and skip the
         batched path.
+
+        ``REPRO_EXEC_SHARD`` caps how many traces are prepared and
+        scored at once: above the cap the corpus streams shard-by-
+        shard, so the parent never holds more than one shard of
+        feature windows plus the accumulated (small) results.
+        Inference is row-wise and finalisation per-trace, so sharded
+        runs stay bit-identical to unsharded ones.
         """
         pmap = pmap if pmap is not None else default_parallel_map()
         if not (batch_sim_enabled() and type(self).run is AdaptiveCPU.run):
             return pmap.map(self.run, traces, stage="adaptive_run")
+        shard = exec_shard_size()
+        if shard is not None and len(traces) > shard:
+            n_shards = -(-len(traces) // shard)
+            out: list[AdaptiveRunResult] = []
+            for si in range(n_shards):
+                sub = traces[si * shard:(si + 1) * shard]
+                with tracer.span("deploy.shard", shard=si,
+                                 shards=n_shards, traces=len(sub)):
+                    out.extend(self._run_many_batch(sub, pmap))
+                EXEC_STATS.incr("adaptive_run.shards")
+            return out
+        return self._run_many_batch(traces, pmap)
+
+    def _run_many_batch(self, traces: list[TraceSpec],
+                        pmap: ParallelMap) -> list[AdaptiveRunResult]:
+        """One prepare → infer → finalize pass over (a shard of) traces."""
         with tracer.span("deploy.prepare", traces=len(traces)):
             preps = self._prepare_many(traces, pmap)
         if not preps:

@@ -18,9 +18,13 @@ import numpy as np
 from repro import rng as rng_mod
 from repro.config import BASE_INTERVAL_INSTRUCTIONS, DEFAULT_SLA, SLAConfig
 from repro.config import batch_sim_enabled, exec_arena_enabled
-from repro.config import experiment_scale
+from repro.config import exec_shard_size, experiment_scale
 from repro.core.labels import gating_labels
-from repro.data.dataset import GatingDataset, concat_datasets
+from repro.data.dataset import (
+    DatasetAssembler,
+    GatingDataset,
+    concat_datasets,
+)
 from repro.errors import ArenaIntegrityError, DatasetError
 from repro.exec.arena import TraceArena
 from repro.exec.parallel import ParallelMap, default_parallel_map
@@ -160,6 +164,10 @@ def build_mode_dataset(traces: list[TraceSpec], mode: Mode,
     attached (or ``REPRO_SIMCACHE_DIR`` is set), keyed by trace
     content, counter set, SLA, granularity and machine config — both
     paths are bit-identical to a serial, uncached build.
+
+    When ``REPRO_EXEC_SHARD`` caps the number of traces in flight, the
+    corpus streams shard-by-shard with bounded parent RSS (and
+    shard-level cache resume); see :func:`_build_sharded`.
     """
     if not traces:
         raise DatasetError("no traces supplied")
@@ -191,53 +199,109 @@ def _build_mode_dataset(traces, mode, counter_ids, sla, collector,
         if cached is not None:
             return cached
     pmap = pmap if pmap is not None else default_parallel_map()
+    shard = exec_shard_size()
+    if shard is not None and len(traces) > shard:
+        dataset = _build_sharded(traces, mode, counter_ids, sla,
+                                 collector, granularity_factor, horizon,
+                                 pmap, simcache, shard)
+    else:
+        dataset = concat_datasets(_build_parts(
+            traces, mode, counter_ids, sla, collector,
+            granularity_factor, horizon, pmap))
+    if key is not None:
+        simcache.store_dataset(key, dataset)
+    return dataset
+
+
+def _build_parts(traces, mode, counter_ids, sla, collector,
+                 granularity_factor, horizon, pmap,
+                 ) -> list[GatingDataset]:
+    """Fan the per-trace builds of one (sub)corpus out through ``pmap``."""
     part_fn = functools.partial(_build_trace_part, mode=mode,
                                 counter_ids=counter_ids, sla=sla,
                                 collector=collector,
                                 granularity_factor=granularity_factor,
                                 horizon=horizon)
-    if batch_sim_enabled():
-        # Whole chunks reach each worker, so the interval simulations
-        # of a chunk run as one stacked batch pass before the per-trace
-        # assembly (which then hits the warm LRU). Process dispatch
-        # ships the corpus and collector once via the trace arena.
-        arena = None
-        if (exec_arena_enabled() and len(traces) > 1
-                and pmap.uses_processes(len(traces), "build_dataset")):
-            try:
-                arena = TraceArena.build(
-                    traces, objects={"collector": collector})
-            except (pickle.PicklingError, AttributeError, TypeError):
-                EXEC_STATS.incr("arena.build_fallback")
-        parts = None
-        if arena is not None:
-            try:
-                parts = pmap.map_chunks(
-                    functools.partial(
-                        _arena_build_chunk, arena.handle, mode=mode,
-                        counter_ids=counter_ids, sla=sla,
-                        granularity_factor=granularity_factor,
-                        horizon=horizon),
-                    range(len(traces)), stage="build_dataset")
-            except ArenaIntegrityError:
-                # Corrupt/injected-corrupt segment: fall back to
-                # pickled dispatch below — bit-identical, just slower.
-                EXEC_STATS.incr("arena.attach_fallback")
-            finally:
-                arena.close()
-        if parts is None:
-            parts = pmap.map_chunks(
-                functools.partial(_build_trace_chunk, part_fn=part_fn,
-                                  mode=mode, counter_ids=counter_ids,
-                                  sla=sla, collector=collector,
-                                  granularity_factor=granularity_factor),
-                traces, stage="build_dataset")
-    else:
-        parts = pmap.map(part_fn, traces, stage="build_dataset")
-    dataset = concat_datasets(parts)
-    if key is not None:
-        simcache.store_dataset(key, dataset)
-    return dataset
+    if not batch_sim_enabled():
+        return pmap.map(part_fn, traces, stage="build_dataset")
+    # Whole chunks reach each worker, so the interval simulations
+    # of a chunk run as one stacked batch pass before the per-trace
+    # assembly (which then hits the warm LRU). Process dispatch
+    # ships the corpus and collector once via the trace arena.
+    arena = None
+    if (exec_arena_enabled() and len(traces) > 1
+            and pmap.uses_processes(len(traces), "build_dataset")):
+        try:
+            arena = TraceArena.build(
+                traces, objects={"collector": collector})
+        except (pickle.PicklingError, AttributeError, TypeError):
+            EXEC_STATS.incr("arena.build_fallback")
+    if arena is not None:
+        try:
+            return pmap.map_chunks(
+                functools.partial(
+                    _arena_build_chunk, arena.handle, mode=mode,
+                    counter_ids=counter_ids, sla=sla,
+                    granularity_factor=granularity_factor,
+                    horizon=horizon),
+                range(len(traces)), stage="build_dataset")
+        except ArenaIntegrityError:
+            # Corrupt/injected-corrupt segment: fall back to
+            # pickled dispatch below — bit-identical, just slower.
+            EXEC_STATS.incr("arena.attach_fallback")
+        finally:
+            arena.close()
+    return pmap.map_chunks(
+        functools.partial(_build_trace_chunk, part_fn=part_fn,
+                          mode=mode, counter_ids=counter_ids,
+                          sla=sla, collector=collector,
+                          granularity_factor=granularity_factor),
+        traces, stage="build_dataset")
+
+
+def _build_sharded(traces, mode, counter_ids, sla, collector,
+                   granularity_factor, horizon, pmap, simcache,
+                   shard: int) -> GatingDataset:
+    """Stream the corpus shard-by-shard with bounded parent RSS.
+
+    Each shard of ``shard`` traces is built (and its result views
+    released) before the next begins; rows land in a
+    :class:`~repro.data.dataset.DatasetAssembler` by slice-copy, so
+    peak parent memory is roughly the final matrix plus one shard of
+    parts instead of every pickled part at once. Per-trace assembly is
+    independent of grouping, so the result is bit-identical to the
+    unsharded build. When a SimCache is attached, each shard is also
+    cached under its own key, giving interrupted million-trace builds
+    shard-level resume.
+    """
+    assembler = DatasetAssembler()
+    n_shards = -(-len(traces) // shard)
+    for si in range(n_shards):
+        sub = traces[si * shard:(si + 1) * shard]
+        with tracer.span("build_dataset.shard", shard=si,
+                         shards=n_shards, traces=len(sub)):
+            shard_key = None
+            if simcache is not None:
+                shard_key = simcache.dataset_key(
+                    sub, mode, counter_ids, sla, granularity_factor,
+                    horizon, collector.model.machine,
+                    catalog_token=_catalog_token(collector))
+                cached = simcache.load_dataset(shard_key)
+                if cached is not None:
+                    EXEC_STATS.incr("build_dataset.shard_cache_hits")
+                    assembler.append(cached)
+                    continue
+            parts = _build_parts(sub, mode, counter_ids, sla, collector,
+                                 granularity_factor, horizon, pmap)
+            if shard_key is not None:
+                shard_ds = concat_datasets(parts)
+                simcache.store_dataset(shard_key, shard_ds)
+                assembler.append(shard_ds)
+            else:
+                for part in parts:
+                    assembler.append(part)
+        EXEC_STATS.incr("build_dataset.shards")
+    return assembler.finish()
 
 
 def dataset_from_traces(traces: list[TraceSpec],

@@ -75,20 +75,25 @@ class GatingDataset:
         return self.subset(mask)
 
 
+def _check_compatible(first: GatingDataset, ds: GatingDataset) -> None:
+    """Metadata agreement required for row-wise combination."""
+    if ds.mode is not first.mode:
+        raise DatasetError("mode mismatch in concat")
+    if ds.granularity != first.granularity:
+        raise DatasetError("granularity mismatch in concat")
+    if not np.array_equal(ds.counter_ids, first.counter_ids):
+        raise DatasetError("counter set mismatch in concat")
+    if ds.sla_floor != first.sla_floor:
+        raise DatasetError("SLA mismatch in concat")
+
+
 def concat_datasets(datasets: list[GatingDataset]) -> GatingDataset:
     """Concatenate row-wise; metadata must agree."""
     if not datasets:
         raise DatasetError("nothing to concatenate")
     first = datasets[0]
     for ds in datasets[1:]:
-        if ds.mode is not first.mode:
-            raise DatasetError("mode mismatch in concat")
-        if ds.granularity != first.granularity:
-            raise DatasetError("granularity mismatch in concat")
-        if not np.array_equal(ds.counter_ids, first.counter_ids):
-            raise DatasetError("counter set mismatch in concat")
-        if ds.sla_floor != first.sla_floor:
-            raise DatasetError("SLA mismatch in concat")
+        _check_compatible(first, ds)
     return dataclasses.replace(
         first,
         x=np.concatenate([ds.x for ds in datasets]),
@@ -97,3 +102,87 @@ def concat_datasets(datasets: list[GatingDataset]) -> GatingDataset:
         workloads=np.concatenate([ds.workloads for ds in datasets]),
         traces=np.concatenate([ds.traces for ds in datasets]),
     )
+
+
+class DatasetAssembler:
+    """Streamed, bounded-RSS alternative to :func:`concat_datasets`.
+
+    Sharded builds feed shards (or per-trace parts) in as they finish;
+    numeric matrices land by slice-copy into geometrically grown
+    buffers, so peak parent memory is roughly *final matrix + one
+    shard* instead of *all parts + their concatenation* — and shm
+    result views can be released shard by shard. The assembled dataset
+    is bit-identical to ``concat_datasets`` over the same parts (the
+    tier-1 suite asserts this).
+
+    Name columns (``groups``/``workloads``/``traces``) are fixed-width
+    unicode whose width is only known once every part has arrived, so
+    they are accumulated and concatenated at :meth:`finish` — they are
+    a few pointers per row, never the RSS driver.
+    """
+
+    def __init__(self) -> None:
+        self._first: GatingDataset | None = None
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+        self._n = 0
+        self._names: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+
+    def _reserve(self, rows: int) -> None:
+        need = self._n + rows
+        if need <= self._x.shape[0]:
+            return
+        cap = max(need, self._x.shape[0] + (self._x.shape[0] >> 1))
+        x = np.empty((cap, self._x.shape[1]), dtype=self._x.dtype)
+        y = np.empty(cap, dtype=self._y.dtype)
+        x[:self._n] = self._x[:self._n]
+        y[:self._n] = self._y[:self._n]
+        self._x, self._y = x, y
+
+    def append(self, ds: GatingDataset) -> None:
+        """Fold one part in; metadata must agree with the first part."""
+        if self._first is None:
+            self._first = ds
+            self._x = np.empty((ds.x.shape[0], ds.x.shape[1]),
+                               dtype=ds.x.dtype)
+            self._y = np.empty(ds.y.shape[0], dtype=ds.y.dtype)
+        else:
+            _check_compatible(self._first, ds)
+            if ds.x.dtype != self._x.dtype or ds.y.dtype != self._y.dtype:
+                # concat_datasets would silently upcast here; refusing
+                # keeps sharded and unsharded assembly bit-identical.
+                raise DatasetError(
+                    f"dtype mismatch in assembly: x {ds.x.dtype} vs "
+                    f"{self._x.dtype}, y {ds.y.dtype} vs {self._y.dtype}"
+                )
+            if ds.x.shape[1] != self._x.shape[1]:
+                raise DatasetError(
+                    f"feature count mismatch in assembly: "
+                    f"{ds.x.shape[1]} vs {self._x.shape[1]}"
+                )
+            self._reserve(ds.x.shape[0])
+        n, rows = self._n, ds.x.shape[0]
+        self._x[n:n + rows] = ds.x
+        self._y[n:n + rows] = ds.y
+        self._n = n + rows
+        self._names.append((ds.groups, ds.workloads, ds.traces))
+
+    @property
+    def n_rows(self) -> int:
+        return self._n
+
+    def finish(self) -> GatingDataset:
+        """The assembled dataset (buffers trimmed to the rows seen)."""
+        if self._first is None:
+            raise DatasetError("nothing to assemble")
+        groups = np.concatenate([g for g, _, _ in self._names])
+        workloads = np.concatenate([w for _, w, _ in self._names])
+        traces = np.concatenate([t for _, _, t in self._names])
+        return dataclasses.replace(
+            self._first,
+            x=self._x[:self._n],
+            y=self._y[:self._n],
+            groups=groups,
+            workloads=workloads,
+            traces=traces,
+        )

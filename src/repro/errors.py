@@ -52,3 +52,13 @@ class CacheCorruptionError(ExecFaultError):
 
 class ArenaIntegrityError(ExecFaultError):
     """An arena segment failed magic/version/checksum validation."""
+
+
+class ResultIntegrityError(ExecFaultError):
+    """A shared-memory result segment failed validation on read.
+
+    Raised parent-side when a worker's result segment cannot be
+    mapped, fails its magic/version/bounds checks, or a block CRC
+    mismatches. The dispatcher quarantines the segment and retries the
+    chunk over pickled returns, so corruption costs throughput, never
+    correctness."""

@@ -15,7 +15,7 @@ import functools
 
 import numpy as np
 
-from repro.config import DEFAULT_SLA, SLAConfig
+from repro.config import DEFAULT_SLA, SLAConfig, exec_shard_size
 from repro.core.adaptive_cpu import AdaptiveCPU, AdaptiveRunResult
 from repro.core.predictor import DualModePredictor
 from repro.errors import DatasetError
@@ -134,13 +134,19 @@ def evaluate_predictor(predictor: DualModePredictor,
     ``pmap`` selects the execution backend for the per-trace closed
     loops (serial unless configured); process backends ship the corpus
     once via the :class:`~repro.exec.arena.TraceArena` when
-    ``REPRO_EXEC_ARENA=1``. Suite metrics are bit-identical across
-    backends and arena settings.
+    ``REPRO_EXEC_ARENA=1``, and ``REPRO_EXEC_SHARD`` streams the
+    closed loops shard-by-shard with bounded parent RSS (see
+    :meth:`~repro.core.adaptive_cpu.AdaptiveCPU.run_many`). Suite
+    metrics are bit-identical across backends, arena and shard
+    settings.
     """
     if not traces:
         raise DatasetError("no traces to evaluate")
+    shard = exec_shard_size()
+    n_shards = (1 if shard is None or len(traces) <= shard
+                else -(-len(traces) // shard))
     with tracer.span("evaluate.predictor", predictor=predictor.name,
-                     traces=len(traces)):
+                     traces=len(traces), shards=n_shards):
         cpu = AdaptiveCPU(predictor, collector=collector, power=power,
                           sla=sla)
         runs = cpu.run_many(traces, pmap=pmap)

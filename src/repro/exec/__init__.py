@@ -11,6 +11,10 @@ configurations or folds:
   package of a trace corpus (plus shared objects and bulk arrays)
   that process-pool workers attach to by handle, shrinking task
   payloads to index lists;
+* :mod:`~repro.exec.shmres` — the output half of the zero-copy story:
+  process-pool workers hoist large result arrays into validated
+  shared-memory segments and ship descriptors home instead of pickled
+  ndarrays (``REPRO_EXEC_SHMRES`` kill-switch);
 * :class:`~repro.exec.simcache.SimCache` — a content-addressed on-disk
   cache of simulation outputs and built feature matrices;
 * :data:`~repro.exec.stats.EXEC_STATS` — process-wide stage timings,
@@ -43,6 +47,7 @@ from repro.exec.parallel import (
     default_parallel_map,
     reset_default,
 )
+from repro.exec.shmres import ShmChunk
 from repro.exec.simcache import SimCache, default_simcache
 from repro.exec.stats import EXEC_STATS, ExecStats
 
@@ -52,6 +57,7 @@ __all__ = [
     "ExecStats",
     "FaultPlan",
     "ParallelMap",
+    "ShmChunk",
     "SimCache",
     "TraceArena",
     "active_plan",

@@ -31,6 +31,10 @@ Fault kinds (rates in ``[0, 1]``):
 ``corrupt_arena``
     An arena attach fails integrity validation, exercising the
     pickled-dispatch fallback at every arena call site.
+``corrupt_result``
+    A shared-memory *result* segment fails validation when the parent
+    decodes it, exercising the quarantine → pickled-return retry in
+    :meth:`~repro.exec.parallel.ParallelMap._pool_dispatch`.
 
 Activate a plan programmatically (:func:`install_fault_plan`, or the
 :func:`inject` context manager in tests) or via the environment::
@@ -58,7 +62,7 @@ from repro.exec.stats import EXEC_STATS
 
 #: Recognised fault kinds (each is a rate field of :class:`FaultPlan`).
 FAULT_KINDS = ("crash", "hang", "payload", "corrupt_cache",
-               "corrupt_arena")
+               "corrupt_arena", "corrupt_result")
 
 #: Spec keys that are not rates.
 _SCALAR_KEYS = ("seed", "hang_s")
@@ -79,6 +83,7 @@ class FaultPlan:
     payload: float = 0.0
     corrupt_cache: float = 0.0
     corrupt_arena: float = 0.0
+    corrupt_result: float = 0.0
     hang_s: float = 0.25
 
     def __post_init__(self) -> None:

@@ -26,6 +26,12 @@ Design points:
   probe (or reuses the stage's cost history) and only pays for a
   process pool when the remaining work would amortise it; tiny
   corpora and 1-CPU containers stay serial.
+* **Shared-memory result return** — on the process backend, workers
+  hoist large result ndarrays into per-chunk mmap segments
+  (:mod:`repro.exec.shmres`) and ship only descriptors; the parent
+  validates (CRC/bounds, arena-style) and reconstructs zero-copy
+  views, quarantining a corrupt segment back to pickled returns.
+  ``REPRO_EXEC_SHMRES=0`` disables it.
 * **Worker-side RNG seeding** — when a ``seed`` is given, the global
   NumPy RNG is re-seeded *per item* from ``derive_seed(seed, index)``
   before the item runs, so any stray use of the global generator is
@@ -55,8 +61,9 @@ parallelism without signature changes: ``REPRO_EXEC_BACKEND`` selects
 the backend (default ``serial``), ``REPRO_EXEC_WORKERS`` the worker
 count (default: CPU count), ``REPRO_EXEC_CHUNK`` pins the chunk size,
 ``REPRO_EXEC_POOL`` picks persistent vs fresh pools,
-``REPRO_EXEC_RETRIES`` bounds chunk retries and ``REPRO_EXEC_TIMEOUT``
-sets the per-task timeout (pool backends only).
+``REPRO_EXEC_RETRIES`` bounds chunk retries, ``REPRO_EXEC_TIMEOUT``
+sets the per-task timeout (pool backends only) and
+``REPRO_EXEC_SHMRES`` toggles shared-memory result return.
 """
 
 from __future__ import annotations
@@ -75,10 +82,12 @@ from repro import config as config_mod
 from repro import rng as rng_mod
 from repro.errors import (
     ConfigurationError,
+    ResultIntegrityError,
     WorkerCrashError,
     WorkerTimeoutError,
 )
 from repro.exec import faults
+from repro.exec import shmres
 from repro.obs import tracer
 from repro.obs.metrics import METRICS
 from repro.exec.stats import EXEC_STATS
@@ -115,6 +124,7 @@ _FALLBACK_ERRORS = (
     ImportError,
     OSError,
     WorkerCrashError,  # crash retries exhausted: last rung is serial
+    ResultIntegrityError,  # shm-return quarantine retries exhausted
 )
 
 #: Chunk failures worth retrying on a (possibly rebuilt) pool — the
@@ -280,13 +290,19 @@ def _merge_sidecar(sidecar: dict | None) -> None:
 
 def _run_chunk(fn: Callable, indexed: Sequence[tuple[int, object]],
                seed: int | None, stage: str | None = None,
-               attempt: int = 0,
-               pooled: bool = False) -> tuple[list, float, dict | None]:
+               attempt: int = 0, pooled: bool = False,
+               spool: str | None = None,
+               ) -> tuple[list, float, dict | None]:
     """Run one chunk of (index, item) pairs.
 
     Returns ``(results, busy_s, sidecar)``; the sidecar is ``None``
     except in process-pool workers, where it carries the metrics delta
     and spans recorded while the chunk ran (see :func:`_sidecar`).
+    When a ``spool`` directory is given and this runs in a process-pool
+    worker, large result arrays are hoisted into a shared-memory
+    segment there (:func:`repro.exec.shmres.encode`); thread workers
+    and the serial path share the parent's address space and skip
+    encoding (``_IN_WORKER`` is False).
     """
     if pooled and indexed:
         _chunk_fault_point(stage, indexed[0][0], attempt)
@@ -299,13 +315,16 @@ def _run_chunk(fn: Callable, indexed: Sequence[tuple[int, object]],
                 np.random.seed(rng_mod.derive_seed(seed, "exec-item", index)
                                % (2 ** 32))
             out.append(fn(item))
+    if spool is not None and _IN_WORKER:
+        out = shmres.encode(out, spool)
     return out, time.perf_counter() - start, _sidecar(marks)
 
 
 def _run_batch(fn: Callable, first_index: int, items: list,
                seed: int | None, stage: str | None = None,
-               attempt: int = 0,
-               pooled: bool = False) -> tuple[list, float, dict | None]:
+               attempt: int = 0, pooled: bool = False,
+               spool: str | None = None,
+               ) -> tuple[list, float, dict | None]:
     """Run one whole-chunk call of a batch function; see ``map_chunks``."""
     if pooled and items:
         _chunk_fault_point(stage, first_index, attempt)
@@ -316,6 +335,8 @@ def _run_batch(fn: Callable, first_index: int, items: list,
             np.random.seed(rng_mod.derive_seed(seed, "exec-chunk",
                                                first_index) % (2 ** 32))
         out = fn(items)
+    if spool is not None and _IN_WORKER:
+        out = shmres.encode(out, spool)
     return out, time.perf_counter() - start, _sidecar(marks)
 
 
@@ -478,13 +499,15 @@ class ParallelMap:
         return results
 
     def _pool_dispatch(self, backend: str, stage: str, chunks: list,
-                       submit_args: Callable[[object, int], tuple],
+                       submit_args: Callable[[object, int, str | None],
+                                             tuple],
                        ) -> tuple[list, float, int]:
         """Submit chunks to a pool with retry, backoff and timeouts.
 
-        ``submit_args(chunk, attempt)`` builds the positional argument
-        tuple for ``pool.submit``. Returns per-chunk results in chunk
-        order, total busy seconds and the effective worker count.
+        ``submit_args(chunk, attempt, spool)`` builds the positional
+        argument tuple for ``pool.submit``. Returns per-chunk results
+        in chunk order, total busy seconds and the effective worker
+        count.
 
         The degradation ladder on retryable failures (a crashed worker
         or a broken pool): retry on the same pool with exponential
@@ -496,6 +519,17 @@ class ParallelMap:
         would also hang the serial rung. Chunks completed on earlier
         attempts are never resubmitted, so a genuine task error from a
         later chunk still propagates unchanged.
+
+        Shared-memory result return (``REPRO_EXEC_SHMRES``): on the
+        process backend each dispatch opens a spool directory for the
+        workers' result segments, decodes each :class:`ShmChunk` back
+        into zero-copy views as its future completes, and sweeps any
+        segments orphaned by crashed/hung/degraded workers when the
+        dispatch ends. A segment that fails validation quarantines
+        shm-return for the rest of this call — the pending chunks are
+        retried over plain pickled results — and if retries are already
+        exhausted the typed :class:`~repro.errors.ResultIntegrityError`
+        reaches the caller's serial-fallback rung.
         """
         retries = self._retries()
         timeout = self._timeout()
@@ -505,65 +539,86 @@ class ParallelMap:
         rebuilt = False
         current = backend
         pending = list(range(len(chunks)))
-        while True:
-            pool = self._acquire_pool(current)
-            broken = False
-            failure: BaseException | None = None
-            futures: list = []
-            try:
+        spool_dir = (shmres.open_call_spool()
+                     if shmres.enabled(backend) else None)
+        spool = spool_dir
+        sampled = False
+        try:
+            while True:
+                pool = self._acquire_pool(current)
+                broken = False
+                failure: BaseException | None = None
+                futures: list = []
                 try:
-                    futures = [
-                        (ci, pool.submit(*submit_args(chunks[ci], attempt)))
-                        for ci in pending
-                    ]
-                    for ci, future in futures:
-                        try:
-                            (chunk_results, chunk_busy,
-                             sidecar) = future.result(timeout=timeout)
-                        except concurrent.futures.TimeoutError as exc:
-                            EXEC_STATS.incr("parallel.timeouts")
-                            broken = True  # a hung worker poisons the pool
-                            failure = WorkerTimeoutError(
-                                f"task in stage {stage!r} exceeded "
-                                f"{timeout}s (attempt {attempt})"
-                            )
-                            failure.__cause__ = exc
-                            break
-                        except _RETRYABLE_ERRORS as exc:
-                            broken = broken or isinstance(
-                                exc, concurrent.futures.BrokenExecutor)
-                            failure = exc
-                            break
-                        else:
-                            results[ci] = chunk_results
-                            busy += chunk_busy
-                            _merge_sidecar(sidecar)
-                except concurrent.futures.BrokenExecutor as exc:
-                    # submit() itself can raise on an already-broken pool.
-                    broken = True
-                    failure = exc
-            finally:
-                if failure is not None:
-                    for _, future in futures:
-                        future.cancel()
-                self._release_pool(current, pool, broken)
-            pending = [ci for ci in pending if ci not in results]
-            if failure is None:
-                ordered = [results[ci] for ci in range(len(chunks))]
-                return ordered, busy, min(self.n_workers, len(chunks))
-            if attempt >= retries:
-                raise failure
-            attempt += 1
-            EXEC_STATS.incr("parallel.retries")
-            time.sleep(min(BACKOFF_MAX_S,
-                           BACKOFF_BASE_S * 2 ** (attempt - 1)))
-            if broken and current == "process":
-                if not rebuilt:
-                    rebuilt = True
-                    EXEC_STATS.incr("parallel.pool_rebuild")
-                else:
-                    current = "thread"
-                    EXEC_STATS.incr("parallel.degrade_thread")
+                    try:
+                        futures = [
+                            (ci, pool.submit(*submit_args(
+                                chunks[ci], attempt, spool)))
+                            for ci in pending
+                        ]
+                        for ci, future in futures:
+                            try:
+                                (payload, chunk_busy,
+                                 sidecar) = future.result(timeout=timeout)
+                                if current == "process":
+                                    if not sampled:
+                                        shmres.record_result_sample(
+                                            stage, payload)
+                                        sampled = True
+                                    payload = shmres.decode(payload, stage)
+                            except concurrent.futures.TimeoutError as exc:
+                                EXEC_STATS.incr("parallel.timeouts")
+                                broken = True  # hung worker poisons the pool
+                                failure = WorkerTimeoutError(
+                                    f"task in stage {stage!r} exceeded "
+                                    f"{timeout}s (attempt {attempt})"
+                                )
+                                failure.__cause__ = exc
+                                break
+                            except ResultIntegrityError as exc:
+                                # Quarantine shm return for this call;
+                                # pending chunks retry pickled.
+                                EXEC_STATS.incr("shmres.quarantine")
+                                spool = None
+                                failure = exc
+                                break
+                            except _RETRYABLE_ERRORS as exc:
+                                broken = broken or isinstance(
+                                    exc, concurrent.futures.BrokenExecutor)
+                                failure = exc
+                                break
+                            else:
+                                results[ci] = payload
+                                busy += chunk_busy
+                                _merge_sidecar(sidecar)
+                    except concurrent.futures.BrokenExecutor as exc:
+                        # submit() itself can raise on a broken pool.
+                        broken = True
+                        failure = exc
+                finally:
+                    if failure is not None:
+                        for _, future in futures:
+                            future.cancel()
+                    self._release_pool(current, pool, broken)
+                pending = [ci for ci in pending if ci not in results]
+                if failure is None:
+                    ordered = [results[ci] for ci in range(len(chunks))]
+                    return ordered, busy, min(self.n_workers, len(chunks))
+                if attempt >= retries:
+                    raise failure
+                attempt += 1
+                EXEC_STATS.incr("parallel.retries")
+                time.sleep(min(BACKOFF_MAX_S,
+                               BACKOFF_BASE_S * 2 ** (attempt - 1)))
+                if broken and current == "process":
+                    if not rebuilt:
+                        rebuilt = True
+                        EXEC_STATS.incr("parallel.pool_rebuild")
+                    else:
+                        current = "thread"
+                        EXEC_STATS.incr("parallel.degrade_thread")
+        finally:
+            shmres.close_call_spool(spool_dir)
 
     def _map_pool(self, fn: Callable, indexed: list[tuple[int, object]],
                   backend: str, stage: str) -> tuple[list, float, int]:
@@ -573,8 +628,9 @@ class ParallelMap:
             self._sample_payload(stage, (fn, chunks[0], self.seed),
                                  len(chunks))
 
-        def submit_args(chunk, attempt):
-            return (_run_chunk, fn, chunk, self.seed, stage, attempt, True)
+        def submit_args(chunk, attempt, spool=None):
+            return (_run_chunk, fn, chunk, self.seed, stage, attempt,
+                    True, spool)
 
         per_chunk, busy, workers = self._pool_dispatch(
             backend, stage, chunks, submit_args)
@@ -709,10 +765,10 @@ class ParallelMap:
                  [item for _, item in chunks[0]], self.seed),
                 len(chunks))
 
-        def submit_args(chunk, attempt):
+        def submit_args(chunk, attempt, spool=None):
             return (_run_batch, fn, chunk[0][0],
                     [item for _, item in chunk], self.seed,
-                    stage, attempt, True)
+                    stage, attempt, True, spool)
 
         per_chunk, busy, workers = self._pool_dispatch(
             backend, stage, chunks, submit_args)

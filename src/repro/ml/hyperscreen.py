@@ -17,7 +17,7 @@ from collections.abc import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.config import exec_arena_enabled
+from repro.config import exec_arena_enabled, exec_shard_size
 from repro.errors import ArenaIntegrityError, DatasetError
 from repro.exec.arena import TraceArena
 from repro.exec.parallel import ParallelMap, default_parallel_map
@@ -143,6 +143,14 @@ def screen_configs(model_factory: Callable[[Mapping[str, object]], Estimator],
 
 def _screen_grid(model_factory, configs, x, y, folds, metric_fns,
                  threshold_tuner, pmap, grid) -> list[ScreenRecord]:
+    """Map every (config, fold) cell, optionally shard-by-shard.
+
+    The arena (when it pays) is built once and shared across shards;
+    ``REPRO_EXEC_SHARD`` caps how many cells are in flight at a time,
+    so the parent never holds more than one shard of cell results
+    before folding them into records. Cells are independent, so
+    sharded screening is bit-identical to the single-pass map.
+    """
     arena = None
     if (exec_arena_enabled() and len(grid) > 1
             and pmap.uses_processes(len(grid), "hyperscreen")):
@@ -154,24 +162,42 @@ def _screen_grid(model_factory, configs, x, y, folds, metric_fns,
                          "threshold_tuner": threshold_tuner})
         except (pickle.PicklingError, AttributeError, TypeError):
             EXEC_STATS.incr("arena.build_fallback")
-    cells = None
-    if arena is not None:
-        try:
-            cells = pmap.map(
-                functools.partial(_arena_screen_cell, arena.handle),
-                grid, stage="hyperscreen")
-        except ArenaIntegrityError:
-            # Corrupt/injected-corrupt segment: fall back to pickled
-            # dispatch below — bit-identical, just slower.
-            EXEC_STATS.incr("arena.attach_fallback")
-        finally:
-            arena.close()
-    if cells is None:
-        cells = pmap.map(
+    use_arena = arena is not None
+
+    def _map_cells(sub):
+        nonlocal use_arena
+        if use_arena:
+            try:
+                return pmap.map(
+                    functools.partial(_arena_screen_cell, arena.handle),
+                    sub, stage="hyperscreen")
+            except ArenaIntegrityError:
+                # Corrupt/injected-corrupt segment: fall back to
+                # pickled dispatch — bit-identical, just slower.
+                EXEC_STATS.incr("arena.attach_fallback")
+                use_arena = False
+        return pmap.map(
             functools.partial(_screen_cell, model_factory=model_factory,
                               x=x, y=y, metric_fns=metric_fns,
                               threshold_tuner=threshold_tuner),
-            grid, stage="hyperscreen")
+            sub, stage="hyperscreen")
+
+    try:
+        shard = exec_shard_size()
+        if shard is None or len(grid) <= shard:
+            cells = _map_cells(grid)
+        else:
+            n_shards = -(-len(grid) // shard)
+            cells = []
+            for si in range(n_shards):
+                sub = grid[si * shard:(si + 1) * shard]
+                with tracer.span("screen_configs.shard", shard=si,
+                                 shards=n_shards, cells=len(sub)):
+                    cells.extend(_map_cells(sub))
+                EXEC_STATS.incr("hyperscreen.shards")
+    finally:
+        if arena is not None:
+            arena.close()
     n_folds = len(folds)
     return [
         _assemble_record(config, cells[i * n_folds:(i + 1) * n_folds],

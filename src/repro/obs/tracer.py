@@ -28,6 +28,8 @@ Trace-file schema (``schema`` = :data:`OBS_SCHEMA_VERSION`)::
       "started_unix": 1754000000.0,
       "duration_s": 12.5,
       "dropped_spans": 0,
+      "sampled_spans": 0,
+      "sample_rate": 8,
       "spans": [
         {"name": "exec.map", "id": "1234:7", "parent": "1234:1",
          "pid": 1234, "tid": 140.., "start_s": 0.002, "dur_s": 0.4,
@@ -69,9 +71,22 @@ TRACE_ENV_VAR = "REPRO_TRACE"
 #: Where ``REPRO_TRACE=1`` writes the trace when no path is given.
 DEFAULT_TRACE_PATH = "repro_trace.json"
 
-#: Span-buffer bound; spans past it are counted, not stored, so an
-#: instrumented long sweep cannot grow memory without bound.
+#: Span-buffer hard bound; spans past it are counted, not stored, so
+#: an instrumented long sweep cannot grow memory without bound. Once
+#: the buffer is half full, deterministic 1-in-N sampling kicks in
+#: (``REPRO_TRACE_SAMPLE``) so long sweeps keep a representative tail
+#: instead of a truncated head.
 MAX_SPANS = 200_000
+
+#: Environment variable selecting the 1-in-N sampling rate applied
+#: above the half-full threshold (kept in sync with
+#: :data:`repro.config.TRACE_SAMPLE_ENV_VAR`; duplicated literally so
+#: the tracer keeps zero repro imports). ``1`` disables sampling and
+#: restores the pure drop-at-cap behaviour.
+TRACE_SAMPLE_ENV_VAR = "REPRO_TRACE_SAMPLE"
+
+#: Default sampling rate (keep every 8th span above the threshold).
+DEFAULT_SAMPLE_RATE = 8
 
 #: Keys every span record must carry (schema validation).
 _SPAN_KEYS = ("name", "id", "parent", "pid", "tid", "start_s", "dur_s",
@@ -85,6 +100,8 @@ _EPOCH = time.perf_counter()
 
 _SPANS: list[dict] = []
 _DROPPED = 0
+_SAMPLE_SEEN = 0
+_SAMPLED_OUT = 0
 _NEXT_ID = 0
 _LAST_TRACE_PATH: str | None = None
 
@@ -95,6 +112,24 @@ def _env_spec() -> str | None:
     if raw is None or raw in ("", "0"):
         return None
     return DEFAULT_TRACE_PATH if raw == "1" else raw
+
+
+def _env_sample_rate() -> int:
+    """Sampling rate from the environment (lenient: bad values fall
+    back to the default here; :meth:`repro.config.ExecConfig.from_env`
+    is where a malformed ``REPRO_TRACE_SAMPLE`` raises)."""
+    raw = os.environ.get(TRACE_SAMPLE_ENV_VAR)
+    if raw is None or not raw.strip():
+        return DEFAULT_SAMPLE_RATE
+    try:
+        rate = int(raw)
+    except ValueError:
+        return DEFAULT_SAMPLE_RATE
+    return rate if rate >= 1 else DEFAULT_SAMPLE_RATE
+
+
+#: Cached sampling rate; refreshed alongside ``_ENABLED``.
+_SAMPLE_RATE: int = _env_sample_rate()
 
 
 #: The single branch every :func:`span` call tests. Initialised from
@@ -178,13 +213,32 @@ def _new_id() -> str:
         return f"{os.getpid()}:{_NEXT_ID}"
 
 
+def _admit(record: dict) -> None:
+    """Buffer one span record; caller holds ``_LOCK``.
+
+    Admission policy: store everything while the buffer is under half
+    of :data:`MAX_SPANS`; above that, keep every Nth span
+    (``REPRO_TRACE_SAMPLE``, counter-based so it is deterministic and
+    consumes no randomness) and count the rest under
+    ``sampled_spans``; at the hard cap, count under ``dropped_spans``.
+    Sampling selects which *observations are stored*, never what runs,
+    so traced results stay bit-identical to untraced ones.
+    """
+    global _DROPPED, _SAMPLE_SEEN, _SAMPLED_OUT
+    if len(_SPANS) >= MAX_SPANS:
+        _DROPPED += 1
+        return
+    if _SAMPLE_RATE > 1 and len(_SPANS) >= MAX_SPANS // 2:
+        _SAMPLE_SEEN += 1
+        if _SAMPLE_SEEN % _SAMPLE_RATE != 0:
+            _SAMPLED_OUT += 1
+            return
+    _SPANS.append(record)
+
+
 def _record(record: dict) -> None:
-    global _DROPPED
     with _LOCK:
-        if len(_SPANS) < MAX_SPANS:
-            _SPANS.append(record)
-        else:
-            _DROPPED += 1
+        _admit(record)
 
 
 def span(name: str, **attrs):
@@ -208,22 +262,27 @@ def enable(path: str | None = None) -> None:
 
 def disable() -> None:
     """Turn the tracer off and drop the buffered spans."""
-    global _ENABLED, _DROPPED, _PATH_OVERRIDE
+    global _ENABLED, _DROPPED, _SAMPLE_SEEN, _SAMPLED_OUT
+    global _PATH_OVERRIDE
     _ENABLED = False
     _PATH_OVERRIDE = None
     with _LOCK:
         _SPANS.clear()
         _DROPPED = 0
+        _SAMPLE_SEEN = 0
+        _SAMPLED_OUT = 0
 
 
 _PATH_OVERRIDE: str | None = None
 
 
 def refresh() -> None:
-    """Re-read ``REPRO_TRACE`` (monkeypatched environments, workers)."""
-    global _ENABLED
+    """Re-read ``REPRO_TRACE`` / ``REPRO_TRACE_SAMPLE``
+    (monkeypatched environments, workers)."""
+    global _ENABLED, _SAMPLE_RATE
     if _PATH_OVERRIDE is None:
         _ENABLED = _env_spec() is not None
+    _SAMPLE_RATE = _env_sample_rate()
 
 
 @contextlib.contextmanager
@@ -260,6 +319,7 @@ def _write(path: str, run: str, started_unix: float, duration_s: float,
     with _LOCK:
         spans = list(_SPANS[first:])
         dropped = _DROPPED
+        sampled = _SAMPLED_OUT
     doc = {
         "schema": OBS_SCHEMA_VERSION,
         "run": run,
@@ -267,6 +327,8 @@ def _write(path: str, run: str, started_unix: float, duration_s: float,
         "started_unix": started_unix,
         "duration_s": duration_s,
         "dropped_spans": dropped,
+        "sampled_spans": sampled,
+        "sample_rate": _SAMPLE_RATE,
         "spans": spans,
         "metrics": METRICS.snapshot(),
     }
@@ -309,25 +371,28 @@ def drain_reset(mark_: int) -> list[dict]:
 
 
 def absorb(spans: list[dict]) -> None:
-    """Fold worker spans into this process's buffer (parent side)."""
+    """Fold worker spans into this process's buffer (parent side).
+
+    Worker spans pass through the same admission policy as local ones
+    (:func:`_admit`), so sampling and the hard cap treat a span the
+    same whichever process recorded it.
+    """
     if not spans or not _ENABLED:
         return
-    global _DROPPED
     with _LOCK:
-        room = MAX_SPANS - len(_SPANS)
-        if room >= len(spans):
-            _SPANS.extend(spans)
-        else:
-            _SPANS.extend(spans[:room])
-            _DROPPED += len(spans) - room
+        for record in spans:
+            _admit(record)
 
 
 def reset() -> None:
     """Clear the span buffer and id counter (tests)."""
-    global _DROPPED, _NEXT_ID, _LAST_TRACE_PATH
+    global _DROPPED, _SAMPLE_SEEN, _SAMPLED_OUT
+    global _NEXT_ID, _LAST_TRACE_PATH
     with _LOCK:
         _SPANS.clear()
         _DROPPED = 0
+        _SAMPLE_SEEN = 0
+        _SAMPLED_OUT = 0
         _NEXT_ID = 0
         _LAST_TRACE_PATH = None
 
@@ -336,6 +401,16 @@ def spans_snapshot() -> list[dict]:
     """Copy of the current span buffer (tests, reports)."""
     with _LOCK:
         return list(_SPANS)
+
+
+def sample_stats() -> dict:
+    """Admission counters: dropped, sampled-out and effective rate."""
+    with _LOCK:
+        return {
+            "dropped": _DROPPED,
+            "sampled_out": _SAMPLED_OUT,
+            "sample_rate": _SAMPLE_RATE,
+        }
 
 
 # ---------------------------------------------------------------------
@@ -357,6 +432,10 @@ def validate_trace(doc: dict) -> list[str]:
                       ("spans", list), ("metrics", dict)):
         if not isinstance(doc.get(key), kind):
             problems.append(f"missing or mistyped top-level key {key!r}")
+    for key in ("sampled_spans", "sample_rate"):
+        # Optional (added with span sampling); typed when present.
+        if key in doc and not isinstance(doc[key], int):
+            problems.append(f"mistyped optional top-level key {key!r}")
     spans = doc.get("spans")
     if not isinstance(spans, list):
         return problems

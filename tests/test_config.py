@@ -17,11 +17,14 @@ from repro.config import (
     cycle_kernel,
     exec_backend,
     exec_retries,
+    exec_shard_size,
+    exec_shmres_enabled,
     experiment_scale,
     experiment_seed,
     fault_spec,
     interval_lru_size,
     simcache_dir,
+    trace_sample_rate,
     trace_spec,
 )
 from repro.errors import ConfigurationError
@@ -127,6 +130,9 @@ class TestExecConfig:
         assert config.cycle_kernel == "soa"
         assert config.batch_sim is True
         assert config.trace is None
+        assert config.shmres is True
+        assert config.shard is None
+        assert config.trace_sample == 8
 
     def test_every_knob_parses_from_env(self, monkeypatch):
         _clear_exec_env(monkeypatch)
@@ -144,13 +150,16 @@ class TestExecConfig:
         monkeypatch.setenv("REPRO_BATCH_SIM", "0")
         monkeypatch.setenv("REPRO_INTERVAL_LRU", "64")
         monkeypatch.setenv("REPRO_TRACE", "out.json")
+        monkeypatch.setenv("REPRO_EXEC_SHMRES", "0")
+        monkeypatch.setenv("REPRO_EXEC_SHARD", "5000")
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "4")
         config = ExecConfig.from_env()
         assert config == ExecConfig(
             backend="auto", workers=3, pool="fresh", arena=False,
             chunk=16, retries=5, timeout=2.5, simcache_dir="/tmp/sc",
             simcache_verify=False, fault_spec="seed=1,crash=0.1",
             cycle_kernel="reference", batch_sim=False, interval_lru=64,
-            trace="out.json")
+            trace="out.json", shmres=False, shard=5000, trace_sample=4)
 
     def test_timeout_zero_means_off(self, monkeypatch):
         _clear_exec_env(monkeypatch)
@@ -162,6 +171,46 @@ class TestExecConfig:
         monkeypatch.setenv("REPRO_TRACE", "0")
         assert ExecConfig.from_env().trace is None
 
+    def test_shard_empty_or_zero_means_unsharded(self, monkeypatch):
+        _clear_exec_env(monkeypatch)
+        assert exec_shard_size() is None
+        monkeypatch.setenv("REPRO_EXEC_SHARD", "")
+        assert ExecConfig.from_env().shard is None
+        monkeypatch.setenv("REPRO_EXEC_SHARD", "0")
+        assert ExecConfig.from_env().shard is None
+        monkeypatch.setenv("REPRO_EXEC_SHARD", "250")
+        assert exec_shard_size() == 250
+
+    def test_shard_invalid_rejected(self, monkeypatch):
+        _clear_exec_env(monkeypatch)
+        monkeypatch.setenv("REPRO_EXEC_SHARD", "many")
+        with pytest.raises(ValueError):
+            ExecConfig.from_env()
+        monkeypatch.setenv("REPRO_EXEC_SHARD", "-4")
+        with pytest.raises(ValueError):
+            ExecConfig.from_env()
+
+    def test_shmres_env_parsed(self, monkeypatch):
+        _clear_exec_env(monkeypatch)
+        assert exec_shmres_enabled() is True
+        monkeypatch.setenv("REPRO_EXEC_SHMRES", "0")
+        assert exec_shmres_enabled() is False
+
+    def test_trace_sample_env_parsed(self, monkeypatch):
+        _clear_exec_env(monkeypatch)
+        assert trace_sample_rate() == 8
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "16")
+        assert trace_sample_rate() == 16
+
+    def test_trace_sample_invalid_rejected(self, monkeypatch):
+        _clear_exec_env(monkeypatch)
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "0")
+        with pytest.raises(ValueError):
+            ExecConfig.from_env()
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "often")
+        with pytest.raises(ValueError):
+            ExecConfig.from_env()
+
     def test_env_round_trip(self, monkeypatch):
         """env -> config -> to_env -> from_env is the identity."""
         _clear_exec_env(monkeypatch)
@@ -169,7 +218,8 @@ class TestExecConfig:
                               chunk=7, retries=1, timeout=0.5,
                               fault_spec="seed=9,crash=0.01",
                               cycle_kernel="reference", interval_lru=32,
-                              trace="1")
+                              trace="1", shmres=False, shard=3,
+                              trace_sample=2)
         for var, value in original.to_env().items():
             if value is None:
                 monkeypatch.delenv(var, raising=False)

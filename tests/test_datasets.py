@@ -11,7 +11,11 @@ from repro.data.builders import (
     dataset_from_traces,
     hdtr_traces,
 )
-from repro.data.dataset import GatingDataset, concat_datasets
+from repro.data.dataset import (
+    DatasetAssembler,
+    GatingDataset,
+    concat_datasets,
+)
 from repro.data.store import cached_build, load_dataset, save_dataset
 from repro.errors import DatasetError
 from repro.telemetry.collector import TelemetryCollector
@@ -165,6 +169,42 @@ class TestDatasetContainer:
                 traces=np.array(["t"] * 4),
                 mode=Mode.HIGH_PERF, counter_ids=np.array([0, 1]),
                 granularity=10_000, sla_floor=0.9)
+
+    def test_assembler_matches_concat_bitwise(self, collector, traces):
+        parts = [self._make(collector, traces[i:i + 2])
+                 for i in range(0, len(traces), 2)]
+        whole = concat_datasets(parts)
+        assembler = DatasetAssembler()
+        for part in parts:
+            assembler.append(part)
+        assert assembler.n_rows == whole.n_samples
+        streamed = assembler.finish()
+        for field in ("x", "y", "groups", "workloads", "traces"):
+            a = getattr(whole, field)
+            b = getattr(streamed, field)
+            assert a.dtype == b.dtype and np.array_equal(a, b), field
+
+    def test_assembler_rejects_mode_mismatch(self, collector, traces):
+        assembler = DatasetAssembler()
+        assembler.append(self._make(collector, traces[:2]))
+        other = build_mode_dataset(traces[2:4], Mode.LOW_POWER, [0, 1],
+                                   collector=collector)
+        with pytest.raises(DatasetError):
+            assembler.append(other)
+
+    def test_assembler_rejects_dtype_mismatch(self, collector, traces):
+        first = self._make(collector, traces[:2])
+        assembler = DatasetAssembler()
+        assembler.append(first)
+        import dataclasses
+        narrowed = dataclasses.replace(
+            first, x=first.x.astype(np.float32))
+        with pytest.raises(DatasetError):
+            assembler.append(narrowed)
+
+    def test_assembler_empty_finish_rejected(self):
+        with pytest.raises(DatasetError):
+            DatasetAssembler().finish()
 
 
 class TestStore:

@@ -5,6 +5,8 @@ bit-identical results to the serial uncached path. Every test here
 asserts exact equality, never approximate.
 """
 
+import os
+
 import numpy as np
 import pytest
 
@@ -12,9 +14,22 @@ from repro.config import MachineConfig, interval_lru_size
 from repro.core.adaptive_cpu import AdaptiveCPU
 from repro.core.predictor import DualModePredictor
 from repro.data.builders import build_mode_dataset
-from repro.errors import ConfigurationError, DatasetError
+from repro.errors import (
+    ConfigurationError,
+    DatasetError,
+    WorkerTimeoutError,
+)
 from repro.eval.runner import evaluate_predictor
-from repro.exec import EXEC_STATS, ParallelMap, SimCache, reset_default
+from repro.exec import (
+    EXEC_STATS,
+    FaultPlan,
+    ParallelMap,
+    SimCache,
+    close_pools,
+    inject,
+    reset_default,
+)
+from repro.exec import shmres
 from repro.exec.simcache import default_simcache
 from repro.ml.base import Estimator
 from repro.ml.crossval import Fold
@@ -27,6 +42,11 @@ from repro.workloads.generator import generate_application
 
 def _square(i):
     return i * i
+
+
+def _block(i):
+    """A result big enough to be hoisted into a shm segment."""
+    return np.full((40, 8), float(i))
 
 
 class _ConstModel(Estimator):
@@ -201,6 +221,168 @@ class TestParallelEquivalence:
                                  pmap=ParallelMap("process", 2))
         assert [r.config for r in serial] == [r.config for r in process]
         assert [r.per_fold for r in serial] == [r.per_fold for r in process]
+
+
+def _spool_entries() -> int:
+    """Files/dirs currently under the shmres spool root (0 when the
+    root was never created or already swept)."""
+    root = shmres._SPOOL_ROOT
+    if root is None or not os.path.isdir(root):
+        return 0
+    return sum(len(files) + len(dirs)
+               for _, dirs, files in os.walk(root))
+
+
+class TestShmResults:
+    """Shared-memory result return: lifecycle, faults, bit-identity."""
+
+    def test_map_roundtrip_and_spool_clean(self):
+        serial = ParallelMap("serial").map(_block, range(12))
+        decodes = EXEC_STATS.count("shmres.decodes")
+        pmap = ParallelMap("process", n_workers=2)
+        out = pmap.map(_block, range(12))
+        assert EXEC_STATS.count("shmres.decodes") > decodes
+        for a, b in zip(serial, out):
+            assert a.dtype == b.dtype and np.array_equal(a, b)
+        assert _spool_entries() == 0
+
+    def test_kill_switch_restores_pickled_returns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXEC_SHMRES", "0")
+        segments = EXEC_STATS.count("shmres.segments")
+        out = ParallelMap("process", n_workers=2).map(_block, range(8))
+        assert EXEC_STATS.count("shmres.segments") == segments
+        for a, b in zip(ParallelMap("serial").map(_block, range(8)), out):
+            assert np.array_equal(a, b)
+
+    def test_segment_reuse_across_pool_generations(self):
+        """Fresh pool generations get fresh spools; results stay
+        identical and nothing leaks between generations."""
+        expected = ParallelMap("serial").map(_block, range(10))
+        pmap = ParallelMap("process", n_workers=2)
+        first = pmap.map(_block, range(10))
+        close_pools()
+        second = pmap.map(_block, range(10))
+        for run in (first, second):
+            for a, b in zip(expected, run):
+                assert np.array_equal(a, b)
+        assert _spool_entries() == 0
+
+    def test_corrupt_segment_quarantines_to_pickled(self):
+        expected = ParallelMap("serial").map(_block, range(10))
+        quarantined = EXEC_STATS.count("shmres.quarantine")
+        with inject(FaultPlan(seed=5, corrupt_result=1.0)):
+            out = ParallelMap("process", n_workers=2).map(
+                _block, range(10))
+        assert EXEC_STATS.count("shmres.quarantine") > quarantined
+        for a, b in zip(expected, out):
+            assert np.array_equal(a, b)
+        assert _spool_entries() == 0
+
+    def test_crash_ladder_reclaims_and_stays_identical(self, monkeypatch):
+        expected = ParallelMap("serial").map(_block, range(10))
+        close_pools()  # new pools must fork with the spec in their env
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "seed=5,crash=1.0")
+        fallbacks = EXEC_STATS.count("parallel.fallback_serial")
+        out = ParallelMap("process", n_workers=2, chunk_size=3,
+                          retries=2).map(_block, range(10),
+                                         stage="unit_shmcrash")
+        assert (EXEC_STATS.count("parallel.fallback_serial")
+                == fallbacks + 1)
+        for a, b in zip(expected, out):
+            assert np.array_equal(a, b)
+        assert _spool_entries() == 0
+        close_pools()  # drop pools carrying the crash spec
+
+    def test_timeout_sweeps_spool(self, monkeypatch):
+        close_pools()  # new pools must fork with the spec in their env
+        monkeypatch.setenv("REPRO_FAULT_SPEC", "seed=5,hang=1.0,hang_s=1.0")
+        with pytest.raises(WorkerTimeoutError):
+            ParallelMap("process", n_workers=2, retries=0,
+                        timeout=0.2).map(_block, range(6),
+                                         stage="unit_shmhang")
+        close_pools()  # drop the poisoned pool and its workers
+        assert _spool_entries() == 0
+
+    def test_orphaned_segments_counted_reclaimed(self, tmp_path):
+        spool = shmres.open_call_spool()
+        (tmp_path / "probe").write_bytes(b"x")  # unrelated file
+        with open(os.path.join(spool, "seg-orphan.shm"), "wb") as fh:
+            fh.write(b"leftover")
+        reclaimed = EXEC_STATS.count("shmres.reclaimed")
+        assert shmres.close_call_spool(spool) == 1
+        assert EXEC_STATS.count("shmres.reclaimed") == reclaimed + 1
+        assert not os.path.isdir(spool)
+
+    def test_small_results_skip_segments(self):
+        """Chunks with no array >= MIN_BLOCK_BYTES never touch disk."""
+        segments = EXEC_STATS.count("shmres.segments")
+        out = ParallelMap("process", n_workers=2).map(_square, range(8))
+        assert out == [_square(i) for i in range(8)]
+        assert EXEC_STATS.count("shmres.segments") == segments
+
+
+class TestSharding:
+    """REPRO_EXEC_SHARD streams corpora; results stay bit-identical."""
+
+    def test_sharded_build_bitwise_identical(self, traces, monkeypatch):
+        ids = [0, 1, 2, 3]
+        plain = build_mode_dataset(traces, Mode.LOW_POWER, ids,
+                                   collector=TelemetryCollector())
+        monkeypatch.setenv("REPRO_EXEC_SHARD", "2")
+        shards = EXEC_STATS.count("build_dataset.shards")
+        sharded = build_mode_dataset(traces, Mode.LOW_POWER, ids,
+                                     collector=TelemetryCollector())
+        assert EXEC_STATS.count("build_dataset.shards") > shards
+        for field in ("x", "y", "groups", "workloads", "traces"):
+            a = getattr(plain, field)
+            b = getattr(sharded, field)
+            assert a.dtype == b.dtype and np.array_equal(a, b), field
+
+    def test_sharded_build_process_shm_identical(self, traces,
+                                                 monkeypatch):
+        ids = [0, 1, 2, 3]
+        plain = build_mode_dataset(traces, Mode.LOW_POWER, ids,
+                                   collector=TelemetryCollector())
+        monkeypatch.setenv("REPRO_EXEC_SHARD", "2")
+        monkeypatch.setenv("REPRO_EXEC_SHMRES", "1")
+        sharded = build_mode_dataset(
+            traces, Mode.LOW_POWER, ids, collector=TelemetryCollector(),
+            pmap=ParallelMap("process", n_workers=2))
+        assert np.array_equal(plain.x, sharded.x)
+        assert np.array_equal(plain.y, sharded.y)
+        assert _spool_entries() == 0
+
+    def test_sharded_evaluate_identical(self, traces, predictor,
+                                        monkeypatch):
+        plain = evaluate_predictor(predictor, traces,
+                                   collector=TelemetryCollector())
+        monkeypatch.setenv("REPRO_EXEC_SHARD", "2")
+        shards = EXEC_STATS.count("adaptive_run.shards")
+        sharded = evaluate_predictor(predictor, traces,
+                                     collector=TelemetryCollector())
+        assert EXEC_STATS.count("adaptive_run.shards") > shards
+        assert plain.mean_ppw_gain == sharded.mean_ppw_gain
+        assert plain.mean_rsv == sharded.mean_rsv
+        assert plain.mean_pgos == sharded.mean_pgos
+
+    def test_sharded_hyperscreen_identical(self, monkeypatch):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(60, 4))
+        y = (x[:, 0] > 0).astype(np.int64)
+        folds = [Fold(fold_id=0, tuning_apps=("a",),
+                      validation_apps=("b",),
+                      tuning_idx=np.arange(0, 40),
+                      validation_idx=np.arange(40, 60))]
+        configs = [{"prob": p} for p in (0.2, 0.4, 0.6, 0.8)]
+        plain = screen_configs(_const_factory, configs, x, y, folds,
+                               {"acc": _accuracy})
+        monkeypatch.setenv("REPRO_EXEC_SHARD", "3")
+        shards = EXEC_STATS.count("hyperscreen.shards")
+        sharded = screen_configs(_const_factory, configs, x, y, folds,
+                                 {"acc": _accuracy})
+        assert EXEC_STATS.count("hyperscreen.shards") > shards
+        assert [r.per_fold for r in plain] == [r.per_fold
+                                               for r in sharded]
 
 
 class TestSimCache:

@@ -238,6 +238,57 @@ class TestTracerEnabled:
         close_pools()
 
 
+class TestSpanSampling:
+    """Above half-capacity the tracer keeps every Nth span instead of
+    truncating the head; the policy is counter-based so it never
+    consumes randomness or changes results."""
+
+    def test_tail_kept_by_deterministic_sampling(self, monkeypatch):
+        monkeypatch.setattr(tracer, "MAX_SPANS", 40)
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "4")
+        tracer.refresh()
+        tracer.enable()
+        for i in range(200):
+            with tracer.span("s", i=i):
+                pass
+        # 20 verbatim below half-full, then every 4th of the next 80
+        # admissions (20 kept, 60 sampled out) fills the buffer; the
+        # final 100 hit the hard cap.
+        assert len(tracer.spans_snapshot()) == 40
+        stats = tracer.sample_stats()
+        assert stats["sample_rate"] == 4
+        assert stats["sampled_out"] == 60
+        assert stats["dropped"] == 100
+        monkeypatch.delenv("REPRO_TRACE_SAMPLE")
+        tracer.refresh()
+
+    def test_rate_one_restores_drop_at_cap(self, monkeypatch):
+        monkeypatch.setattr(tracer, "MAX_SPANS", 40)
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "1")
+        tracer.refresh()
+        tracer.enable()
+        for i in range(60):
+            with tracer.span("s", i=i):
+                pass
+        assert len(tracer.spans_snapshot()) == 40
+        stats = tracer.sample_stats()
+        assert stats["sampled_out"] == 0
+        assert stats["dropped"] == 20
+        monkeypatch.delenv("REPRO_TRACE_SAMPLE")
+        tracer.refresh()
+
+    def test_trace_doc_records_sampling_fields(self, tmp_path,
+                                               monkeypatch):
+        out = tmp_path / "t.json"
+        monkeypatch.setenv(TRACE_ENV_VAR, str(out))
+        with tracer.trace("unit.sample"):
+            pass
+        doc = json.loads(out.read_text())
+        assert validate_trace(doc) == []
+        assert doc["sampled_spans"] == 0
+        assert doc["sample_rate"] == tracer.DEFAULT_SAMPLE_RATE
+
+
 class TestTracedRunsAreBitIdentical:
     def test_traced_equals_untraced(self, tmp_path, monkeypatch):
         close_pools()
