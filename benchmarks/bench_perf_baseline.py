@@ -13,7 +13,15 @@ Run standalone (no pytest session fixtures needed)::
 
 ``--quick`` runs only the batched-vs-reference warm comparison on a
 small corpus and exits non-zero if the batched path is slower — the
-CI perf smoke.
+CI perf smoke. It also fails when any recorded ``BENCH_perf.json``
+section's keys diverge from what the current benchmarks emit (a stale
+file that was never regenerated).
+
+``--surrogate`` runs the tier-0 learned-surrogate tier: cold train and
+warm load cost, accept rate, and the cache-cold dataset-build speedup
+over the interval tier (alternating best-of-N trials), merged into the
+``surrogate`` section (``--surrogate-smoke`` shrinks the corpus and
+relaxes the speedup bar for CI).
 
 ``--scale`` runs the large-corpus tier: a ≥10^5-trace dataset build,
 sharded with shared-memory result return under a hard peak-RSS budget,
@@ -43,8 +51,11 @@ from pathlib import Path
 import numpy as np
 
 from repro.config import BATCH_SIM_ENV_VAR, DEFAULT_SLA
+from repro.config import DEFAULT_SURROGATE_PROBES
+from repro.config import DEFAULT_SURROGATE_THRESHOLD
 from repro.config import EXEC_ARENA_ENV_VAR
 from repro.config import EXEC_SHARD_ENV_VAR, EXEC_SHMRES_ENV_VAR
+from repro.config import SIMCACHE_DIR_ENV_VAR, SURROGATE_ENV_VAR
 from repro.core.predictor import DualModePredictor
 from repro.data.builders import build_mode_dataset
 from repro.eval.runner import evaluate_predictor
@@ -62,6 +73,68 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 _FAMILIES = ("pointer_chase", "compute_fp", "store_burst", "branchy",
              "bandwidth", "compute_int", "dep_chain", "media")
+
+#: The keys every ``BENCH_perf.json`` section must carry, exactly.
+#: ``run_quick`` fails when a *recorded* section's keys diverge from
+#: this table (a stale file: the benchmark's emission changed and the
+#: numbers were never regenerated) and when a *freshly computed*
+#: section diverges (a stale table: the emission changed and this
+#: inventory was not updated). Either way: regenerate, then commit.
+SECTION_KEYS: dict[str, frozenset] = {
+    "evaluate_predictor": frozenset({
+        "serial_s", "parallel_s", "backend", "workers", "single_cpu",
+        "speedup", "parallel_vs_serial_ratio"}),
+    "simcache": frozenset({
+        "evaluate_cold_s", "evaluate_warm_s", "evaluate_speedup",
+        "dataset_cold_s", "dataset_warm_s", "dataset_speedup"}),
+    "batched": frozenset({
+        "evaluate_scalar_warm_s", "evaluate_batched_warm_s",
+        "evaluate_speedup", "dataset_scalar_warm_s",
+        "dataset_batched_warm_s", "dataset_speedup"}),
+    "arena": frozenset({
+        "workers", "payload_pickled_bytes_per_task",
+        "payload_arena_bytes_per_task", "payload_reduction",
+        "pool_fresh_s", "pool_persistent_s", "pool_reuse_speedup",
+        "repeats"}),
+    "cycle_kernel": frozenset({
+        "n_uops", "soa_s", "reference_s", "speedup"}),
+    "resilience": frozenset({
+        "verify_on_s", "verify_off_s", "overhead_ratio"}),
+    "observability": frozenset({
+        "span_iters", "disabled_span_ns", "untraced_s", "traced_s",
+        "overhead_ratio"}),
+    "scale": frozenset({
+        "n_traces", "intervals_per_trace", "n_samples", "shard_traces",
+        "n_shards", "workers", "chunk_traces", "generation_s",
+        "sharded_shm_build_s", "unsharded_pickled_build_s",
+        "shard_throughput_traces_per_s", "sharded_peak_rss_mb",
+        "unsharded_peak_rss_mb", "rss_budget_mb",
+        "result_bytes_per_task_shm", "result_bytes_per_task_pickled",
+        "result_reduction", "bit_identical"}),
+    "surrogate": frozenset({
+        "n_traces", "intervals_per_trace", "trials", "threshold",
+        "probes", "train_cold_s", "train_warm_load_s", "active",
+        "agreement", "accepted_pairs", "fallback_pairs",
+        "accepted_fraction", "interval_build_trials_s",
+        "surrogate_build_trials_s", "interval_build_s",
+        "surrogate_build_s", "speedup", "labels_identical"}),
+}
+
+
+def _merge_bench_doc(output: Path | None, sections: dict) -> Path:
+    """Fold ``sections`` into the perf JSON, preserving other tiers.
+
+    Every writer (full run, ``--scale``, ``--surrogate``) merges into
+    the same document instead of overwriting it, so the slow tiers'
+    numbers survive a re-run of the cheap ones.
+    """
+    output = output or (REPO_ROOT / "BENCH_perf.json")
+    doc = {"schema": 1}
+    if output.exists():
+        doc = json.loads(output.read_text())
+    doc.update(sections)
+    output.write_text(json.dumps(doc, indent=2) + "\n")
+    return output
 
 
 class _ConstModel(Estimator):
@@ -449,8 +522,7 @@ def run(workers: int = 4, n_apps: int = 8, workloads_per_app: int = 3,
         "observability": obs,
         "exec_stats": EXEC_STATS.snapshot(),
     }
-    output = output or (REPO_ROOT / "BENCH_perf.json")
-    output.write_text(json.dumps(payload, indent=2) + "\n")
+    output = _merge_bench_doc(output, payload)
     print(f"wrote {output}")
     return payload
 
@@ -642,16 +714,176 @@ def run_scale(n_traces: int = 100_000, intervals: int = 24,
         "result_reduction": round(reduction, 2),
         "bit_identical": not any("diverged" in f for f in failures),
     }
-    output = output or (REPO_ROOT / "BENCH_perf.json")
-    doc = {"schema": 1}
-    if output.exists():
-        doc = json.loads(output.read_text())
-    doc["scale"] = section
-    output.write_text(json.dumps(doc, indent=2) + "\n")
+    output = _merge_bench_doc(output, {"scale": section})
     print(f"wrote scale section to {output}")
     for failure in failures:
         print(f"SCALE REGRESSION: {failure}")
     return section, failures
+
+
+def run_surrogate(n_traces: int = 10_000, intervals: int = 100,
+                  trials: int = 2, output: Path | None = None,
+                  full_guards: bool = True) -> tuple[dict, list[str]]:
+    """The ``--surrogate`` tier: learned tier-0 fast path vs interval.
+
+    Three measurements on one corpus:
+
+    * **Train cost.** Cold train of the tier against a fresh SimCache,
+      then the warm load of the persisted tier — the price every fresh
+      process pays, and the price after the first one.
+    * **Accept rate.** The accepted/fallback split over a cache-cold
+      dataset build with the surrogate on.
+    * **End-to-end speedup.** Cache-cold ``build_mode_dataset`` with
+      the surrogate off vs on. Trials alternate off/on and the ratio
+      is best-of-N each way, so a scheduling hiccup on a shared VM
+      lands on one trial, not one side of the ratio. Labels are
+      asserted identical between the paths before any number is
+      reported.
+
+    ``full_guards`` additionally enforces the acceptance bars: the
+    agreement gate must pass (Spearman >= 0.95, MRE <= 5% per mode)
+    and the best-of-N speedup must reach 3x. The CI smoke
+    (``--surrogate-smoke``) runs a corpus too small to amortise
+    training, so it only guards gate passage and a non-empty accept
+    set.
+    """
+    from repro.surrogate import SurrogateTier
+
+    threshold = DEFAULT_SURROGATE_THRESHOLD
+    probes = DEFAULT_SURROGATE_PROBES
+    n_apps = 12
+    gen_s, traces = _timed(lambda: _generate_corpus(
+        n_apps, -(-n_traces // n_apps), intervals))
+    traces = traces[:n_traces]
+    counter_ids = [0, 1, 2, 3]
+    print(f"surrogate corpus: {len(traces)} traces x {intervals} "
+          f"intervals generated in {gen_s:.3f}s")
+
+    failures: list[str] = []
+    cache_dir = Path(tempfile.mkdtemp(prefix="repro-surrogate-bench-"))
+    try:
+        def _tier():
+            return SurrogateTier(
+                IntervalModel(simcache=SimCache(cache_dir)),
+                threshold=threshold, n_probes=probes)
+
+        tier = _tier()
+        train_s, _ = _timed(tier.train)
+        warm = _tier()
+        load_s, _ = _timed(warm.train)
+        print(f"surrogate train: cold {train_s:.3f}s, warm load "
+              f"{load_s:.3f}s; agreement {tier.agreement}")
+        if not tier.active:
+            failures.append(
+                f"surrogate agreement gate refused activation: "
+                f"{tier.agreement}")
+        if full_guards:
+            for mode_name, scores in tier.agreement.items():
+                if scores["rho"] < 0.95:
+                    failures.append(
+                        f"held-out Spearman rho {scores['rho']:.3f} "
+                        f"< 0.95 for mode {mode_name}")
+                if scores["mre"] > 0.05:
+                    failures.append(
+                        f"held-out IPC MRE {scores['mre']:.4f} > 5% "
+                        f"for mode {mode_name}")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    # Cache-cold builds: no disk cache, a fresh collector per trial, so
+    # every trial pays full simulation (or surrogate) cost.
+    def _build(surrogate_on: bool):
+        with _env(SIMCACHE_DIR_ENV_VAR, ""), \
+                _env(SURROGATE_ENV_VAR, "1" if surrogate_on else "0"):
+            return _timed(lambda: build_mode_dataset(
+                traces, Mode.HIGH_PERF, counter_ids,
+                collector=TelemetryCollector()))
+
+    accepted0 = EXEC_STATS.count("surrogate.accepted")
+    fallback0 = EXEC_STATS.count("surrogate.fallback")
+    interval_trials: list[float] = []
+    surrogate_trials: list[float] = []
+    ds_off = ds_on = None
+    for _ in range(trials):
+        off_s, ds_off = _build(False)
+        on_s, ds_on = _build(True)
+        interval_trials.append(off_s)
+        surrogate_trials.append(on_s)
+    accepted = EXEC_STATS.count("surrogate.accepted") - accepted0
+    fallback = EXEC_STATS.count("surrogate.fallback") - fallback0
+    fraction = accepted / max(1, accepted + fallback)
+    labels_ok = (np.array_equal(ds_off.y, ds_on.y)
+                 and np.array_equal(ds_off.traces, ds_on.traces))
+    interval_s = min(interval_trials)
+    surrogate_s = min(surrogate_trials)
+    speedup = interval_s / surrogate_s if surrogate_s > 0 else float("inf")
+    print(f"cache-cold build x{trials}: interval best {interval_s:.3f}s, "
+          f"surrogate best {surrogate_s:.3f}s ({speedup:.2f}x); "
+          f"accepted {accepted}/{accepted + fallback} pairs "
+          f"({fraction:.1%})")
+
+    if not labels_ok:
+        failures.append(
+            "surrogate-path dataset labels diverged from the interval "
+            "path")
+    if accepted == 0:
+        failures.append("surrogate accepted zero pairs")
+    if full_guards and speedup < 3.0:
+        failures.append(
+            f"cache-cold build speedup {speedup:.2f}x below the 3x bar")
+
+    section = {
+        "n_traces": len(traces),
+        "intervals_per_trace": intervals,
+        "trials": trials,
+        "threshold": threshold,
+        "probes": probes,
+        "train_cold_s": round(train_s, 4),
+        "train_warm_load_s": round(load_s, 4),
+        "active": bool(tier.active),
+        "agreement": {mode: {k: round(v, 5) for k, v in scores.items()}
+                      for mode, scores in tier.agreement.items()},
+        "accepted_pairs": accepted,
+        "fallback_pairs": fallback,
+        "accepted_fraction": round(fraction, 4),
+        "interval_build_trials_s": [round(t, 3) for t in interval_trials],
+        "surrogate_build_trials_s": [round(t, 3)
+                                     for t in surrogate_trials],
+        "interval_build_s": round(interval_s, 3),
+        "surrogate_build_s": round(surrogate_s, 3),
+        "speedup": round(speedup, 3),
+        "labels_identical": labels_ok,
+    }
+    output = _merge_bench_doc(output, {"surrogate": section})
+    print(f"wrote surrogate section to {output}")
+    for failure in failures:
+        print(f"SURROGATE REGRESSION: {failure}")
+    return section, failures
+
+
+def _staleness_failures(computed: dict) -> list[str]:
+    """Cross-check section keys: emissions vs SECTION_KEYS vs the file."""
+    failures = []
+    for name, section in computed.items():
+        if set(section) != SECTION_KEYS[name]:
+            failures.append(
+                f"benchmark section {name!r} now emits keys that "
+                f"diverge from SECTION_KEYS — update the table and "
+                f"regenerate BENCH_perf.json")
+    path = REPO_ROOT / "BENCH_perf.json"
+    if not path.exists():
+        return failures
+    doc = json.loads(path.read_text())
+    for name, expected in SECTION_KEYS.items():
+        recorded = doc.get(name)
+        if isinstance(recorded, dict) and set(recorded) != expected:
+            missing = sorted(expected - set(recorded))
+            extra = sorted(set(recorded) - expected)
+            failures.append(
+                f"BENCH_perf.json section {name!r} is stale (missing "
+                f"keys {missing}, stray keys {extra}) — regenerate it "
+                f"with the matching benchmark tier")
+    return failures
 
 
 def run_quick(n_apps: int = 3, workloads_per_app: int = 2,
@@ -672,7 +904,16 @@ def run_quick(n_apps: int = 3, workloads_per_app: int = 2,
     kernel = _bench_cycle_kernel(n_uops=12000)
     resilience = _bench_resilience(traces)
     obs = _bench_obs(traces, span_iters=100_000)
-    failures = []
+    # Staleness guard: the recorded BENCH_perf.json must carry exactly
+    # the keys the current benchmarks emit, or its numbers describe a
+    # measurement that no longer exists.
+    failures = _staleness_failures({
+        "batched": batched,
+        "arena": arena,
+        "cycle_kernel": kernel,
+        "resilience": resilience,
+        "observability": obs,
+    })
     # Checksumming every loaded entry must stay in the noise: fail only
     # when the overhead is both >5% relative AND >50 ms absolute, so a
     # microsecond-scale wobble on a fast machine cannot flake CI.
@@ -746,9 +987,31 @@ def main(argv=None) -> int:
     parser.add_argument("--rss-budget-mb", type=float, default=4096.0,
                         help="peak-RSS budget for the sharded --scale "
                              "build (default 4096)")
+    parser.add_argument("--surrogate", action="store_true",
+                        help="surrogate tier: learned tier-0 fast path "
+                             "vs the interval tier on a cache-cold "
+                             "corpus; merges a 'surrogate' section "
+                             "into the perf JSON, non-zero exit on "
+                             "regression")
+    parser.add_argument("--surrogate-traces", type=int, default=10_000,
+                        help="corpus size for --surrogate "
+                             "(default 10000)")
+    parser.add_argument("--surrogate-smoke", action="store_true",
+                        help="with --surrogate: small corpus, only "
+                             "guard gate passage and a non-empty "
+                             "accept set (CI smoke)")
     args = parser.parse_args(argv)
     if args.quick:
         return run_quick()
+    if args.surrogate:
+        smoke = args.surrogate_smoke
+        _, failures = run_surrogate(
+            n_traces=600 if smoke else args.surrogate_traces,
+            intervals=60 if smoke else 100,
+            trials=1 if smoke else 2,
+            output=args.output, full_guards=not smoke)
+        print("surrogate bench:", "FAIL" if failures else "OK")
+        return 1 if failures else 0
     if args.scale:
         _, failures = run_scale(
             n_traces=args.scale_traces, shard=args.scale_shard,

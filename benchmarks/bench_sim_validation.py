@@ -9,9 +9,9 @@ families gate cheaply.
 """
 
 import numpy as np
-from scipy.stats import spearmanr
 
 from repro import rng as rng_mod
+from repro.eval.metrics import spearman
 from repro.eval.reporting import emit, format_table
 from repro.uarch.core_model import simulate_phase_cycle_level
 from repro.uarch.interval_model import IntervalModel, UOPS_PER_INSTRUCTION
@@ -51,8 +51,8 @@ def _run(seed):
 
 def bench_sim_tier_agreement(benchmark, seed):
     rows = benchmark.pedantic(_run, args=(seed,), rounds=1, iterations=1)
-    rho_ipc = spearmanr([r["cyc_hp"] for r in rows],
-                        [r["int_hp"] for r in rows]).statistic
+    rho_ipc = spearman([r["cyc_hp"] for r in rows],
+                       [r["int_hp"] for r in rows])
 
     def family_ratio(tier, families):
         vals = [r[tier] for r in rows if r["family"] in families]

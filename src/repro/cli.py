@@ -14,6 +14,8 @@ without writing code:
 * ``evaluate`` — train a chosen model and report its deployment
   metrics (one Figure-8 row).
 * ``catalog`` — summarise the 936-counter telemetry catalog.
+* ``obs export-trace`` — convert a ``REPRO_TRACE`` JSON file to Chrome
+  ``about:tracing`` format.
 """
 
 from __future__ import annotations
@@ -70,6 +72,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="deterministic fault-injection spec, e.g. "
                              "'seed=7,crash=0.05,corrupt_cache=0.1' "
                              "(default: REPRO_FAULT_SPEC or off)")
+    parser.add_argument("--surrogate", type=int, default=None,
+                        choices=[0, 1],
+                        help="serve confidence-gated learned predictions "
+                             "above the interval simulator (default: "
+                             "REPRO_SURROGATE or 0)")
+    parser.add_argument("--surrogate-threshold", type=float, default=None,
+                        metavar="REL",
+                        help="accept a (trace, mode) pair when the "
+                             "ensemble's relative CPI disagreement stays "
+                             "under REL at the 95th percentile (default: "
+                             "REPRO_SURROGATE_THRESHOLD or 0.02)")
+    parser.add_argument("--surrogate-probes", type=int, default=None,
+                        metavar="N",
+                        help="probe traces simulated through the interval "
+                             "tier to train and gate the surrogate "
+                             "(default: REPRO_SURROGATE_PROBES or 32)")
     parser.add_argument("--exec-report", action="store_true",
                         help="print stage timings, cache hit rates, payload "
                              "bytes, worker utilisation and resilience "
@@ -190,6 +208,19 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_export_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import export_trace_file
+    out = args.output
+    if out is None:
+        base = args.trace_file
+        out = (base[:-5] if base.endswith(".json") else base) \
+            + ".chrome.json"
+    info = export_trace_file(args.trace_file, out)
+    print(f"run {info['run']}: {info['spans']} spans -> "
+          f"{info['events']} events in {info['out']}")
+    return 0
+
+
 def cmd_catalog(args: argparse.Namespace) -> int:
     from repro.telemetry.counters import default_catalog
     catalog = default_catalog()
@@ -241,6 +272,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("catalog", help="summarise the counter catalog")
     _add_common(p)
     p.set_defaults(func=cmd_catalog)
+
+    p = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "export-trace",
+        help="convert a REPRO_TRACE JSON file to Chrome about:tracing "
+             "format (load in chrome://tracing or ui.perfetto.dev)")
+    _add_common(p)
+    p.add_argument("trace_file", help="input obs trace JSON file")
+    p.add_argument("--output", default=None,
+                   help="output path (default: <input>.chrome.json)")
+    p.set_defaults(func=cmd_obs_export_trace)
 
     p = sub.add_parser("report",
                        help="assemble benchmark outputs into REPORT.md")

@@ -147,6 +147,30 @@ TRACE_SAMPLE_ENV_VAR = "REPRO_TRACE_SAMPLE"
 #: Default 1-in-N sampling rate above the tracer threshold.
 DEFAULT_TRACE_SAMPLE = 8
 
+#: Environment variable gating the tier-0 learned surrogate above
+#: ``IntervalModel.simulate_batch`` (see :mod:`repro.surrogate`):
+#: ``0`` (default) keeps every path exactly as before the surrogate
+#: existed; ``1`` lets confidently-predicted (trace, mode) pairs skip
+#: the interval-physics pass, with gated pairs falling back to the
+#: interval tier bit-identically.
+SURROGATE_ENV_VAR = "REPRO_SURROGATE"
+
+#: Environment variable setting the surrogate confidence gate: the
+#: maximum tolerated p95 relative ensemble disagreement on a pair's
+#: predicted CPI before the pair falls back to the interval tier.
+SURROGATE_THRESHOLD_ENV_VAR = "REPRO_SURROGATE_THRESHOLD"
+
+#: Default confidence-gate threshold (relative disagreement).
+DEFAULT_SURROGATE_THRESHOLD = 0.02
+
+#: Environment variable sizing the surrogate's seeded probe corpus
+#: (traces simulated through the interval tier to train the surrogate
+#: and, held out, to validate its agreement).
+SURROGATE_PROBES_ENV_VAR = "REPRO_SURROGATE_PROBES"
+
+#: Default probe-corpus size (traces; one quarter is held out).
+DEFAULT_SURROGATE_PROBES = 32
+
 
 # ---------------------------------------------------------------------
 # Raw environment parsers. Each reads exactly one knob and raises the
@@ -312,6 +336,39 @@ def _env_trace_sample() -> int:
     return value
 
 
+def _env_surrogate_threshold() -> float:
+    raw = os.environ.get(SURROGATE_THRESHOLD_ENV_VAR,
+                         str(DEFAULT_SURROGATE_THRESHOLD))
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{SURROGATE_THRESHOLD_ENV_VAR} must be a float, got {raw!r}"
+        ) from exc
+    if value <= 0:
+        raise ValueError(
+            f"{SURROGATE_THRESHOLD_ENV_VAR} must be > 0, got {value}"
+        )
+    return value
+
+
+def _env_surrogate_probes() -> int:
+    raw = os.environ.get(SURROGATE_PROBES_ENV_VAR,
+                         str(DEFAULT_SURROGATE_PROBES))
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"{SURROGATE_PROBES_ENV_VAR} must be an int, got {raw!r}"
+        ) from exc
+    if value < 8:
+        raise ValueError(
+            f"{SURROGATE_PROBES_ENV_VAR} must be >= 8 (the probe "
+            f"corpus is split into train and held-out parts), got {value}"
+        )
+    return value
+
+
 #: Every environment variable :meth:`ExecConfig.from_env` consumes, in
 #: the order its memo key is built.
 EXEC_ENV_VARS = (
@@ -332,7 +389,27 @@ EXEC_ENV_VARS = (
     INTERVAL_LRU_ENV_VAR,
     TRACE_ENV_VAR,
     TRACE_SAMPLE_ENV_VAR,
+    SURROGATE_ENV_VAR,
+    SURROGATE_THRESHOLD_ENV_VAR,
+    SURROGATE_PROBES_ENV_VAR,
 )
+
+# ``ExecConfig.from_env`` is memoized on the raw environment strings;
+# building that key through ``os.environ.get`` re-encodes every
+# variable name per lookup, which dominates hot paths that read the
+# active config per (trace, mode) pair. Reading the underlying data
+# mapping with pre-encoded names is ~20x cheaper and sees exactly the
+# same state (``os.environ`` mutations update ``_data`` in place).
+_ENV_DATA = getattr(os.environ, "_data", None)
+_ENV_KEYS = (tuple(os.environ.encodekey(var) for var in EXEC_ENV_VARS)
+             if _ENV_DATA is not None and hasattr(os.environ, "encodekey")
+             else None)
+
+
+def _env_memo_key() -> tuple:
+    if _ENV_KEYS is not None:
+        return tuple(map(_ENV_DATA.get, _ENV_KEYS))
+    return tuple(os.environ.get(var) for var in EXEC_ENV_VARS)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -370,6 +447,9 @@ class ExecConfig:
     interval_lru: int = DEFAULT_INTERVAL_LRU
     trace: str | None = None
     trace_sample: int = DEFAULT_TRACE_SAMPLE
+    surrogate: bool = False
+    surrogate_threshold: float = DEFAULT_SURROGATE_THRESHOLD
+    surrogate_probes: int = DEFAULT_SURROGATE_PROBES
 
     def __post_init__(self) -> None:
         if self.backend not in EXEC_BACKENDS:
@@ -406,6 +486,15 @@ class ExecConfig:
             raise ValueError(
                 f"trace_sample must be >= 1, got {self.trace_sample}"
             )
+        if self.surrogate_threshold <= 0:
+            raise ValueError(
+                f"surrogate_threshold must be > 0, "
+                f"got {self.surrogate_threshold}"
+            )
+        if self.surrogate_probes < 8:
+            raise ValueError(
+                f"surrogate_probes must be >= 8, got {self.surrogate_probes}"
+            )
 
     # ------------------------------------------------------------------
     # Construction.
@@ -421,7 +510,7 @@ class ExecConfig:
         accessor functions raised.
         """
         global _FROM_ENV_CACHE
-        key = tuple(os.environ.get(var) for var in EXEC_ENV_VARS)
+        key = _env_memo_key()
         cached = _FROM_ENV_CACHE
         if cached is not None and cached[0] == key:
             return cached[1]
@@ -443,6 +532,9 @@ class ExecConfig:
             interval_lru=_env_interval_lru(),
             trace=_env_trace(),
             trace_sample=_env_trace_sample(),
+            surrogate=_env_flag(SURROGATE_ENV_VAR, "0"),
+            surrogate_threshold=_env_surrogate_threshold(),
+            surrogate_probes=_env_surrogate_probes(),
         )
         _FROM_ENV_CACHE = (key, config)
         return config
@@ -463,10 +555,15 @@ class ExecConfig:
                             ("exec_retries", "retries"),
                             ("exec_shard", "shard"),
                             ("fault_spec", "fault_spec"),
-                            ("trace", "trace")):
+                            ("trace", "trace"),
+                            ("surrogate_threshold", "surrogate_threshold"),
+                            ("surrogate_probes", "surrogate_probes")):
             value = getattr(args, attr, None)
             if value is not None:
                 updates[field] = value
+        surrogate = getattr(args, "surrogate", None)
+        if surrogate is not None:
+            updates["surrogate"] = bool(surrogate)
         arena = getattr(args, "exec_arena", None)
         if arena is not None:
             updates["arena"] = bool(arena)
@@ -514,6 +611,9 @@ class ExecConfig:
             INTERVAL_LRU_ENV_VAR: str(self.interval_lru),
             TRACE_ENV_VAR: self.trace,
             TRACE_SAMPLE_ENV_VAR: str(self.trace_sample),
+            SURROGATE_ENV_VAR: "1" if self.surrogate else "0",
+            SURROGATE_THRESHOLD_ENV_VAR: repr(self.surrogate_threshold),
+            SURROGATE_PROBES_ENV_VAR: str(self.surrogate_probes),
         }
 
     def apply_env(self) -> None:
@@ -638,6 +738,23 @@ def trace_sample_rate() -> int:
     .. deprecated:: read ``active_exec_config().trace_sample``.
     """
     return active_exec_config().trace_sample
+
+
+def surrogate_enabled() -> bool:
+    """Whether the tier-0 learned surrogate is on (``REPRO_SURROGATE``)."""
+    return active_exec_config().surrogate
+
+
+def surrogate_threshold() -> float:
+    """Confidence-gate disagreement threshold
+    (``REPRO_SURROGATE_THRESHOLD``)."""
+    return active_exec_config().surrogate_threshold
+
+
+def surrogate_probes() -> int:
+    """Probe-corpus size for surrogate training
+    (``REPRO_SURROGATE_PROBES``)."""
+    return active_exec_config().surrogate_probes
 
 
 def exec_chunk_size() -> int | None:

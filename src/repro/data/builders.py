@@ -19,6 +19,7 @@ from repro import rng as rng_mod
 from repro.config import BASE_INTERVAL_INSTRUCTIONS, DEFAULT_SLA, SLAConfig
 from repro.config import batch_sim_enabled, exec_arena_enabled
 from repro.config import exec_shard_size, experiment_scale
+from repro.config import surrogate_enabled
 from repro.core.labels import gating_labels
 from repro.data.dataset import (
     DatasetAssembler,
@@ -44,6 +45,17 @@ PREDICTION_HORIZON = 2
 def _catalog_token(collector: TelemetryCollector) -> str:
     """Stable fingerprint of the counter catalog (for cache keys)."""
     return collector.catalog_token()
+
+
+def _sim_tier() -> str:
+    """Simulator-tier token for cache keys.
+
+    Decided by the config flag — not by per-pair gate outcomes — so
+    keys are deterministic across backends, and artefacts built with
+    the surrogate on can never shadow interval-tier truth (or vice
+    versa).
+    """
+    return "surrogate" if surrogate_enabled() else "interval"
 
 
 def _build_trace_part(trace: TraceSpec, mode: Mode,
@@ -103,21 +115,38 @@ def _build_trace_chunk(traces: list[TraceSpec], part_fn, mode: Mode,
     simulator.
     """
     simcache = collector.model.simcache
+
+    def _tkey(trace):
+        return (trace.name, trace.seed, trace.n_intervals)
+
     if simcache is None or not batch_sim_enabled():
-        needs_sim = list(traces)
+        needs_sim = {_tkey(trace) for trace in traces}
     else:
         machine = collector.model.machine
         token = collector.catalog_token()
-        needs_sim = [
-            trace for trace in traces
+        tier = _sim_tier()
+        needs_sim = {
+            _tkey(trace) for trace in traces
             if not (simcache.has(simcache.snapshot_key(
-                        trace, mode, machine, counter_ids, token))
+                        trace, mode, machine, counter_ids, token,
+                        tier=tier))
                     and simcache.has(simcache.labels_key(
-                        trace, sla, granularity_factor, machine)))
-        ]
-    if needs_sim:
-        collector.model.simulate_batch(needs_sim)
-    return [part_fn(trace) for trace in traces]
+                        trace, sla, granularity_factor, machine,
+                        tier=tier)))
+        }
+    # Prewarm in slices that fit the model's LRU (two entries per
+    # trace — one per mode); a chunk larger than the LRU would evict
+    # its own head before the per-trace assembly consumes it, silently
+    # degrading every early trace to a scalar re-simulation.
+    step = max(1, collector.model._cache_size // 2)
+    parts = []
+    for i in range(0, len(traces), step):
+        sub = traces[i:i + step]
+        sub_sim = [trace for trace in sub if _tkey(trace) in needs_sim]
+        if sub_sim:
+            collector.model.simulate_batch(sub_sim)
+        parts.extend(part_fn(trace) for trace in sub)
+    return parts
 
 
 def _arena_build_chunk(handle: str, indices: list[int], *, mode: Mode,
@@ -194,7 +223,7 @@ def _build_mode_dataset(traces, mode, counter_ids, sla, collector,
         key = simcache.dataset_key(
             traces, mode, counter_ids, sla, granularity_factor, horizon,
             collector.model.machine,
-            catalog_token=_catalog_token(collector))
+            catalog_token=_catalog_token(collector), tier=_sim_tier())
         cached = simcache.load_dataset(key)
         if cached is not None:
             return cached
@@ -285,7 +314,8 @@ def _build_sharded(traces, mode, counter_ids, sla, collector,
                 shard_key = simcache.dataset_key(
                     sub, mode, counter_ids, sla, granularity_factor,
                     horizon, collector.model.machine,
-                    catalog_token=_catalog_token(collector))
+                    catalog_token=_catalog_token(collector),
+                    tier=_sim_tier())
                 cached = simcache.load_dataset(shard_key)
                 if cached is not None:
                     EXEC_STATS.incr("build_dataset.shard_cache_hits")

@@ -41,6 +41,66 @@ def effective_sla_window(granularity: int,
     return max(MIN_WINDOW, int(round(paper_w * window_scale)))
 
 
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (1-based) with ties sharing their mean rank."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=np.float64)
+    sorted_vals = values[order]
+    # Tied runs in the sorted order all receive the mean of the
+    # positions they span (scipy's "average" method).
+    boundaries = np.flatnonzero(
+        np.concatenate(([True], sorted_vals[1:] != sorted_vals[:-1],
+                        [True])))
+    for start, stop in zip(boundaries[:-1], boundaries[1:]):
+        ranks[order[start:stop]] = 0.5 * (start + stop - 1) + 1.0
+    return ranks
+
+
+def spearman(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation, dependency-free.
+
+    Pearson correlation of average ranks (ties share their mean rank),
+    matching ``scipy.stats.spearmanr``. Used to validate one simulator
+    tier against the next (cycle vs interval in
+    ``benchmarks/bench_sim_validation.py``, interval vs surrogate in
+    the :mod:`repro.surrogate` agreement gate). Returns 0.0 when either
+    input has zero rank variance.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.shape != y.shape:
+        raise DatasetError(
+            f"shape mismatch: {x.shape} vs {y.shape}"
+        )
+    if x.size < 2:
+        raise DatasetError(
+            f"spearman needs at least 2 samples, got {x.size}"
+        )
+    rx = _ranks(x)
+    ry = _ranks(y)
+    rx = rx - rx.mean()
+    ry = ry - ry.mean()
+    denom = np.sqrt((rx * rx).sum() * (ry * ry).sum())
+    if denom == 0.0:
+        return 0.0
+    return float((rx * ry).sum() / denom)
+
+
+def mean_relative_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean of ``|pred - true| / |true|``; the surrogate MRE gate."""
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise DatasetError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise DatasetError("mean_relative_error needs at least 1 sample")
+    if np.any(y_true == 0.0):
+        raise DatasetError("mean_relative_error undefined for zero truth")
+    return float(np.mean(np.abs(y_pred - y_true) / np.abs(y_true)))
+
+
 def _check(y_true: np.ndarray, y_pred: np.ndarray,
            ) -> tuple[np.ndarray, np.ndarray]:
     y_true = np.asarray(y_true).astype(np.int64)

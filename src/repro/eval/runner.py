@@ -15,7 +15,8 @@ import functools
 
 import numpy as np
 
-from repro.config import DEFAULT_SLA, SLAConfig, exec_shard_size
+from repro.config import (DEFAULT_SLA, SLAConfig, exec_shard_size,
+                          surrogate_enabled)
 from repro.core.adaptive_cpu import AdaptiveCPU, AdaptiveRunResult
 from repro.core.predictor import DualModePredictor
 from repro.errors import DatasetError
@@ -146,7 +147,8 @@ def evaluate_predictor(predictor: DualModePredictor,
     n_shards = (1 if shard is None or len(traces) <= shard
                 else -(-len(traces) // shard))
     with tracer.span("evaluate.predictor", predictor=predictor.name,
-                     traces=len(traces), shards=n_shards):
+                     traces=len(traces), shards=n_shards,
+                     surrogate=surrogate_enabled()):
         cpu = AdaptiveCPU(predictor, collector=collector, power=power,
                           sla=sla)
         runs = cpu.run_many(traces, pmap=pmap)

@@ -17,7 +17,8 @@ from collections.abc import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.config import exec_arena_enabled, exec_shard_size
+from repro.config import (exec_arena_enabled, exec_shard_size,
+                          surrogate_enabled)
 from repro.errors import ArenaIntegrityError, DatasetError
 from repro.exec.arena import TraceArena
 from repro.exec.parallel import ParallelMap, default_parallel_map
@@ -136,7 +137,7 @@ def screen_configs(model_factory: Callable[[Mapping[str, object]], Estimator],
     pmap = pmap if pmap is not None else default_parallel_map()
     grid = [(config, fold) for config in configs for fold in folds]
     with tracer.span("screen_configs", configs=len(configs),
-                     folds=len(folds)):
+                     folds=len(folds), surrogate=surrogate_enabled()):
         return _screen_grid(model_factory, configs, x, y, folds,
                             metric_fns, threshold_tuner, pmap, grid)
 

@@ -14,9 +14,13 @@ engine imports *us*):
 * :mod:`repro.obs.report` — :func:`render_report`, the ``--obs-report``
   text (per-stage wall time, items/s, cache hit ratios, payload
   bytes, resilience events, inference batch shapes).
+* :mod:`repro.obs.export` — :func:`to_chrome_trace`, converting the
+  tracer's JSON into Chrome ``about:tracing`` / Perfetto format
+  (``repro obs export-trace`` on the CLI).
 """
 
 from repro.obs import tracer
+from repro.obs.export import from_chrome_trace, to_chrome_trace
 from repro.obs.metrics import METRICS, HistogramStat, Metrics, StageStat
 from repro.obs.report import render_report
 from repro.obs.tracer import (
@@ -36,8 +40,10 @@ __all__ = [
     "Metrics",
     "Span",
     "StageStat",
+    "from_chrome_trace",
     "render_report",
     "span",
+    "to_chrome_trace",
     "trace",
     "tracer",
     "validate_trace",

@@ -1,0 +1,46 @@
+"""Tier-0 learned surrogate for the interval simulator.
+
+The related work (NeuroScalar, Concorde, CAPSim — see PAPERS.md)
+replaces cycle-accurate simulation with a small learned predictor,
+validated by rank correlation and fused with cheap analytical
+components. This package is that idea applied one tier up: a compact
+ridge ensemble learns the interval tier's own outputs and serves as a
+fast path *above* :meth:`repro.uarch.interval_model.IntervalModel.
+simulate_batch`, with a confidence gate that falls back to the full
+interval pass whenever a prediction cannot be trusted. Gated pairs are
+simulated exactly as today, so fallback output is bit-identical to the
+interval tier.
+
+Layout:
+
+* :mod:`repro.surrogate.features` — engineered per-interval feature
+  matrix from mode-adjusted jittered phase physics;
+* :mod:`repro.surrogate.model` — the bootstrap ridge ensemble
+  (closed-form fit, disagreement-based confidence);
+* :mod:`repro.surrogate.tier` — :class:`SurrogateTier`: probe-corpus
+  training, the Spearman + mean-relative-error agreement gate, the
+  per-pair accept/fallback decision, and `SimCache` persistence.
+
+Enable with ``REPRO_SURROGATE=1`` / ``--surrogate 1`` (see
+:class:`repro.config.ExecConfig`).
+"""
+
+from repro.surrogate.features import (FEATURE_NAMES, FEATURE_VERSION,
+                                      feature_matrix)
+from repro.surrogate.model import RidgeEnsemble
+from repro.surrogate.tier import (MAX_MRE, MIN_SPEARMAN, OOD_MARGIN,
+                                  PROBE_INTERVALS, SurrogateTier,
+                                  probe_corpus)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FEATURE_VERSION",
+    "MAX_MRE",
+    "MIN_SPEARMAN",
+    "OOD_MARGIN",
+    "PROBE_INTERVALS",
+    "RidgeEnsemble",
+    "SurrogateTier",
+    "feature_matrix",
+    "probe_corpus",
+]

@@ -1,0 +1,102 @@
+"""Engineered features for the tier-0 learned surrogate.
+
+The interval tier's CPI decomposition is additive in a handful of
+physics-derived terms (base issue limit, miss rates times penalties,
+memory cost over exploitable MLP, store-queue pressure). The surrogate
+regresses against exactly those terms — Concorde-style fusion of
+analytical structure with a learned model — so a linear ensemble can
+track the interval tier closely in-distribution while the per-feature
+training range doubles as the out-of-distribution check.
+
+Features are computed from the *mode-adjusted, jittered* physics
+matrix — the same per-interval values the interval tier consumes — so
+the surrogate predicts each interval's actual workload draw, not the
+phase mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.generator import PHYSICS_FIELDS
+
+#: Bump when the feature definition changes: persisted surrogates
+#: trained on the old features stop being addressable.
+FEATURE_VERSION = 1
+
+_F = {name: i for i, name in enumerate(PHYSICS_FIELDS)}
+
+#: Column order of :func:`feature_matrix`.
+FEATURE_NAMES = (
+    "inv_eff_ilp",    # 1 / min(width, ilp) — the base CPI term
+    "branch_k",       # branch mispredicts per instruction
+    "icache_k",       # icache misses per instruction
+    "uopc_miss",      # uop-cache miss fraction
+    "tlb_k",          # iTLB + dTLB misses per instruction
+    "mem_term",       # hierarchy miss cost / exploitable MLP
+    "sq_term",        # sq_pressure * frac_store
+    "frac_load",
+    "frac_store",
+    "frac_branch",
+    "frac_fp",
+    "l1d_k",
+    "l2_k",
+    "l3_k",
+    "dirty_frac",
+    "sq_pressure",
+    "mlp_eff",        # MLP clipped to the mode's MSHR capacity
+    "noise_scale",
+)
+
+N_FEATURES = len(FEATURE_NAMES)
+
+
+def feature_matrix(model, physics: np.ndarray, mode) -> np.ndarray:
+    """Per-interval feature matrix ``(..., T, N_FEATURES)``.
+
+    Parameters
+    ----------
+    model:
+        The :class:`~repro.uarch.interval_model.IntervalModel` whose
+        machine parameters (effective width, MSHR capacity, cache
+        latencies) the features fold in.
+    physics:
+        Mode-adjusted jittered physics, shape ``(T, len(PHYSICS_FIELDS))``
+        — exactly what the interval tier's CPI decomposition reads —
+        or a stack of such matrices ``(P, T, F)``; every operation is
+        elementwise, so stacked rows carry the same bits as per-pair
+        calls.
+    mode:
+        The :class:`~repro.uarch.modes.Mode` being predicted.
+    """
+    m = model.machine
+    width = model.effective_width(mode)
+    ilp = physics[..., _F["ilp"]]
+    l1d = physics[..., _F["l1d_mpki"]]
+    l2 = physics[..., _F["l2_mpki"]]
+    l3 = physics[..., _F["l3_mpki"]]
+    mem_cost = ((l1d - l2) * m.l2_latency
+                + (l2 - l3) * m.l3_latency
+                + l3 * m.memory_latency) / 1000.0
+    mlp_eff = np.clip(physics[..., _F["mlp"]], 1.0, model.mshr_cap(mode))
+    return np.stack([
+        1.0 / np.minimum(width, ilp),
+        physics[..., _F["branch_mpki"]] / 1000.0,
+        physics[..., _F["icache_mpki"]] / 1000.0,
+        1.0 - physics[..., _F["uopcache_hit_rate"]],
+        (physics[..., _F["itlb_mpki"]]
+         + physics[..., _F["dtlb_mpki"]]) / 1000.0,
+        mem_cost / mlp_eff,
+        physics[..., _F["sq_pressure"]] * physics[..., _F["frac_store"]],
+        physics[..., _F["frac_load"]],
+        physics[..., _F["frac_store"]],
+        physics[..., _F["frac_branch"]],
+        physics[..., _F["frac_fp"]],
+        l1d / 1000.0,
+        l2 / 1000.0,
+        l3 / 1000.0,
+        physics[..., _F["dirty_frac"]],
+        physics[..., _F["sq_pressure"]],
+        mlp_eff,
+        physics[..., _F["noise_scale"]],
+    ], axis=-1)

@@ -1,0 +1,181 @@
+"""Bootstrap ridge ensemble behind the surrogate tier.
+
+A closed-form linear model is the right size for this problem: the
+interval tier's CPI is additive in the engineered features of
+:mod:`repro.surrogate.features`, so ridge regression recovers it
+almost exactly in-distribution, trains in milliseconds (one
+``(D+1, D+1)`` solve per ensemble member), and adds no dependencies.
+The ensemble exists for the confidence gate: members are fitted on
+bootstrap resamples of the training rows, and their spread on the CPI
+head measures how far a query sits from the supported feature region.
+
+Outputs are stacked as ``[cpi | signals / instructions]`` so one
+design-matrix product yields everything an
+:class:`~repro.uarch.interval_model.IntervalResult` needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import rng as rng_mod
+from repro.errors import DatasetError
+from repro.ml.base import StandardScaler
+
+#: Ensemble members (bootstrap resamples of the training rows).
+N_MEMBERS = 4
+
+#: Ridge penalty; tiny because the design is well-conditioned after
+#: standardisation and the fit should stay as close to exact as the
+#: bootstrap allows.
+RIDGE_LAMBDA = 1e-6
+
+
+class RidgeEnsemble:
+    """``N_MEMBERS`` ridge fits on bootstrap resamples of (X, Y)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.scaler: StandardScaler | None = None
+        #: (N_MEMBERS, D+1, O) stacked member weights.
+        self.weights: np.ndarray | None = None
+        #: (D+1, O) member-mean weights (the prediction the tier serves).
+        self.mean_weights: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # Fitting.
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RidgeEnsemble":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise DatasetError(
+                f"bad surrogate training shapes: {x.shape} vs {y.shape}"
+            )
+        if x.shape[0] < x.shape[1] + 1:
+            raise DatasetError(
+                f"underdetermined surrogate fit: {x.shape[0]} rows for "
+                f"{x.shape[1]} features"
+            )
+        self.scaler = StandardScaler()
+        aug = self._augment(self.scaler.fit_transform(x))
+        n_rows, n_cols = aug.shape
+        rng = rng_mod.stream(self.seed, "surrogate-ensemble")
+        ident = np.eye(n_cols)
+        members = []
+        for _ in range(N_MEMBERS):
+            idx = rng.integers(0, n_rows, n_rows)
+            a = aug[idx]
+            members.append(np.linalg.solve(
+                a.T @ a + RIDGE_LAMBDA * ident, a.T @ y[idx]))
+        self.weights = np.stack(members)
+        self.mean_weights = self.weights.mean(axis=0)
+        return self
+
+    @staticmethod
+    def _augment(xs: np.ndarray) -> np.ndarray:
+        """Append the intercept column."""
+        return np.hstack([xs, np.ones((xs.shape[0], 1))])
+
+    # ------------------------------------------------------------------
+    # Prediction.
+    # ------------------------------------------------------------------
+    def design(self, x: np.ndarray) -> np.ndarray:
+        """Scaled, intercept-augmented design matrix for ``x``."""
+        if self.scaler is None:
+            raise DatasetError("RidgeEnsemble is not fitted")
+        return self._augment(self.scaler.transform(
+            np.asarray(x, dtype=np.float64)))
+
+    def member_outputs(self, aug: np.ndarray, column: int = 0) -> np.ndarray:
+        """Each member's prediction of one output column, ``(T, K)``.
+
+        Column 0 is CPI — the head the confidence gate measures
+        disagreement on.
+        """
+        return aug @ self.weights[:, :, column].T
+
+    def predict_mean(self, aug: np.ndarray) -> np.ndarray:
+        """Member-mean prediction of every output, ``(T, O)``."""
+        return aug @ self.mean_weights
+
+    # ------------------------------------------------------------------
+    # Shape-invariant prediction (the scoring path).
+    #
+    # BLAS matrix products pick different instruction mixes for
+    # different row counts, so a product's low bits depend on how many
+    # pairs happen to share a batch. The tier's accept decisions and
+    # accepted bits must not — serial, threaded and process builds
+    # batch pairs differently but have to agree bit-for-bit — so the
+    # scoring path computes with fixed-order elementwise accumulation
+    # (CPI heads) and fixed per-pair shapes (signal products) instead.
+    # ------------------------------------------------------------------
+    def scale(self, x: np.ndarray) -> np.ndarray:
+        """Standardised features; broadcasts over leading batch axes."""
+        if self.scaler is None:
+            raise DatasetError("RidgeEnsemble is not fitted")
+        return ((np.asarray(x, dtype=np.float64) - self.scaler.mean_)
+                / self.scaler.scale_)
+
+    def member_cpi(self, z: np.ndarray) -> np.ndarray:
+        """Each member's CPI prediction from scaled features, ``(..., K)``.
+
+        Accumulates feature terms in fixed ascending order, so the
+        result is bit-identical for any batching of the same rows.
+        """
+        if self.weights is None:
+            raise DatasetError("RidgeEnsemble is not fitted")
+        n_features = z.shape[-1]
+        members = []
+        tmp = None
+        for weights in self.weights:  # (D+1, O); intercept row last
+            cpi_w = weights[:, 0]
+            acc = z[..., 0] * cpi_w[0]
+            if tmp is None:
+                tmp = np.empty_like(acc)
+            for d in range(1, n_features):
+                np.multiply(z[..., d], cpi_w[d], out=tmp)
+                acc += tmp
+            acc += cpi_w[n_features]
+            members.append(acc)
+        return np.stack(members, axis=-1)
+
+    def signals_scaled(self, z: np.ndarray) -> np.ndarray:
+        """Member-mean signal predictions for one pair, ``(T, O - 1)``.
+
+        ``z`` must be a single pair's scaled ``(T, D)`` features: the
+        product's shape then depends only on the trace's interval
+        count, never on batch composition, keeping accepted bits
+        deterministic.
+        """
+        if self.mean_weights is None:
+            raise DatasetError("RidgeEnsemble is not fitted")
+        aug = self._augment(np.ascontiguousarray(z))
+        return aug @ self.mean_weights[:, 1:]
+
+    # ------------------------------------------------------------------
+    # Persistence.
+    # ------------------------------------------------------------------
+    def to_payload(self, prefix: str) -> dict[str, np.ndarray]:
+        """Arrays for a `SimCache` surrogate entry."""
+        if self.weights is None or self.scaler is None:
+            raise DatasetError("RidgeEnsemble is not fitted")
+        return {
+            f"{prefix}_weights": self.weights,
+            f"{prefix}_scaler_mean": self.scaler.mean_,
+            f"{prefix}_scaler_scale": self.scaler.scale_,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, np.ndarray], prefix: str,
+                     seed: int = 0) -> "RidgeEnsemble":
+        ens = cls(seed=seed)
+        ens.weights = np.asarray(payload[f"{prefix}_weights"],
+                                 dtype=np.float64)
+        ens.mean_weights = ens.weights.mean(axis=0)
+        ens.scaler = StandardScaler()
+        ens.scaler.mean_ = np.asarray(payload[f"{prefix}_scaler_mean"],
+                                      dtype=np.float64)
+        ens.scaler.scale_ = np.asarray(payload[f"{prefix}_scaler_scale"],
+                                       dtype=np.float64)
+        return ens

@@ -195,7 +195,7 @@ class CounterCatalog:
     # ------------------------------------------------------------------
     def materialize(self, signals: np.ndarray, noise_z: np.ndarray,
                     counter_ids: np.ndarray | list[int] | None = None,
-                    ) -> np.ndarray:
+                    noise_subset: bool = False) -> np.ndarray:
         """Raw integer counter values for each interval.
 
         Parameters
@@ -209,6 +209,12 @@ class CounterCatalog:
         counter_ids:
             Optional subset of counters to materialise (saves memory
             when models only need 8-32 counters).
+        noise_subset:
+            When True, ``noise_z`` is already aligned to
+            ``counter_ids`` — shape ``(T, len(counter_ids))`` — and is
+            used as-is. The surrogate fast path draws only the subset
+            it needs (from its own RNG stream) instead of the full
+            catalog field.
 
         Returns
         -------
@@ -229,7 +235,7 @@ class CounterCatalog:
         stuck = kind == KIND_STUCK
         raw[:, stuck] = self._offset[ids][stuck][None, :]
         # Poisson-like integer measurement noise.
-        z = noise_z[:, ids]
+        z = noise_z if noise_subset else noise_z[:, ids]
         noisy = raw + np.sqrt(raw) * z * self._noise[ids][None, :]
         counts = np.rint(np.maximum(noisy, 0.0))
         counts[:, stuck] = self._offset[ids][stuck][None, :]

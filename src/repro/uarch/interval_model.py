@@ -26,12 +26,14 @@ measurement noise is added later, per counter, by the telemetry layer.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from collections import OrderedDict
 
 import numpy as np
 
 from repro import rng as rng_mod
-from repro.config import MachineConfig, batch_sim_enabled, interval_lru_size
+from repro.config import (MachineConfig, active_exec_config,
+                          batch_sim_enabled, interval_lru_size)
 from repro.errors import SimulationError
 from repro.exec.simcache import SimCache, default_simcache
 from repro.exec.stats import EXEC_STATS
@@ -90,6 +92,11 @@ class IntervalResult:
     cycles: np.ndarray  # (T,)
     signals: np.ndarray  # (T, N_SIGNALS)
     interval_instructions: int
+    #: Which simulator tier produced this result: ``"interval"`` (the
+    #: analytical pass) or ``"surrogate"`` (the tier-0 learned fast
+    #: path). Surrogate results never enter the disk result cache and
+    #: are only served from the LRU while the surrogate is enabled.
+    tier: str = "interval"
 
     @property
     def n_intervals(self) -> int:
@@ -134,18 +141,93 @@ class IntervalModel:
                             else cache_size)
         self.simcache = simcache if simcache is not None else (
             default_simcache())
+        # Tier-0 learned surrogate (repro.surrogate), built lazily on
+        # first use when REPRO_SURROGATE is on. ``_training`` guards
+        # the probe pass: while the surrogate trains on this model's
+        # own outputs it must see pure interval results.
+        self._surrogate = None
+        self._surrogate_config: tuple | None = None
+        self._surrogate_lock = threading.RLock()
+        self._training_tls = threading.local()
+
+    @property
+    def _training(self) -> bool:
+        """Whether *this thread* is running the surrogate's probe pass.
+
+        Thread-local on purpose: under the thread backend another
+        thread must not mistake an in-progress training for "surrogate
+        off" and silently take the interval path — it waits on
+        :attr:`_surrogate_lock` and scores through the trained tier,
+        reaching the same bits as a serial build.
+        """
+        return getattr(self._training_tls, "active", False)
+
+    @_training.setter
+    def _training(self, value: bool) -> None:
+        self._training_tls.active = bool(value)
 
     def __getstate__(self) -> dict:
-        """Pickle without the LRU memo.
+        """Pickle without the LRU memo or the surrogate tier.
 
         The memo is a pure accelerator — dropping it can never change a
         result — and shipping up to ``REPRO_INTERVAL_LRU`` cached
         interval tensors per task is exactly the payload bloat the
-        execution engine exists to avoid.
+        execution engine exists to avoid. The surrogate tier is dropped
+        for the same reason: workers retrain it deterministically (or
+        load it from the shared SimCache), reaching the identical
+        accept/fallback decisions.
         """
         state = self.__dict__.copy()
         state["_cache"] = OrderedDict()
+        state["_surrogate"] = None
+        state["_surrogate_config"] = None
+        del state["_surrogate_lock"], state["_training_tls"]
         return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._surrogate_lock = threading.RLock()
+        self._training_tls = threading.local()
+
+    def _surrogate_tier(self, config):
+        """The active surrogate tier, or ``None`` when disabled.
+
+        Rebuilt when the surrogate knobs change between calls; a tier
+        whose agreement gate refused stays cached (still ``None``-like:
+        its ``score`` returns everything as fallback) so refusal is
+        paid once, not per batch.
+        """
+        if self._training:
+            return None
+        if not config.surrogate:
+            return None
+        key = (config.surrogate_threshold, config.surrogate_probes)
+        if self._surrogate is None or self._surrogate_config != key:
+            with self._surrogate_lock:
+                # Double-checked: one thread trains, the rest block
+                # here and reuse the published tier.
+                if (self._surrogate is None
+                        or self._surrogate_config != key):
+                    from repro.surrogate import SurrogateTier
+                    tier = SurrogateTier(
+                        self, threshold=config.surrogate_threshold,
+                        n_probes=config.surrogate_probes)
+                    tier.train()
+                    self._surrogate = tier
+                    self._surrogate_config = key
+        return self._surrogate
+
+    def _lru_usable(self, result: IntervalResult, surrogate_on: bool,
+                    ) -> bool:
+        """Whether an LRU entry may be served under the active config.
+
+        Surrogate-tagged entries are only valid while the surrogate is
+        on (and never during its own training); otherwise they read as
+        misses and the interval pass recomputes and replaces them.
+        """
+        if result.tier == "interval":
+            return True
+        return (not self._training) and surrogate_on
 
     # ------------------------------------------------------------------
     # Mode-dependent machine parameters.
@@ -204,14 +286,17 @@ class IntervalModel:
 
         With cluster 2 gated, only its half of the split instruction
         cache and uop cache is usable, so low-power mode observes more
-        front-end misses for the same code footprint.
+        front-end misses for the same code footprint. Accepts one
+        ``(T, F)`` matrix or a stack ``(P, T, F)`` of them; the
+        adjustments are elementwise, so stacked rows carry the same
+        bits as per-matrix calls.
         """
         if mode is Mode.HIGH_PERF:
             return physics
         adjusted = physics.copy()
-        adjusted[:, _F["icache_mpki"]] *= LOW_POWER_ICACHE_FACTOR
-        miss_rate = 1.0 - adjusted[:, _F["uopcache_hit_rate"]]
-        adjusted[:, _F["uopcache_hit_rate"]] = np.clip(
+        adjusted[..., _F["icache_mpki"]] *= LOW_POWER_ICACHE_FACTOR
+        miss_rate = 1.0 - adjusted[..., _F["uopcache_hit_rate"]]
+        adjusted[..., _F["uopcache_hit_rate"]] = np.clip(
             1.0 - miss_rate * LOW_POWER_UOPC_MISS_FACTOR, 0.0, 1.0)
         return adjusted
 
@@ -276,13 +361,25 @@ class IntervalModel:
         Returns per-interval IPC, cycles, and the full base-signal
         matrix the telemetry catalog consumes.
         """
+        config = active_exec_config()
         key = (trace.name, trace.seed, trace.n_intervals, mode)
         cached = self._cache.get(key)
-        if cached is not None:
+        if cached is not None and self._lru_usable(cached, config.surrogate):
             self._cache.move_to_end(key)
             EXEC_STATS.incr("interval_lru.hit")
             return cached
         EXEC_STATS.incr("interval_lru.miss")
+        # Tier-0 fast path: the surrogate decides *before* the disk
+        # result tier, so a pair's tier outcome is a pure function of
+        # (trace, mode, trained surrogate) — never of LRU or disk
+        # state. Accepted results enter the LRU only; the disk result
+        # tier stores interval-tier truth exclusively.
+        surrogate = self._surrogate_tier(config)
+        if surrogate is not None:
+            result = surrogate.score_one(trace, mode)
+            if result is not None:
+                self._remember(key, result)
+                return result
         disk_key = None
         if self.simcache is not None:
             disk_key = self.simcache.sim_key(trace, mode, self.machine)
@@ -370,16 +467,39 @@ class IntervalModel:
                     seen.add(key)
                     pairs.append((key, trace, mode))
 
+        config = active_exec_config()
         results: dict[tuple, IntervalResult] = {}
-        misses = []
+        lru_misses = []
         for key, trace, mode in pairs:
             cached = self._cache.get(key)
-            if cached is not None:
+            if cached is not None and self._lru_usable(cached,
+                                                       config.surrogate):
                 self._cache.move_to_end(key)
                 EXEC_STATS.incr("interval_lru.hit")
                 results[key] = cached
                 continue
             EXEC_STATS.incr("interval_lru.miss")
+            lru_misses.append((key, trace, mode, None))
+        if not lru_misses:
+            return results
+
+        # Tier-0 fast path: the surrogate scores every LRU miss first —
+        # *before* the disk result tier — so a pair's tier outcome is a
+        # pure function of (trace, mode, trained surrogate), never of
+        # cache state. Accepted results enter the LRU but not the disk
+        # result tier; only the gated remainder consults the disk and
+        # pays the interval pass below, exactly as before.
+        surrogate = self._surrogate_tier(config)
+        if surrogate is not None:
+            accepted, lru_misses = surrogate.score(lru_misses)
+            for key, result in accepted.items():
+                self._remember(key, result)
+                results[key] = result
+            if not lru_misses:
+                return results
+
+        misses = []
+        for key, trace, mode, _ in lru_misses:
             disk_key = None
             if self.simcache is not None:
                 disk_key = self.simcache.sim_key(trace, mode, self.machine)

@@ -8,9 +8,11 @@ from repro.errors import DatasetError
 from repro.eval.metrics import (
     effective_sla_window,
     expected_false_positive,
+    mean_relative_error,
     pgos,
     pooled_rsv,
     rsv,
+    spearman,
     violation_indicator_windows,
 )
 
@@ -99,6 +101,52 @@ class TestRSV:
         scattered[::4] = 1  # same FP count, spread out (25% per window)
         assert (rsv(y_true, clustered, window)
                 > rsv(y_true, scattered, window))
+
+
+class TestSpearman:
+    """The stdlib/numpy spearman that replaced scipy in the benches."""
+
+    def test_matches_scipy(self):
+        from scipy.stats import spearmanr
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=200)
+        y = x + rng.normal(scale=0.5, size=200)
+        assert spearman(x, y) == pytest.approx(
+            float(spearmanr(x, y).correlation), abs=1e-12)
+
+    def test_matches_scipy_with_ties(self):
+        from scipy.stats import spearmanr
+        x = [1.0, 2.0, 2.0, 2.0, 3.0, 4.0, 4.0, 5.0]
+        y = [3.0, 3.0, 1.0, 4.0, 4.0, 5.0, 5.0, 2.0]
+        assert spearman(x, y) == pytest.approx(
+            float(spearmanr(x, y).correlation), abs=1e-12)
+
+    def test_perfect_monotone(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        assert spearman(x, [10.0, 20.0, 22.0, 40.0]) == 1.0
+        assert spearman(x, [5.0, 4.0, 3.0, -1.0]) == -1.0
+
+    def test_constant_input_returns_zero(self):
+        assert spearman([1.0, 1.0, 1.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(DatasetError):
+            spearman([1.0], [2.0])
+        with pytest.raises(DatasetError):
+            spearman([1.0, 2.0], [1.0, 2.0, 3.0])
+
+
+class TestMeanRelativeError:
+    def test_hand_value(self):
+        assert mean_relative_error([1.0, 2.0], [1.1, 1.8]) \
+            == pytest.approx(0.1)
+
+    def test_exact_prediction_is_zero(self):
+        assert mean_relative_error([2.0, 4.0], [2.0, 4.0]) == 0.0
+
+    def test_zero_truth_rejected(self):
+        with pytest.raises(DatasetError):
+            mean_relative_error([0.0, 1.0], [1.0, 1.0])
 
 
 class TestEffectiveWindow:

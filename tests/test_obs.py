@@ -10,13 +10,17 @@ costs one branch and allocates nothing.
 
 import json
 import multiprocessing
+import time
 
 import pytest
 
 from repro.config import FAULT_SPEC_ENV_VAR, TRACE_ENV_VAR
+from repro.errors import DatasetError
 from repro.exec import EXEC_STATS, ParallelMap, close_pools
 from repro.exec import parallel as parallel_mod
-from repro.obs import METRICS, Metrics, render_report, tracer
+from repro.obs import (METRICS, Metrics, from_chrome_trace, render_report,
+                       to_chrome_trace, tracer)
+from repro.obs.export import export_trace_file
 from repro.obs.tracer import validate_trace
 
 
@@ -330,6 +334,13 @@ class TestPoolGauge:
         assert METRICS.gauge("parallel.pools_open") == 0
         assert not parallel_mod._POOLS
         assert not parallel_mod._DISCARDED_POOLS
+        # Children from earlier tests' poisoned pools (e.g. the shm
+        # hang test's fault-injected workers) can still be mid-exit;
+        # give the reaper a bounded moment instead of racing it.
+        deadline = time.perf_counter() + 10.0
+        while (multiprocessing.active_children()
+               and time.perf_counter() < deadline):
+            time.sleep(0.05)
         assert multiprocessing.active_children() == []
 
     def test_close_pools_is_idempotent(self):
@@ -338,6 +349,53 @@ class TestPoolGauge:
         assert baseline == 0
         close_pools()  # second close must not decrement anything
         assert METRICS.gauge("parallel.pools_open") == 0
+
+
+# ---------------------------------------------------------------------
+# Chrome trace export.
+# ---------------------------------------------------------------------
+class TestChromeExport:
+    def _doc(self, tmp_path, monkeypatch):
+        out = tmp_path / "trace.json"
+        monkeypatch.setenv(TRACE_ENV_VAR, str(out))
+        with tracer.trace("export.run"):
+            with tracer.span("outer", k=1):
+                with tracer.span("inner", label="x"):
+                    pass
+        return out, json.loads(out.read_text())
+
+    def test_round_trip_is_lossless(self, tmp_path, monkeypatch):
+        _, doc = self._doc(tmp_path, monkeypatch)
+        chrome = to_chrome_trace(doc)
+        assert chrome["displayTimeUnit"] == "ms"
+        assert chrome["otherData"]["run"] == "export.run"
+        meta = [e for e in chrome["traceEvents"] if e["ph"] == "M"]
+        assert meta and all(e["name"] == "process_name" for e in meta)
+        spans = from_chrome_trace(chrome)
+        assert len(spans) == len(doc["spans"])
+        for got, want in zip(spans, doc["spans"]):
+            for field in ("name", "id", "parent", "pid", "tid", "attrs"):
+                assert got[field] == want[field], field
+            # Timestamps pass through a seconds -> µs -> seconds
+            # conversion; everything else must survive exactly.
+            assert got["start_s"] == pytest.approx(want["start_s"],
+                                                   abs=1e-9)
+            assert got["dur_s"] == pytest.approx(want["dur_s"], abs=1e-9)
+
+    def test_invalid_document_rejected(self):
+        with pytest.raises(DatasetError, match="not a valid obs trace"):
+            to_chrome_trace({"schema": 99})
+
+    def test_export_trace_file(self, tmp_path, monkeypatch):
+        src, doc = self._doc(tmp_path, monkeypatch)
+        dst = tmp_path / "trace.chrome.json"
+        info = export_trace_file(str(src), str(dst))
+        assert info["run"] == "export.run"
+        assert info["spans"] == len(doc["spans"])
+        chrome = json.loads(dst.read_text())
+        assert len(chrome["traceEvents"]) == info["events"]
+        assert ({s["name"] for s in from_chrome_trace(chrome)}
+                == {s["name"] for s in doc["spans"]})
 
 
 # ---------------------------------------------------------------------
