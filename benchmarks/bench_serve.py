@@ -1,0 +1,471 @@
+"""Latency/throughput benchmark for the adaptation-serving daemon.
+
+Measures the serving layer's four headline properties and writes a
+machine-readable ``BENCH_serve.json`` at the repo root:
+
+* **resident_vs_cold** — per-request adapt latency against a resident
+  daemon vs one full cold CLI invocation (``repro request --oneshot``:
+  fresh interpreter, corpus synthesis, predictor training, one
+  answer). The daemon must be at least 10x faster at p50.
+* **closed_loop** — sustained mixed load: N client threads, each
+  issuing back-to-back adapt/decide requests; p50/p95/p99 per op and
+  aggregate throughput.
+* **open_loop** — bursty load: Poisson arrivals at a fixed offered
+  rate; latency is measured from the *scheduled* arrival (queue wait
+  included), plus how many requests admission control shed.
+* **batching** — the micro-batcher's acceptance criterion: decide
+  throughput with ``max_batch=8`` must be at least 2x the
+  ``max_batch=1`` throughput under 8 concurrent clients.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+``--smoke`` is the CI mode: a small corpus, a short mixed load, a
+generous p99 budget, response bit-identity against direct in-process
+:class:`~repro.core.adaptive_cpu.AdaptiveCPU` calls, and the
+``BENCH_serve.json`` staleness guard — exits non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.metrics import METRICS
+from repro.serve import ServeClient, adapt_payload, decide_payload
+from repro.serve.server import AdaptationServer, build_server
+from repro.uarch.modes import Mode
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The keys every ``BENCH_serve.json`` section must carry, exactly —
+#: the same staleness contract ``BENCH_perf.json`` enforces: when a
+#: recorded section's keys diverge from this table the file predates
+#: the current benchmark and must be regenerated.
+SECTION_KEYS: dict[str, frozenset] = {
+    "resident_vs_cold": frozenset({
+        "requests", "resident_p50_ms", "resident_p95_ms",
+        "cold_oneshot_s", "cold_trials", "speedup"}),
+    "closed_loop": frozenset({
+        "clients", "requests", "throughput_rps", "adapt_p50_ms",
+        "adapt_p95_ms", "adapt_p99_ms", "decide_p50_ms",
+        "decide_p95_ms", "decide_p99_ms"}),
+    "open_loop": frozenset({
+        "arrival_rate_rps", "duration_s", "offered", "completed",
+        "shed", "p50_ms", "p95_ms", "p99_ms"}),
+    "batching": frozenset({
+        "clients", "requests_per_client", "batch1_throughput_rps",
+        "batch8_throughput_rps", "speedup", "batch1_mean",
+        "batch8_mean"}),
+}
+
+
+def _merge_bench_doc(output: Path | None, sections: dict) -> Path:
+    output = output or (REPO_ROOT / "BENCH_serve.json")
+    doc = {"schema": 1}
+    if output.exists():
+        doc = json.loads(output.read_text())
+    doc.update(sections)
+    output.write_text(json.dumps(doc, indent=2) + "\n")
+    return output
+
+
+def check_recorded_sections(path: Path) -> list[str]:
+    """Key-diffs between a recorded ``BENCH_serve.json`` and this file."""
+    problems = []
+    if not path.exists():
+        return problems
+    doc = json.loads(path.read_text())
+    for section, keys in SECTION_KEYS.items():
+        recorded = doc.get(section)
+        if recorded is None:
+            continue
+        got = frozenset(recorded)
+        if got != keys:
+            problems.append(
+                f"section {section!r}: recorded keys {sorted(got)} != "
+                f"expected {sorted(keys)} — regenerate BENCH_serve.json"
+            )
+    return problems
+
+
+def _pctl(latencies_s: list[float], q: float) -> float:
+    """Percentile in milliseconds."""
+    return float(np.percentile(np.asarray(latencies_s), q) * 1e3)
+
+
+def _sock_path() -> str:
+    return os.path.join(tempfile.mkdtemp(prefix="repro_serve_"),
+                        "serve.sock")
+
+
+def _start(predictor: str, corpus: dict, **knobs) -> AdaptationServer:
+    server = build_server(_sock_path(), predictor_kind=predictor,
+                          **corpus, **knobs)
+    server.start()
+    return server
+
+
+def _stop(server: AdaptationServer) -> None:
+    server.request_stop()
+    server.serve_forever()
+
+
+def _decide_window(server: AdaptationServer, rows: int = 16,
+                   seed: int = 5) -> list[list[float]]:
+    width = len(server.cpu.predictor.counter_ids)
+    return np.random.default_rng(seed).random((rows, width)).tolist()
+
+
+# ---------------------------------------------------------------------
+# Sections.
+# ---------------------------------------------------------------------
+def bench_resident_vs_cold(server: AdaptationServer, requests: int,
+                           corpus: dict, cold_trials: int) -> dict:
+    """Resident per-request adapt latency vs one cold CLI invocation."""
+    latencies = []
+    with ServeClient(server.address) as client:
+        client.adapt(0)  # warm the interval-model LRU, as a daemon is
+        for i in range(requests):
+            start = time.perf_counter()
+            client.adapt(i % len(server.traces))
+            latencies.append(time.perf_counter() - start)
+    cold_best = float("inf")
+    cmd = [sys.executable, "-m", "repro", "request", "--oneshot",
+           "--predictor", "forest", "--trace-index", "0",
+           "--apps", str(corpus["n_apps"]),
+           "--workloads-per-app", str(corpus["workloads_per_app"]),
+           "--intervals", str(corpus["intervals"])]
+    env = {**os.environ,
+           "PYTHONPATH": str(REPO_ROOT / "src")}
+    for _ in range(cold_trials):
+        start = time.perf_counter()
+        proc = subprocess.run(cmd, env=env, capture_output=True,
+                              text=True)
+        elapsed = time.perf_counter() - start
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"cold oneshot failed:\n{proc.stderr[-2000:]}"
+            )
+        cold_best = min(cold_best, elapsed)
+    p50 = _pctl(latencies, 50)
+    speedup = cold_best * 1e3 / p50
+    print(f"resident adapt p50 {p50:.2f}ms vs cold oneshot "
+          f"{cold_best:.2f}s ({speedup:.0f}x)")
+    return {
+        "requests": requests,
+        "resident_p50_ms": round(p50, 3),
+        "resident_p95_ms": round(_pctl(latencies, 95), 3),
+        "cold_oneshot_s": round(cold_best, 3),
+        "cold_trials": cold_trials,
+        "speedup": round(speedup, 1),
+    }
+
+
+def bench_closed_loop(server: AdaptationServer, clients: int,
+                      requests_per_client: int) -> dict:
+    """Sustained mixed adapt/decide load from N closed-loop clients."""
+    window = _decide_window(server)
+    n_traces = len(server.traces)
+    adapt_lat: list[float] = []
+    decide_lat: list[float] = []
+    lock = threading.Lock()
+
+    def worker(cid: int) -> None:
+        with ServeClient(server.address, tenant=f"t{cid % 4}") as c:
+            for i in range(requests_per_client):
+                start = time.perf_counter()
+                # Deterministic 1-in-4 adapt / 3-in-4 decide mix.
+                if (cid + i) % 4 == 0:
+                    c.adapt((cid + i) % n_traces, budget_ms=100.0)
+                    bucket = adapt_lat
+                else:
+                    c.decide(Mode.LOW_POWER.value, window,
+                             budget_ms=50.0)
+                    bucket = decide_lat
+                elapsed = time.perf_counter() - start
+                with lock:
+                    bucket.append(elapsed)
+
+    threads = [threading.Thread(target=worker, args=(cid,))
+               for cid in range(clients)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - start
+    total = clients * requests_per_client
+    print(f"closed loop: {total} reqs / {clients} clients in "
+          f"{wall:.2f}s ({total / wall:.0f} rps)")
+    return {
+        "clients": clients,
+        "requests": total,
+        "throughput_rps": round(total / wall, 1),
+        "adapt_p50_ms": round(_pctl(adapt_lat, 50), 3),
+        "adapt_p95_ms": round(_pctl(adapt_lat, 95), 3),
+        "adapt_p99_ms": round(_pctl(adapt_lat, 99), 3),
+        "decide_p50_ms": round(_pctl(decide_lat, 50), 3),
+        "decide_p95_ms": round(_pctl(decide_lat, 95), 3),
+        "decide_p99_ms": round(_pctl(decide_lat, 99), 3),
+    }
+
+
+def bench_open_loop(server: AdaptationServer, rate_rps: float,
+                    duration_s: float, workers: int = 16,
+                    seed: int = 17) -> dict:
+    """Bursty Poisson arrivals at a fixed offered rate.
+
+    Latency is measured from each request's *scheduled* arrival time,
+    so a backlog shows up as latency (the open-loop property closed
+    loops hide). ``shed`` counts typed busy responses.
+    """
+    from repro.errors import BusyError
+
+    rng = np.random.default_rng(seed)
+    arrivals = []
+    t = 0.0
+    while t < duration_s:
+        t += float(rng.exponential(1.0 / rate_rps))
+        if t < duration_s:
+            arrivals.append(t)
+    window = _decide_window(server)
+    n_traces = len(server.traces)
+    latencies: list[float] = []
+    shed = [0]
+    lock = threading.Lock()
+    queue: list[tuple[float, int]] = [(a, i)
+                                      for i, a in enumerate(arrivals)]
+    queue.reverse()  # pop() from the front of the schedule
+    epoch = time.perf_counter()
+
+    def worker() -> None:
+        with ServeClient(server.address) as c:
+            while True:
+                with lock:
+                    if not queue:
+                        return
+                    scheduled, i = queue.pop()
+                delay = (epoch + scheduled) - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    if i % 4 == 0:
+                        c.adapt(i % n_traces)
+                    else:
+                        c.decide(Mode.LOW_POWER.value, window)
+                except BusyError:
+                    with lock:
+                        shed[0] += 1
+                    continue
+                done = time.perf_counter()
+                with lock:
+                    latencies.append(done - (epoch + scheduled))
+
+    threads = [threading.Thread(target=worker) for _ in range(workers)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    print(f"open loop: offered {len(arrivals)} @ {rate_rps:.0f} rps, "
+          f"completed {len(latencies)}, shed {shed[0]}, "
+          f"p99 {_pctl(latencies, 99):.1f}ms")
+    return {
+        "arrival_rate_rps": rate_rps,
+        "duration_s": duration_s,
+        "offered": len(arrivals),
+        "completed": len(latencies),
+        "shed": shed[0],
+        "p50_ms": round(_pctl(latencies, 50), 3),
+        "p95_ms": round(_pctl(latencies, 95), 3),
+        "p99_ms": round(_pctl(latencies, 99), 3),
+    }
+
+
+def bench_batching(corpus: dict, clients: int,
+                   requests_per_client: int) -> dict:
+    """Decide throughput, ``max_batch=8`` vs ``max_batch=1``.
+
+    Same daemon configuration, same offered concurrency; the only
+    difference is whether the micro-batcher may coalesce. Batch-size
+    means come from METRICS histogram deltas (the registry is
+    process-global, so absolute values would mix trials).
+    """
+    def trial(max_batch: int) -> tuple[float, float]:
+        server = _start("forest", corpus, max_batch=max_batch,
+                        max_wait_us=2000)
+        window = _decide_window(server)
+        with ServeClient(server.address) as c:
+            c.decide(Mode.LOW_POWER.value, window)  # warm
+        before = dict(METRICS.snapshot()["histograms"].get(
+            "serve.batch_size", {"count": 0, "total": 0.0}))
+
+        def worker() -> None:
+            with ServeClient(server.address) as c:
+                for _ in range(requests_per_client):
+                    c.decide(Mode.LOW_POWER.value, window)
+
+        threads = [threading.Thread(target=worker)
+                   for _ in range(clients)]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - start
+        after = METRICS.snapshot()["histograms"]["serve.batch_size"]
+        batches = after["count"] - before.get("count", 0)
+        items = after["total"] - before.get("total", 0.0)
+        mean = items / batches if batches else 0.0
+        _stop(server)
+        return clients * requests_per_client / wall, mean
+
+    tput1, mean1 = trial(1)
+    tput8, mean8 = trial(8)
+    speedup = tput1 and tput8 / tput1
+    print(f"batching: batch=1 {tput1:.0f} rps, batch=8 {tput8:.0f} rps "
+          f"({speedup:.2f}x, mean batch {mean8:.2f})")
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "batch1_throughput_rps": round(tput1, 1),
+        "batch8_throughput_rps": round(tput8, 1),
+        "speedup": round(speedup, 3),
+        "batch1_mean": round(mean1, 3),
+        "batch8_mean": round(mean8, 3),
+    }
+
+
+# ---------------------------------------------------------------------
+# Bit-identity: the daemon's answers vs direct in-process calls.
+# ---------------------------------------------------------------------
+def check_bit_identity(server: AdaptationServer) -> None:
+    """Daemon responses must equal the direct-call projections exactly."""
+    window = _decide_window(server, rows=9, seed=29)
+    with ServeClient(server.address) as client:
+        for index in range(min(4, len(server.traces))):
+            served = client.adapt(index)["result"]
+            direct = adapt_payload(server.cpu.run(server.traces[index]))
+            assert served == direct, (
+                f"adapt response diverged from direct run for trace "
+                f"{index}: {served} != {direct}"
+            )
+        for mode in Mode:
+            served = client.decide(mode.value, window)
+            probs = server.cpu.predictor.predict_proba(
+                np.asarray(window, dtype=np.float64), mode)
+            threshold = server.cpu.predictor.model_for(
+                mode).decision_threshold
+            direct = decide_payload(probs, threshold)
+            for key in ("probs", "decisions", "digest"):
+                assert served[key] == direct[key], (
+                    f"decide {key} diverged in mode {mode.value}"
+                )
+    print("bit-identity: daemon == direct AdaptiveCPU (ok)")
+
+
+# ---------------------------------------------------------------------
+# Entry points.
+# ---------------------------------------------------------------------
+def run_full(args: argparse.Namespace) -> int:
+    corpus = {"n_apps": args.apps,
+              "workloads_per_app": args.workloads_per_app,
+              "intervals": args.intervals}
+    sections: dict = {}
+    server = _start("forest", corpus)
+    try:
+        check_bit_identity(server)
+        sections["resident_vs_cold"] = bench_resident_vs_cold(
+            server, requests=40, corpus=corpus, cold_trials=2)
+        sections["closed_loop"] = bench_closed_loop(
+            server, clients=8, requests_per_client=40)
+        sections["open_loop"] = bench_open_loop(
+            server, rate_rps=150.0, duration_s=4.0)
+    finally:
+        _stop(server)
+    sections["batching"] = bench_batching(
+        corpus, clients=8, requests_per_client=60)
+
+    failures = []
+    if sections["resident_vs_cold"]["speedup"] < 10.0:
+        failures.append(
+            f"resident p50 only "
+            f"{sections['resident_vs_cold']['speedup']}x faster than "
+            f"cold start (need >= 10x)"
+        )
+    if sections["batching"]["speedup"] < 2.0:
+        failures.append(
+            f"batched throughput only "
+            f"{sections['batching']['speedup']}x over batch=1 "
+            f"(need >= 2x)"
+        )
+    out = _merge_bench_doc(args.output, sections)
+    print(f"wrote {out}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+def run_smoke(args: argparse.Namespace) -> int:
+    """CI smoke: staleness guard, mixed load under a p99 budget,
+    bit-identity, clean shutdown."""
+    problems = check_recorded_sections(
+        args.output or (REPO_ROOT / "BENCH_serve.json"))
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if problems:
+        return 1
+    corpus = {"n_apps": 4, "workloads_per_app": 1, "intervals": 64}
+    server = _start("forest", corpus)
+    try:
+        check_bit_identity(server)
+        closed = bench_closed_loop(server, clients=4,
+                                   requests_per_client=10)
+        budget_ms = args.p99_budget_ms
+        for key in ("adapt_p99_ms", "decide_p99_ms"):
+            if closed[key] > budget_ms:
+                print(f"FAIL: {key} {closed[key]}ms exceeds the "
+                      f"{budget_ms}ms smoke budget")
+                return 1
+    finally:
+        _stop(server)
+    import multiprocessing
+    leaked = multiprocessing.active_children()
+    if leaked:
+        print(f"FAIL: {len(leaked)} worker process(es) leaked")
+        return 1
+    print("serve smoke ok")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: short mixed load, generous p99 "
+                             "budget, bit-identity, staleness guard")
+    parser.add_argument("--apps", type=int, default=8)
+    parser.add_argument("--workloads-per-app", type=int, default=2)
+    parser.add_argument("--intervals", type=int, default=96)
+    parser.add_argument("--p99-budget-ms", type=float, default=2000.0,
+                        help="smoke-mode p99 latency budget")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="bench JSON path "
+                             "(default: BENCH_serve.json)")
+    args = parser.parse_args()
+    if args.smoke:
+        return run_smoke(args)
+    return run_full(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -201,6 +201,57 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import build_server
+    server = build_server(
+        args.socket, predictor_kind=args.predictor,
+        n_apps=args.apps, workloads_per_app=args.workloads_per_app,
+        intervals=args.intervals, seed=_seed(args))
+    server.install_signal_handlers()
+    server.start()
+    print(f"serving {len(server.traces)} traces with "
+          f"{server.cpu.predictor.name} on {server.address} "
+          f"(batch<={server.max_batch}, wait {server.max_wait_us}us, "
+          f"queue<={server.queue_bound})", flush=True)
+    server.serve_forever()
+    return 0
+
+
+def cmd_request(args: argparse.Namespace) -> int:
+    import json
+    if args.oneshot:
+        # Cold-start reference: answer one adapt request in-process,
+        # paying the full corpus + predictor startup per invocation —
+        # the bill the resident daemon amortises away.
+        from repro.core.adaptive_cpu import AdaptiveCPU
+        from repro.serve import const_predictor, quick_forest_predictor
+        from repro.serve import serving_corpus
+        from repro.serve.protocol import adapt_payload
+        traces = serving_corpus(args.apps, args.workloads_per_app,
+                                args.intervals, _seed(args))
+        predictor = (const_predictor() if args.predictor == "const"
+                     else quick_forest_predictor(traces))
+        cpu = AdaptiveCPU(predictor)
+        result = adapt_payload(cpu.run(traces[args.trace_index]))
+        print(json.dumps({"ok": True, "op": "adapt", "tier": "interval",
+                          "result": result}, indent=2))
+        return 0
+    from repro.serve import ServeClient
+    with ServeClient(args.socket, tenant=args.tenant) as client:
+        if args.op == "ping":
+            response: dict = {"ok": client.ping(), "op": "ping"}
+        elif args.op == "stats":
+            response = {"ok": True, "op": "stats",
+                        "stats": client.stats()}
+        elif args.op == "shutdown":
+            response = client.shutdown()
+        else:
+            response = client.adapt(args.trace_index,
+                                    budget_ms=args.budget_ms)
+    print(json.dumps(response, indent=2))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.eval.summary import write_report
     path = write_report(path=args.output)
@@ -284,6 +335,66 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default=None,
                    help="output path (default: <input>.chrome.json)")
     p.set_defaults(func=cmd_obs_export_trace)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the persistent adaptation-serving daemon")
+    _add_common(p)
+    p.add_argument("--socket", default="repro_serve.sock",
+                   help="unix socket path to listen on "
+                        "(default: repro_serve.sock)")
+    p.add_argument("--predictor", default="forest",
+                   choices=["forest", "const"],
+                   help="serving model: quick-trained dual random "
+                        "forest or fixed-probability stub")
+    p.add_argument("--apps", type=int, default=8,
+                   help="applications in the serving corpus")
+    p.add_argument("--workloads-per-app", type=int, default=2,
+                   help="workloads per application")
+    p.add_argument("--intervals", type=int, default=96,
+                   help="telemetry intervals per trace")
+    p.add_argument("--serve-batch-max", type=int, default=None,
+                   dest="serve_batch_max",
+                   help="micro-batch bound (default: "
+                        "REPRO_SERVE_BATCH_MAX or 8)")
+    p.add_argument("--serve-batch-wait-us", type=int, default=None,
+                   dest="serve_batch_wait_us",
+                   help="µs to hold an under-full batch open "
+                        "(default: REPRO_SERVE_BATCH_WAIT_US or 2000)")
+    p.add_argument("--serve-queue-bound", type=int, default=None,
+                   dest="serve_queue_bound",
+                   help="admission queue bound before shedding "
+                        "(default: REPRO_SERVE_QUEUE_BOUND or 64)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "request",
+        help="send one request to a running serve daemon")
+    _add_common(p)
+    p.add_argument("--socket", default="repro_serve.sock",
+                   help="unix socket path of the daemon")
+    p.add_argument("--op", default="adapt",
+                   choices=["adapt", "ping", "stats", "shutdown"])
+    p.add_argument("--trace-index", type=int, default=0,
+                   help="corpus trace to adapt (op=adapt)")
+    p.add_argument("--tenant", default="default",
+                   help="tenant name for SLA accounting")
+    p.add_argument("--budget-ms", type=float, default=None,
+                   help="per-request latency budget in ms")
+    p.add_argument("--oneshot", action="store_true",
+                   help="answer one adapt request fully in-process "
+                        "(no daemon): the cold-start reference the "
+                        "serving benchmark compares against")
+    p.add_argument("--predictor", default="forest",
+                   choices=["forest", "const"],
+                   help="predictor for --oneshot")
+    p.add_argument("--apps", type=int, default=8,
+                   help="corpus applications for --oneshot")
+    p.add_argument("--workloads-per-app", type=int, default=2,
+                   help="corpus workloads per app for --oneshot")
+    p.add_argument("--intervals", type=int, default=96,
+                   help="corpus intervals per trace for --oneshot")
+    p.set_defaults(func=cmd_request)
 
     p = sub.add_parser("report",
                        help="assemble benchmark outputs into REPORT.md")

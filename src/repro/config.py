@@ -171,6 +171,28 @@ SURROGATE_PROBES_ENV_VAR = "REPRO_SURROGATE_PROBES"
 #: Default probe-corpus size (traces; one quarter is held out).
 DEFAULT_SURROGATE_PROBES = 32
 
+#: Environment variable bounding the serving daemon's micro-batch size:
+#: the batcher flushes as soon as this many requests are pending.
+SERVE_BATCH_MAX_ENV_VAR = "REPRO_SERVE_BATCH_MAX"
+
+#: Default micro-batch bound.
+DEFAULT_SERVE_BATCH_MAX = 8
+
+#: Environment variable setting how long (microseconds) the serving
+#: batcher holds an under-full batch open waiting for co-arrivals
+#: before flushing. ``0`` flushes batches as the executor frees up.
+SERVE_BATCH_WAIT_ENV_VAR = "REPRO_SERVE_BATCH_WAIT_US"
+
+#: Default batch hold time (µs).
+DEFAULT_SERVE_BATCH_WAIT_US = 2000
+
+#: Environment variable bounding the serving daemon's admission queue:
+#: requests beyond this depth are shed with a typed ``busy`` response.
+SERVE_QUEUE_BOUND_ENV_VAR = "REPRO_SERVE_QUEUE_BOUND"
+
+#: Default admission-queue bound.
+DEFAULT_SERVE_QUEUE_BOUND = 64
+
 
 # ---------------------------------------------------------------------
 # Raw environment parsers. Each reads exactly one knob and raises the
@@ -369,6 +391,17 @@ def _env_surrogate_probes() -> int:
     return value
 
 
+def _env_bounded_int(var: str, default: int, minimum: int) -> int:
+    raw = os.environ.get(var, str(default))
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{var} must be an int, got {raw!r}") from exc
+    if value < minimum:
+        raise ValueError(f"{var} must be >= {minimum}, got {value}")
+    return value
+
+
 #: Every environment variable :meth:`ExecConfig.from_env` consumes, in
 #: the order its memo key is built.
 EXEC_ENV_VARS = (
@@ -392,6 +425,9 @@ EXEC_ENV_VARS = (
     SURROGATE_ENV_VAR,
     SURROGATE_THRESHOLD_ENV_VAR,
     SURROGATE_PROBES_ENV_VAR,
+    SERVE_BATCH_MAX_ENV_VAR,
+    SERVE_BATCH_WAIT_ENV_VAR,
+    SERVE_QUEUE_BOUND_ENV_VAR,
 )
 
 # ``ExecConfig.from_env`` is memoized on the raw environment strings;
@@ -450,6 +486,9 @@ class ExecConfig:
     surrogate: bool = False
     surrogate_threshold: float = DEFAULT_SURROGATE_THRESHOLD
     surrogate_probes: int = DEFAULT_SURROGATE_PROBES
+    serve_batch_max: int = DEFAULT_SERVE_BATCH_MAX
+    serve_batch_wait_us: int = DEFAULT_SERVE_BATCH_WAIT_US
+    serve_queue_bound: int = DEFAULT_SERVE_QUEUE_BOUND
 
     def __post_init__(self) -> None:
         if self.backend not in EXEC_BACKENDS:
@@ -495,6 +534,20 @@ class ExecConfig:
             raise ValueError(
                 f"surrogate_probes must be >= 8, got {self.surrogate_probes}"
             )
+        if self.serve_batch_max < 1:
+            raise ValueError(
+                f"serve_batch_max must be >= 1, got {self.serve_batch_max}"
+            )
+        if self.serve_batch_wait_us < 0:
+            raise ValueError(
+                f"serve_batch_wait_us must be >= 0, "
+                f"got {self.serve_batch_wait_us}"
+            )
+        if self.serve_queue_bound < 1:
+            raise ValueError(
+                f"serve_queue_bound must be >= 1, "
+                f"got {self.serve_queue_bound}"
+            )
 
     # ------------------------------------------------------------------
     # Construction.
@@ -535,6 +588,12 @@ class ExecConfig:
             surrogate=_env_flag(SURROGATE_ENV_VAR, "0"),
             surrogate_threshold=_env_surrogate_threshold(),
             surrogate_probes=_env_surrogate_probes(),
+            serve_batch_max=_env_bounded_int(
+                SERVE_BATCH_MAX_ENV_VAR, DEFAULT_SERVE_BATCH_MAX, 1),
+            serve_batch_wait_us=_env_bounded_int(
+                SERVE_BATCH_WAIT_ENV_VAR, DEFAULT_SERVE_BATCH_WAIT_US, 0),
+            serve_queue_bound=_env_bounded_int(
+                SERVE_QUEUE_BOUND_ENV_VAR, DEFAULT_SERVE_QUEUE_BOUND, 1),
         )
         _FROM_ENV_CACHE = (key, config)
         return config
@@ -557,7 +616,10 @@ class ExecConfig:
                             ("fault_spec", "fault_spec"),
                             ("trace", "trace"),
                             ("surrogate_threshold", "surrogate_threshold"),
-                            ("surrogate_probes", "surrogate_probes")):
+                            ("surrogate_probes", "surrogate_probes"),
+                            ("serve_batch_max", "serve_batch_max"),
+                            ("serve_batch_wait_us", "serve_batch_wait_us"),
+                            ("serve_queue_bound", "serve_queue_bound")):
             value = getattr(args, attr, None)
             if value is not None:
                 updates[field] = value
@@ -614,6 +676,9 @@ class ExecConfig:
             SURROGATE_ENV_VAR: "1" if self.surrogate else "0",
             SURROGATE_THRESHOLD_ENV_VAR: repr(self.surrogate_threshold),
             SURROGATE_PROBES_ENV_VAR: str(self.surrogate_probes),
+            SERVE_BATCH_MAX_ENV_VAR: str(self.serve_batch_max),
+            SERVE_BATCH_WAIT_ENV_VAR: str(self.serve_batch_wait_us),
+            SERVE_QUEUE_BOUND_ENV_VAR: str(self.serve_queue_bound),
         }
 
     def apply_env(self) -> None:
@@ -755,6 +820,21 @@ def surrogate_probes() -> int:
     """Probe-corpus size for surrogate training
     (``REPRO_SURROGATE_PROBES``)."""
     return active_exec_config().surrogate_probes
+
+
+def serve_batch_max() -> int:
+    """Serving micro-batch bound (``REPRO_SERVE_BATCH_MAX``)."""
+    return active_exec_config().serve_batch_max
+
+
+def serve_batch_wait_us() -> int:
+    """Serving batch hold time in µs (``REPRO_SERVE_BATCH_WAIT_US``)."""
+    return active_exec_config().serve_batch_wait_us
+
+
+def serve_queue_bound() -> int:
+    """Serving admission-queue bound (``REPRO_SERVE_QUEUE_BOUND``)."""
+    return active_exec_config().serve_queue_bound
 
 
 def exec_chunk_size() -> int | None:

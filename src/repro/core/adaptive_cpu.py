@@ -131,6 +131,54 @@ class AdaptiveCPU:
         self.controller = GatingController(predictor, self.machine,
                                            horizon=horizon)
         self.horizon = horizon
+        self._resident_arena: TraceArena | None = None
+        self._resident_index: dict[int, int] = {}
+
+    def __getstate__(self) -> dict:
+        """Drop the resident arena from pickled copies.
+
+        The CPU itself travels inside arena segments and process-pool
+        payloads; an open mmap handle is unpicklable and meaningless in
+        a worker (workers attach by handle string instead).
+        """
+        state = self.__dict__.copy()
+        state["_resident_arena"] = None
+        state["_resident_index"] = {}
+        return state
+
+    # ------------------------------------------------------------------
+    # Daemon-lifetime resident arena (repro.serve).
+    # ------------------------------------------------------------------
+    def install_resident_arena(self,
+                               traces: list[TraceSpec]) -> TraceArena | None:
+        """Build one long-lived :class:`TraceArena` over ``traces``.
+
+        A batch CLI run builds and tears down an arena per
+        ``run_many`` call; a serving daemon answers thousands of small
+        batches over the *same* resident corpus, so it packs the
+        corpus (and this CPU) once and every subsequent process-backend
+        fan-out ships only arena indices. Returns ``None`` (and falls
+        back to per-call packaging) when the corpus holds unpicklable
+        collaborators. The caller owns the lifetime:
+        :meth:`close_resident_arena` on shutdown.
+        """
+        self.close_resident_arena()
+        try:
+            arena = TraceArena.build(traces, objects={"cpu": self},
+                                     machine=self.machine)
+        except (pickle.PicklingError, AttributeError, TypeError):
+            EXEC_STATS.incr("arena.build_fallback")
+            return None
+        self._resident_arena = arena
+        self._resident_index = {id(t): i for i, t in enumerate(traces)}
+        return arena
+
+    def close_resident_arena(self) -> None:
+        """Unmap and forget the resident arena (idempotent)."""
+        if self._resident_arena is not None:
+            self._resident_arena.close()
+        self._resident_arena = None
+        self._resident_index = {}
 
     def _prepare(self, trace: TraceSpec) -> _PreparedRun:
         """Simulation, telemetry, labels and energy for one trace."""
@@ -313,6 +361,23 @@ class AdaptiveCPU:
         are bit-identical either way.
         """
         arena = None
+        if (self._resident_arena is not None
+                and pmap.uses_processes(len(traces), "adaptive_prepare")):
+            indices = [self._resident_index.get(id(t)) for t in traces]
+            if all(i is not None for i in indices):
+                # Serving hot path: the daemon's corpus already lives in
+                # the resident arena, so fan out bare indices — no
+                # per-request arena build or teardown.
+                EXEC_STATS.incr("arena.resident_reuse")
+                fn = functools.partial(_arena_prepare_chunk,
+                                       self._resident_arena.handle)
+                try:
+                    return pmap.map_chunks(fn, indices,
+                                           stage="adaptive_prepare")
+                except ArenaIntegrityError:
+                    EXEC_STATS.incr("arena.attach_fallback")
+                    return pmap.map_chunks(self._prepare_chunk, traces,
+                                           stage="adaptive_prepare")
         if (exec_arena_enabled() and len(traces) > 1
                 and pmap.uses_processes(len(traces), "adaptive_prepare")):
             try:

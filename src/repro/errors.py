@@ -62,3 +62,27 @@ class ResultIntegrityError(ExecFaultError):
     mismatches. The dispatcher quarantines the segment and retries the
     chunk over pickled returns, so corruption costs throughput, never
     correctness."""
+
+
+class ServeError(ReproError):
+    """Base class for adaptation-serving (``repro.serve``) failures."""
+
+
+class ProtocolError(ServeError):
+    """A serve-protocol frame was malformed, oversized or truncated."""
+
+
+class BusyError(ServeError):
+    """Admission control shed a request: the serve queue is full.
+
+    Carries ``queue_depth`` so clients (and the typed busy response)
+    can report how deep the backlog was at shed time.
+    """
+
+    def __init__(self, message: str, queue_depth: int = 0) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+
+
+class ServeClosedError(ServeError):
+    """A request reached a daemon that is shutting down (or shut)."""

@@ -89,6 +89,23 @@ def render_report(metrics: Metrics | None = None) -> str:
         for name, value in resilience.items():
             lines.append(f"  {name:<30s} {value}")
 
+    requests = snap["counters"].get("serve.requests", 0)
+    if requests:
+        batches = snap["counters"].get("serve.batches", 0)
+        shed = snap["counters"].get("serve.shed", 0)
+        full = snap["counters"].get("serve.flush_full", 0)
+        wait = snap["counters"].get("serve.flush_wait", 0)
+        lines.append(
+            f"serving: {requests} requests, {batches} batches "
+            f"(flush: {full} full / {wait} timed), {shed} shed")
+        latency = snap["histograms"].get("serve.queue_latency_s")
+        if latency and latency["count"]:
+            lines.append(
+                f"  {'request latency':<26s} mean="
+                f"{latency['mean'] * 1e3:.2f}ms "
+                f"max={latency['max'] * 1e3:.2f}ms "
+                f"(n={latency['count']})")
+
     if snap["histograms"]:
         lines.append("batch shapes:")
         for name, h in snap["histograms"].items():

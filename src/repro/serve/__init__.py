@@ -1,0 +1,39 @@
+"""Adaptation-as-a-service: the persistent serving daemon.
+
+Everything the paper's pipeline computes per invocation —
+corpus synthesis, predictor training, worker-pool spin-up, arena
+packing — is paid once here, at daemon startup; requests then ride
+the resident state. See :mod:`repro.serve.server` for the request
+lifecycle and :mod:`repro.serve.protocol` for the wire format.
+"""
+
+from repro.serve.admission import TenantLedger, busy_response
+from repro.serve.batcher import MicroBatcher
+from repro.serve.client import ServeClient, wait_until_ready
+from repro.serve.protocol import BATCHED_OPS, MAX_FRAME_BYTES, OPS
+from repro.serve.protocol import adapt_payload, decide_payload
+from repro.serve.protocol import encode_frame, recv_frame, send_frame
+from repro.serve.server import AdaptationServer, build_server
+from repro.serve.server import const_predictor, quick_forest_predictor
+from repro.serve.server import serving_corpus
+
+__all__ = [
+    "AdaptationServer",
+    "BATCHED_OPS",
+    "MAX_FRAME_BYTES",
+    "MicroBatcher",
+    "OPS",
+    "ServeClient",
+    "TenantLedger",
+    "adapt_payload",
+    "build_server",
+    "busy_response",
+    "const_predictor",
+    "decide_payload",
+    "encode_frame",
+    "quick_forest_predictor",
+    "recv_frame",
+    "send_frame",
+    "serving_corpus",
+    "wait_until_ready",
+]

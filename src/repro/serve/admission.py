@@ -1,0 +1,98 @@
+"""Admission control and per-tenant SLA budgets for the daemon.
+
+Two pieces of back-pressure policy, both deliberately tiny:
+
+* :class:`TenantLedger` — one :class:`~repro.core.sla.RollingSLA`
+  window per tenant, fed with (service latency, latency budget) pairs
+  as responses complete. The batcher orders pending requests by
+  descending :meth:`TenantLedger.pressure`, so the tenant nearest its
+  SLA violation budget drains first — the same accounting the paper's
+  system-level SLA check uses, pointed at request latency instead of
+  windowed IPC.
+* Queue-bound admission lives in the batcher itself (it owns the
+  queue); it raises :class:`~repro.errors.BusyError`, which the server
+  maps to the typed ``busy`` response. This module just supplies the
+  response shape so server and client agree on it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.sla import RollingSLA
+
+#: Default per-tenant latency budget when a request names none.
+DEFAULT_BUDGET_MS = 50.0
+
+#: Observations per tenant SLA window. Small enough to adapt within a
+#: burst, large enough that one slow request cannot flip priorities.
+TENANT_WINDOW = 64
+
+#: Fraction of a tenant's window allowed to violate its budget before
+#: pressure reaches 1.0 (mirrors the paper's 99% window guarantee).
+TENANT_GUARANTEE = 0.99
+
+
+def busy_response(request_id: object, queue_depth: int,
+                  queue_bound: int) -> dict:
+    """The typed shed response admission control returns under load."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": "busy",
+        "queue_depth": queue_depth,
+        "queue_bound": queue_bound,
+        "retry": True,
+    }
+
+
+class TenantLedger:
+    """Per-tenant rolling latency-SLA accounting.
+
+    Thread-safe: connection handlers record completions while the
+    batcher thread reads pressures to order the next batch.
+    """
+
+    def __init__(self, default_budget_ms: float = DEFAULT_BUDGET_MS,
+                 window: int = TENANT_WINDOW,
+                 guarantee: float = TENANT_GUARANTEE) -> None:
+        self.default_budget_ms = default_budget_ms
+        self.window = window
+        self.guarantee = guarantee
+        self._lock = threading.Lock()
+        self._tenants: dict[str, RollingSLA] = {}
+
+    def _window_for(self, tenant: str) -> RollingSLA:
+        sla = self._tenants.get(tenant)
+        if sla is None:
+            sla = RollingSLA(self.window, performance_floor=1.0,
+                             guarantee=self.guarantee)
+            self._tenants[tenant] = sla
+        return sla
+
+    def record(self, tenant: str, latency_s: float,
+               budget_ms: float | None = None) -> None:
+        """Account one served request against the tenant's budget."""
+        budget_s = (budget_ms if budget_ms is not None
+                    else self.default_budget_ms) / 1e3
+        with self._lock:
+            self._window_for(tenant).observe(latency_s, budget_s)
+
+    def pressure(self, tenant: str) -> float:
+        """Current SLA pressure of a tenant (0.0 when unseen)."""
+        with self._lock:
+            sla = self._tenants.get(tenant)
+            return sla.pressure() if sla is not None else 0.0
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-tenant accounting for the ``stats`` op."""
+        with self._lock:
+            out = {}
+            for tenant, sla in self._tenants.items():
+                acct = sla.accounting()
+                out[tenant] = {
+                    "observations": acct.n_windows,
+                    "violations": acct.n_violations,
+                    "pressure": round(sla.pressure(), 4),
+                }
+            return out

@@ -1,0 +1,203 @@
+"""Adaptive request micro-batcher.
+
+The daemon's hot-path perf lever: concurrent requests arriving within
+a short window are coalesced into one batch and executed together, so
+the expensive per-call costs (one ``predict_proba`` per model, one
+stacked ``simulate_batch``, one pass of batcher/scheduler overhead)
+amortise across requests instead of being paid per request.
+
+Flush policy — whichever comes first:
+
+* the pending queue reaches ``max_batch`` (counter
+  ``serve.flush_full``), or
+* ``max_wait_us`` has elapsed since the *oldest* pending request was
+  enqueued (``serve.flush_wait``).
+
+``max_wait_us=0`` degenerates to batch-as-available: the batcher takes
+whatever is queued the moment it becomes free, which under concurrency
+still forms multi-request batches without adding idle latency.
+
+Admission control: :meth:`MicroBatcher.submit` sheds with a typed
+:class:`~repro.errors.BusyError` when the queue is at ``queue_bound``
+— callers translate it into the ``busy`` wire response instead of
+letting the backlog (and every queued request's latency) grow without
+bound.
+
+Priority: when a :class:`~repro.serve.admission.TenantLedger` is
+attached, each flush drains pending requests in descending tenant SLA
+pressure (ties broken FIFO), so tenants nearest their latency budget
+are served first.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Sequence
+
+from repro.errors import BusyError, ServeClosedError
+from repro.obs.metrics import METRICS
+from repro.serve.admission import TenantLedger
+
+
+class _Pending:
+    """One enqueued request waiting for its batch to execute."""
+
+    __slots__ = ("item", "tenant", "seq", "enqueued", "event",
+                 "response", "error")
+
+    def __init__(self, item: object, tenant: str, seq: int) -> None:
+        self.item = item
+        self.tenant = tenant
+        self.seq = seq
+        self.enqueued = time.monotonic()
+        self.event = threading.Event()
+        self.response: object = None
+        self.error: BaseException | None = None
+
+
+class MicroBatcher:
+    """Coalesce concurrent submissions into bounded ordered batches.
+
+    ``execute`` receives a list of submitted items and must return one
+    result per item, in order — the contract under which batching is
+    invisible to correctness (the server's executors are row-wise /
+    per-trace, so any grouping returns identical bits).
+    """
+
+    def __init__(self, execute: Callable[[Sequence], list],
+                 max_batch: int, max_wait_us: int, queue_bound: int,
+                 ledger: TenantLedger | None = None) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_us < 0:
+            raise ValueError(
+                f"max_wait_us must be >= 0, got {max_wait_us}"
+            )
+        if queue_bound < 1:
+            raise ValueError(
+                f"queue_bound must be >= 1, got {queue_bound}"
+            )
+        self._execute = execute
+        self.max_batch = max_batch
+        self.max_wait_us = max_wait_us
+        self.queue_bound = queue_bound
+        self.ledger = ledger
+        self._cv = threading.Condition()
+        self._queue: list[_Pending] = []
+        self._seq = 0
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-serve-batcher", daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Producer side (connection handler threads).
+    # ------------------------------------------------------------------
+    def submit(self, item: object, tenant: str = "default") -> object:
+        """Enqueue one item and block until its batch has executed.
+
+        Raises :class:`BusyError` (admission shed) when the queue is
+        full and :class:`ServeClosedError` once the batcher is closed.
+        Re-raises the executor's exception if the batch failed.
+        """
+        with self._cv:
+            if self._closed:
+                raise ServeClosedError("batcher is closed")
+            depth = len(self._queue)
+            if depth >= self.queue_bound:
+                METRICS.incr("serve.shed")
+                raise BusyError(
+                    f"serve queue full ({depth}/{self.queue_bound})",
+                    queue_depth=depth,
+                )
+            self._seq += 1
+            pending = _Pending(item, tenant, self._seq)
+            self._queue.append(pending)
+            self._cv.notify_all()
+        pending.event.wait()
+        if pending.error is not None:
+            raise pending.error
+        return pending.response
+
+    def depth(self) -> int:
+        """Current queue depth (requests admitted, not yet batched)."""
+        with self._cv:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Consumer side (the single batcher thread).
+    # ------------------------------------------------------------------
+    def _take_batch(self) -> list[_Pending] | None:
+        """Block until a flush condition holds; None on drained close."""
+        with self._cv:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._cv.wait()
+            deadline = self._queue[0].enqueued + self.max_wait_us / 1e6
+            while (len(self._queue) < self.max_batch
+                    and not self._closed):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cv.wait(timeout=remaining)
+            if len(self._queue) >= self.max_batch:
+                METRICS.incr("serve.flush_full")
+            else:
+                METRICS.incr("serve.flush_wait")
+            if self.ledger is not None and len(self._queue) > 1:
+                pressures = {
+                    tenant: self.ledger.pressure(tenant)
+                    for tenant in {p.tenant for p in self._queue}
+                }
+                self._queue.sort(
+                    key=lambda p: (-pressures[p.tenant], p.seq))
+            batch = self._queue[:self.max_batch]
+            del self._queue[:self.max_batch]
+            return batch
+
+    def _loop(self) -> None:
+        while True:
+            batch = self._take_batch()
+            if batch is None:
+                return
+            METRICS.observe("serve.batch_size", len(batch))
+            METRICS.incr("serve.batches")
+            start = time.perf_counter()
+            try:
+                results = self._execute([p.item for p in batch])
+                if len(results) != len(batch):
+                    raise ServeClosedError(
+                        f"executor returned {len(results)} results for "
+                        f"{len(batch)} items"
+                    )
+            except BaseException as exc:  # delivered, not swallowed
+                for pending in batch:
+                    pending.error = exc
+                    pending.event.set()
+                continue
+            METRICS.add_time("serve.execute",
+                             time.perf_counter() - start)
+            done = time.monotonic()
+            for pending, result in zip(batch, results):
+                pending.response = result
+                latency = done - pending.enqueued
+                METRICS.observe("serve.queue_latency_s", latency)
+                if self.ledger is not None:
+                    budget_ms = None
+                    if isinstance(pending.item, dict):
+                        budget_ms = pending.item.get("budget_ms")
+                    self.ledger.record(pending.tenant, latency,
+                                       budget_ms)
+                pending.event.set()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting work, drain the queue, join the thread."""
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            self._cv.notify_all()
+        self._thread.join(timeout=30.0)

@@ -1,0 +1,133 @@
+"""Blocking client for the adaptation-serving daemon.
+
+One :class:`ServeClient` wraps one connection; requests are
+synchronous (send one frame, read one frame). Concurrency — the thing
+that exercises the daemon's micro-batcher — comes from many clients,
+one per thread, as in ``benchmarks/bench_serve.py``.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import numpy as np
+
+from repro.errors import BusyError, ProtocolError, ServeError
+from repro.serve.protocol import recv_frame, send_frame
+
+
+class ServeClient:
+    """One connection to an :class:`~repro.serve.server.AdaptationServer`.
+
+    ``address`` mirrors the server's: a filesystem path (AF_UNIX) or a
+    ``(host, port)`` tuple (AF_INET).
+    """
+
+    def __init__(self, address: str | tuple[str, int],
+                 tenant: str = "default",
+                 timeout_s: float | None = 30.0) -> None:
+        self.address = address
+        self.tenant = tenant
+        if isinstance(address, tuple):
+            self._sock = socket.create_connection(
+                tuple(address), timeout=timeout_s)
+        else:
+            self._sock = socket.socket(socket.AF_UNIX,
+                                       socket.SOCK_STREAM)
+            self._sock.settimeout(timeout_s)
+            self._sock.connect(address)
+        self._next_id = 0
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """Send one request frame and return the raw response dict.
+
+        Raises :class:`BusyError` on an admission shed (the typed
+        ``busy`` response — the caller decides whether to retry) and
+        :class:`ServeError` on any other error response.
+        """
+        self._next_id += 1
+        payload = {"id": self._next_id, "tenant": self.tenant, **payload}
+        send_frame(self._sock, payload)
+        response = recv_frame(self._sock)
+        if response is None:
+            raise ProtocolError("server closed the connection")
+        if response.get("ok"):
+            return response
+        error = response.get("error")
+        if error == "busy":
+            raise BusyError(
+                f"server busy (queue "
+                f"{response.get('queue_depth')}/"
+                f"{response.get('queue_bound')})",
+                queue_depth=int(response.get("queue_depth", 0)),
+            )
+        raise ServeError(
+            f"server error {error!r}: {response.get('detail', '')}"
+        )
+
+    # ------------------------------------------------------------------
+    # Typed ops.
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("ok"))
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def adapt(self, trace_index: int,
+              budget_ms: float | None = None) -> dict:
+        """Run the closed adaptation loop on one corpus trace."""
+        payload: dict = {"op": "adapt", "trace_index": int(trace_index)}
+        if budget_ms is not None:
+            payload["budget_ms"] = float(budget_ms)
+        return self.request(payload)
+
+    def decide(self, mode: str, window,
+               budget_ms: float | None = None) -> dict:
+        """Gating decisions for one telemetry window in ``mode``."""
+        rows = np.asarray(window, dtype=np.float64)
+        payload: dict = {
+            "op": "decide", "mode": mode,
+            "window": [[float(v) for v in row] for row in rows],
+        }
+        if budget_ms is not None:
+            payload["budget_ms"] = float(budget_ms)
+        return self.request(payload)
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to shut down cleanly."""
+        return self.request({"op": "shutdown"})
+
+
+def wait_until_ready(address: str | tuple[str, int],
+                     timeout_s: float = 60.0,
+                     poll_s: float = 0.05) -> None:
+    """Block until a daemon at ``address`` answers a ping."""
+    deadline = time.monotonic() + timeout_s
+    last: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(address, timeout_s=2.0) as client:
+                if client.ping():
+                    return
+        except (OSError, ProtocolError, ServeError) as exc:
+            last = exc
+        time.sleep(poll_s)
+    raise ServeError(
+        f"no daemon became ready at {address!r} within {timeout_s}s: "
+        f"{last}"
+    )

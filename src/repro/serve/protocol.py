@@ -1,0 +1,160 @@
+"""Wire protocol for the adaptation-serving daemon.
+
+Frames are length-prefixed JSON: a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON. JSON keeps the protocol
+stdlib-only and debuggable (``socat`` + a hex length works); the
+length prefix makes framing explicit so a reader never has to guess
+where one message ends. Python's ``json`` emits shortest-round-trip
+``repr`` floats, so every float survives the wire bit-exactly — the
+foundation of the daemon's bit-identity guarantee against direct
+in-process :class:`~repro.core.adaptive_cpu.AdaptiveCPU` calls.
+
+Request shapes (all dicts)::
+
+    {"op": "ping"}
+    {"op": "stats"}
+    {"op": "shutdown"}
+    {"op": "adapt",  "trace_index": 3, "tenant": "t0"}
+    {"op": "decide", "mode": "low_power", "window": [[...], ...],
+     "tenant": "t1"}
+
+Responses carry ``{"ok": true, ...}`` or a typed error
+``{"ok": false, "error": "<kind>", ...}`` — ``busy`` is the admission
+-control shed response and includes ``queue_depth``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+#: Known request operations, in dispatch order.
+OPS = ("ping", "stats", "adapt", "decide", "shutdown")
+
+#: Operations the micro-batcher coalesces (the inference hot path);
+#: the rest are answered inline by the connection handler.
+BATCHED_OPS = ("adapt", "decide")
+
+#: Hard bound on one frame's payload. Large enough for a full mode
+#: schedule response or a multi-thousand-row telemetry window, small
+#: enough that a corrupt length prefix cannot make the reader attempt
+#: a gigabyte allocation.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+def encode_frame(obj: dict) -> bytes:
+    """One wire frame for ``obj``: length prefix + compact JSON."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def send_frame(sock: socket.socket, obj: dict) -> None:
+    """Write one frame to a connected socket."""
+    sock.sendall(encode_frame(obj))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame start."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({n - remaining} of {n} "
+                f"bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame; ``None`` when the peer closed cleanly."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length {length} exceeds MAX_FRAME_BYTES "
+            f"({MAX_FRAME_BYTES})"
+        )
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between header and body")
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(obj).__name__}"
+        )
+    return obj
+
+
+# ---------------------------------------------------------------------
+# Payload builders. The server and the bit-identity checks share these,
+# so "daemon response == direct AdaptiveCPU call" is a comparison of
+# two dicts produced by the same projection — any numeric divergence
+# between the batched daemon path and the direct path shows up.
+# ---------------------------------------------------------------------
+def _digest(*arrays: np.ndarray) -> str:
+    """SHA-256 over the raw bytes of the given arrays, in order."""
+    h = hashlib.sha256()
+    for arr in arrays:
+        h.update(np.ascontiguousarray(arr).tobytes())
+    return h.hexdigest()
+
+
+def adapt_payload(result) -> dict:
+    """JSON-safe projection of one ``AdaptiveRunResult``.
+
+    Scalars ride as exact round-trip floats, the mode schedule as an
+    int list (the decision the firmware would apply), and every dense
+    array folds into one SHA-256 digest — so two payloads are equal
+    iff the runs were bit-identical, without shipping megabytes.
+    """
+    return {
+        "trace": result.trace_name,
+        "app": result.app_name,
+        "predictor": result.predictor_name,
+        "granularity": int(result.granularity),
+        "n_intervals": int(result.n_intervals),
+        "modes": [int(m) for m in result.modes],
+        "residency": float(result.residency),
+        "ppw_gain": float(result.ppw_gain),
+        "avg_performance": float(result.avg_performance),
+        "energy_j": float(result.energy_j),
+        "energy_baseline_j": float(result.energy_baseline_j),
+        "switch_count": int(result.switch_count),
+        "digest": _digest(result.modes, result.predictions,
+                          result.labels, result.ipc, result.cycles,
+                          result.cycles_baseline),
+    }
+
+
+def decide_payload(probs: np.ndarray, threshold: float) -> dict:
+    """JSON-safe projection of one gating-probability window."""
+    probs = np.asarray(probs, dtype=np.float64)
+    return {
+        "probs": [float(p) for p in probs],
+        "decisions": [int(p >= threshold) for p in probs],
+        "digest": _digest(probs),
+    }

@@ -1,0 +1,509 @@
+"""The adaptation-serving daemon.
+
+A batch CLI invocation pays the full cold-start bill per request:
+import the package, synthesize or load the trace corpus, train (or
+unpickle) the predictor, spin up worker pools, then answer one
+question and throw it all away. :class:`AdaptationServer` loads once
+and stays resident — the corpus lives in a daemon-lifetime
+:class:`~repro.exec.arena.TraceArena`, worker pools stay warm, the
+dual predictor stays trained, the surrogate tier (when enabled) stays
+fitted and the SimCache stays open — and answers adaptation requests
+over a local socket for the life of the process.
+
+Request lifecycle::
+
+    accept ──▶ recv_frame ──▶ validate ──▶ micro-batch ──▶ execute
+      │           (protocol)    (inline:       (flush on      (one
+      │                         ping/stats/    max-batch or   run_many /
+      │                         shutdown)      max-wait-µs)   predict)
+      └────────────────────────◀── send_frame ◀── payload ◀───┘
+
+Batching is invisible to correctness: ``adapt`` batches execute as one
+:meth:`~repro.core.adaptive_cpu.AdaptiveCPU.run_many` call, which is
+bit-identical to per-trace :meth:`run` calls (the repo-wide batched-
+path invariant), and ``decide`` batches concatenate telemetry windows
+into one ``predict_proba`` per (mode, model) — row-wise inference, so
+slicing the stacked result back apart returns identical bits.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import threading
+import time
+
+import multiprocessing
+import numpy as np
+
+from repro.config import active_exec_config
+from repro.core.adaptive_cpu import AdaptiveCPU
+from repro.core.predictor import DualModePredictor
+from repro.data.builders import build_mode_dataset
+from repro.errors import BusyError, ProtocolError, ServeClosedError
+from repro.errors import ServeError
+from repro.exec.parallel import ParallelMap, close_pools
+from repro.exec.parallel import default_parallel_map
+from repro.ml.base import Estimator
+from repro.ml.forest import RandomForestClassifier
+from repro.obs import tracer
+from repro.obs.metrics import METRICS
+from repro.serve.admission import TenantLedger, busy_response
+from repro.serve.batcher import MicroBatcher
+from repro.serve.protocol import BATCHED_OPS, OPS, adapt_payload
+from repro.serve.protocol import decide_payload, recv_frame, send_frame
+from repro.uarch.modes import Mode
+from repro.workloads.generator import TraceSpec, generate_application
+
+#: Workload families the deterministic serving corpus cycles through —
+#: the same coverage mix the perf benchmarks use.
+_FAMILIES = ("pointer_chase", "compute_fp", "store_burst", "branchy",
+             "bandwidth", "compute_int", "dep_chain", "media")
+
+
+def serving_corpus(n_apps: int = 8, workloads_per_app: int = 2,
+                   intervals: int = 96, seed: int = 11,
+                   ) -> list[TraceSpec]:
+    """The deterministic trace corpus a daemon serves requests against.
+
+    Requests address traces by corpus index, so client and server must
+    agree on the corpus; the same (seed, shape) always yields the same
+    traces.
+    """
+    traces = []
+    for i in range(n_apps):
+        family = _FAMILIES[i % len(_FAMILIES)]
+        app = generate_application(f"serveapp{i}", "serve",
+                                   {family: 0.7, "balanced": 0.3},
+                                   seed=seed + i)
+        for w in range(workloads_per_app):
+            traces.append(app.workload(w).trace(intervals, 0))
+    return traces
+
+
+class ConstProbModel(Estimator):
+    """Fixed-probability model (picklable; the zero-training option)."""
+
+    def __init__(self, prob: float) -> None:
+        self.prob = prob
+        self.decision_threshold = 0.5
+
+    def fit(self, x, y):
+        return self
+
+    def predict_proba(self, x):
+        return np.full(np.asarray(x).shape[0], self.prob)
+
+
+def const_predictor() -> DualModePredictor:
+    """A fixed-probability dual predictor (instant startup)."""
+    return DualModePredictor(
+        name="serve_const",
+        models={Mode.HIGH_PERF: ConstProbModel(0.7),
+                Mode.LOW_POWER: ConstProbModel(0.4)},
+        counter_ids=np.array([0, 1, 2, 3]),
+        granularity_factor=1,
+    )
+
+
+def quick_forest_predictor(traces: list[TraceSpec],
+                           n_train: int = 6, n_trees: int = 12,
+                           max_depth: int = 6, seed: int = 3,
+                           ) -> DualModePredictor:
+    """Train a small dual random forest on a slice of the corpus.
+
+    The realistic serving model: per-window inference walks every tree,
+    so batching amortises real per-call cost (unlike the const stub).
+    """
+    counter_ids = np.arange(12)
+    subset = traces[:max(2, n_train)]
+    models: dict[Mode, Estimator] = {}
+    for mode in Mode:
+        dataset = build_mode_dataset(subset, mode, counter_ids)
+        forest = RandomForestClassifier(n_trees=n_trees,
+                                        max_depth=max_depth, seed=seed)
+        forest.fit(dataset.x, dataset.y)
+        models[mode] = forest
+    return DualModePredictor(name="serve_forest", models=models,
+                             counter_ids=counter_ids,
+                             granularity_factor=1)
+
+
+def _tier_from_deltas(accepted: int, fallback: int) -> str:
+    """Which simulation tier served a batch, from counter deltas."""
+    if accepted > 0 and fallback == 0:
+        return "surrogate"
+    if accepted > 0:
+        return "mixed"
+    return "interval"
+
+
+class AdaptationServer:
+    """Persistent daemon serving adaptation requests over a socket.
+
+    ``address`` is a filesystem path (AF_UNIX, the default transport)
+    or a ``(host, port)`` tuple (AF_INET, for cross-host smoke tests);
+    port 0 binds an ephemeral port published via :attr:`address`.
+    Batching/admission knobs default to the active
+    :class:`~repro.config.ExecConfig` (``REPRO_SERVE_*``).
+    """
+
+    def __init__(self, cpu: AdaptiveCPU, traces: list[TraceSpec],
+                 address: str | tuple[str, int],
+                 max_batch: int | None = None,
+                 max_wait_us: int | None = None,
+                 queue_bound: int | None = None,
+                 pmap: ParallelMap | None = None) -> None:
+        config = active_exec_config()
+        self.cpu = cpu
+        self.traces = list(traces)
+        self.address = address
+        self.max_batch = (max_batch if max_batch is not None
+                          else config.serve_batch_max)
+        self.max_wait_us = (max_wait_us if max_wait_us is not None
+                            else config.serve_batch_wait_us)
+        self.queue_bound = (queue_bound if queue_bound is not None
+                            else config.serve_queue_bound)
+        self._pmap = pmap if pmap is not None else default_parallel_map()
+        self.ledger = TenantLedger()
+        self._listener: socket.socket | None = None
+        self._conns: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._stopped = threading.Event()
+        self._shutdown_lock = threading.Lock()
+        self._shutdown_done = False
+        self._started = time.monotonic()
+        self._requests = 0
+        self._batchers = {
+            "adapt": MicroBatcher(self._execute_adapt, self.max_batch,
+                                  self.max_wait_us, self.queue_bound,
+                                  ledger=self.ledger),
+            "decide": MicroBatcher(self._execute_decide, self.max_batch,
+                                   self.max_wait_us, self.queue_bound,
+                                   ledger=self.ledger),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def start(self) -> "AdaptationServer":
+        """Bind, install the resident arena, spawn the accept loop."""
+        if isinstance(self.address, tuple):
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind(self.address)
+            self.address = listener.getsockname()[:2]
+        else:
+            if os.path.exists(self.address):
+                os.unlink(self.address)
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(self.address)
+        listener.listen(64)
+        self._listener = listener
+        # Resident corpus: fan-outs during the daemon's lifetime ship
+        # arena indices instead of re-packing the corpus per request.
+        if self._pmap.uses_processes(len(self.traces), "adaptive_prepare"):
+            self.cpu.install_resident_arena(self.traces)
+        accept = threading.Thread(target=self._accept_loop,
+                                  name="repro-serve-accept", daemon=True)
+        accept.start()
+        self._threads.append(accept)
+        watcher = threading.Thread(target=self._watch_stop,
+                                   name="repro-serve-watcher", daemon=True)
+        watcher.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`request_stop` (or a signal) fires."""
+        self._stopped.wait()
+
+    def request_stop(self) -> None:
+        """Ask the watcher thread to run shutdown (signal-safe)."""
+        self._stop.set()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT into a clean :meth:`request_stop`."""
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(sig, lambda _s, _f: self.request_stop())
+
+    def _watch_stop(self) -> None:
+        self._stop.wait()
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        """Release every resident resource; idempotent.
+
+        Closes the listener and live connections, drains the batchers,
+        unmaps the resident arena, tears down warm worker pools and
+        then verifies nothing leaked: any worker process still alive
+        after the grace period is terminated and reported as a
+        :class:`ServeError` — a daemon must not strand children.
+        """
+        with self._shutdown_lock:
+            if self._shutdown_done:
+                return
+            self._shutdown_done = True
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for batcher in self._batchers.values():
+            batcher.close()
+        with self._conn_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self.cpu.close_resident_arena()
+        close_pools()
+        if (not isinstance(self.address, tuple)
+                and os.path.exists(self.address)):
+            try:
+                os.unlink(self.address)
+            except OSError:
+                pass
+        leaked = self._reap_children()
+        self._stopped.set()
+        if leaked:
+            raise ServeError(
+                f"{leaked} worker process(es) survived shutdown"
+            )
+
+    @staticmethod
+    def _reap_children(grace_s: float = 2.0) -> int:
+        """Wait for pool workers to exit; terminate stragglers."""
+        deadline = time.monotonic() + grace_s
+        while multiprocessing.active_children():
+            if time.monotonic() >= deadline:
+                break
+            time.sleep(0.05)
+        leaked = multiprocessing.active_children()
+        for child in leaked:
+            child.terminate()
+            child.join(timeout=1.0)
+        return len(leaked)
+
+    # ------------------------------------------------------------------
+    # Connection handling.
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by shutdown
+            with self._conn_lock:
+                self._conns.add(conn)
+            handler = threading.Thread(
+                target=self._handle_conn, args=(conn,),
+                name="repro-serve-conn", daemon=True)
+            handler.start()
+            self._threads.append(handler)
+
+    def _handle_conn(self, conn: socket.socket) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    request = recv_frame(conn)
+                except (ProtocolError, OSError):
+                    return
+                if request is None:
+                    return
+                response = self._dispatch(request)
+                try:
+                    send_frame(conn, response)
+                except OSError:
+                    return
+                if request.get("op") == "shutdown":
+                    # Only now that the acknowledgement is on the wire:
+                    # shutdown closes every connection, including this
+                    # one.
+                    self.request_stop()
+                    return
+        finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _dispatch(self, request: dict) -> dict:
+        """Route one validated request; always returns a response."""
+        request_id = request.get("id")
+        op = request.get("op")
+        self._requests += 1
+        METRICS.incr("serve.requests")
+        if op not in OPS:
+            return {"id": request_id, "ok": False, "error": "bad_request",
+                    "detail": f"unknown op {op!r}; expected one of "
+                              f"{list(OPS)}"}
+        if op == "ping":
+            return {"id": request_id, "ok": True, "op": "ping"}
+        if op == "stats":
+            return {"id": request_id, "ok": True, "op": "stats",
+                    "stats": self._stats()}
+        if op == "shutdown":
+            # The connection handler triggers the actual stop after the
+            # acknowledgement frame has been written back.
+            return {"id": request_id, "ok": True, "op": "shutdown"}
+        # Batched inference ops.
+        tenant = str(request.get("tenant", "default"))
+        error = self._validate(op, request)
+        if error is not None:
+            return {"id": request_id, "ok": False, "error": "bad_request",
+                    "detail": error}
+        try:
+            with tracer.span("serve.request", op=op, tenant=tenant):
+                payload = self._batchers[op].submit(request, tenant)
+        except BusyError as exc:
+            return busy_response(request_id, exc.queue_depth,
+                                 self.queue_bound)
+        except ServeClosedError:
+            return {"id": request_id, "ok": False, "error": "closed"}
+        except Exception as exc:  # executor failure, typed for the peer
+            return {"id": request_id, "ok": False, "error": "internal",
+                    "detail": f"{type(exc).__name__}: {exc}"}
+        return {"id": request_id, "ok": True, "op": op, **payload}
+
+    def _validate(self, op: str, request: dict) -> str | None:
+        if op == "adapt":
+            index = request.get("trace_index")
+            if (not isinstance(index, int) or isinstance(index, bool)
+                    or not 0 <= index < len(self.traces)):
+                return (f"trace_index must be an int in "
+                        f"[0, {len(self.traces)}), got {index!r}")
+            return None
+        window = request.get("window")
+        if not isinstance(window, list) or not window:
+            return "window must be a non-empty list of counter rows"
+        width = len(self.cpu.predictor.counter_ids)
+        for row in window:
+            if not isinstance(row, list) or len(row) != width:
+                return (f"each window row must be a list of {width} "
+                        f"counter values")
+        mode = request.get("mode")
+        if mode not in [m.value for m in Mode]:
+            return (f"mode must be one of "
+                    f"{[m.value for m in Mode]}, got {mode!r}")
+        return None
+
+    # ------------------------------------------------------------------
+    # Batch executors (run on the batcher threads).
+    # ------------------------------------------------------------------
+    def _execute_adapt(self, items: list[dict]) -> list[dict]:
+        """One ``run_many`` over the batch's traces.
+
+        ``run_many`` on the resident corpus is bit-identical to
+        per-trace ``run`` calls, so coalescing concurrent requests
+        changes latency only. The simulation tier that served the
+        batch (surrogate / mixed / interval) is read off the METRICS
+        counter deltas around the call.
+        """
+        indices = [item["trace_index"] for item in items]
+        before_acc = METRICS.count("surrogate.accepted")
+        before_fall = METRICS.count("surrogate.fallback")
+        results = self.cpu.run_many([self.traces[i] for i in indices],
+                                    pmap=self._pmap)
+        tier = _tier_from_deltas(
+            METRICS.count("surrogate.accepted") - before_acc,
+            METRICS.count("surrogate.fallback") - before_fall)
+        return [{"result": adapt_payload(result), "tier": tier}
+                for result in results]
+
+    def _execute_decide(self, items: list[dict]) -> list[dict]:
+        """One ``predict_proba`` per mode over concatenated windows.
+
+        Inference is row-wise, so stacking the batch's windows per
+        mode and slicing the probabilities back out returns exactly
+        the bits of one call per request.
+        """
+        by_mode: dict[Mode, list[int]] = {}
+        for i, item in enumerate(items):
+            by_mode.setdefault(Mode(item["mode"]), []).append(i)
+        out: list[dict | None] = [None] * len(items)
+        for mode, positions in by_mode.items():
+            windows = [np.asarray(items[i]["window"], dtype=np.float64)
+                       for i in positions]
+            stacked = np.concatenate(windows, axis=0)
+            probs = self.cpu.predictor.predict_proba(stacked, mode)
+            threshold = self.cpu.predictor.model_for(
+                mode).decision_threshold
+            offset = 0
+            for i, window in zip(positions, windows):
+                rows = window.shape[0]
+                out[i] = {"mode": mode.value,
+                          **decide_payload(probs[offset:offset + rows],
+                                           threshold)}
+                offset += rows
+        return out  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _stats(self) -> dict:
+        snapshot = METRICS.snapshot()
+        batch_hist = snapshot.get("histograms", {}).get(
+            "serve.batch_size", {})
+        return {
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "requests": self._requests,
+            "corpus_traces": len(self.traces),
+            "predictor": self.cpu.predictor.name,
+            "n_counters": int(len(self.cpu.predictor.counter_ids)),
+            "max_batch": self.max_batch,
+            "max_wait_us": self.max_wait_us,
+            "queue_bound": self.queue_bound,
+            "queue_depth": {op: b.depth()
+                            for op, b in self._batchers.items()},
+            "batches": snapshot.get("counters", {}).get(
+                "serve.batches", 0),
+            "shed": snapshot.get("counters", {}).get("serve.shed", 0),
+            "flush_full": snapshot.get("counters", {}).get(
+                "serve.flush_full", 0),
+            "flush_wait": snapshot.get("counters", {}).get(
+                "serve.flush_wait", 0),
+            "batch_size": batch_hist,
+            "resident_arena": self.cpu._resident_arena is not None,
+            "tenants": self.ledger.snapshot(),
+        }
+
+
+def build_server(address: str | tuple[str, int],
+                 predictor_kind: str = "forest",
+                 n_apps: int = 8, workloads_per_app: int = 2,
+                 intervals: int = 96, seed: int = 11,
+                 **kwargs) -> AdaptationServer:
+    """Assemble the standard daemon: corpus, predictor, server.
+
+    ``predictor_kind`` is ``"forest"`` (quick-trained dual random
+    forest, the realistic default) or ``"const"`` (fixed-probability
+    stub, instant startup for protocol-level tests).
+    """
+    traces = serving_corpus(n_apps, workloads_per_app, intervals, seed)
+    if predictor_kind == "forest":
+        predictor = quick_forest_predictor(traces)
+    elif predictor_kind == "const":
+        predictor = const_predictor()
+    else:
+        raise ServeError(
+            f"unknown predictor kind {predictor_kind!r}; expected "
+            f"'forest' or 'const'"
+        )
+    cpu = AdaptiveCPU(predictor)
+    return AdaptationServer(cpu, traces, address, **kwargs)
+
+
+#: Ops the batcher coalesces — re-exported for introspection parity.
+__all__ = ["AdaptationServer", "ConstProbModel", "BATCHED_OPS",
+           "build_server", "const_predictor", "quick_forest_predictor",
+           "serving_corpus"]

@@ -1,0 +1,476 @@
+"""Tests for the adaptation-serving daemon (repro.serve)."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive_cpu import AdaptiveCPU
+from repro.errors import BusyError, ProtocolError, ServeClosedError
+from repro.errors import ServeError
+from repro.exec.parallel import ParallelMap, close_pools
+from repro.serve import MicroBatcher, ServeClient, TenantLedger
+from repro.serve import adapt_payload, build_server, busy_response
+from repro.serve import decide_payload, encode_frame, recv_frame
+from repro.serve import send_frame, serving_corpus, wait_until_ready
+from repro.serve.server import const_predictor
+from repro.uarch.modes import Mode
+
+
+# ---------------------------------------------------------------------
+# Protocol framing.
+# ---------------------------------------------------------------------
+class TestProtocol:
+    def _pair(self):
+        return socket.socketpair()
+
+    def test_round_trip(self):
+        a, b = self._pair()
+        payload = {"op": "ping", "nested": {"x": [1, 2.5, "s", None]}}
+        send_frame(a, payload)
+        assert recv_frame(b) == payload
+        a.close(), b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = self._pair()
+        a.close()
+        assert recv_frame(b) is None
+        b.close()
+
+    def test_truncated_frame_raises(self):
+        a, b = self._pair()
+        frame = encode_frame({"op": "ping"})
+        a.sendall(frame[:len(frame) - 2])
+        a.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            recv_frame(b)
+        b.close()
+
+    def test_oversize_length_rejected(self):
+        a, b = self._pair()
+        a.sendall((1 << 31).to_bytes(4, "big"))
+        with pytest.raises(ProtocolError, match="MAX_FRAME_BYTES"):
+            recv_frame(b)
+        a.close(), b.close()
+
+    def test_non_object_body_rejected(self):
+        import struct
+        a, b = self._pair()
+        body = b"[1,2,3]"
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(ProtocolError, match="JSON object"):
+            recv_frame(b)
+        a.close(), b.close()
+
+    def test_float_exactness_over_the_wire(self):
+        # json round-trips repr floats exactly — the foundation of the
+        # daemon's bit-identity guarantee.
+        a, b = self._pair()
+        values = [0.1, 1 / 3, 1e-308, 123456.789e30]
+        send_frame(a, {"v": values})
+        received = recv_frame(b)["v"]
+        assert all(x == y for x, y in zip(values, received))
+        a.close(), b.close()
+
+    def test_decide_payload_threshold_boundary(self):
+        payload = decide_payload(np.array([0.49, 0.5, 0.51]), 0.5)
+        assert payload["decisions"] == [0, 1, 1]
+        assert payload["probs"] == [0.49, 0.5, 0.51]
+
+    def test_digest_distinguishes_runs(self):
+        a = decide_payload(np.array([0.1, 0.2]), 0.5)
+        b = decide_payload(np.array([0.1, 0.2000000001]), 0.5)
+        assert a["digest"] != b["digest"]
+
+
+# ---------------------------------------------------------------------
+# Micro-batcher.
+# ---------------------------------------------------------------------
+class TestMicroBatcher:
+    def test_invalid_params(self):
+        for kwargs in ({"max_batch": 0}, {"max_wait_us": -1},
+                       {"queue_bound": 0}):
+            params = {"max_batch": 4, "max_wait_us": 0,
+                      "queue_bound": 8, **kwargs}
+            with pytest.raises(ValueError):
+                MicroBatcher(lambda items: list(items), **params)
+
+    def test_results_in_submission_order(self):
+        batcher = MicroBatcher(lambda items: [i * 10 for i in items],
+                               max_batch=4, max_wait_us=5000,
+                               queue_bound=64)
+        results = [None] * 12
+
+        def submit(i):
+            results[i] = batcher.submit(i)
+
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(12)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        batcher.close()
+        assert results == [i * 10 for i in range(12)]
+
+    def test_coalesces_under_concurrency(self):
+        sizes = []
+        lock = threading.Lock()
+        gate = threading.Event()
+
+        def execute(items):
+            gate.wait(5.0)
+            with lock:
+                sizes.append(len(items))
+            return list(items)
+
+        batcher = MicroBatcher(execute, max_batch=8, max_wait_us=20000,
+                               queue_bound=64)
+        threads = [threading.Thread(target=batcher.submit, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        time.sleep(0.1)  # let every submission queue up
+        gate.set()
+        for t in threads:
+            t.join()
+        batcher.close()
+        assert max(sizes) > 1  # concurrent arrivals shared a batch
+        assert sum(sizes) == 8
+
+    def test_sheds_at_queue_bound(self):
+        release = threading.Event()
+
+        def execute(items):
+            release.wait(10.0)
+            return list(items)
+
+        batcher = MicroBatcher(execute, max_batch=1, max_wait_us=0,
+                               queue_bound=2)
+
+        def submit_quietly(i):
+            try:
+                batcher.submit(i)
+            except BusyError:
+                pass  # racing submissions may shed too
+
+        threads = [threading.Thread(target=submit_quietly, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        deadline = time.monotonic() + 5.0
+        # 1 executing + 2 queued; further submissions must shed.
+        while batcher.depth() < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        with pytest.raises(BusyError) as excinfo:
+            batcher.submit(99)
+        assert excinfo.value.queue_depth == 2
+        release.set()
+        for t in threads:
+            t.join()
+        batcher.close()
+
+    def test_executor_error_delivered_to_all(self):
+        def execute(items):
+            raise RuntimeError("executor blew up")
+
+        batcher = MicroBatcher(execute, max_batch=4, max_wait_us=1000,
+                               queue_bound=8)
+        errors = []
+
+        def submit(i):
+            try:
+                batcher.submit(i)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=submit, args=(i,))
+                   for i in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        batcher.close()
+        assert errors == ["executor blew up"] * 3
+
+    def test_length_mismatch_is_an_error(self):
+        batcher = MicroBatcher(lambda items: [], max_batch=1,
+                               max_wait_us=0, queue_bound=4)
+        with pytest.raises(ServeClosedError, match="0 results"):
+            batcher.submit("x")
+        batcher.close()
+
+    def test_closed_batcher_rejects(self):
+        batcher = MicroBatcher(lambda items: list(items), max_batch=1,
+                               max_wait_us=0, queue_bound=4)
+        batcher.close()
+        batcher.close()  # idempotent
+        with pytest.raises(ServeClosedError):
+            batcher.submit(1)
+
+    def test_pressured_tenant_drains_first(self):
+        ledger = TenantLedger(default_budget_ms=50.0, window=8)
+        # "hot" is far over budget, "cold" is comfortably under.
+        for _ in range(8):
+            ledger.record("hot", latency_s=1.0)
+            ledger.record("cold", latency_s=0.001)
+        order = []
+        lock = threading.Lock()
+        blocking = threading.Event()
+        release = threading.Event()
+
+        def execute(items):
+            if items == ["block"]:
+                # Pin the batcher thread so the real submissions all
+                # queue up before the next flush can sort them.
+                blocking.set()
+                release.wait(5.0)
+                return list(items)
+            with lock:
+                order.extend(items)
+            return list(items)
+
+        batcher = MicroBatcher(execute, max_batch=2, max_wait_us=0,
+                               queue_bound=16, ledger=ledger)
+        blocker = threading.Thread(target=batcher.submit,
+                                   args=("block", "default"))
+        blocker.start()
+        assert blocking.wait(5.0)
+        threads = [
+            threading.Thread(target=batcher.submit,
+                             args=(name, name))
+            for name in ("cold", "cold", "hot", "hot")
+        ]
+        for t in threads:
+            t.start()
+        deadline = time.monotonic() + 5.0
+        while batcher.depth() < 4 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        release.set()
+        for t in threads:
+            t.join()
+        blocker.join()
+        batcher.close()
+        # The pressured tenant's requests lead the drain order.
+        assert order[:2] == ["hot", "hot"]
+
+
+# ---------------------------------------------------------------------
+# Admission / tenant ledger.
+# ---------------------------------------------------------------------
+class TestAdmission:
+    def test_busy_response_shape(self):
+        response = busy_response(7, 64, 64)
+        assert response == {"id": 7, "ok": False, "error": "busy",
+                            "queue_depth": 64, "queue_bound": 64,
+                            "retry": True}
+
+    def test_unseen_tenant_has_zero_pressure(self):
+        assert TenantLedger().pressure("nobody") == 0.0
+
+    def test_pressure_rises_with_violations(self):
+        ledger = TenantLedger(default_budget_ms=10.0, window=4,
+                              guarantee=0.75)
+        ledger.record("t", latency_s=0.001)
+        assert ledger.pressure("t") == 0.0
+        ledger.record("t", latency_s=0.5)  # 50x over budget
+        assert ledger.pressure("t") > 0.0
+        snap = ledger.snapshot()
+        assert snap["t"]["observations"] == 2
+        assert snap["t"]["violations"] == 1
+
+    def test_explicit_budget_overrides_default(self):
+        ledger = TenantLedger(default_budget_ms=1000.0, window=4)
+        ledger.record("t", latency_s=0.01, budget_ms=1.0)
+        assert ledger.snapshot()["t"]["violations"] == 1
+
+
+# ---------------------------------------------------------------------
+# End-to-end daemon.
+# ---------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("serve") / "serve.sock")
+    server = build_server(path, predictor_kind="const", n_apps=4,
+                          workloads_per_app=1, intervals=64)
+    server.start()
+    wait_until_ready(path, timeout_s=60.0)
+    yield server
+    server.request_stop()
+    server.serve_forever()
+
+
+class TestDaemon:
+    def test_ping_and_stats(self, daemon):
+        with ServeClient(daemon.address) as client:
+            assert client.ping()
+            stats = client.stats()
+        assert stats["corpus_traces"] == 4
+        assert stats["predictor"] == "serve_const"
+        assert stats["max_batch"] >= 1
+
+    def test_adapt_bit_identical_to_direct_run(self, daemon):
+        with ServeClient(daemon.address) as client:
+            for index in range(4):
+                served = client.adapt(index)
+                direct = adapt_payload(
+                    daemon.cpu.run(daemon.traces[index]))
+                assert served["result"] == direct
+                assert served["tier"] in ("interval", "surrogate",
+                                          "mixed")
+
+    def test_decide_bit_identical_to_direct_predict(self, daemon):
+        window = np.random.default_rng(3).random((7, 4))
+        with ServeClient(daemon.address) as client:
+            for mode in Mode:
+                served = client.decide(mode.value, window)
+                probs = daemon.cpu.predictor.predict_proba(window, mode)
+                threshold = daemon.cpu.predictor.model_for(
+                    mode).decision_threshold
+                direct = decide_payload(probs, threshold)
+                assert served["probs"] == direct["probs"]
+                assert served["decisions"] == direct["decisions"]
+                assert served["digest"] == direct["digest"]
+
+    def test_concurrent_mixed_load_all_answered(self, daemon):
+        window = np.random.default_rng(5).random((5, 4)).tolist()
+        failures = []
+
+        def worker(cid):
+            try:
+                with ServeClient(daemon.address,
+                                 tenant=f"t{cid}") as client:
+                    for i in range(10):
+                        if i % 3 == 0:
+                            client.adapt(i % 4, budget_ms=200.0)
+                        else:
+                            client.decide("low_power", window)
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(c,))
+                   for c in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+
+    def test_tenant_accounting_appears_in_stats(self, daemon):
+        with ServeClient(daemon.address, tenant="acct") as client:
+            client.adapt(0, budget_ms=500.0)
+            stats = client.stats()
+        assert "acct" in stats["tenants"]
+        assert stats["tenants"]["acct"]["observations"] >= 1
+
+    def test_bad_requests_get_typed_errors(self, daemon):
+        with ServeClient(daemon.address) as client:
+            with pytest.raises(ServeError, match="unknown op"):
+                client.request({"op": "fry"})
+            with pytest.raises(ServeError, match="trace_index"):
+                client.request({"op": "adapt", "trace_index": 99})
+            with pytest.raises(ServeError, match="trace_index"):
+                client.request({"op": "adapt", "trace_index": True})
+            with pytest.raises(ServeError, match="window"):
+                client.request({"op": "decide", "mode": "low_power",
+                                "window": []})
+            with pytest.raises(ServeError, match="mode"):
+                client.request({"op": "decide", "mode": "warp",
+                                "window": [[0.0, 0.0, 0.0, 0.0]]})
+            # The connection survives bad requests.
+            assert client.ping()
+
+    def test_queue_bound_sheds_with_busy(self, tmp_path):
+        path = str(tmp_path / "busy.sock")
+        server = build_server(path, predictor_kind="const", n_apps=2,
+                              workloads_per_app=1, intervals=64,
+                              max_batch=1, max_wait_us=0,
+                              queue_bound=1)
+        server.start()
+        try:
+            wait_until_ready(path, timeout_s=60.0)
+            outcomes = {"busy": 0, "ok": 0}
+            lock = threading.Lock()
+
+            def worker():
+                with ServeClient(path) as client:
+                    for _ in range(8):
+                        try:
+                            client.adapt(0)
+                            key = "ok"
+                        except BusyError:
+                            key = "busy"
+                        with lock:
+                            outcomes[key] += 1
+
+            threads = [threading.Thread(target=worker)
+                       for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert outcomes["ok"] > 0
+            assert outcomes["busy"] > 0  # admission control engaged
+        finally:
+            server.request_stop()
+            server.serve_forever()
+
+    def test_shutdown_leaves_no_children_or_socket(self, tmp_path):
+        path = str(tmp_path / "clean.sock")
+        server = build_server(path, predictor_kind="const", n_apps=2,
+                              workloads_per_app=1, intervals=64)
+        server.start()
+        wait_until_ready(path, timeout_s=60.0)
+        with ServeClient(path) as client:
+            client.adapt(0)
+            client.shutdown()
+        server.serve_forever()  # returns once shutdown completed
+        assert not os.path.exists(path)
+        assert multiprocessing.active_children() == []
+        server.shutdown()  # idempotent
+
+
+# ---------------------------------------------------------------------
+# Resident arena on the daemon's CPU.
+# ---------------------------------------------------------------------
+class TestResidentArena:
+    def test_pickled_cpu_drops_resident_arena(self):
+        import pickle
+        traces = serving_corpus(2, 1, 48)
+        cpu = AdaptiveCPU(const_predictor())
+        try:
+            assert cpu.install_resident_arena(traces) is not None
+            clone = pickle.loads(pickle.dumps(cpu))
+            assert clone._resident_arena is None
+            assert clone._resident_index == {}
+        finally:
+            cpu.close_resident_arena()
+
+    def test_close_is_idempotent(self):
+        cpu = AdaptiveCPU(const_predictor())
+        cpu.close_resident_arena()
+        cpu.close_resident_arena()
+
+    def test_resident_reuse_bit_identical_to_serial(self):
+        from repro.exec.stats import EXEC_STATS
+        traces = serving_corpus(4, 1, 48)
+        cpu = AdaptiveCPU(const_predictor())
+        serial = cpu.run_many(traces, pmap=ParallelMap("serial"))
+        pmap = ParallelMap("process", n_workers=2)
+        try:
+            cpu.install_resident_arena(traces)
+            before = EXEC_STATS.count("arena.resident_reuse")
+            resident = cpu.run_many(traces, pmap=pmap)
+            if pmap.uses_processes(len(traces), "adaptive_prepare"):
+                assert EXEC_STATS.count("arena.resident_reuse") > before
+            assert [adapt_payload(r) for r in resident] == \
+                [adapt_payload(r) for r in serial]
+        finally:
+            cpu.close_resident_arena()
+            close_pools()

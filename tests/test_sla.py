@@ -1,0 +1,144 @@
+"""Direct unit tests for SLA window accounting edge cases.
+
+``sla_window_violations`` is covered in the closed-loop tests only
+through full adaptive runs; these pin its edge semantics directly —
+empty/short windows, the exact-boundary budget (a window exactly at
+the floor complies: the violation test is strict ``<``) and
+all-violating runs — plus the streaming :class:`RollingSLA` that the
+serving layer's tenant accounting is built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sla import RollingSLA, sla_window_violations
+from repro.errors import DatasetError
+
+
+class TestSlaWindowViolations:
+    def test_empty_window_rejected(self):
+        with pytest.raises(DatasetError, match="window_intervals"):
+            sla_window_violations(np.ones(8), np.ones(8), 0, 0.9)
+        with pytest.raises(DatasetError, match="window_intervals"):
+            sla_window_violations(np.ones(8), np.ones(8), -4, 0.9)
+
+    def test_run_shorter_than_one_window(self):
+        with pytest.raises(DatasetError, match="too short"):
+            sla_window_violations(np.ones(7), np.ones(7), 8, 0.9)
+
+    def test_zero_length_run(self):
+        with pytest.raises(DatasetError, match="too short"):
+            sla_window_violations(np.empty(0), np.empty(0), 4, 0.9)
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(DatasetError, match="align"):
+            sla_window_violations(np.ones(8), np.ones(12), 4, 0.9)
+
+    def test_exact_boundary_window_complies(self):
+        # Adaptive takes exactly 1/floor times the baseline cycles:
+        # the windowed ratio lands exactly on the floor, and the
+        # violation test is strict (<), so the window complies.
+        baseline = np.full(8, 90.0)
+        adaptive = np.full(8, 100.0)
+        acc = sla_window_violations(adaptive, baseline, 4, 0.90)
+        assert acc.n_windows == 2
+        assert acc.n_violations == 0
+        np.testing.assert_allclose(acc.window_ratios, 0.90)
+        assert acc.meets_guarantee(0.99)
+
+    def test_epsilon_below_boundary_violates(self):
+        baseline = np.full(4, 90.0)
+        adaptive = np.full(4, 100.0 + 1e-9)
+        acc = sla_window_violations(adaptive, baseline, 4, 0.90)
+        assert acc.n_violations == 1
+
+    def test_all_windows_violating(self):
+        baseline = np.full(12, 50.0)
+        adaptive = np.full(12, 100.0)  # 0.5 ratio, floor 0.9
+        acc = sla_window_violations(adaptive, baseline, 4, 0.90)
+        assert acc.n_windows == 3
+        assert acc.n_violations == 3
+        assert acc.violation_rate == 1.0
+        assert not acc.meets_guarantee(0.99)
+        assert not acc.meets_guarantee(0.01)
+
+    def test_trailing_partial_window_dropped(self):
+        baseline = np.full(10, 100.0)
+        adaptive = np.full(10, 100.0)
+        acc = sla_window_violations(adaptive, baseline, 4, 0.90)
+        assert acc.n_windows == 2  # 10 // 4, the tail 2 intervals drop
+
+    def test_violation_rate_requires_windows(self):
+        from repro.core.sla import SLAAccounting
+        empty = SLAAccounting(n_windows=0, n_violations=0,
+                              window_ratios=np.empty(0))
+        with pytest.raises(DatasetError, match="no complete"):
+            _ = empty.violation_rate
+
+
+class TestRollingSLA:
+    def test_invalid_construction(self):
+        with pytest.raises(DatasetError, match="window"):
+            RollingSLA(0)
+        with pytest.raises(DatasetError, match="guarantee"):
+            RollingSLA(4, guarantee=0.0)
+        with pytest.raises(DatasetError, match="guarantee"):
+            RollingSLA(4, guarantee=1.5)
+
+    def test_empty_window_accounting(self):
+        sla = RollingSLA(8)
+        assert sla.n_observations == 0
+        assert sla.accounting().n_windows == 0
+        assert sla.pressure() == 0.0
+
+    def test_exact_boundary_observation_complies(self):
+        sla = RollingSLA(4, performance_floor=1.0)
+        sla.observe(achieved=0.05, budget=0.05)  # ratio exactly 1.0
+        assert sla.accounting().n_violations == 0
+
+    def test_over_budget_violates(self):
+        sla = RollingSLA(4, performance_floor=1.0, guarantee=0.75)
+        sla.observe(achieved=0.10, budget=0.05)  # 2x over budget
+        sla.observe(achieved=0.01, budget=0.05)
+        acct = sla.accounting()
+        assert acct.n_windows == 2
+        assert acct.n_violations == 1
+        # rate 0.5 against an allowance of 0.25 -> pressure 2.0.
+        assert sla.pressure() == pytest.approx(2.0)
+
+    def test_ring_evicts_oldest(self):
+        sla = RollingSLA(2, performance_floor=1.0)
+        sla.observe(achieved=1.0, budget=0.1)  # violation
+        sla.observe(achieved=0.01, budget=0.1)
+        sla.observe(achieved=0.01, budget=0.1)  # evicts the violation
+        acct = sla.accounting()
+        assert acct.n_windows == 2
+        assert acct.n_violations == 0
+
+    def test_zero_achieved_counts_as_compliant_infinite_ratio(self):
+        sla = RollingSLA(2, performance_floor=1.0)
+        sla.observe(achieved=0.0, budget=0.05)
+        assert sla.accounting().n_violations == 0
+
+    def test_strict_guarantee_pressure(self):
+        sla = RollingSLA(4, performance_floor=1.0, guarantee=1.0)
+        sla.observe(achieved=0.01, budget=0.05)
+        assert sla.pressure() == 0.0
+        sla.observe(achieved=0.10, budget=0.05)
+        assert sla.pressure() == float("inf")
+
+    def test_matches_batch_accounting_semantics(self):
+        # The streaming window and the batch function agree on what a
+        # violation is for the same ratios.
+        baseline = np.array([90.0, 80.0, 95.0, 90.0])
+        adaptive = np.array([100.0, 100.0, 100.0, 100.0])
+        batch = sla_window_violations(adaptive, baseline, 1, 0.90)
+        rolling = RollingSLA(4, performance_floor=0.90)
+        for a, b in zip(adaptive, baseline):
+            rolling.observe(achieved=a, budget=b)
+        acct = rolling.accounting()
+        assert acct.n_violations == batch.n_violations
+        np.testing.assert_allclose(acct.window_ratios,
+                                   batch.window_ratios)
