@@ -25,6 +25,15 @@ Run standalone::
 generous p99 budget, response bit-identity against direct in-process
 :class:`~repro.core.adaptive_cpu.AdaptiveCPU` calls, and the
 ``BENCH_serve.json`` staleness guard — exits non-zero on any failure.
+
+``--chaos-smoke`` is the resilience CI mode, writing the
+``resilience`` section: a deterministic serve-fault plan (conn_drop,
+slow_peer, corrupt_frame, batch_hang) is injected under a retrying
+keyed client and every response must be digest-identical to the
+fault-free direct run with no request lost; then a supervised
+``daemon_crash`` run (subprocess, checkpoint fast-restart) must
+recover mid-stream with identical digests, a warm restart at least 5x
+faster than the cold start, and no leaked worker processes.
 """
 
 from __future__ import annotations
@@ -67,6 +76,10 @@ SECTION_KEYS: dict[str, frozenset] = {
         "clients", "requests_per_client", "batch1_throughput_rps",
         "batch8_throughput_rps", "speedup", "batch1_mean",
         "batch8_mean"}),
+    "resilience": frozenset({
+        "chaos_requests", "injected", "watchdog_trips",
+        "breaker_trips", "dedup_hits", "crash_requests", "restarts",
+        "cold_init_ms", "warm_init_ms", "restart_speedup"}),
 }
 
 
@@ -375,6 +388,209 @@ def check_bit_identity(server: AdaptationServer) -> None:
 
 
 # ---------------------------------------------------------------------
+# Chaos: serve faults under a retrying client, digest-checked.
+# ---------------------------------------------------------------------
+def _serve_counter_deltas(before: dict) -> dict:
+    """Deltas of the chaos-relevant counters since ``before``."""
+    interesting = ("serve.watchdog_trips", "serve.breaker_trips",
+                   "serve.dedup_hits",
+                   *(f"faults.injected.{k}"
+                     for k in ("conn_drop", "slow_peer",
+                               "corrupt_frame", "batch_hang")))
+    return {name: METRICS.count(name) - before.get(name, 0)
+            for name in interesting}
+
+
+def chaos_in_process(corpus: dict, requests: int = 24,
+                     fault_seed: int = 3) -> dict:
+    """Serve-site faults against an in-process daemon.
+
+    Every fault on the ladder short of process death: dropped and
+    corrupted response frames, mid-frame stalls, and executor hangs
+    long enough to trip the watchdog (``hang_s`` > batch timeout). A
+    keyed retrying client must land *every* request with a digest
+    identical to the fault-free direct run — nothing silently lost,
+    nothing silently wrong.
+    """
+    from repro.exec import faults
+
+    server = _start("forest", corpus, batch_timeout_s=0.3)
+    try:
+        # Fault-free reference digests, computed via direct calls on
+        # the very same CPU before any fault plan is active.
+        n_traces = len(server.traces)
+        expected = [adapt_payload(server.cpu.run(t))["digest"]
+                    for t in server.traces]
+        before = {name: METRICS.count(name)
+                  for name in _serve_counter_deltas({}).keys()}
+        plan = faults.FaultPlan(seed=fault_seed, conn_drop=0.25,
+                                corrupt_frame=0.25, slow_peer=0.1,
+                                batch_hang=0.2, hang_s=0.6)
+        with faults.inject(plan):
+            with ServeClient(server.address, retries=8,
+                             seed=fault_seed) as client:
+                for i in range(requests):
+                    response = client.adapt(i % n_traces)
+                    got = response["result"]["digest"]
+                    want = expected[i % n_traces]
+                    assert got == want, (
+                        f"request {i}: digest diverged under faults "
+                        f"({got} != {want})"
+                    )
+        deltas = _serve_counter_deltas(before)
+    finally:
+        _stop(server)
+    injected = {k: deltas[f"faults.injected.{k}"]
+                for k in ("conn_drop", "slow_peer", "corrupt_frame",
+                          "batch_hang")}
+    missing = [k for k in ("conn_drop", "corrupt_frame", "batch_hang")
+               if injected[k] == 0]
+    if missing:
+        raise RuntimeError(
+            f"chaos plan injected none of {missing} across "
+            f"{requests} requests — the run exercised nothing; "
+            f"raise the rates or change fault_seed"
+        )
+    print(f"chaos in-process: {requests} requests all "
+          f"digest-identical under {injected} "
+          f"(watchdog {deltas['serve.watchdog_trips']}, dedup "
+          f"{deltas['serve.dedup_hits']})")
+    return {
+        "chaos_requests": requests,
+        "injected": injected,
+        "watchdog_trips": deltas["serve.watchdog_trips"],
+        "breaker_trips": deltas["serve.breaker_trips"],
+        "dedup_hits": deltas["serve.dedup_hits"],
+    }
+
+
+def _crash_seed(rate: float, lo: int = 3, hi: int = 8) -> int:
+    """A fault seed whose first ``daemon_crash`` firing at the adapt
+    dispatch site lands mid-stream (occurrence in [lo, hi))."""
+    from repro.exec.faults import FaultPlan
+
+    for seed in range(1000):
+        plan = FaultPlan(seed=seed, daemon_crash=rate)
+        fires = [occ for occ in range(hi)
+                 if plan.fires("daemon_crash", "serve.dispatch/adapt",
+                               occ)]
+        if fires and fires[0] >= lo:
+            return seed
+    raise RuntimeError("no crash seed found")  # unreachable in practice
+
+
+def chaos_supervised_crash(corpus: dict, requests: int = 12) -> dict:
+    """``daemon_crash`` against a supervised subprocess daemon.
+
+    The daemon (checkpoint-enabled, under ``--supervise``) is killed
+    by an injected ``os._exit`` mid-stream; the supervising parent
+    re-execs it, the replacement warm-starts from the checkpoint, and
+    the retrying client's stream completes with digests identical to
+    the fault-free in-process run. The warm restart must reach ready
+    at least 5x faster than the cold start.
+    """
+    import re
+    import shutil
+
+    from repro.core.adaptive_cpu import AdaptiveCPU
+    from repro.serve import (quick_forest_predictor, serving_corpus,
+                             wait_until_ready)
+
+    seed = 7  # pinned REPRO_SEED for the child, mirrored here
+    traces = serving_corpus(corpus["n_apps"],
+                            corpus["workloads_per_app"],
+                            corpus["intervals"], seed)
+    expected = [adapt_payload(AdaptiveCPU(
+        quick_forest_predictor(traces)).run(t))["digest"]
+        for t in traces]
+
+    workdir = tempfile.mkdtemp(prefix="repro_chaos_")
+    sock = os.path.join(workdir, "serve.sock")
+    ckpt = os.path.join(workdir, "ckpt.bin")
+    fault_seed = _crash_seed(rate=0.2)
+    env = {**os.environ,
+           "PYTHONPATH": str(REPO_ROOT / "src"),
+           "REPRO_SEED": str(seed),
+           "REPRO_FAULT_SPEC": f"seed={fault_seed},daemon_crash=0.2"}
+    cmd = [sys.executable, "-m", "repro", "serve", "--socket", sock,
+           "--predictor", "forest",
+           "--apps", str(corpus["n_apps"]),
+           "--workloads-per-app", str(corpus["workloads_per_app"]),
+           "--intervals", str(corpus["intervals"]),
+           "--checkpoint", ckpt, "--supervise", "--serve-restarts", "3"]
+    proc = subprocess.Popen(cmd, env=env, stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+    try:
+        wait_until_ready(sock, timeout_s=120.0)
+        with ServeClient(sock, retries=10, seed=fault_seed) as client:
+            for i in range(requests):
+                response = client.adapt(i % len(traces))
+                got = response["result"]["digest"]
+                want = expected[i % len(traces)]
+                assert got == want, (
+                    f"request {i}: digest diverged across the "
+                    f"supervised restart ({got} != {want})"
+                )
+            client.shutdown()
+        out, _ = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+        shutil.rmtree(workdir, ignore_errors=True)
+    inits = re.findall(r"init ([0-9.]+)ms (cold|warm)", out)
+    restarts = len(re.findall(r"restarting \(", out))
+    cold = [float(ms) for ms, kind in inits if kind == "cold"]
+    warm = [float(ms) for ms, kind in inits if kind == "warm"]
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"supervised daemon exited {proc.returncode}:\n{out[-2000:]}"
+        )
+    if not restarts or not cold or not warm:
+        raise RuntimeError(
+            f"supervised run never crashed+warm-restarted "
+            f"(restarts={restarts}, inits={inits}):\n{out[-2000:]}"
+        )
+    speedup = cold[0] / warm[0]
+    print(f"chaos supervised: {requests} requests across {restarts} "
+          f"crash(es); init cold {cold[0]:.1f}ms -> warm "
+          f"{warm[0]:.1f}ms ({speedup:.0f}x)")
+    return {
+        "crash_requests": requests,
+        "restarts": restarts,
+        "cold_init_ms": cold[0],
+        "warm_init_ms": warm[0],
+        "restart_speedup": round(speedup, 1),
+    }
+
+
+def run_chaos(args: argparse.Namespace) -> int:
+    """Resilience CI mode: fault ladder + supervised crash restart."""
+    corpus = {"n_apps": 4, "workloads_per_app": 1, "intervals": 64}
+    section: dict = {}
+    section.update(chaos_in_process(corpus))
+    section.update(chaos_supervised_crash(corpus))
+
+    failures = []
+    if section["restart_speedup"] < 5.0:
+        failures.append(
+            f"warm restart only {section['restart_speedup']}x faster "
+            f"than cold init (need >= 5x)"
+        )
+    import multiprocessing
+    leaked = multiprocessing.active_children()
+    if leaked:
+        failures.append(f"{len(leaked)} worker process(es) leaked")
+    out = _merge_bench_doc(args.output, {"resilience": section})
+    print(f"wrote {out}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("serve chaos smoke ok")
+    return 1 if failures else 0
+
+
+# ---------------------------------------------------------------------
 # Entry points.
 # ---------------------------------------------------------------------
 def run_full(args: argparse.Namespace) -> int:
@@ -453,6 +669,11 @@ def main() -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="CI mode: short mixed load, generous p99 "
                              "budget, bit-identity, staleness guard")
+    parser.add_argument("--chaos-smoke", action="store_true",
+                        help="resilience CI mode: injected serve "
+                             "faults + supervised crash restart, "
+                             "digest-checked; writes the resilience "
+                             "section")
     parser.add_argument("--apps", type=int, default=8)
     parser.add_argument("--workloads-per-app", type=int, default=2)
     parser.add_argument("--intervals", type=int, default=96)
@@ -462,6 +683,8 @@ def main() -> int:
                         help="bench JSON path "
                              "(default: BENCH_serve.json)")
     args = parser.parse_args()
+    if args.chaos_smoke:
+        return run_chaos(args)
     if args.smoke:
         return run_smoke(args)
     return run_full(args)

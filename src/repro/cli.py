@@ -202,6 +202,18 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
+    if getattr(args, "supervise", False):
+        # Process-level supervision: this parent stays tiny and
+        # re-execs the daemon (same command minus --supervise) when it
+        # dies uncleanly, within the configured restart budget. The
+        # already-applied env config flows to the child, so checkpoint
+        # and serve knobs survive the re-exec.
+        from repro.config import serve_restarts
+        from repro.serve.supervisor import run_supervised
+        child = [sys.executable, "-m", "repro"] + [
+            a for a in getattr(args, "_argv", sys.argv[1:])
+            if a != "--supervise"]
+        return run_supervised(child, serve_restarts())
     from repro.serve import build_server
     server = build_server(
         args.socket, predictor_kind=args.predictor,
@@ -209,10 +221,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         intervals=args.intervals, seed=_seed(args))
     server.install_signal_handlers()
     server.start()
+    warm = (server.checkpoint_info or {}).get("loaded", False)
     print(f"serving {len(server.traces)} traces with "
           f"{server.cpu.predictor.name} on {server.address} "
           f"(batch<={server.max_batch}, wait {server.max_wait_us}us, "
-          f"queue<={server.queue_bound})", flush=True)
+          f"queue<={server.queue_bound}, "
+          f"init {server.init_s * 1e3:.1f}ms "
+          f"{'warm' if warm else 'cold'})", flush=True)
     server.serve_forever()
     return 0
 
@@ -243,6 +258,9 @@ def cmd_request(args: argparse.Namespace) -> int:
         elif args.op == "stats":
             response = {"ok": True, "op": "stats",
                         "stats": client.stats()}
+        elif args.op == "health":
+            response = {"ok": True, "op": "health",
+                        "health": client.health()}
         elif args.op == "shutdown":
             response = client.shutdown()
         else:
@@ -365,6 +383,25 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="serve_queue_bound",
                    help="admission queue bound before shedding "
                         "(default: REPRO_SERVE_QUEUE_BOUND or 64)")
+    p.add_argument("--serve-batch-timeout", type=float, default=None,
+                   dest="serve_batch_timeout",
+                   help="seconds an in-flight batch may execute before "
+                        "the watchdog abandons it (default: "
+                        "REPRO_SERVE_BATCH_TIMEOUT or 30)")
+    p.add_argument("--checkpoint", default=None,
+                   dest="serve_checkpoint", metavar="PATH",
+                   help="warm-state checkpoint path: restore corpus + "
+                        "trained predictor from it when valid, write it "
+                        "after a cold build (default: "
+                        "REPRO_SERVE_CHECKPOINT or off)")
+    p.add_argument("--serve-restarts", type=int, default=None,
+                   dest="serve_restarts",
+                   help="restart budget for --supervise (default: "
+                        "REPRO_SERVE_RESTARTS or 3)")
+    p.add_argument("--supervise", action="store_true",
+                   help="run under a supervising parent that re-execs "
+                        "the daemon on unclean death, within the "
+                        "restart budget")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -374,7 +411,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--socket", default="repro_serve.sock",
                    help="unix socket path of the daemon")
     p.add_argument("--op", default="adapt",
-                   choices=["adapt", "ping", "stats", "shutdown"])
+                   choices=["adapt", "ping", "stats", "health",
+                            "shutdown"])
     p.add_argument("--trace-index", type=int, default=0,
                    help="corpus trace to adapt (op=adapt)")
     p.add_argument("--tenant", default="default",
@@ -408,6 +446,9 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    # The raw invocation, for commands that re-exec themselves
+    # (serve --supervise rebuilds the child command from it).
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     from repro.config import ExecConfig
     if args.fault_spec is not None:
         from repro.exec.faults import FaultPlan

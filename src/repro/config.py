@@ -193,6 +193,42 @@ SERVE_QUEUE_BOUND_ENV_VAR = "REPRO_SERVE_QUEUE_BOUND"
 #: Default admission-queue bound.
 DEFAULT_SERVE_QUEUE_BOUND = 64
 
+#: Environment variable bounding how long (seconds) one serve batch may
+#: stay in flight before the supervisor fails its requests with a typed
+#: ``BatchTimeoutError`` and restarts the batcher.
+SERVE_BATCH_TIMEOUT_ENV_VAR = "REPRO_SERVE_BATCH_TIMEOUT"
+
+#: Default in-flight batch timeout (seconds).
+DEFAULT_SERVE_BATCH_TIMEOUT_S = 30.0
+
+#: Environment variable setting how many consecutive batch failures of
+#: one serve op trip the circuit breaker one degradation rung (batched
+#: -> serial per-request -> shed-with-retry-after).
+SERVE_BREAKER_THRESHOLD_ENV_VAR = "REPRO_SERVE_BREAKER_THRESHOLD"
+
+#: Default breaker failure threshold.
+DEFAULT_SERVE_BREAKER_THRESHOLD = 3
+
+#: Environment variable setting the breaker cooldown (seconds): how
+#: long a tripped breaker stays open before a half-open probe request
+#: is allowed through the less-degraded path.
+SERVE_BREAKER_COOLDOWN_ENV_VAR = "REPRO_SERVE_BREAKER_COOLDOWN"
+
+#: Default breaker cooldown (seconds).
+DEFAULT_SERVE_BREAKER_COOLDOWN_S = 1.0
+
+#: Environment variable pointing the serving daemon at its warm-state
+#: checkpoint file (trained predictor + corpus fingerprint, CRC
+#: validated). Unset disables checkpointing.
+SERVE_CHECKPOINT_ENV_VAR = "REPRO_SERVE_CHECKPOINT"
+
+#: Environment variable bounding how many times ``repro serve
+#: --supervise`` re-execs a crashed daemon before giving up.
+SERVE_RESTARTS_ENV_VAR = "REPRO_SERVE_RESTARTS"
+
+#: Default supervised-restart budget.
+DEFAULT_SERVE_RESTARTS = 3
+
 
 # ---------------------------------------------------------------------
 # Raw environment parsers. Each reads exactly one knob and raises the
@@ -402,6 +438,17 @@ def _env_bounded_int(var: str, default: int, minimum: int) -> int:
     return value
 
 
+def _env_positive_float(var: str, default: float) -> float:
+    raw = os.environ.get(var, repr(default))
+    try:
+        value = float(raw)
+    except ValueError as exc:
+        raise ValueError(f"{var} must be a float, got {raw!r}") from exc
+    if value <= 0:
+        raise ValueError(f"{var} must be > 0, got {value}")
+    return value
+
+
 #: Every environment variable :meth:`ExecConfig.from_env` consumes, in
 #: the order its memo key is built.
 EXEC_ENV_VARS = (
@@ -428,6 +475,11 @@ EXEC_ENV_VARS = (
     SERVE_BATCH_MAX_ENV_VAR,
     SERVE_BATCH_WAIT_ENV_VAR,
     SERVE_QUEUE_BOUND_ENV_VAR,
+    SERVE_BATCH_TIMEOUT_ENV_VAR,
+    SERVE_BREAKER_THRESHOLD_ENV_VAR,
+    SERVE_BREAKER_COOLDOWN_ENV_VAR,
+    SERVE_CHECKPOINT_ENV_VAR,
+    SERVE_RESTARTS_ENV_VAR,
 )
 
 # ``ExecConfig.from_env`` is memoized on the raw environment strings;
@@ -489,6 +541,11 @@ class ExecConfig:
     serve_batch_max: int = DEFAULT_SERVE_BATCH_MAX
     serve_batch_wait_us: int = DEFAULT_SERVE_BATCH_WAIT_US
     serve_queue_bound: int = DEFAULT_SERVE_QUEUE_BOUND
+    serve_batch_timeout_s: float = DEFAULT_SERVE_BATCH_TIMEOUT_S
+    serve_breaker_threshold: int = DEFAULT_SERVE_BREAKER_THRESHOLD
+    serve_breaker_cooldown_s: float = DEFAULT_SERVE_BREAKER_COOLDOWN_S
+    serve_checkpoint: str | None = None
+    serve_restarts: int = DEFAULT_SERVE_RESTARTS
 
     def __post_init__(self) -> None:
         if self.backend not in EXEC_BACKENDS:
@@ -548,6 +605,25 @@ class ExecConfig:
                 f"serve_queue_bound must be >= 1, "
                 f"got {self.serve_queue_bound}"
             )
+        if self.serve_batch_timeout_s <= 0:
+            raise ValueError(
+                f"serve_batch_timeout_s must be > 0, "
+                f"got {self.serve_batch_timeout_s}"
+            )
+        if self.serve_breaker_threshold < 1:
+            raise ValueError(
+                f"serve_breaker_threshold must be >= 1, "
+                f"got {self.serve_breaker_threshold}"
+            )
+        if self.serve_breaker_cooldown_s <= 0:
+            raise ValueError(
+                f"serve_breaker_cooldown_s must be > 0, "
+                f"got {self.serve_breaker_cooldown_s}"
+            )
+        if self.serve_restarts < 0:
+            raise ValueError(
+                f"serve_restarts must be >= 0, got {self.serve_restarts}"
+            )
 
     # ------------------------------------------------------------------
     # Construction.
@@ -594,6 +670,18 @@ class ExecConfig:
                 SERVE_BATCH_WAIT_ENV_VAR, DEFAULT_SERVE_BATCH_WAIT_US, 0),
             serve_queue_bound=_env_bounded_int(
                 SERVE_QUEUE_BOUND_ENV_VAR, DEFAULT_SERVE_QUEUE_BOUND, 1),
+            serve_batch_timeout_s=_env_positive_float(
+                SERVE_BATCH_TIMEOUT_ENV_VAR,
+                DEFAULT_SERVE_BATCH_TIMEOUT_S),
+            serve_breaker_threshold=_env_bounded_int(
+                SERVE_BREAKER_THRESHOLD_ENV_VAR,
+                DEFAULT_SERVE_BREAKER_THRESHOLD, 1),
+            serve_breaker_cooldown_s=_env_positive_float(
+                SERVE_BREAKER_COOLDOWN_ENV_VAR,
+                DEFAULT_SERVE_BREAKER_COOLDOWN_S),
+            serve_checkpoint=_env_optional(SERVE_CHECKPOINT_ENV_VAR),
+            serve_restarts=_env_bounded_int(
+                SERVE_RESTARTS_ENV_VAR, DEFAULT_SERVE_RESTARTS, 0),
         )
         _FROM_ENV_CACHE = (key, config)
         return config
@@ -619,7 +707,10 @@ class ExecConfig:
                             ("surrogate_probes", "surrogate_probes"),
                             ("serve_batch_max", "serve_batch_max"),
                             ("serve_batch_wait_us", "serve_batch_wait_us"),
-                            ("serve_queue_bound", "serve_queue_bound")):
+                            ("serve_queue_bound", "serve_queue_bound"),
+                            ("serve_batch_timeout", "serve_batch_timeout_s"),
+                            ("serve_checkpoint", "serve_checkpoint"),
+                            ("serve_restarts", "serve_restarts")):
             value = getattr(args, attr, None)
             if value is not None:
                 updates[field] = value
@@ -679,6 +770,13 @@ class ExecConfig:
             SERVE_BATCH_MAX_ENV_VAR: str(self.serve_batch_max),
             SERVE_BATCH_WAIT_ENV_VAR: str(self.serve_batch_wait_us),
             SERVE_QUEUE_BOUND_ENV_VAR: str(self.serve_queue_bound),
+            SERVE_BATCH_TIMEOUT_ENV_VAR: repr(self.serve_batch_timeout_s),
+            SERVE_BREAKER_THRESHOLD_ENV_VAR:
+                str(self.serve_breaker_threshold),
+            SERVE_BREAKER_COOLDOWN_ENV_VAR:
+                repr(self.serve_breaker_cooldown_s),
+            SERVE_CHECKPOINT_ENV_VAR: self.serve_checkpoint,
+            SERVE_RESTARTS_ENV_VAR: str(self.serve_restarts),
         }
 
     def apply_env(self) -> None:
@@ -835,6 +933,31 @@ def serve_batch_wait_us() -> int:
 def serve_queue_bound() -> int:
     """Serving admission-queue bound (``REPRO_SERVE_QUEUE_BOUND``)."""
     return active_exec_config().serve_queue_bound
+
+
+def serve_batch_timeout_s() -> float:
+    """In-flight serve batch timeout in s (``REPRO_SERVE_BATCH_TIMEOUT``)."""
+    return active_exec_config().serve_batch_timeout_s
+
+
+def serve_breaker_threshold() -> int:
+    """Breaker failure threshold (``REPRO_SERVE_BREAKER_THRESHOLD``)."""
+    return active_exec_config().serve_breaker_threshold
+
+
+def serve_breaker_cooldown_s() -> float:
+    """Breaker cooldown in s (``REPRO_SERVE_BREAKER_COOLDOWN``)."""
+    return active_exec_config().serve_breaker_cooldown_s
+
+
+def serve_checkpoint_path() -> str | None:
+    """Warm-state checkpoint path (``REPRO_SERVE_CHECKPOINT``), or None."""
+    return active_exec_config().serve_checkpoint
+
+
+def serve_restarts() -> int:
+    """Supervised-restart budget (``REPRO_SERVE_RESTARTS``)."""
+    return active_exec_config().serve_restarts
 
 
 def exec_chunk_size() -> int | None:

@@ -76,13 +76,50 @@ class BusyError(ServeError):
     """Admission control shed a request: the serve queue is full.
 
     Carries ``queue_depth`` so clients (and the typed busy response)
-    can report how deep the backlog was at shed time.
+    can report how deep the backlog was at shed time, and
+    ``retry_after_ms`` — the server's drain-rate-derived estimate of
+    when retrying is likely to be admitted (``None`` when unknown).
     """
 
-    def __init__(self, message: str, queue_depth: int = 0) -> None:
+    def __init__(self, message: str, queue_depth: int = 0,
+                 retry_after_ms: float | None = None) -> None:
         super().__init__(message)
         self.queue_depth = queue_depth
+        self.retry_after_ms = retry_after_ms
 
 
 class ServeClosedError(ServeError):
     """A request reached a daemon that is shutting down (or shut)."""
+
+
+class BatchTimeoutError(ServeError):
+    """An in-flight serve batch exceeded ``REPRO_SERVE_BATCH_TIMEOUT``.
+
+    Raised by the supervisor into every request of the hung batch —
+    only the in-flight requests fail; queued requests are re-served by
+    the restarted batcher. Clients may retry: the executor never
+    committed a result for the timed-out requests.
+    """
+
+
+class CheckpointError(ServeError):
+    """A serve warm-state checkpoint is missing, corrupt, or stale.
+
+    Raised when the checkpoint file fails its magic/version/CRC
+    validation or its corpus fingerprint does not match the daemon's
+    requested corpus. The daemon falls back to a cold build — a bad
+    checkpoint costs startup time, never correctness.
+    """
+
+
+class RetriesExhaustedError(ServeError):
+    """A client gave up after its full retry budget.
+
+    Carries ``last_error`` — the error of the final attempt — so the
+    caller can distinguish persistent overload from a dead daemon.
+    """
+
+    def __init__(self, message: str,
+                 last_error: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.last_error = last_error

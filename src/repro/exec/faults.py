@@ -36,6 +36,32 @@ Fault kinds (rates in ``[0, 1]``):
     decodes it, exercising the quarantine → pickled-return retry in
     :meth:`~repro.exec.parallel.ParallelMap._pool_dispatch`.
 
+Serve-site fault kinds (injected at named sites in
+:mod:`repro.serve.protocol`, :mod:`repro.serve.batcher` and
+:mod:`repro.serve.server`; see the serve failure ladder in DESIGN.md):
+
+``conn_drop``
+    The daemon abruptly closes a connection instead of writing the
+    response frame, exercising client reconnect-on-drop plus
+    server-side idempotent-key deduplication.
+``slow_peer``
+    The daemon stalls mid-frame: a partial response frame is written,
+    then ``hang_s`` seconds pass before the rest, exercising partial-
+    frame reassembly and client hedging.
+``corrupt_frame``
+    The first body byte of a response frame is overwritten with an
+    invalid UTF-8 byte before sending, so the client's decode *always*
+    fails with a typed :class:`~repro.errors.ProtocolError` (never a
+    silently-valid mutated JSON), exercising retry + dedup.
+``batch_hang``
+    A serve batch executor sleeps ``hang_s`` seconds before running,
+    tripping the supervisor's ``REPRO_SERVE_BATCH_TIMEOUT`` watchdog
+    when the sleep exceeds it.
+``daemon_crash``
+    The daemon process dies (``os._exit``) while a request is being
+    dispatched, exercising supervised re-exec and checkpoint
+    fast-restart.
+
 Activate a plan programmatically (:func:`install_fault_plan`, or the
 :func:`inject` context manager in tests) or via the environment::
 
@@ -62,7 +88,14 @@ from repro.exec.stats import EXEC_STATS
 
 #: Recognised fault kinds (each is a rate field of :class:`FaultPlan`).
 FAULT_KINDS = ("crash", "hang", "payload", "corrupt_cache",
-               "corrupt_arena", "corrupt_result")
+               "corrupt_arena", "corrupt_result",
+               "conn_drop", "slow_peer", "corrupt_frame", "batch_hang",
+               "daemon_crash")
+
+#: The serve-site subset of :data:`FAULT_KINDS` (injected in
+#: ``repro.serve``, not the execution engine).
+SERVE_FAULT_KINDS = ("conn_drop", "slow_peer", "corrupt_frame",
+                     "batch_hang", "daemon_crash")
 
 #: Spec keys that are not rates.
 _SCALAR_KEYS = ("seed", "hang_s")
@@ -84,6 +117,11 @@ class FaultPlan:
     corrupt_cache: float = 0.0
     corrupt_arena: float = 0.0
     corrupt_result: float = 0.0
+    conn_drop: float = 0.0
+    slow_peer: float = 0.0
+    corrupt_frame: float = 0.0
+    batch_hang: float = 0.0
+    daemon_crash: float = 0.0
     hang_s: float = 0.25
 
     def __post_init__(self) -> None:

@@ -105,6 +105,24 @@ def render_report(metrics: Metrics | None = None) -> str:
                 f"{latency['mean'] * 1e3:.2f}ms "
                 f"max={latency['max'] * 1e3:.2f}ms "
                 f"(n={latency['count']})")
+        serve_resilience = []
+        for counter, label in (
+                ("serve.watchdog_trips", "watchdog trips"),
+                ("serve.batcher_restarts", "batcher restarts"),
+                ("serve.breaker_trips", "breaker trips"),
+                ("serve.breaker_shed", "breaker shed"),
+                ("serve.serial_requests", "serial degrades"),
+                ("serve.dedup_hits", "dedup hits"),
+                ("serve.stale_batches_discarded", "stale discards"),
+                ("serve.checkpoint_loads", "checkpoint loads"),
+                ("serve.checkpoint_saves", "checkpoint saves"),
+                ("serve.checkpoint_rejected", "checkpoint rejects")):
+            value = snap["counters"].get(counter)
+            if value:
+                serve_resilience.append(f"{label} {value}")
+        if serve_resilience:
+            lines.append(
+                f"  serve resilience: {', '.join(serve_resilience)}")
 
     if snap["histograms"]:
         lines.append("batch shapes:")

@@ -4,35 +4,52 @@ Everything the paper's pipeline computes per invocation —
 corpus synthesis, predictor training, worker-pool spin-up, arena
 packing — is paid once here, at daemon startup; requests then ride
 the resident state. See :mod:`repro.serve.server` for the request
-lifecycle and :mod:`repro.serve.protocol` for the wire format.
+lifecycle, :mod:`repro.serve.protocol` for the wire format, and
+:mod:`repro.serve.supervisor` / :mod:`repro.serve.checkpoint` for the
+failure-containment and fast-restart layers.
 """
 
-from repro.serve.admission import TenantLedger, busy_response
+from repro.serve.admission import (DrainTracker, TenantLedger,
+                                   busy_response, retry_after_ms)
 from repro.serve.batcher import MicroBatcher
+from repro.serve.checkpoint import (corpus_fingerprint, load_checkpoint,
+                                    save_checkpoint)
 from repro.serve.client import ServeClient, wait_until_ready
 from repro.serve.protocol import BATCHED_OPS, MAX_FRAME_BYTES, OPS
 from repro.serve.protocol import adapt_payload, decide_payload
 from repro.serve.protocol import encode_frame, recv_frame, send_frame
-from repro.serve.server import AdaptationServer, build_server
-from repro.serve.server import const_predictor, quick_forest_predictor
-from repro.serve.server import serving_corpus
+from repro.serve.server import (AdaptationServer, DAEMON_CRASH_EXIT,
+                                build_server, const_predictor,
+                                quick_forest_predictor, serving_corpus)
+from repro.serve.supervisor import (BREAKER_MODES, BatcherSupervisor,
+                                    ServeCircuitBreaker, run_supervised)
 
 __all__ = [
     "AdaptationServer",
     "BATCHED_OPS",
+    "BREAKER_MODES",
+    "BatcherSupervisor",
+    "DAEMON_CRASH_EXIT",
+    "DrainTracker",
     "MAX_FRAME_BYTES",
     "MicroBatcher",
     "OPS",
+    "ServeCircuitBreaker",
     "ServeClient",
     "TenantLedger",
     "adapt_payload",
     "build_server",
     "busy_response",
     "const_predictor",
+    "corpus_fingerprint",
     "decide_payload",
     "encode_frame",
+    "load_checkpoint",
     "quick_forest_predictor",
     "recv_frame",
+    "retry_after_ms",
+    "run_supervised",
+    "save_checkpoint",
     "send_frame",
     "serving_corpus",
     "wait_until_ready",

@@ -1,6 +1,6 @@
 """Admission control and per-tenant SLA budgets for the daemon.
 
-Two pieces of back-pressure policy, both deliberately tiny:
+Three pieces of back-pressure policy, all deliberately tiny:
 
 * :class:`TenantLedger` — one :class:`~repro.core.sla.RollingSLA`
   window per tenant, fed with (service latency, latency budget) pairs
@@ -9,6 +9,11 @@ Two pieces of back-pressure policy, both deliberately tiny:
   SLA violation budget drains first — the same accounting the paper's
   system-level SLA check uses, pointed at request latency instead of
   windowed IPC.
+* :class:`DrainTracker` — a sliding window of recent batch
+  completions, from which :func:`retry_after_ms` turns the queue
+  depth at shed time into an actionable hint: roughly how long until
+  the backlog ahead of a retry has drained. Clients honor it instead
+  of hammering a saturated daemon with blind retries.
 * Queue-bound admission lives in the batcher itself (it owns the
   queue); it raises :class:`~repro.errors.BusyError`, which the server
   maps to the typed ``busy`` response. This module just supplies the
@@ -17,7 +22,9 @@ Two pieces of back-pressure policy, both deliberately tiny:
 
 from __future__ import annotations
 
+import collections
 import threading
+import time
 
 from repro.core.sla import RollingSLA
 
@@ -33,9 +40,79 @@ TENANT_WINDOW = 64
 TENANT_GUARANTEE = 0.99
 
 
+#: Bounds on the ``retry_after_ms`` hint. The floor keeps clients from
+#: spinning on a sub-millisecond hint; the ceiling keeps one deep
+#: backlog from parking every client for a minute.
+RETRY_AFTER_MIN_MS = 1.0
+RETRY_AFTER_MAX_MS = 10_000.0
+
+#: Per-queued-request fallback (ms) when no drain rate is known yet —
+#: a fresh daemon has served nothing, so assume a modest service time.
+RETRY_AFTER_FALLBACK_PER_REQ_MS = 25.0
+
+
+class DrainTracker:
+    """Sliding-window completion counter: recent drain rate in req/s.
+
+    The batcher records each flushed batch; :meth:`rate_rps` divides
+    completions inside the window by the observed span. Thread-safe —
+    connection handlers read rates while the batcher thread records.
+    """
+
+    def __init__(self, window_s: float = 5.0) -> None:
+        self.window_s = float(window_s)
+        self._lock = threading.Lock()
+        self._events: collections.deque[tuple[float, int]] = \
+            collections.deque()
+
+    def record(self, n: int, now: float | None = None) -> None:
+        """Account ``n`` completed requests at time ``now``."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self._events.append((now, int(n)))
+            self._trim(now)
+
+    def _trim(self, now: float) -> None:
+        horizon = now - self.window_s
+        while self._events and self._events[0][0] < horizon:
+            self._events.popleft()
+
+    def rate_rps(self, now: float | None = None) -> float:
+        """Completions per second over the recent window (0.0 if idle)."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self._trim(now)
+            if not self._events:
+                return 0.0
+            completed = sum(n for _, n in self._events)
+            # Span from the oldest retained event; floored so a single
+            # burst does not read as an absurd rate.
+            span = max(now - self._events[0][0], 0.050)
+            return completed / span
+
+
+def retry_after_ms(queue_depth: int, drain_rate_rps: float) -> float:
+    """How long (ms) until a retry likely clears the current backlog."""
+    ahead = max(queue_depth, 1)
+    if drain_rate_rps > 0.0:
+        hint = ahead / drain_rate_rps * 1e3
+    else:
+        hint = ahead * RETRY_AFTER_FALLBACK_PER_REQ_MS
+    return round(min(max(hint, RETRY_AFTER_MIN_MS), RETRY_AFTER_MAX_MS),
+                 3)
+
+
 def busy_response(request_id: object, queue_depth: int,
-                  queue_bound: int) -> dict:
-    """The typed shed response admission control returns under load."""
+                  queue_bound: int,
+                  retry_after: float | None = None) -> dict:
+    """The typed shed response admission control returns under load.
+
+    ``retry_after`` is the drain-rate-derived hint in milliseconds
+    (computed via :func:`retry_after_ms`); ``None`` falls back to the
+    no-rate estimate from the queue depth alone.
+    """
+    if retry_after is None:
+        retry_after = retry_after_ms(queue_depth, 0.0)
     return {
         "id": request_id,
         "ok": False,
@@ -43,6 +120,7 @@ def busy_response(request_id: object, queue_depth: int,
         "queue_depth": queue_depth,
         "queue_bound": queue_bound,
         "retry": True,
+        "retry_after_ms": retry_after,
     }
 
 

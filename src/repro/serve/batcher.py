@@ -21,12 +21,25 @@ Admission control: :meth:`MicroBatcher.submit` sheds with a typed
 :class:`~repro.errors.BusyError` when the queue is at ``queue_bound``
 — callers translate it into the ``busy`` wire response instead of
 letting the backlog (and every queued request's latency) grow without
-bound.
+bound. The error carries a ``retry_after_ms`` hint computed from the
+queue depth and the batcher's recent drain rate
+(:class:`~repro.serve.admission.DrainTracker`).
 
 Priority: when a :class:`~repro.serve.admission.TenantLedger` is
 attached, each flush drains pending requests in descending tenant SLA
 pressure (ties broken FIFO), so tenants nearest their latency budget
 are served first.
+
+Hang recovery: Python threads cannot be killed, so a hung executor is
+handled by *abandonment*. The batcher tracks its in-flight batch and a
+generation counter; the supervisor's watchdog calls
+:meth:`MicroBatcher.abandon_inflight` when :meth:`inflight_age`
+exceeds the batch timeout. Abandonment fails only the in-flight
+requests with a typed :class:`~repro.errors.BatchTimeoutError`, bumps
+the generation, and starts a replacement consumer thread — queued
+requests are untouched and drain normally. If the stale thread ever
+wakes, it observes the generation mismatch, discards its work without
+touching any request, and exits.
 """
 
 from __future__ import annotations
@@ -36,8 +49,10 @@ import time
 from collections.abc import Callable, Sequence
 
 from repro.errors import BusyError, ServeClosedError
+from repro.exec import faults
 from repro.obs.metrics import METRICS
-from repro.serve.admission import TenantLedger
+from repro.serve.admission import (DrainTracker, TenantLedger,
+                                   retry_after_ms)
 
 
 class _Pending:
@@ -67,7 +82,8 @@ class MicroBatcher:
 
     def __init__(self, execute: Callable[[Sequence], list],
                  max_batch: int, max_wait_us: int, queue_bound: int,
-                 ledger: TenantLedger | None = None) -> None:
+                 ledger: TenantLedger | None = None,
+                 name: str = "batcher") -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if max_wait_us < 0:
@@ -83,13 +99,25 @@ class MicroBatcher:
         self.max_wait_us = max_wait_us
         self.queue_bound = queue_bound
         self.ledger = ledger
+        self.name = name
+        self.drain = DrainTracker()
         self._cv = threading.Condition()
         self._queue: list[_Pending] = []
         self._seq = 0
         self._closed = False
-        self._thread = threading.Thread(
-            target=self._loop, name="repro-serve-batcher", daemon=True)
-        self._thread.start()
+        self._generation = 0
+        self._inflight: list[_Pending] = []
+        self._inflight_since: float | None = None
+        self._restarts = 0
+        self._thread = self._spawn(self._generation)
+
+    def _spawn(self, generation: int) -> threading.Thread:
+        thread = threading.Thread(
+            target=self._loop, args=(generation,),
+            name=f"repro-serve-batcher-{self.name}-g{generation}",
+            daemon=True)
+        thread.start()
+        return thread
 
     # ------------------------------------------------------------------
     # Producer side (connection handler threads).
@@ -110,6 +138,8 @@ class MicroBatcher:
                 raise BusyError(
                     f"serve queue full ({depth}/{self.queue_bound})",
                     queue_depth=depth,
+                    retry_after_ms=retry_after_ms(
+                        depth, self.drain.rate_rps()),
                 )
             self._seq += 1
             pending = _Pending(item, tenant, self._seq)
@@ -126,22 +156,75 @@ class MicroBatcher:
             return len(self._queue)
 
     # ------------------------------------------------------------------
-    # Consumer side (the single batcher thread).
+    # Watchdog interface (the supervisor thread).
     # ------------------------------------------------------------------
-    def _take_batch(self) -> list[_Pending] | None:
-        """Block until a flush condition holds; None on drained close."""
+    def inflight_age(self) -> float | None:
+        """Seconds the current in-flight batch has been executing.
+
+        ``None`` when nothing is in flight — the watchdog's signal
+        that this batcher is healthy (or merely idle).
+        """
+        with self._cv:
+            if self._inflight_since is None:
+                return None
+            return time.monotonic() - self._inflight_since
+
+    @property
+    def restarts(self) -> int:
+        """How many times the consumer thread has been abandoned."""
+        with self._cv:
+            return self._restarts
+
+    def abandon_inflight(self, error: BaseException) -> int:
+        """Fail the in-flight batch and restart the consumer thread.
+
+        Delivers ``error`` to every in-flight request (queued requests
+        are untouched), bumps the generation so the stale thread
+        discards whatever it eventually produces, and spawns a fresh
+        consumer. Returns the number of requests failed (0 when
+        nothing was in flight — a race with normal completion, which
+        is benign).
+        """
+        with self._cv:
+            batch = self._inflight
+            if not batch:
+                return 0
+            self._inflight = []
+            self._inflight_since = None
+            self._generation += 1
+            self._restarts += 1
+            if not self._closed:
+                self._thread = self._spawn(self._generation)
+            self._cv.notify_all()
+        for pending in batch:
+            pending.error = error
+            pending.event.set()
+        METRICS.incr("serve.batcher_restarts")
+        return len(batch)
+
+    # ------------------------------------------------------------------
+    # Consumer side (the single *current-generation* batcher thread).
+    # ------------------------------------------------------------------
+    def _take_batch(self, generation: int) -> list[_Pending] | None:
+        """Block until a flush condition holds; None on drained close
+        or when this thread's generation has been superseded."""
         with self._cv:
             while not self._queue:
-                if self._closed:
+                if self._closed or self._generation != generation:
                     return None
                 self._cv.wait()
+            if self._generation != generation:
+                return None
             deadline = self._queue[0].enqueued + self.max_wait_us / 1e6
             while (len(self._queue) < self.max_batch
-                    and not self._closed):
+                    and not self._closed
+                    and self._generation == generation):
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     break
                 self._cv.wait(timeout=remaining)
+            if self._generation != generation:
+                return None
             if len(self._queue) >= self.max_batch:
                 METRICS.incr("serve.flush_full")
             else:
@@ -155,15 +238,38 @@ class MicroBatcher:
                     key=lambda p: (-pressures[p.tenant], p.seq))
             batch = self._queue[:self.max_batch]
             del self._queue[:self.max_batch]
+            self._inflight = batch
+            self._inflight_since = time.monotonic()
             return batch
 
-    def _loop(self) -> None:
+    def _finish_batch(self, generation: int) -> bool:
+        """Clear in-flight state; False when this thread is stale."""
+        with self._cv:
+            if self._generation != generation:
+                METRICS.incr("serve.stale_batches_discarded")
+                return False
+            self._inflight = []
+            self._inflight_since = None
+            return True
+
+    def _loop(self, generation: int) -> None:
         while True:
-            batch = self._take_batch()
+            batch = self._take_batch(generation)
             if batch is None:
                 return
             METRICS.observe("serve.batch_size", len(batch))
             METRICS.incr("serve.batches")
+            plan = faults.active_plan()
+            if plan is not None and faults.should_inject(
+                    "batch_hang", f"serve.batch/{self.name}"):
+                # The executor "hangs": if hang_s exceeds the batch
+                # timeout, the supervisor abandons this generation
+                # while we sleep.
+                time.sleep(plan.hang_s)
+                with self._cv:
+                    if self._generation != generation:
+                        METRICS.incr("serve.stale_batches_discarded")
+                        return
             start = time.perf_counter()
             try:
                 results = self._execute([p.item for p in batch])
@@ -173,13 +279,18 @@ class MicroBatcher:
                         f"{len(batch)} items"
                     )
             except BaseException as exc:  # delivered, not swallowed
+                if not self._finish_batch(generation):
+                    return
                 for pending in batch:
                     pending.error = exc
                     pending.event.set()
                 continue
+            if not self._finish_batch(generation):
+                return
             METRICS.add_time("serve.execute",
                              time.perf_counter() - start)
             done = time.monotonic()
+            self.drain.record(len(batch), now=done)
             for pending, result in zip(batch, results):
                 pending.response = result
                 latency = done - pending.enqueued

@@ -13,14 +13,29 @@ Request shapes (all dicts)::
 
     {"op": "ping"}
     {"op": "stats"}
+    {"op": "health"}
     {"op": "shutdown"}
-    {"op": "adapt",  "trace_index": 3, "tenant": "t0"}
+    {"op": "adapt",  "trace_index": 3, "tenant": "t0", "key": "c1-7"}
     {"op": "decide", "mode": "low_power", "window": [[...], ...],
      "tenant": "t1"}
 
+``key`` is an optional client-chosen idempotency key for batched ops:
+the daemon deduplicates — a retried or hedged request whose original
+already executed (or is executing) returns the original's payload
+instead of running twice.
+
 Responses carry ``{"ok": true, ...}`` or a typed error
 ``{"ok": false, "error": "<kind>", ...}`` — ``busy`` is the admission
--control shed response and includes ``queue_depth``.
+-control shed response and includes ``queue_depth`` plus a computed
+``retry_after_ms`` hint.
+
+Fault injection: :func:`send_frame` accepts an optional ``fault_key``
+naming the send site. When a :class:`~repro.exec.faults.FaultPlan` is
+active, the serve-site kinds fire there — ``conn_drop`` (abrupt
+close, no response), ``corrupt_frame`` (first body byte overwritten
+with an invalid UTF-8 byte, so the peer's decode deterministically
+fails), ``slow_peer`` (partial frame, stall, rest). Calls without a
+``fault_key`` (clients, tests) are never injected.
 """
 
 from __future__ import annotations
@@ -29,13 +44,15 @@ import hashlib
 import json
 import socket
 import struct
+import time
 
 import numpy as np
 
 from repro.errors import ProtocolError
+from repro.exec import faults
 
 #: Known request operations, in dispatch order.
-OPS = ("ping", "stats", "adapt", "decide", "shutdown")
+OPS = ("ping", "stats", "health", "adapt", "decide", "shutdown")
 
 #: Operations the micro-batcher coalesces (the inference hot path);
 #: the rest are answered inline by the connection handler.
@@ -61,9 +78,42 @@ def encode_frame(obj: dict) -> bytes:
     return _LEN.pack(len(body)) + body
 
 
-def send_frame(sock: socket.socket, obj: dict) -> None:
-    """Write one frame to a connected socket."""
-    sock.sendall(encode_frame(obj))
+def send_frame(sock: socket.socket, obj: dict,
+               fault_key: str | None = None) -> None:
+    """Write one frame to a connected socket.
+
+    ``fault_key`` names this send as an injectable fault site (the
+    daemon passes ``serve.send/<op>``); ``None`` sends cleanly always.
+    """
+    frame = encode_frame(obj)
+    plan = faults.active_plan() if fault_key is not None else None
+    if plan is not None:
+        if faults.should_inject("conn_drop", f"{fault_key}/conn_drop"):
+            # The peer sees EOF mid-exchange, exactly like a daemon
+            # losing the connection after executing the request.
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            sock.close()
+            raise OSError(f"injected conn_drop at {fault_key}")
+        if faults.should_inject("corrupt_frame",
+                                f"{fault_key}/corrupt_frame"):
+            # 0xFF is invalid UTF-8, so the peer's decode always fails
+            # with a typed ProtocolError — never a silently-valid
+            # mutated JSON document.
+            frame = frame[:_LEN.size] + b"\xff" + frame[_LEN.size + 1:]
+            sock.sendall(frame)
+            return
+        if faults.should_inject("slow_peer", f"{fault_key}/slow_peer"):
+            # Stall with a partial frame on the wire: the peer's
+            # reader must reassemble split frames (and a hedging
+            # client may beat the stall on a second connection).
+            sock.sendall(frame[:3])
+            time.sleep(plan.hang_s)
+            sock.sendall(frame[3:])
+            return
+    sock.sendall(frame)
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes | None:

@@ -24,10 +24,29 @@ bit-identical to per-trace :meth:`run` calls (the repo-wide batched-
 path invariant), and ``decide`` batches concatenate telemetry windows
 into one ``predict_proba`` per (mode, model) — row-wise inference, so
 slicing the stacked result back apart returns identical bits.
+
+Resilience (see the failure ladder in DESIGN.md):
+
+* a :class:`~repro.serve.supervisor.BatcherSupervisor` watchdog
+  abandons batches hung past ``REPRO_SERVE_BATCH_TIMEOUT``, failing
+  only the in-flight requests with a typed ``timeout`` response;
+* each batched op runs behind a
+  :class:`~repro.serve.supervisor.ServeCircuitBreaker` that degrades
+  ``batched → serial → shed`` on repeated failures and probes its way
+  back;
+* requests carrying an idempotency ``key`` are deduplicated, so a
+  client retrying (or hedging) after a dropped/corrupted response
+  frame observes the original execution's payload instead of running
+  twice;
+* with a checkpoint path configured, :func:`build_server` restores
+  warm state (corpus + trained predictor + surrogate tier) from a
+  CRC-validated checkpoint and writes one after any cold build, so a
+  supervised restart reaches ready in a fraction of a cold start.
 """
 
 from __future__ import annotations
 
+import collections
 import os
 import signal
 import socket
@@ -41,20 +60,32 @@ from repro.config import active_exec_config
 from repro.core.adaptive_cpu import AdaptiveCPU
 from repro.core.predictor import DualModePredictor
 from repro.data.builders import build_mode_dataset
-from repro.errors import BusyError, ProtocolError, ServeClosedError
-from repro.errors import ServeError
+from repro.errors import BatchTimeoutError, BusyError, CheckpointError
+from repro.errors import ProtocolError, ServeClosedError, ServeError
+from repro.exec import faults
 from repro.exec.parallel import ParallelMap, close_pools
 from repro.exec.parallel import default_parallel_map
 from repro.ml.base import Estimator
 from repro.ml.forest import RandomForestClassifier
 from repro.obs import tracer
 from repro.obs.metrics import METRICS
-from repro.serve.admission import TenantLedger, busy_response
+from repro.serve.admission import (TenantLedger, busy_response,
+                                   retry_after_ms)
 from repro.serve.batcher import MicroBatcher
+from repro.serve.checkpoint import (corpus_fingerprint, load_checkpoint,
+                                    save_checkpoint)
 from repro.serve.protocol import BATCHED_OPS, OPS, adapt_payload
 from repro.serve.protocol import decide_payload, recv_frame, send_frame
+from repro.serve.supervisor import BatcherSupervisor, ServeCircuitBreaker
 from repro.uarch.modes import Mode
 from repro.workloads.generator import TraceSpec, generate_application
+
+#: Exit code of an injected ``daemon_crash`` (and the supervised
+#: restart tests' marker for "died as planned, restart me").
+DAEMON_CRASH_EXIT = 86
+
+#: Completed idempotency-key entries retained for dedup lookups.
+DEDUP_CAPACITY = 4096
 
 #: Workload families the deterministic serving corpus cycles through —
 #: the same coverage mix the perf benchmarks use.
@@ -130,6 +161,23 @@ def quick_forest_predictor(traces: list[TraceSpec],
                              granularity_factor=1)
 
 
+class _DedupEntry:
+    """Execution record for one idempotency key.
+
+    In flight until ``event`` is set; then either ``payload`` (the
+    original execution's result, returned to every retry/hedge) or
+    ``error`` (delivered to concurrent waiters, after which the entry
+    is dropped so a later retry re-executes).
+    """
+
+    __slots__ = ("event", "payload", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.payload: dict | None = None
+        self.error: BaseException | None = None
+
+
 def _tier_from_deltas(accepted: int, fallback: int) -> str:
     """Which simulation tier served a batch, from counter deltas."""
     if accepted > 0 and fallback == 0:
@@ -154,6 +202,11 @@ class AdaptationServer:
                  max_batch: int | None = None,
                  max_wait_us: int | None = None,
                  queue_bound: int | None = None,
+                 batch_timeout_s: float | None = None,
+                 breaker_threshold: int | None = None,
+                 breaker_cooldown_s: float | None = None,
+                 init_s: float = 0.0,
+                 checkpoint_info: dict | None = None,
                  pmap: ParallelMap | None = None) -> None:
         config = active_exec_config()
         self.cpu = cpu
@@ -165,6 +218,11 @@ class AdaptationServer:
                             else config.serve_batch_wait_us)
         self.queue_bound = (queue_bound if queue_bound is not None
                             else config.serve_queue_bound)
+        self.batch_timeout_s = (
+            batch_timeout_s if batch_timeout_s is not None
+            else config.serve_batch_timeout_s)
+        self.init_s = init_s
+        self.checkpoint_info = checkpoint_info
         self._pmap = pmap if pmap is not None else default_parallel_map()
         self.ledger = TenantLedger()
         self._listener: socket.socket | None = None
@@ -177,14 +235,28 @@ class AdaptationServer:
         self._shutdown_done = False
         self._started = time.monotonic()
         self._requests = 0
+        self._executors = {"adapt": self._execute_adapt,
+                           "decide": self._execute_decide}
         self._batchers = {
-            "adapt": MicroBatcher(self._execute_adapt, self.max_batch,
-                                  self.max_wait_us, self.queue_bound,
-                                  ledger=self.ledger),
-            "decide": MicroBatcher(self._execute_decide, self.max_batch,
-                                   self.max_wait_us, self.queue_bound,
-                                   ledger=self.ledger),
+            op: MicroBatcher(executor, self.max_batch,
+                             self.max_wait_us, self.queue_bound,
+                             ledger=self.ledger, name=op)
+            for op, executor in self._executors.items()
         }
+        threshold = (breaker_threshold if breaker_threshold is not None
+                     else config.serve_breaker_threshold)
+        cooldown = (breaker_cooldown_s
+                    if breaker_cooldown_s is not None
+                    else config.serve_breaker_cooldown_s)
+        self.breakers = {
+            op: ServeCircuitBreaker(threshold, cooldown, name=op)
+            for op in self._batchers
+        }
+        self.supervisor = BatcherSupervisor(
+            self._batchers, self.batch_timeout_s, breakers=self.breakers)
+        self._dedup: "collections.OrderedDict[str, _DedupEntry]" = \
+            collections.OrderedDict()
+        self._dedup_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -207,6 +279,7 @@ class AdaptationServer:
         # arena indices instead of re-packing the corpus per request.
         if self._pmap.uses_processes(len(self.traces), "adaptive_prepare"):
             self.cpu.install_resident_arena(self.traces)
+        self.supervisor.start()
         accept = threading.Thread(target=self._accept_loop,
                                   name="repro-serve-accept", daemon=True)
         accept.start()
@@ -247,6 +320,7 @@ class AdaptationServer:
                 return
             self._shutdown_done = True
         self._stop.set()
+        self.supervisor.stop()
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -322,7 +396,9 @@ class AdaptationServer:
                     return
                 response = self._dispatch(request)
                 try:
-                    send_frame(conn, response)
+                    send_frame(conn, response,
+                               fault_key=f"serve.send/"
+                                         f"{request.get('op')}")
                 except OSError:
                     return
                 if request.get("op") == "shutdown":
@@ -354,6 +430,9 @@ class AdaptationServer:
         if op == "stats":
             return {"id": request_id, "ok": True, "op": "stats",
                     "stats": self._stats()}
+        if op == "health":
+            return {"id": request_id, "ok": True, "op": "health",
+                    "health": self._health()}
         if op == "shutdown":
             # The connection handler triggers the actual stop after the
             # acknowledgement frame has been written back.
@@ -364,18 +443,117 @@ class AdaptationServer:
         if error is not None:
             return {"id": request_id, "ok": False, "error": "bad_request",
                     "detail": error}
+        if faults.should_inject("daemon_crash",
+                                f"serve.dispatch/{op}"):
+            # The whole process dies mid-dispatch, exactly like a
+            # segfaulting native extension: no response frame, every
+            # connection drops, the supervising parent re-execs.
+            os._exit(DAEMON_CRASH_EXIT)
+        breaker = self.breakers[op]
+        level = breaker.route()
         try:
-            with tracer.span("serve.request", op=op, tenant=tenant):
-                payload = self._batchers[op].submit(request, tenant)
+            with tracer.span("serve.request", op=op, tenant=tenant,
+                             level=level):
+                payload = self._execute_keyed(op, request, tenant,
+                                              level)
         except BusyError as exc:
+            # Load shed (queue full or breaker level 2): back-pressure
+            # working as designed, not an executor failure — the
+            # breaker does not record it either way.
             return busy_response(request_id, exc.queue_depth,
-                                 self.queue_bound)
+                                 self.queue_bound,
+                                 retry_after=exc.retry_after_ms)
         except ServeClosedError:
             return {"id": request_id, "ok": False, "error": "closed"}
+        except BatchTimeoutError as exc:
+            breaker.record_failure()
+            return {"id": request_id, "ok": False, "error": "timeout",
+                    "detail": str(exc), "retry": True}
         except Exception as exc:  # executor failure, typed for the peer
+            breaker.record_failure()
             return {"id": request_id, "ok": False, "error": "internal",
                     "detail": f"{type(exc).__name__}: {exc}"}
+        breaker.record_success()
         return {"id": request_id, "ok": True, "op": op, **payload}
+
+    # ------------------------------------------------------------------
+    # Routing: breaker level + idempotency-key dedup.
+    # ------------------------------------------------------------------
+    def _execute_routed(self, op: str, request: dict, tenant: str,
+                        level: int) -> dict:
+        """Run one request at the breaker-chosen execution level."""
+        batcher = self._batchers[op]
+        if level >= 2:
+            METRICS.incr("serve.breaker_shed")
+            depth = batcher.depth()
+            raise BusyError(
+                f"op {op!r} shed by circuit breaker",
+                queue_depth=depth,
+                retry_after_ms=retry_after_ms(
+                    max(depth, 1), batcher.drain.rate_rps()),
+            )
+        if level == 1:
+            # Serial per-request on the handler thread: no batching
+            # amortisation, but one poisoned batch partner cannot take
+            # this request down with it.
+            METRICS.incr("serve.serial_requests")
+            return self._executors[op]([request])[0]
+        return batcher.submit(request, tenant)
+
+    def _execute_keyed(self, op: str, request: dict, tenant: str,
+                       level: int) -> dict:
+        """Dedup wrapper: one execution per idempotency key.
+
+        The first request claiming a key executes; concurrent
+        duplicates (a hedge, or a retry racing a slow original) wait
+        and receive the original's payload. A failed execution drops
+        the entry so a later retry runs fresh; a successful payload is
+        retained (bounded LRU) for retries arriving after the original
+        connection died mid-response.
+        """
+        key = request.get("key")
+        if key is None or not isinstance(key, str):
+            return self._execute_routed(op, request, tenant, level)
+        with self._dedup_lock:
+            entry = self._dedup.get(key)
+            owner = entry is None
+            if owner:
+                entry = _DedupEntry()
+                self._dedup[key] = entry
+            else:
+                self._dedup.move_to_end(key)
+        if not owner:
+            METRICS.incr("serve.dedup_hits")
+            # Bounded wait: the original is subject to the batch
+            # timeout plus restart slack, so a vanished owner cannot
+            # park retries forever.
+            entry.event.wait(timeout=max(self.batch_timeout_s * 4,
+                                         60.0))
+            if entry.payload is not None:
+                return entry.payload
+            if entry.error is not None:
+                raise entry.error
+            raise ServeError(
+                f"timed out waiting for original execution of "
+                f"key {key!r}"
+            )
+        try:
+            payload = self._execute_routed(op, request, tenant, level)
+        except BaseException as exc:
+            with self._dedup_lock:
+                self._dedup.pop(key, None)
+            entry.error = exc
+            entry.event.set()
+            raise
+        entry.payload = payload
+        entry.event.set()
+        with self._dedup_lock:
+            while len(self._dedup) > DEDUP_CAPACITY:
+                old_key, old = next(iter(self._dedup.items()))
+                if not old.event.is_set():
+                    break  # never evict an in-flight execution
+                del self._dedup[old_key]
+        return payload
 
     def _validate(self, op: str, request: dict) -> str | None:
         if op == "adapt":
@@ -477,33 +655,112 @@ class AdaptationServer:
             "tenants": self.ledger.snapshot(),
         }
 
+    def _health(self) -> dict:
+        """Liveness/degradation surface for probes and operators."""
+        checkpoint = None
+        if self.checkpoint_info is not None:
+            checkpoint = dict(self.checkpoint_info)
+            created = checkpoint.pop("created", None)
+            if created is not None:
+                checkpoint["age_s"] = round(
+                    max(time.time() - created, 0.0), 3)
+        with self._dedup_lock:
+            dedup_entries = len(self._dedup)
+        return {
+            "ready": not self._stop.is_set(),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "init_s": round(self.init_s, 6),
+            "requests": self._requests,
+            "queue_depth": {op: b.depth()
+                            for op, b in self._batchers.items()},
+            "drain_rps": {op: round(b.drain.rate_rps(), 3)
+                          for op, b in self._batchers.items()},
+            "breakers": {op: breaker.snapshot()
+                         for op, breaker in self.breakers.items()},
+            "watchdog": self.supervisor.snapshot(),
+            "batch_timeout_s": self.batch_timeout_s,
+            "checkpoint": checkpoint,
+            "dedup_entries": dedup_entries,
+        }
+
 
 def build_server(address: str | tuple[str, int],
                  predictor_kind: str = "forest",
                  n_apps: int = 8, workloads_per_app: int = 2,
                  intervals: int = 96, seed: int = 11,
+                 checkpoint_path: str | None = None,
                  **kwargs) -> AdaptationServer:
     """Assemble the standard daemon: corpus, predictor, server.
 
     ``predictor_kind`` is ``"forest"`` (quick-trained dual random
     forest, the realistic default) or ``"const"`` (fixed-probability
     stub, instant startup for protocol-level tests).
+
+    With ``checkpoint_path`` (default: the active config's
+    ``REPRO_SERVE_CHECKPOINT``), warm state is restored from a valid
+    checkpoint whose fingerprint matches the requested corpus —
+    skipping corpus synthesis and predictor training — and written
+    after any cold build so the *next* start is warm. A rejected
+    checkpoint (missing, corrupt, fingerprint mismatch) costs nothing
+    but the cold build it would have avoided.
     """
-    traces = serving_corpus(n_apps, workloads_per_app, intervals, seed)
-    if predictor_kind == "forest":
-        predictor = quick_forest_predictor(traces)
-    elif predictor_kind == "const":
-        predictor = const_predictor()
-    else:
-        raise ServeError(
-            f"unknown predictor kind {predictor_kind!r}; expected "
-            f"'forest' or 'const'"
-        )
-    cpu = AdaptiveCPU(predictor)
-    return AdaptationServer(cpu, traces, address, **kwargs)
+    config = active_exec_config()
+    if checkpoint_path is None:
+        checkpoint_path = config.serve_checkpoint
+    fingerprint = corpus_fingerprint(predictor_kind, n_apps,
+                                     workloads_per_app, intervals, seed)
+    init_start = time.perf_counter()
+    checkpoint_info: dict | None = None
+    cpu: AdaptiveCPU | None = None
+    traces: list[TraceSpec] | None = None
+    if checkpoint_path:
+        try:
+            state = load_checkpoint(checkpoint_path, fingerprint)
+        except CheckpointError as exc:
+            METRICS.incr("serve.checkpoint_rejected")
+            checkpoint_info = {"path": checkpoint_path,
+                               "loaded": False,
+                               "rejected": str(exc)}
+        else:
+            METRICS.incr("serve.checkpoint_loads")
+            cpu = state["cpu"]
+            traces = state["traces"]
+            checkpoint_info = {"path": checkpoint_path, "loaded": True,
+                               "created": state["created"]}
+    if cpu is None or traces is None:
+        traces = serving_corpus(n_apps, workloads_per_app, intervals,
+                                seed)
+        if predictor_kind == "forest":
+            predictor = quick_forest_predictor(traces)
+        elif predictor_kind == "const":
+            predictor = const_predictor()
+        else:
+            raise ServeError(
+                f"unknown predictor kind {predictor_kind!r}; expected "
+                f"'forest' or 'const'"
+            )
+        cpu = AdaptiveCPU(predictor)
+        if checkpoint_path:
+            try:
+                saved = save_checkpoint(checkpoint_path, cpu, traces,
+                                        fingerprint)
+            except CheckpointError:
+                METRICS.incr("serve.checkpoint_save_failed")
+            else:
+                METRICS.incr("serve.checkpoint_saves")
+                rejected = (checkpoint_info or {}).get("rejected")
+                checkpoint_info = {"path": checkpoint_path,
+                                   "loaded": False,
+                                   "created": time.time(),
+                                   "bytes": saved["bytes"]}
+                if rejected:
+                    checkpoint_info["rejected"] = rejected
+    init_s = time.perf_counter() - init_start
+    return AdaptationServer(cpu, traces, address, init_s=init_s,
+                            checkpoint_info=checkpoint_info, **kwargs)
 
 
 #: Ops the batcher coalesces — re-exported for introspection parity.
 __all__ = ["AdaptationServer", "ConstProbModel", "BATCHED_OPS",
-           "build_server", "const_predictor", "quick_forest_predictor",
-           "serving_corpus"]
+           "DAEMON_CRASH_EXIT", "build_server", "const_predictor",
+           "quick_forest_predictor", "serving_corpus"]

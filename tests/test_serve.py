@@ -266,10 +266,15 @@ class TestMicroBatcher:
 # ---------------------------------------------------------------------
 class TestAdmission:
     def test_busy_response_shape(self):
-        response = busy_response(7, 64, 64)
+        response = busy_response(7, 64, 64, retry_after=120.0)
         assert response == {"id": 7, "ok": False, "error": "busy",
                             "queue_depth": 64, "queue_bound": 64,
-                            "retry": True}
+                            "retry": True, "retry_after_ms": 120.0}
+
+    def test_busy_response_computes_fallback_hint(self):
+        # No drain rate known: depth * per-request fallback, clamped.
+        response = busy_response(1, 4, 64)
+        assert response["retry_after_ms"] == 100.0
 
     def test_unseen_tenant_has_zero_pressure(self):
         assert TenantLedger().pressure("nobody") == 0.0
