@@ -1,0 +1,380 @@
+"""Benchmark for the continual-adaptation loop (repro.online).
+
+Drives the full drift -> retrain -> shadow-gate -> hot-swap story
+against a live daemon under closed-loop client load and writes a
+machine-readable ``BENCH_online.json`` at the repo root:
+
+* **continual** — a workload-mix shift is served until the drift
+  detector trips, the learner retrains on the drifted window and the
+  promoted model hot-swaps in, all while client threads hammer the
+  daemon. Records drift-to-promotion time, request p99 in steady state
+  vs during the retrain/swap window, and that a deliberately degraded
+  candidate offered at the *next* drift event is rejected by the
+  shadow gate.
+* **swap** — the fence's observables: swap latency, every response's
+  digest checked against a direct run on the model of its stamped
+  generation (zero mismatches tolerated), and the pin/stale behavior
+  across the promotion.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_online.py
+
+``--smoke`` is the CI mode: a small corpus and short load, with hard
+assertions — zero failed requests, zero digest mismatches, promotion
+reached, degraded candidate rejected — plus the ``BENCH_online.json``
+staleness guard. Exits non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StaleGenerationError
+from repro.serve import (ServeClient, adapt_payload, build_server,
+                         wait_until_ready)
+from repro.serve.server import AdaptationServer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Keys every recorded ``BENCH_online.json`` section must carry —
+#: the same staleness contract as BENCH_serve.json / BENCH_perf.json.
+SECTION_KEYS: dict[str, frozenset] = {
+    "continual": frozenset({
+        "clients", "requests", "failed", "drift_to_promotion_s",
+        "steady_p99_ms", "retrain_p99_ms", "pre_swap_generation",
+        "post_swap_generation", "promoted", "retrains_to_promotion",
+        "degraded_rejected", "ring_samples", "drift_checks"}),
+    "swap": frozenset({
+        "swaps", "swap_latency_ms", "digests_checked",
+        "digest_mismatches", "stale_pin_errors"}),
+}
+
+
+def _merge_bench_doc(output: Path | None, sections: dict) -> Path:
+    output = output or (REPO_ROOT / "BENCH_online.json")
+    doc = {"schema": 1}
+    if output.exists():
+        doc = json.loads(output.read_text())
+    doc.update(sections)
+    output.write_text(json.dumps(doc, indent=2) + "\n")
+    return output
+
+
+def check_recorded_sections(path: Path) -> list[str]:
+    """Key-diffs between a recorded ``BENCH_online.json`` and this file."""
+    problems = []
+    if not path.exists():
+        return problems
+    doc = json.loads(path.read_text())
+    for section, keys in SECTION_KEYS.items():
+        recorded = doc.get(section)
+        if recorded is None:
+            continue
+        got = frozenset(recorded)
+        if got != keys:
+            problems.append(
+                f"section {section!r}: recorded keys {sorted(got)} != "
+                f"expected {sorted(keys)} — regenerate "
+                f"BENCH_online.json"
+            )
+    return problems
+
+
+def _pctl(latencies_s: list[float], q: float) -> float:
+    """Percentile in milliseconds (0.0 when the bucket is empty)."""
+    if not latencies_s:
+        return 0.0
+    return float(np.percentile(np.asarray(latencies_s), q) * 1e3)
+
+
+def _sock_path() -> str:
+    return os.path.join(tempfile.mkdtemp(prefix="repro_online_"),
+                        "serve.sock")
+
+
+def degraded_candidate(learner, _signal, _generation):
+    """A deliberately bad candidate for the rejection check:
+    never-switch gains zero PPW, so the gate's throughput axis must
+    veto it regardless of how safe it is."""
+    from repro.core.predictor import DualModePredictor
+    from repro.serve.server import ConstProbModel
+    from repro.uarch.modes import Mode
+    incumbent = learner.registry.current().cpu.predictor
+    return DualModePredictor(
+        name="degraded_never_switch",
+        models={Mode.HIGH_PERF: ConstProbModel(0.0),
+                Mode.LOW_POWER: ConstProbModel(0.0)},
+        counter_ids=np.asarray(incumbent.counter_ids),
+        granularity_factor=incumbent.granularity_factor,
+    )
+
+
+def _step_until_verdict(server: AdaptationServer, timeout_s: float,
+                        require_promotion: bool = False):
+    """Poll the learner until a drift window completes and is judged.
+
+    Returns ``(verdict, step_started, step_finished)`` — the
+    timestamps bracket the retraining/shadow-eval/swap work, so
+    requests completing inside them measure serving latency *during*
+    a retrain.
+
+    With ``require_promotion`` the loop keeps going through gate
+    rejections: a rejection does not rebaseline the detector, so the
+    drift keeps firing and the learner retrains on a fresh window each
+    round — exactly what the continual loop does in production.
+    """
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        started = time.perf_counter()
+        verdict = server.learner.step()
+        finished = time.perf_counter()
+        if verdict is not None and (verdict.promoted
+                                    or not require_promotion):
+            return verdict, started, finished
+        time.sleep(0.05)
+    raise RuntimeError(
+        f"no drift verdict within {timeout_s}s "
+        f"(detector: {server.detector.snapshot()})"
+    )
+
+
+def run_scenario(clients: int, corpus: dict,
+                 load_timeout_s: float = 120.0) -> tuple[dict, dict]:
+    """The full continual-adaptation scenario; returns both sections."""
+    server = build_server(_sock_path(), predictor_kind="forest",
+                          **corpus)
+    server.start()
+    wait_until_ready(server.address)
+    assert server.online_enabled, "REPRO_ONLINE env not applied"
+    n_traces = len(server.traces)
+    half = n_traces // 2
+    window = server.detector.window
+
+    records: list[tuple] = []  # (done_ts, generation, index, digest, s)
+    failures: list[BaseException] = []
+    stop = threading.Event()
+    phase = {"range": (0, half)}
+
+    def worker(cid: int) -> None:
+        rng = np.random.default_rng(cid)
+        try:
+            with ServeClient(server.address, tenant=f"t{cid}") as c:
+                while not stop.is_set():
+                    lo, hi = phase["range"]
+                    index = int(rng.integers(lo, hi))
+                    started = time.perf_counter()
+                    response = c.adapt(index)
+                    done = time.perf_counter()
+                    records.append((done,
+                                    response["model_generation"],
+                                    index,
+                                    response["result"]["digest"],
+                                    done - started))
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            failures.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(c,))
+               for c in range(clients)]
+    for t in threads:
+        t.start()
+    try:
+        # Steady phase on the first half of the corpus until the ring
+        # holds a full window, then baseline the detector.
+        deadline = time.monotonic() + load_timeout_s
+        while (server.ring.occupancy() < window
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        assert server.learner.step() is None  # captures the baseline
+
+        gen0_cpu = server.registry.current().cpu
+        steady_end = time.perf_counter()
+
+        # Shift the served mix to the second half; the drift detector
+        # trips once a disjoint window of the new mix has been served,
+        # and the learner retrains + shadow-gates + swaps.
+        phase["range"] = (half, n_traces)
+        drift_started = time.perf_counter()
+        verdict, step_started, step_finished = _step_until_verdict(
+            server, load_timeout_s, require_promotion=True)
+        promotion_s = time.perf_counter() - drift_started
+        promoted = bool(verdict.promoted)
+        retrains_to_promotion = int(server.learner.retrains)
+        post_gen = server.registry.generation
+        gen1_cpu = server.registry.current().cpu
+
+        # Keep serving post-swap so generation-1 responses accumulate.
+        post_deadline = time.monotonic() + 1.0
+        count_at_swap = len(records)
+        while (len(records) < count_at_swap + clients * 2
+               and time.monotonic() < post_deadline):
+            time.sleep(0.02)
+
+        # Second drift event: shift back to the first half and offer a
+        # deliberately degraded candidate — the gate must reject it.
+        server.learner.candidate_fn = degraded_candidate
+        phase["range"] = (0, half)
+        rejection, _, _ = _step_until_verdict(server, load_timeout_s)
+        degraded_rejected = not rejection.promoted
+        final_gen = server.registry.generation
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=30.0)
+        ring_samples = server.ring.snapshot()["sampled"]
+        drift_checks = server.detector.snapshot()["checks"]
+        swap_latency_ms = (
+            None if server.registry.last_swap_latency_s is None
+            else round(server.registry.last_swap_latency_s * 1e3, 3))
+
+        # Digest stability: every response must be bit-identical to a
+        # direct run on the model of its stamped generation.
+        direct = {
+            0: [adapt_payload(gen0_cpu.run(t))["digest"]
+                for t in server.traces],
+        }
+        if post_gen != 0:
+            direct[post_gen] = [adapt_payload(gen1_cpu.run(t))["digest"]
+                                for t in server.traces]
+        mismatches = sum(
+            1 for _, gen, index, digest, _ in records
+            if digest != direct[gen][index])
+
+        # Pin behavior across the promotion.
+        stale_pin_errors = 0
+        with ServeClient(server.address, pin_generation=0) as c:
+            try:
+                c.adapt(0)
+            except StaleGenerationError:
+                stale_pin_errors = 1
+        server.request_stop()
+        server.serve_forever()
+
+    steady_lat = [lat for done, _, _, _, lat in records
+                  if done <= steady_end]
+    retrain_lat = [lat for done, _, _, _, lat in records
+                   if step_started <= done <= step_finished]
+    generations = {gen for _, gen, _, _, _ in records}
+    print(f"continual: {len(records)} requests over generations "
+          f"{sorted(generations)}, {len(failures)} failed, "
+          f"drift->promotion {promotion_s:.2f}s, swap "
+          f"{swap_latency_ms}ms, steady p99 "
+          f"{_pctl(steady_lat, 99):.2f}ms vs retrain p99 "
+          f"{_pctl(retrain_lat, 99):.2f}ms, degraded rejected: "
+          f"{degraded_rejected} (final gen {final_gen})")
+    if failures:
+        raise RuntimeError(f"{len(failures)} client failures; first: "
+                           f"{failures[0]!r}")
+    continual = {
+        "clients": clients,
+        "requests": len(records),
+        "failed": len(failures),
+        "drift_to_promotion_s": round(promotion_s, 3),
+        "steady_p99_ms": round(_pctl(steady_lat, 99), 3),
+        "retrain_p99_ms": round(_pctl(retrain_lat, 99), 3),
+        "pre_swap_generation": 0,
+        "post_swap_generation": post_gen,
+        "promoted": promoted,
+        "retrains_to_promotion": retrains_to_promotion,
+        "degraded_rejected": degraded_rejected,
+        "ring_samples": int(ring_samples),
+        "drift_checks": int(drift_checks),
+    }
+    swap = {
+        "swaps": int(server.registry.swaps),
+        "swap_latency_ms": swap_latency_ms,
+        "digests_checked": len(records),
+        "digest_mismatches": int(mismatches),
+        "stale_pin_errors": stale_pin_errors,
+    }
+    return continual, swap
+
+
+def _online_env(window: int, ring: int) -> None:
+    """Continual-loop knobs for the benchmark daemon (read at server
+    construction through the active exec config)."""
+    os.environ["REPRO_ONLINE"] = "1"
+    os.environ["REPRO_ONLINE_RING"] = str(ring)
+    os.environ["REPRO_ONLINE_SAMPLE"] = "1"
+    os.environ["REPRO_ONLINE_DRIFT_WINDOW"] = str(window)
+    # The benchmark drives learner.step() itself for deterministic
+    # bracketing; the background thread just sleeps.
+    os.environ["REPRO_ONLINE_INTERVAL_S"] = "3600"
+
+
+def run_full(args: argparse.Namespace) -> int:
+    _online_env(window=32, ring=1024)
+    corpus = {"n_apps": args.apps,
+              "workloads_per_app": args.workloads_per_app,
+              "intervals": args.intervals}
+    continual, swap = run_scenario(args.clients, corpus)
+    out = _merge_bench_doc(args.output,
+                           {"continual": continual, "swap": swap})
+    print(f"wrote {out}")
+    return 0
+
+
+def run_smoke(args: argparse.Namespace) -> int:
+    """CI gate: the end-to-end loop with hard acceptance assertions."""
+    _online_env(window=16, ring=512)
+    corpus = {"n_apps": 8, "workloads_per_app": 1, "intervals": 64}
+    continual, swap = run_scenario(clients=4, corpus=corpus)
+
+    problems = check_recorded_sections(
+        args.output or (REPO_ROOT / "BENCH_online.json"))
+    if continual["failed"]:
+        problems.append(
+            f"{continual['failed']} requests failed during the swap")
+    if not continual["promoted"]:
+        problems.append("drift did not lead to a promotion")
+    if continual["post_swap_generation"] != 1:
+        problems.append(
+            f"expected generation 1 after promotion, got "
+            f"{continual['post_swap_generation']}")
+    if not continual["degraded_rejected"]:
+        problems.append(
+            "shadow gate promoted the deliberately degraded candidate")
+    if swap["digest_mismatches"]:
+        problems.append(
+            f"{swap['digest_mismatches']} responses were not "
+            f"bit-identical to their generation's direct run")
+    if swap["stale_pin_errors"] != 1:
+        problems.append(
+            "pin_generation=0 was not refused after the promotion")
+    if problems:
+        for problem in problems:
+            print(f"SMOKE FAIL: {problem}")
+        return 1
+    print("smoke ok: drift -> retrain -> shadow gate -> hot swap, "
+          f"{continual['requests']} requests, 0 failed, 0 digest "
+          "mismatches, degraded candidate rejected")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: small corpus, hard assertions")
+    parser.add_argument("--clients", type=int, default=6)
+    parser.add_argument("--apps", type=int, default=8)
+    parser.add_argument("--workloads-per-app", type=int, default=2)
+    parser.add_argument("--intervals", type=int, default=96)
+    parser.add_argument("--output", type=Path, default=None,
+                        help="bench doc path (default: repo-root "
+                             "BENCH_online.json)")
+    args = parser.parse_args()
+    if args.smoke:
+        return run_smoke(args)
+    return run_full(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

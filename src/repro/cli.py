@@ -222,14 +222,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
     server.install_signal_handlers()
     server.start()
     warm = (server.checkpoint_info or {}).get("loaded", False)
+    online = ""
+    if server.online_enabled:
+        online = (f", online gen {server.registry.generation} "
+                  f"ring {server.ring.capacity}")
     print(f"serving {len(server.traces)} traces with "
           f"{server.cpu.predictor.name} on {server.address} "
           f"(batch<={server.max_batch}, wait {server.max_wait_us}us, "
           f"queue<={server.queue_bound}, "
           f"init {server.init_s * 1e3:.1f}ms "
-          f"{'warm' if warm else 'cold'})", flush=True)
+          f"{'warm' if warm else 'cold'}{online})", flush=True)
     server.serve_forever()
     return 0
+
+
+def cmd_online_status(args: argparse.Namespace) -> int:
+    """Continual-adaptation surface of a running daemon's health op."""
+    import json
+    from repro.serve import ServeClient
+    with ServeClient(args.socket) as client:
+        health = client.health_status()
+    doc = {
+        "model_generation": health.model_generation,
+        "ready": health.ready,
+        "online": health.online,
+    }
+    print(json.dumps(doc, indent=2))
+    return 0 if health.online is not None else 1
 
 
 def cmd_request(args: argparse.Namespace) -> int:
@@ -402,7 +421,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run under a supervising parent that re-execs "
                         "the daemon on unclean death, within the "
                         "restart budget")
+    p.add_argument("--online", action="store_true", default=None,
+                   help="enable the continual-adaptation loop: sample "
+                        "served telemetry, retrain on drift, hot-swap "
+                        "promoted models (default: REPRO_ONLINE)")
+    p.add_argument("--online-ring", type=int, default=None,
+                   dest="online_ring",
+                   help="telemetry ring capacity (default: "
+                        "REPRO_ONLINE_RING or 2048)")
+    p.add_argument("--online-sample", type=int, default=None,
+                   dest="online_sample",
+                   help="sample 1 in N served requests into the ring "
+                        "(default: REPRO_ONLINE_SAMPLE or 1)")
+    p.add_argument("--online-drift-window", type=int, default=None,
+                   dest="online_drift_window",
+                   help="samples per drift-check window (default: "
+                        "REPRO_ONLINE_DRIFT_WINDOW or 64)")
+    p.add_argument("--online-drift-threshold", type=float, default=None,
+                   dest="online_drift_threshold",
+                   help="PSI threshold that trips a retrain (default: "
+                        "REPRO_ONLINE_DRIFT_THRESHOLD or 0.25)")
+    p.add_argument("--online-interval", type=float, default=None,
+                   dest="online_interval_s",
+                   help="seconds between learner drift polls (default: "
+                        "REPRO_ONLINE_INTERVAL_S or 2.0)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "online",
+        help="continual-adaptation utilities")
+    online_sub = p.add_subparsers(dest="online_command", required=True)
+    p = online_sub.add_parser(
+        "status",
+        help="model generation, ring/drift/learner state of a "
+             "running daemon")
+    _add_common(p)
+    p.add_argument("--socket", default="repro_serve.sock",
+                   help="unix socket path of the daemon")
+    p.set_defaults(func=cmd_online_status)
 
     p = sub.add_parser(
         "request",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import functools
 import os
 
 from repro.errors import ConfigurationError
@@ -228,6 +229,49 @@ SERVE_RESTARTS_ENV_VAR = "REPRO_SERVE_RESTARTS"
 
 #: Default supervised-restart budget.
 DEFAULT_SERVE_RESTARTS = 3
+
+#: Environment variable gating the continual-adaptation subsystem
+#: (:mod:`repro.online`): ``0`` (default) serves the startup predictor
+#: forever, exactly as before the subsystem existed; ``1`` samples
+#: served telemetry into a ring buffer, watches it for drift, retrains
+#: candidates in the background and hot-swaps them behind the shadow
+#: gate.
+ONLINE_ENV_VAR = "REPRO_ONLINE"
+
+#: Environment variable sizing the online telemetry ring buffer
+#: (sampled entries retained; fixed-dtype, preallocated).
+ONLINE_RING_ENV_VAR = "REPRO_ONLINE_RING"
+
+#: Default ring capacity.
+DEFAULT_ONLINE_RING = 2048
+
+#: Environment variable setting the online ring's deterministic 1-in-N
+#: request sampling rate. ``1`` samples every served request.
+ONLINE_SAMPLE_ENV_VAR = "REPRO_ONLINE_SAMPLE"
+
+#: Default online sampling rate (every request).
+DEFAULT_ONLINE_SAMPLE = 1
+
+#: Environment variable sizing the drift detector's comparison window
+#: (sampled adapt entries per window).
+ONLINE_DRIFT_WINDOW_ENV_VAR = "REPRO_ONLINE_DRIFT_WINDOW"
+
+#: Default drift window (entries).
+DEFAULT_ONLINE_DRIFT_WINDOW = 64
+
+#: Environment variable setting the population-stability-index score
+#: above which the drift detector trips a ``DriftSignal``.
+ONLINE_DRIFT_THRESHOLD_ENV_VAR = "REPRO_ONLINE_DRIFT_THRESHOLD"
+
+#: Default PSI drift threshold.
+DEFAULT_ONLINE_DRIFT_THRESHOLD = 0.25
+
+#: Environment variable setting how often (seconds) the background
+#: learner polls the ring for drift.
+ONLINE_INTERVAL_ENV_VAR = "REPRO_ONLINE_INTERVAL_S"
+
+#: Default learner poll interval (seconds).
+DEFAULT_ONLINE_INTERVAL_S = 2.0
 
 
 # ---------------------------------------------------------------------
@@ -480,6 +524,12 @@ EXEC_ENV_VARS = (
     SERVE_BREAKER_COOLDOWN_ENV_VAR,
     SERVE_CHECKPOINT_ENV_VAR,
     SERVE_RESTARTS_ENV_VAR,
+    ONLINE_ENV_VAR,
+    ONLINE_RING_ENV_VAR,
+    ONLINE_SAMPLE_ENV_VAR,
+    ONLINE_DRIFT_WINDOW_ENV_VAR,
+    ONLINE_DRIFT_THRESHOLD_ENV_VAR,
+    ONLINE_INTERVAL_ENV_VAR,
 )
 
 # ``ExecConfig.from_env`` is memoized on the raw environment strings;
@@ -498,6 +548,47 @@ def _env_memo_key() -> tuple:
     if _ENV_KEYS is not None:
         return tuple(map(_ENV_DATA.get, _ENV_KEYS))
     return tuple(os.environ.get(var) for var in EXEC_ENV_VARS)
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeView:
+    """Typed sub-view of the serving-daemon knobs.
+
+    Call sites read ``active_exec_config().serve.batch_max`` instead of
+    string-indexing the flat ``serve_*`` attribute zoo; the flat names
+    remain as deprecated shims.
+    """
+
+    batch_max: int
+    batch_wait_us: int
+    queue_bound: int
+    batch_timeout_s: float
+    breaker_threshold: int
+    breaker_cooldown_s: float
+    checkpoint: str | None
+    restarts: int
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultsView:
+    """Typed sub-view of the resilience / fault-injection knobs."""
+
+    spec: str | None
+    retries: int
+    timeout: float | None
+    simcache_verify: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class OnlineView:
+    """Typed sub-view of the continual-adaptation knobs."""
+
+    enabled: bool
+    ring: int
+    sample: int
+    drift_window: int
+    drift_threshold: float
+    interval_s: float
 
 
 @dataclasses.dataclass(frozen=True)
@@ -546,6 +637,12 @@ class ExecConfig:
     serve_breaker_cooldown_s: float = DEFAULT_SERVE_BREAKER_COOLDOWN_S
     serve_checkpoint: str | None = None
     serve_restarts: int = DEFAULT_SERVE_RESTARTS
+    online_enabled: bool = False
+    online_ring: int = DEFAULT_ONLINE_RING
+    online_sample: int = DEFAULT_ONLINE_SAMPLE
+    online_drift_window: int = DEFAULT_ONLINE_DRIFT_WINDOW
+    online_drift_threshold: float = DEFAULT_ONLINE_DRIFT_THRESHOLD
+    online_interval_s: float = DEFAULT_ONLINE_INTERVAL_S
 
     def __post_init__(self) -> None:
         if self.backend not in EXEC_BACKENDS:
@@ -624,6 +721,71 @@ class ExecConfig:
             raise ValueError(
                 f"serve_restarts must be >= 0, got {self.serve_restarts}"
             )
+        if self.online_ring < 8:
+            raise ValueError(
+                f"online_ring must be >= 8, got {self.online_ring}"
+            )
+        if self.online_sample < 1:
+            raise ValueError(
+                f"online_sample must be >= 1, got {self.online_sample}"
+            )
+        if self.online_drift_window < 8:
+            raise ValueError(
+                f"online_drift_window must be >= 8, "
+                f"got {self.online_drift_window}"
+            )
+        if self.online_drift_threshold <= 0:
+            raise ValueError(
+                f"online_drift_threshold must be > 0, "
+                f"got {self.online_drift_threshold}"
+            )
+        if self.online_interval_s <= 0:
+            raise ValueError(
+                f"online_interval_s must be > 0, "
+                f"got {self.online_interval_s}"
+            )
+
+    # ------------------------------------------------------------------
+    # Typed sub-views. ``functools.cached_property`` writes straight to
+    # the instance ``__dict__``, which bypasses the frozen-dataclass
+    # ``__setattr__`` — so the views are computed once per config and
+    # the config itself stays immutable.
+    # ------------------------------------------------------------------
+    @functools.cached_property
+    def serve(self) -> ServeView:
+        """The serving-daemon knobs, as one typed view."""
+        return ServeView(
+            batch_max=self.serve_batch_max,
+            batch_wait_us=self.serve_batch_wait_us,
+            queue_bound=self.serve_queue_bound,
+            batch_timeout_s=self.serve_batch_timeout_s,
+            breaker_threshold=self.serve_breaker_threshold,
+            breaker_cooldown_s=self.serve_breaker_cooldown_s,
+            checkpoint=self.serve_checkpoint,
+            restarts=self.serve_restarts,
+        )
+
+    @functools.cached_property
+    def faults(self) -> FaultsView:
+        """The resilience / fault-injection knobs, as one typed view."""
+        return FaultsView(
+            spec=self.fault_spec,
+            retries=self.retries,
+            timeout=self.timeout,
+            simcache_verify=self.simcache_verify,
+        )
+
+    @functools.cached_property
+    def online(self) -> OnlineView:
+        """The continual-adaptation knobs, as one typed view."""
+        return OnlineView(
+            enabled=self.online_enabled,
+            ring=self.online_ring,
+            sample=self.online_sample,
+            drift_window=self.online_drift_window,
+            drift_threshold=self.online_drift_threshold,
+            interval_s=self.online_interval_s,
+        )
 
     # ------------------------------------------------------------------
     # Construction.
@@ -682,6 +844,19 @@ class ExecConfig:
             serve_checkpoint=_env_optional(SERVE_CHECKPOINT_ENV_VAR),
             serve_restarts=_env_bounded_int(
                 SERVE_RESTARTS_ENV_VAR, DEFAULT_SERVE_RESTARTS, 0),
+            online_enabled=_env_flag(ONLINE_ENV_VAR, "0"),
+            online_ring=_env_bounded_int(
+                ONLINE_RING_ENV_VAR, DEFAULT_ONLINE_RING, 8),
+            online_sample=_env_bounded_int(
+                ONLINE_SAMPLE_ENV_VAR, DEFAULT_ONLINE_SAMPLE, 1),
+            online_drift_window=_env_bounded_int(
+                ONLINE_DRIFT_WINDOW_ENV_VAR,
+                DEFAULT_ONLINE_DRIFT_WINDOW, 8),
+            online_drift_threshold=_env_positive_float(
+                ONLINE_DRIFT_THRESHOLD_ENV_VAR,
+                DEFAULT_ONLINE_DRIFT_THRESHOLD),
+            online_interval_s=_env_positive_float(
+                ONLINE_INTERVAL_ENV_VAR, DEFAULT_ONLINE_INTERVAL_S),
         )
         _FROM_ENV_CACHE = (key, config)
         return config
@@ -710,13 +885,22 @@ class ExecConfig:
                             ("serve_queue_bound", "serve_queue_bound"),
                             ("serve_batch_timeout", "serve_batch_timeout_s"),
                             ("serve_checkpoint", "serve_checkpoint"),
-                            ("serve_restarts", "serve_restarts")):
+                            ("serve_restarts", "serve_restarts"),
+                            ("online_ring", "online_ring"),
+                            ("online_sample", "online_sample"),
+                            ("online_drift_window", "online_drift_window"),
+                            ("online_drift_threshold",
+                             "online_drift_threshold"),
+                            ("online_interval_s", "online_interval_s")):
             value = getattr(args, attr, None)
             if value is not None:
                 updates[field] = value
         surrogate = getattr(args, "surrogate", None)
         if surrogate is not None:
             updates["surrogate"] = bool(surrogate)
+        online = getattr(args, "online", None)
+        if online is not None:
+            updates["online_enabled"] = bool(online)
         arena = getattr(args, "exec_arena", None)
         if arena is not None:
             updates["arena"] = bool(arena)
@@ -777,6 +961,13 @@ class ExecConfig:
                 repr(self.serve_breaker_cooldown_s),
             SERVE_CHECKPOINT_ENV_VAR: self.serve_checkpoint,
             SERVE_RESTARTS_ENV_VAR: str(self.serve_restarts),
+            ONLINE_ENV_VAR: "1" if self.online_enabled else "0",
+            ONLINE_RING_ENV_VAR: str(self.online_ring),
+            ONLINE_SAMPLE_ENV_VAR: str(self.online_sample),
+            ONLINE_DRIFT_WINDOW_ENV_VAR: str(self.online_drift_window),
+            ONLINE_DRIFT_THRESHOLD_ENV_VAR:
+                repr(self.online_drift_threshold),
+            ONLINE_INTERVAL_ENV_VAR: repr(self.online_interval_s),
         }
 
     def apply_env(self) -> None:
@@ -958,6 +1149,14 @@ def serve_checkpoint_path() -> str | None:
 def serve_restarts() -> int:
     """Supervised-restart budget (``REPRO_SERVE_RESTARTS``)."""
     return active_exec_config().serve_restarts
+
+
+def online_enabled() -> bool:
+    """Whether continual adaptation is on (``REPRO_ONLINE``).
+
+    .. deprecated:: read ``active_exec_config().online.enabled``.
+    """
+    return active_exec_config().online_enabled
 
 
 def exec_chunk_size() -> int | None:

@@ -112,6 +112,38 @@ class CheckpointError(ServeError):
     """
 
 
+class StaleGenerationError(ServeError):
+    """A generation-constrained request could not be satisfied.
+
+    Raised client-side when a request carrying ``pin_generation`` was
+    answered (or would be answered) by a different model generation, or
+    one carrying ``min_generation`` reached a daemon still serving an
+    older generation. Carries both sides of the comparison so callers
+    can decide whether waiting for a promotion will help.
+    """
+
+    def __init__(self, message: str, requested: int | None = None,
+                 current: int | None = None) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.current = current
+
+
+class OnlineError(ReproError):
+    """Base class for continual-adaptation (``repro.online``) failures."""
+
+
+class SwapGateError(OnlineError):
+    """A candidate predictor failed the registry's compatibility gate.
+
+    Hot-swapping is only safe for candidates that preserve the
+    incumbent's counter set and gating granularity — those are the two
+    predictor properties baked into the resident arena's prepared
+    telemetry. An incompatible candidate is rejected before any state
+    changes; the incumbent keeps serving.
+    """
+
+
 class RetriesExhaustedError(ServeError):
     """A client gave up after its full retry budget.
 

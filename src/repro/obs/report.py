@@ -123,6 +123,25 @@ def render_report(metrics: Metrics | None = None) -> str:
         if serve_resilience:
             lines.append(
                 f"  serve resilience: {', '.join(serve_resilience)}")
+        legacy = snap["counters"].get("serve.legacy_frames")
+        if legacy:
+            lines.append(f"  legacy (schema-1) frames: {legacy}")
+
+    online = []
+    for counter, label in (
+            ("online.samples", "samples"),
+            ("online.drift_checks", "drift checks"),
+            ("online.drift_signals", "drift signals"),
+            ("online.retrains", "retrains"),
+            ("online.promotions", "promotions"),
+            ("online.rejections", "rejections"),
+            ("online.swaps", "swaps"),
+            ("online.learner_errors", "learner errors")):
+        value = snap["counters"].get(counter)
+        if value:
+            online.append(f"{label} {value}")
+    if online:
+        lines.append(f"continual adaptation: {', '.join(online)}")
 
     if snap["histograms"]:
         lines.append("batch shapes:")

@@ -1,0 +1,176 @@
+"""Drift detection over the online telemetry ring.
+
+The deployed predictor was trained against one workload mix; when the
+served mix shifts (or the predictor's realized accuracy sags), the
+incumbent is stale and a retrain is warranted. Two windowed checks run
+over the ring's sampled ``adapt`` entries:
+
+* **Population stability** — the population stability index (PSI)
+  between the reference window's served-trace distribution and the
+  most recent window's. PSI ≥ ~0.25 is the classic "distribution has
+  shifted, act" threshold; it is symmetric and scale-free, so it works
+  on the small categorical histogram of corpus trace indices.
+* **Accuracy proxy** — the mean agreement between deployed gating
+  decisions and the oracle labels (computed per served trace by the
+  interval tier, so it is free at serve time). A drop beyond
+  ``accuracy_drop`` against the reference window trips even when the
+  mix looks stable — the predictor itself degraded.
+
+The reference window is captured from the ring the first time enough
+samples exist, and re-captured after every promotion
+(:meth:`DriftDetector.rebaseline`) so the new incumbent is judged
+against its own steady state, not its predecessor's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+
+import numpy as np
+
+from repro.online.ringbuf import OP_ADAPT, TelemetryRing
+
+#: Laplace smoothing for the PSI histograms: keeps empty bins from
+#: producing infinite scores while barely perturbing occupied ones.
+_PSI_EPS = 1e-4
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftSignal:
+    """One tripped drift check.
+
+    ``kind`` is ``"population"`` (PSI over the served-trace histogram)
+    or ``"accuracy"`` (accuracy-proxy drop); ``score`` is the tripped
+    statistic, ``threshold`` what it exceeded, ``generation`` the model
+    generation that was serving when the window was observed.
+    """
+
+    kind: str
+    score: float
+    threshold: float
+    window: int
+    generation: int
+    detail: str = ""
+
+
+def population_stability_index(reference: np.ndarray,
+                               recent: np.ndarray,
+                               n_bins: int) -> float:
+    """PSI between two categorical samples over ``[0, n_bins)``."""
+    ref_hist = np.bincount(reference, minlength=n_bins).astype(np.float64)
+    rec_hist = np.bincount(recent, minlength=n_bins).astype(np.float64)
+    p = (ref_hist + _PSI_EPS) / (ref_hist.sum() + n_bins * _PSI_EPS)
+    q = (rec_hist + _PSI_EPS) / (rec_hist.sum() + n_bins * _PSI_EPS)
+    return float(np.sum((q - p) * np.log(q / p)))
+
+
+class DriftDetector:
+    """Windowed PSI + accuracy-proxy checks over a telemetry ring."""
+
+    def __init__(self, window: int, threshold: float, n_traces: int,
+                 accuracy_drop: float = 0.10) -> None:
+        if window < 8:
+            raise ValueError(f"window must be >= 8, got {window}")
+        if threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {threshold}")
+        if n_traces < 1:
+            raise ValueError(f"n_traces must be >= 1, got {n_traces}")
+        self.window = window
+        self.threshold = threshold
+        self.n_traces = n_traces
+        self.accuracy_drop = accuracy_drop
+        self._lock = threading.Lock()
+        self._ref_indices: np.ndarray | None = None
+        self._ref_accuracy: float | None = None
+        self._ref_seq: int = -1
+        self.checks = 0
+        self.last_score: float | None = None
+        self.last_signal: DriftSignal | None = None
+
+    # ------------------------------------------------------------------
+    def rebaseline(self, ring: TelemetryRing) -> bool:
+        """Capture the current recent window as the new reference.
+
+        Called after a promotion (and implicitly on the first full
+        window). False when the ring does not yet hold a full window.
+        """
+        rows = ring.window(self.window, op=OP_ADAPT)
+        if rows.shape[0] < self.window:
+            return False
+        with self._lock:
+            self._ref_indices = rows["trace_index"].astype(np.int64)
+            self._ref_accuracy = float(rows["accuracy"].mean())
+            self._ref_seq = int(rows["seq"][-1])
+        return True
+
+    def check(self, ring: TelemetryRing,
+              generation: int) -> DriftSignal | None:
+        """One drift poll; a typed signal when a check trips.
+
+        The recent window must be disjoint from the reference window
+        (entirely newer samples) before a comparison is made —
+        otherwise the reference would be compared against itself and
+        drift could never register on a quiet ring.
+        """
+        rows = ring.window(self.window, op=OP_ADAPT)
+        with self._lock:
+            self.checks += 1
+            if self._ref_indices is None:
+                # First full window becomes the baseline.
+                if rows.shape[0] >= self.window:
+                    self._ref_indices = rows["trace_index"].astype(
+                        np.int64)
+                    self._ref_accuracy = float(rows["accuracy"].mean())
+                    self._ref_seq = int(rows["seq"][-1])
+                return None
+            if rows.shape[0] < self.window:
+                return None
+            if int(rows["seq"][0]) <= self._ref_seq:
+                return None  # window still overlaps the reference
+            score = population_stability_index(
+                self._ref_indices,
+                rows["trace_index"].astype(np.int64),
+                self.n_traces)
+            self.last_score = score
+            signal = None
+            if score >= self.threshold:
+                signal = DriftSignal(
+                    kind="population", score=score,
+                    threshold=self.threshold, window=self.window,
+                    generation=generation,
+                    detail="served-trace mix shifted (PSI)")
+            else:
+                accuracy = float(rows["accuracy"].mean())
+                drop = self._ref_accuracy - accuracy
+                if drop >= self.accuracy_drop:
+                    signal = DriftSignal(
+                        kind="accuracy", score=drop,
+                        threshold=self.accuracy_drop,
+                        window=self.window, generation=generation,
+                        detail=f"gating accuracy fell "
+                               f"{self._ref_accuracy:.3f} -> "
+                               f"{accuracy:.3f}")
+            if signal is not None:
+                self.last_signal = signal
+            return signal
+
+    def snapshot(self) -> dict:
+        """Health-op projection of the detector's state."""
+        with self._lock:
+            last = self.last_signal
+            return {
+                "window": self.window,
+                "threshold": self.threshold,
+                "checks": self.checks,
+                "baselined": self._ref_indices is not None,
+                "last_score": self.last_score,
+                "last_signal": None if last is None else {
+                    "kind": last.kind,
+                    "score": round(last.score, 6),
+                    "generation": last.generation,
+                },
+            }
+
+
+__all__ = ["DriftDetector", "DriftSignal", "population_stability_index"]

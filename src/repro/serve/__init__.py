@@ -11,6 +11,9 @@ failure-containment and fast-restart layers.
 
 from repro.serve.admission import (DrainTracker, TenantLedger,
                                    busy_response, retry_after_ms)
+from repro.serve.api import (SCHEMA_VERSION, AdaptRequest, AdaptResponse,
+                             DecideRequest, DecideResponse, HealthStatus,
+                             parse_request)
 from repro.serve.batcher import MicroBatcher
 from repro.serve.checkpoint import (corpus_fingerprint, load_checkpoint,
                                     save_checkpoint)
@@ -25,15 +28,21 @@ from repro.serve.supervisor import (BREAKER_MODES, BatcherSupervisor,
                                     ServeCircuitBreaker, run_supervised)
 
 __all__ = [
+    "AdaptRequest",
+    "AdaptResponse",
     "AdaptationServer",
     "BATCHED_OPS",
     "BREAKER_MODES",
     "BatcherSupervisor",
     "DAEMON_CRASH_EXIT",
+    "DecideRequest",
+    "DecideResponse",
     "DrainTracker",
+    "HealthStatus",
     "MAX_FRAME_BYTES",
     "MicroBatcher",
     "OPS",
+    "SCHEMA_VERSION",
     "ServeCircuitBreaker",
     "ServeClient",
     "TenantLedger",
@@ -45,6 +54,7 @@ __all__ = [
     "decide_payload",
     "encode_frame",
     "load_checkpoint",
+    "parse_request",
     "quick_forest_predictor",
     "recv_frame",
     "retry_after_ms",

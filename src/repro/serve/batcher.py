@@ -296,9 +296,11 @@ class MicroBatcher:
                 latency = done - pending.enqueued
                 METRICS.observe("serve.queue_latency_s", latency)
                 if self.ledger is not None:
-                    budget_ms = None
                     if isinstance(pending.item, dict):
                         budget_ms = pending.item.get("budget_ms")
+                    else:  # typed request dataclasses (serve.api)
+                        budget_ms = getattr(pending.item, "budget_ms",
+                                            None)
                     self.ledger.record(pending.tenant, latency,
                                        budget_ms)
                 pending.event.set()

@@ -65,13 +65,18 @@ def corpus_fingerprint(predictor_kind: str, n_apps: int,
 
 
 def save_checkpoint(path: str, cpu, traces: list,
-                    fingerprint: str) -> dict:
+                    fingerprint: str, generation: int = 0) -> dict:
     """Atomically write the daemon's warm state to ``path``.
 
     Returns ``{"path", "bytes", "elapsed_s"}`` for the daemon's
     startup log / health op. Raises :class:`CheckpointError` when the
     state cannot be pickled (exotic predictor collaborators) — the
     daemon then simply runs without fast-restart.
+
+    ``generation`` is the model-registry generation of ``cpu``: 0 for
+    cold builds, N after the continual loop's Nth promotion (the
+    server rewrites the checkpoint at each promotion so supervised
+    restarts resume warm on the promoted model, not the founder).
     """
     start = time.perf_counter()
     tier = getattr(cpu.collector.model, "_surrogate", None)
@@ -84,6 +89,7 @@ def save_checkpoint(path: str, cpu, traces: list,
         # deduplicates against cpu.collector.model, so load-time
         # re-attachment is pure pointer surgery.
         "tier": tier,
+        "generation": int(generation),
     }
     try:
         buf = io.BytesIO()
@@ -179,6 +185,9 @@ def load_checkpoint(path: str, fingerprint: str) -> dict:
         "traces": obj["traces"],
         "created": created,
         "age_s": round(max(time.time() - created, 0.0), 3),
+        # ``.get``: checkpoints written before the continual loop
+        # carry no generation and load as generation 0.
+        "generation": int(obj.get("generation", 0)),
     }
 
 

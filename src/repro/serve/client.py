@@ -40,7 +40,9 @@ import time
 import numpy as np
 
 from repro.errors import (BatchTimeoutError, BusyError, ProtocolError,
-                          RetriesExhaustedError, ServeError)
+                          RetriesExhaustedError, ServeError,
+                          StaleGenerationError)
+from repro.serve.api import (AdaptRequest, DecideRequest, HealthStatus)
 from repro.serve.protocol import recv_frame, send_frame
 
 #: First-retry backoff and its cap (seconds); attempt ``k`` waits
@@ -60,6 +62,15 @@ class ServeClient:
     the resilience behaviors documented in the module docstring;
     ``seed`` fixes the backoff jitter stream (default: derived from
     the client's identity, still deterministic per process).
+
+    Generation constraints (continual adaptation, schema 2):
+    ``min_generation`` stamps every inference request with "serve me
+    only from model generation >= N" — use it after learning of a
+    promotion to guarantee the retrained model answers.
+    ``pin_generation`` demands *exactly* generation N — bit-level
+    reproducibility across a promotion window. A daemon that cannot
+    satisfy the constraint answers ``stale_generation``, surfaced as
+    :class:`~repro.errors.StaleGenerationError`.
     """
 
     def __init__(self, address: str | tuple[str, int],
@@ -67,13 +78,21 @@ class ServeClient:
                  timeout_s: float | None = 30.0,
                  retries: int = 0,
                  hedge_s: float | None = None,
-                 seed: int | None = None) -> None:
+                 seed: int | None = None,
+                 min_generation: int | None = None,
+                 pin_generation: int | None = None) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if hedge_s is not None and hedge_s <= 0:
             raise ValueError(f"hedge_s must be > 0, got {hedge_s}")
+        for name, value in (("min_generation", min_generation),
+                            ("pin_generation", pin_generation)):
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
         self.address = address
         self.tenant = tenant
+        self.min_generation = min_generation
+        self.pin_generation = pin_generation
         self.timeout_s = timeout_s
         self.retries = retries
         self.hedge_s = hedge_s
@@ -239,6 +258,12 @@ class ServeClient:
             )
         if error == "timeout":
             raise BatchTimeoutError(str(response.get("detail", error)))
+        if error == "stale_generation":
+            raise StaleGenerationError(
+                str(response.get("detail", error)),
+                requested=response.get("requested"),
+                current=response.get("current"),
+            )
         raise ServeError(
             f"server error {error!r}: {response.get('detail', '')}"
         )
@@ -271,25 +296,38 @@ class ServeClient:
         """Queue depths, breaker states, watchdog and checkpoint age."""
         return self.request({"op": "health"})["health"]
 
+    def health_status(self) -> HealthStatus:
+        """Typed :class:`~repro.serve.api.HealthStatus` view of
+        :meth:`health` — carries ``model_generation`` and the
+        continual-adaptation surface when the daemon runs online."""
+        return HealthStatus.from_wire(self.health())
+
     def adapt(self, trace_index: int,
               budget_ms: float | None = None) -> dict:
-        """Run the closed adaptation loop on one corpus trace."""
-        payload: dict = {"op": "adapt", "trace_index": int(trace_index)}
-        if budget_ms is not None:
-            payload["budget_ms"] = float(budget_ms)
-        return self.request(payload)
+        """Run the closed adaptation loop on one corpus trace.
+
+        The response payload carries ``model_generation`` — the
+        registry generation whose model produced it.
+        """
+        request = AdaptRequest(
+            trace_index=int(trace_index), tenant=self.tenant,
+            budget_ms=None if budget_ms is None else float(budget_ms),
+            min_generation=self.min_generation,
+            pin_generation=self.pin_generation)
+        return self.request(request.to_wire())
 
     def decide(self, mode: str, window,
                budget_ms: float | None = None) -> dict:
         """Gating decisions for one telemetry window in ``mode``."""
         rows = np.asarray(window, dtype=np.float64)
-        payload: dict = {
-            "op": "decide", "mode": mode,
-            "window": [[float(v) for v in row] for row in rows],
-        }
-        if budget_ms is not None:
-            payload["budget_ms"] = float(budget_ms)
-        return self.request(payload)
+        request = DecideRequest(
+            mode=mode,
+            window=[[float(v) for v in row] for row in rows],
+            tenant=self.tenant,
+            budget_ms=None if budget_ms is None else float(budget_ms),
+            min_generation=self.min_generation,
+            pin_generation=self.pin_generation)
+        return self.request(request.to_wire())
 
     def shutdown(self) -> dict:
         """Ask the daemon to shut down cleanly."""

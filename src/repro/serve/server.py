@@ -69,8 +69,14 @@ from repro.ml.base import Estimator
 from repro.ml.forest import RandomForestClassifier
 from repro.obs import tracer
 from repro.obs.metrics import METRICS
+from repro.online.drift import DriftDetector
+from repro.online.learner import OnlineLearner
+from repro.online.registry import ModelRegistry
+from repro.online.ringbuf import TelemetryRing
 from repro.serve.admission import (TenantLedger, busy_response,
                                    retry_after_ms)
+from repro.serve.api import (AdaptRequest, AdaptResponse, DecideRequest,
+                             DecideResponse, HealthStatus, parse_request)
 from repro.serve.batcher import MicroBatcher
 from repro.serve.checkpoint import (corpus_fingerprint, load_checkpoint,
                                     save_checkpoint)
@@ -161,6 +167,25 @@ def quick_forest_predictor(traces: list[TraceSpec],
                              granularity_factor=1)
 
 
+class _StaleGeneration:
+    """Per-item executor verdict: a generation constraint failed.
+
+    Returned in place of a typed response for items whose
+    ``pin_generation`` did not match the batch's generation snapshot.
+    Only the constrained item fails — its batch partners are served
+    normally — and the dispatcher turns this marker into a
+    ``stale_generation`` error frame.
+    """
+
+    __slots__ = ("requested", "current", "detail")
+
+    def __init__(self, requested: int, current: int,
+                 detail: str) -> None:
+        self.requested = requested
+        self.current = current
+        self.detail = detail
+
+
 class _DedupEntry:
     """Execution record for one idempotency key.
 
@@ -207,9 +232,16 @@ class AdaptationServer:
                  breaker_cooldown_s: float | None = None,
                  init_s: float = 0.0,
                  checkpoint_info: dict | None = None,
-                 pmap: ParallelMap | None = None) -> None:
+                 pmap: ParallelMap | None = None,
+                 online: bool | None = None,
+                 generation: int = 0,
+                 checkpoint_path: str | None = None,
+                 fingerprint: str | None = None) -> None:
         config = active_exec_config()
-        self.cpu = cpu
+        # Generation fence: the serving model lives behind the
+        # registry; ``self.cpu`` is a property resolving the current
+        # entry, and executors snapshot an entry once per batch.
+        self.registry = ModelRegistry(cpu, generation=generation)
         self.traces = list(traces)
         self.address = address
         self.max_batch = (max_batch if max_batch is not None
@@ -257,6 +289,59 @@ class AdaptationServer:
         self._dedup: "collections.OrderedDict[str, _DedupEntry]" = \
             collections.OrderedDict()
         self._dedup_lock = threading.Lock()
+        # Continual-adaptation loop (REPRO_ONLINE / --online): sampled
+        # telemetry ring, drift detector and the background learner.
+        online_cfg = config.online
+        self.online_enabled = (online if online is not None
+                               else online_cfg.enabled)
+        self._checkpoint_path = checkpoint_path
+        self._fingerprint = fingerprint
+        self.ring: TelemetryRing | None = None
+        self.detector: DriftDetector | None = None
+        self.learner: OnlineLearner | None = None
+        if self.online_enabled:
+            self.ring = TelemetryRing(online_cfg.ring,
+                                      sample=online_cfg.sample)
+            self.detector = DriftDetector(
+                online_cfg.drift_window, online_cfg.drift_threshold,
+                n_traces=len(self.traces))
+            self.learner = OnlineLearner(
+                self.registry, self.ring, self.detector, self.traces,
+                pmap=self._pmap, interval_s=online_cfg.interval_s,
+                on_promote=self.persist_generation)
+
+    @property
+    def cpu(self) -> AdaptiveCPU:
+        """The current serving model (registry generation N).
+
+        Kept as an attribute-compatible property so existing callers
+        (stats, validation, tests doing ``daemon.cpu.run``) follow
+        promotions transparently. Executors do NOT use it per item —
+        they snapshot one :class:`~repro.online.registry.ModelEntry`
+        per batch, which is what keeps in-flight batches
+        digest-stable across a swap.
+        """
+        return self.registry.current().cpu
+
+    def persist_generation(self, generation: int) -> None:
+        """Rewrite the serve checkpoint to the promoted generation.
+
+        Called by the learner after a swap so a supervised restart
+        resumes warm on the *new* model instead of replaying the
+        promotion. Best-effort: a failed write costs warm restarts,
+        never serving.
+        """
+        if not self._checkpoint_path or self._fingerprint is None:
+            return
+        entry = self.registry.current()
+        try:
+            save_checkpoint(self._checkpoint_path, entry.cpu,
+                            self.traces, self._fingerprint,
+                            generation=generation)
+        except CheckpointError:
+            METRICS.incr("serve.checkpoint_save_failed")
+        else:
+            METRICS.incr("serve.checkpoint_saves")
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -280,6 +365,8 @@ class AdaptationServer:
         if self._pmap.uses_processes(len(self.traces), "adaptive_prepare"):
             self.cpu.install_resident_arena(self.traces)
         self.supervisor.start()
+        if self.learner is not None:
+            self.learner.start()
         accept = threading.Thread(target=self._accept_loop,
                                   name="repro-serve-accept", daemon=True)
         accept.start()
@@ -320,6 +407,8 @@ class AdaptationServer:
                 return
             self._shutdown_done = True
         self._stop.set()
+        if self.learner is not None:
+            self.learner.stop()
         self.supervisor.stop()
         if self._listener is not None:
             try:
@@ -339,7 +428,7 @@ class AdaptationServer:
                 conn.close()
             except OSError:
                 pass
-        self.cpu.close_resident_arena()
+        self.registry.close()
         close_pools()
         if (not isinstance(self.address, tuple)
                 and os.path.exists(self.address)):
@@ -437,12 +526,31 @@ class AdaptationServer:
             # The connection handler triggers the actual stop after the
             # acknowledgement frame has been written back.
             return {"id": request_id, "ok": True, "op": "shutdown"}
-        # Batched inference ops.
-        tenant = str(request.get("tenant", "default"))
-        error = self._validate(op, request)
+        # Batched inference ops: the raw frame becomes a typed request
+        # at this edge; everything downstream (validation, batcher,
+        # executors, dedup) handles typed values.
+        try:
+            typed = parse_request(request)
+        except ProtocolError as exc:
+            return {"id": request_id, "ok": False, "error": "bad_request",
+                    "detail": str(exc)}
+        tenant = typed.tenant
+        error = self._validate(op, typed)
         if error is not None:
             return {"id": request_id, "ok": False, "error": "bad_request",
                     "detail": error}
+        if typed.min_generation is not None:
+            current = self.registry.generation
+            if current < typed.min_generation:
+                # Monotonic generations make this pre-check safe: the
+                # executor's snapshot can only be newer.
+                return {"id": request_id, "ok": False,
+                        "error": "stale_generation",
+                        "detail": f"daemon serves generation {current}; "
+                                  f"request requires >= "
+                                  f"{typed.min_generation}",
+                        "requested": typed.min_generation,
+                        "current": current}
         if faults.should_inject("daemon_crash",
                                 f"serve.dispatch/{op}"):
             # The whole process dies mid-dispatch, exactly like a
@@ -454,7 +562,7 @@ class AdaptationServer:
         try:
             with tracer.span("serve.request", op=op, tenant=tenant,
                              level=level):
-                payload = self._execute_keyed(op, request, tenant,
+                payload = self._execute_keyed(op, typed, tenant,
                                               level)
         except BusyError as exc:
             # Load shed (queue full or breaker level 2): back-pressure
@@ -474,13 +582,26 @@ class AdaptationServer:
             return {"id": request_id, "ok": False, "error": "internal",
                     "detail": f"{type(exc).__name__}: {exc}"}
         breaker.record_success()
-        return {"id": request_id, "ok": True, "op": op, **payload}
+        if isinstance(payload, _StaleGeneration):
+            # The executor's batch snapshot did not satisfy the item's
+            # pin; not an executor failure, so the breaker stays green.
+            return {"id": request_id, "ok": False,
+                    "error": "stale_generation",
+                    "detail": payload.detail,
+                    "requested": payload.requested,
+                    "current": payload.current}
+        # Typed responses serialise here, at the wire edge; raw dicts
+        # (test doubles, future pass-through ops) are sent as-is.
+        wire = payload.to_wire() if hasattr(payload, "to_wire") \
+            else payload
+        return {"id": request_id, "ok": True, "op": op, **wire}
 
     # ------------------------------------------------------------------
     # Routing: breaker level + idempotency-key dedup.
     # ------------------------------------------------------------------
-    def _execute_routed(self, op: str, request: dict, tenant: str,
-                        level: int) -> dict:
+    def _execute_routed(self, op: str,
+                        request: "AdaptRequest | DecideRequest",
+                        tenant: str, level: int):
         """Run one request at the breaker-chosen execution level."""
         batcher = self._batchers[op]
         if level >= 2:
@@ -500,8 +621,9 @@ class AdaptationServer:
             return self._executors[op]([request])[0]
         return batcher.submit(request, tenant)
 
-    def _execute_keyed(self, op: str, request: dict, tenant: str,
-                       level: int) -> dict:
+    def _execute_keyed(self, op: str,
+                       request: "AdaptRequest | DecideRequest",
+                       tenant: str, level: int):
         """Dedup wrapper: one execution per idempotency key.
 
         The first request claiming a key executes; concurrent
@@ -511,7 +633,7 @@ class AdaptationServer:
         retained (bounded LRU) for retries arriving after the original
         connection died mid-response.
         """
-        key = request.get("key")
+        key = request.key
         if key is None or not isinstance(key, str):
             return self._execute_routed(op, request, tenant, level)
         with self._dedup_lock:
@@ -555,15 +677,23 @@ class AdaptationServer:
                 del self._dedup[old_key]
         return payload
 
-    def _validate(self, op: str, request: dict) -> str | None:
+    def _validate(self, op: str,
+                  request: "AdaptRequest | DecideRequest") -> str | None:
+        for field in ("min_generation", "pin_generation"):
+            value = getattr(request, field)
+            if value is not None and (not isinstance(value, int)
+                                      or isinstance(value, bool)
+                                      or value < 0):
+                return (f"{field} must be a non-negative int, "
+                        f"got {value!r}")
         if op == "adapt":
-            index = request.get("trace_index")
+            index = request.trace_index
             if (not isinstance(index, int) or isinstance(index, bool)
                     or not 0 <= index < len(self.traces)):
                 return (f"trace_index must be an int in "
                         f"[0, {len(self.traces)}), got {index!r}")
             return None
-        window = request.get("window")
+        window = request.window
         if not isinstance(window, list) or not window:
             return "window must be a non-empty list of counter rows"
         width = len(self.cpu.predictor.counter_ids)
@@ -571,7 +701,7 @@ class AdaptationServer:
             if not isinstance(row, list) or len(row) != width:
                 return (f"each window row must be a list of {width} "
                         f"counter values")
-        mode = request.get("mode")
+        mode = request.mode
         if mode not in [m.value for m in Mode]:
             return (f"mode must be one of "
                     f"{[m.value for m in Mode]}, got {mode!r}")
@@ -580,7 +710,22 @@ class AdaptationServer:
     # ------------------------------------------------------------------
     # Batch executors (run on the batcher threads).
     # ------------------------------------------------------------------
-    def _execute_adapt(self, items: list[dict]) -> list[dict]:
+    def _stale(self, item, entry) -> "_StaleGeneration | None":
+        """Pin check against the batch's generation snapshot.
+
+        Authoritative (unlike the dispatch-time ``min_generation``
+        pre-check): it compares against the exact entry that computed
+        — or would have computed — this item's answer.
+        """
+        pin = item.pin_generation
+        if pin is None or pin == entry.generation:
+            return None
+        return _StaleGeneration(
+            requested=pin, current=entry.generation,
+            detail=f"request pinned to generation {pin}; batch served "
+                   f"by generation {entry.generation}")
+
+    def _execute_adapt(self, items: list) -> list:
         """One ``run_many`` over the batch's traces.
 
         ``run_many`` on the resident corpus is bit-identical to
@@ -588,44 +733,87 @@ class AdaptationServer:
         changes latency only. The simulation tier that served the
         batch (surrogate / mixed / interval) is read off the METRICS
         counter deltas around the call.
+
+        Generation fence: the registry entry is resolved ONCE here and
+        used for the whole batch — a promotion landing mid-batch
+        cannot change these items' model, so their digests stay
+        identical to direct calls on the generation stamped into the
+        response.
         """
-        indices = [item["trace_index"] for item in items]
+        entry = self.registry.current()
+        indices = [item.trace_index for item in items]
         before_acc = METRICS.count("surrogate.accepted")
         before_fall = METRICS.count("surrogate.fallback")
-        results = self.cpu.run_many([self.traces[i] for i in indices],
-                                    pmap=self._pmap)
+        results = entry.cpu.run_many(
+            [self.traces[i] for i in indices], pmap=self._pmap)
         tier = _tier_from_deltas(
             METRICS.count("surrogate.accepted") - before_acc,
             METRICS.count("surrogate.fallback") - before_fall)
-        return [{"result": adapt_payload(result), "tier": tier}
-                for result in results]
+        out = []
+        for item, index, result in zip(items, indices, results):
+            stale = self._stale(item, entry)
+            if stale is not None:
+                out.append(stale)
+                continue
+            if self.ring is not None:
+                # Realized outcome sample for the continual loop: the
+                # labels come free with the interval-tier run.
+                accuracy = float(np.count_nonzero(
+                    result.predictions == result.labels)
+                    / max(result.predictions.shape[0], 1))
+                if self.ring.record_adapt(index, entry.generation,
+                                          accuracy,
+                                          float(result.ppw_gain),
+                                          float(result.residency)):
+                    METRICS.incr("online.samples")
+            out.append(AdaptResponse(
+                result=adapt_payload(result), tier=tier,
+                model_generation=entry.generation))
+        return out
 
-    def _execute_decide(self, items: list[dict]) -> list[dict]:
+    def _execute_decide(self, items: list) -> list:
         """One ``predict_proba`` per mode over concatenated windows.
 
         Inference is row-wise, so stacking the batch's windows per
         mode and slicing the probabilities back out returns exactly
-        the bits of one call per request.
+        the bits of one call per request. The same per-batch
+        generation snapshot as ``_execute_adapt`` applies.
         """
+        entry = self.registry.current()
+        predictor = entry.cpu.predictor
         by_mode: dict[Mode, list[int]] = {}
         for i, item in enumerate(items):
-            by_mode.setdefault(Mode(item["mode"]), []).append(i)
-        out: list[dict | None] = [None] * len(items)
+            by_mode.setdefault(Mode(item.mode), []).append(i)
+        out: list = [None] * len(items)
         for mode, positions in by_mode.items():
-            windows = [np.asarray(items[i]["window"], dtype=np.float64)
+            windows = [np.asarray(items[i].window, dtype=np.float64)
                        for i in positions]
             stacked = np.concatenate(windows, axis=0)
-            probs = self.cpu.predictor.predict_proba(stacked, mode)
-            threshold = self.cpu.predictor.model_for(
-                mode).decision_threshold
+            probs = predictor.predict_proba(stacked, mode)
+            threshold = predictor.model_for(mode).decision_threshold
             offset = 0
             for i, window in zip(positions, windows):
                 rows = window.shape[0]
-                out[i] = {"mode": mode.value,
-                          **decide_payload(probs[offset:offset + rows],
-                                           threshold)}
+                payload = decide_payload(probs[offset:offset + rows],
+                                         threshold)
                 offset += rows
-        return out  # type: ignore[return-value]
+                stale = self._stale(items[i], entry)
+                if stale is not None:
+                    out[i] = stale
+                    continue
+                if self.ring is not None:
+                    decisions = payload["decisions"]
+                    if self.ring.record_decide(
+                            entry.generation,
+                            float(np.mean(decisions))
+                            if decisions else 0.0):
+                        METRICS.incr("online.samples")
+                out[i] = DecideResponse(
+                    mode=mode.value, probs=payload["probs"],
+                    decisions=payload["decisions"],
+                    digest=payload["digest"],
+                    model_generation=entry.generation)
+        return out
 
     # ------------------------------------------------------------------
     def _stats(self) -> dict:
@@ -666,22 +854,32 @@ class AdaptationServer:
                     max(time.time() - created, 0.0), 3)
         with self._dedup_lock:
             dedup_entries = len(self._dedup)
-        return {
-            "ready": not self._stop.is_set(),
-            "uptime_s": round(time.monotonic() - self._started, 3),
-            "init_s": round(self.init_s, 6),
-            "requests": self._requests,
-            "queue_depth": {op: b.depth()
-                            for op, b in self._batchers.items()},
-            "drain_rps": {op: round(b.drain.rate_rps(), 3)
-                          for op, b in self._batchers.items()},
-            "breakers": {op: breaker.snapshot()
-                         for op, breaker in self.breakers.items()},
-            "watchdog": self.supervisor.snapshot(),
-            "batch_timeout_s": self.batch_timeout_s,
-            "checkpoint": checkpoint,
-            "dedup_entries": dedup_entries,
-        }
+        online = None
+        if self.online_enabled:
+            online = {
+                "ring": self.ring.snapshot(),
+                "drift": self.detector.snapshot(),
+                "learner": self.learner.snapshot(),
+                "registry": self.registry.snapshot(),
+            }
+        return HealthStatus(
+            ready=not self._stop.is_set(),
+            uptime_s=round(time.monotonic() - self._started, 3),
+            init_s=round(self.init_s, 6),
+            requests=self._requests,
+            queue_depth={op: b.depth()
+                         for op, b in self._batchers.items()},
+            drain_rps={op: round(b.drain.rate_rps(), 3)
+                       for op, b in self._batchers.items()},
+            breakers={op: breaker.snapshot()
+                      for op, breaker in self.breakers.items()},
+            watchdog=self.supervisor.snapshot(),
+            batch_timeout_s=self.batch_timeout_s,
+            checkpoint=checkpoint,
+            dedup_entries=dedup_entries,
+            model_generation=self.registry.generation,
+            online=online,
+        ).to_wire()
 
 
 def build_server(address: str | tuple[str, int],
@@ -713,6 +911,7 @@ def build_server(address: str | tuple[str, int],
     checkpoint_info: dict | None = None
     cpu: AdaptiveCPU | None = None
     traces: list[TraceSpec] | None = None
+    generation = 0
     if checkpoint_path:
         try:
             state = load_checkpoint(checkpoint_path, fingerprint)
@@ -725,8 +924,14 @@ def build_server(address: str | tuple[str, int],
             METRICS.incr("serve.checkpoint_loads")
             cpu = state["cpu"]
             traces = state["traces"]
+            # A restart resumes at the promoted generation: online
+            # promotions rewrite the checkpoint, so the warm model IS
+            # generation N and clients' min_generation bounds hold
+            # across supervised crash/restart cycles.
+            generation = state["generation"]
             checkpoint_info = {"path": checkpoint_path, "loaded": True,
-                               "created": state["created"]}
+                               "created": state["created"],
+                               "generation": generation}
     if cpu is None or traces is None:
         traces = serving_corpus(n_apps, workloads_per_app, intervals,
                                 seed)
@@ -757,7 +962,10 @@ def build_server(address: str | tuple[str, int],
                     checkpoint_info["rejected"] = rejected
     init_s = time.perf_counter() - init_start
     return AdaptationServer(cpu, traces, address, init_s=init_s,
-                            checkpoint_info=checkpoint_info, **kwargs)
+                            checkpoint_info=checkpoint_info,
+                            generation=generation,
+                            checkpoint_path=checkpoint_path or None,
+                            fingerprint=fingerprint, **kwargs)
 
 
 #: Ops the batcher coalesces — re-exported for introspection parity.
